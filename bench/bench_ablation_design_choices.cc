@@ -1,0 +1,107 @@
+// Ablations over the design choices DESIGN.md calls out (not in the paper,
+// but they justify the defaults):
+//
+//  1. rarity aggregation (Eq. 2 min vs. the worked example's max) × log
+//     base offset (1 per Eq. 3 vs. 2 per Figure 4(b)).
+//  2. the ID-similarity metric behind Eq. (1)/(5).
+//  3. optimization interplay: LIG × MCP pruning, whole-pipeline time.
+
+#include <iostream>
+#include <memory>
+
+#include "bench_util.h"
+#include "eval/metrics.h"
+#include "gen/real_like.h"
+#include "repair/repairer.h"
+#include "sim/similarity.h"
+
+using namespace idrepair;
+using namespace idrepair::benchutil;
+
+namespace {
+
+RepairOptions Defaults() {
+  RepairOptions o;
+  o.theta = 4;
+  o.eta = 600;
+  o.zeta = 4;
+  o.lambda = 0.5;
+  return o;
+}
+
+struct Outcome {
+  double f_measure;
+  double seconds;
+};
+
+Outcome Run(const Dataset& ds, const RepairOptions& options) {
+  TrajectorySet set = ds.BuildObservedTrajectories();
+  auto truth = ComputeFragmentTruth(ds, set);
+  IdRepairer repairer(ds.graph, options);
+  auto result = repairer.Repair(set);
+  if (!result.ok()) {
+    std::cerr << "repair failed: " << result.status() << "\n";
+    std::exit(1);
+  }
+  return Outcome{EvaluateRewrites(truth, set, result->rewrites).f_measure,
+                 result->stats.seconds_total};
+}
+
+}  // namespace
+
+int main() {
+  auto ds = MakeRealLikeDataset();
+  if (!ds.ok()) {
+    std::cerr << "generation failed: " << ds.status() << "\n";
+    return 1;
+  }
+
+  PrintTitle("Ablation 1: rarity aggregation x log-base offset");
+  PrintHeader({"aggregation", "base_offset", "f-measure"});
+  for (auto agg : {RarityAggregation::kMin, RarityAggregation::kMax}) {
+    for (uint32_t offset : {1u, 2u}) {
+      RepairOptions o = Defaults();
+      o.rarity_aggregation = agg;
+      o.rarity_base_offset = offset;
+      Outcome r = Run(*ds, o);
+      PrintRow({agg == RarityAggregation::kMin ? "min (Eq. 2)" : "max",
+                std::to_string(offset), Fmt(r.f_measure)});
+    }
+  }
+
+  PrintTitle("Ablation 2: ID similarity metric (Eq. 1 / Eq. 5)");
+  PrintHeader({"metric", "f-measure", "time_ms"});
+  for (const char* name :
+       {"edit", "jaro_winkler", "bigram_cosine", "overlap"}) {
+    auto metric = MakeSimilarity(name);
+    if (!metric.ok()) {
+      std::cerr << metric.status() << "\n";
+      return 1;
+    }
+    RepairOptions o = Defaults();
+    o.similarity = metric->get();
+    Outcome r = Run(*ds, o);
+    PrintRow({name, Fmt(r.f_measure), FmtMs(r.seconds)});
+  }
+
+  PrintTitle("Ablation 3: optimization interplay (3,000-trajectory set)");
+  auto big = MakeScaledRealLikeDataset(3000);
+  if (!big.ok()) {
+    std::cerr << "generation failed: " << big.status() << "\n";
+    return 1;
+  }
+  PrintHeader({"lig", "mcp_pruning", "f-measure", "time_ms"});
+  for (bool lig : {true, false}) {
+    for (bool mcp : {true, false}) {
+      RepairOptions o = Defaults();
+      o.use_lig = lig;
+      o.use_mcp_pruning = mcp;
+      Outcome r = Run(*big, o);
+      PrintRow({lig ? "on" : "off", mcp ? "on" : "off", Fmt(r.f_measure),
+                FmtMs(r.seconds)});
+    }
+  }
+  std::cout << "\n(f-measure must be identical across the optimization "
+               "grid; only time may differ)\n";
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Extension bench (not in the paper): the streaming repairer of §8's
+// future-work direction. Measures throughput, peak buffering and repair
+// quality across poll cadences and flush horizons, and compares against
+// the batch pipeline on the same stream.
+//
+// Quality metric: *entity recovery* — the fraction of corrupted entities
+// whose full trajectory comes out under the true ID with exactly the right
+// records. Unlike rewrite-attribution metrics it is well-defined for any
+// emitted trajectory set, so stream and batch are scored identically.
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "gen/real_like.h"
+#include "repair/repairer.h"
+#include "stream/streaming_repairer.h"
+
+using namespace idrepair;
+using namespace idrepair::benchutil;
+
+namespace {
+
+using RecordKey = std::pair<LocationId, Timestamp>;
+
+/// Fraction of corrupted entities (>= 1 misread record) whose exact record
+/// multiset is emitted under their true ID.
+double EntityRecovery(const Dataset& ds,
+                      const std::vector<Trajectory>& emitted) {
+  std::unordered_map<std::string, std::multiset<RecordKey>> entity_records;
+  std::set<std::string> corrupted;
+  for (const auto& r : ds.records) {
+    entity_records[r.true_id].insert({r.loc, r.ts});
+    if (r.corrupted()) corrupted.insert(r.true_id);
+  }
+  if (corrupted.empty()) return 1.0;
+  size_t recovered = 0;
+  for (const auto& t : emitted) {
+    if (corrupted.count(t.id()) == 0) continue;
+    std::multiset<RecordKey> got;
+    for (const auto& p : t.points()) got.insert({p.loc, p.ts});
+    if (got == entity_records.at(t.id())) ++recovered;
+  }
+  return static_cast<double>(recovered) /
+         static_cast<double>(corrupted.size());
+}
+
+struct StreamOutcome {
+  double seconds = 0.0;
+  size_t peak_buffer = 0;
+  size_t emitted_count = 0;
+  double recovery = 0.0;
+};
+
+StreamOutcome RunStream(const Dataset& ds,
+                        const std::vector<TrackingRecord>& records,
+                        const RepairOptions& options, size_t cadence,
+                        double horizon) {
+  StreamOutcome out;
+  Stopwatch watch;
+  StreamingRepairer stream(ds.graph, options, horizon);
+  std::vector<Trajectory> emitted;
+  size_t count = 0;
+  for (const auto& r : records) {
+    (void)stream.Append(r);
+    out.peak_buffer = std::max(out.peak_buffer, stream.pending_records());
+    if (++count % cadence == 0) {
+      auto polled = stream.Poll();
+      emitted.insert(emitted.end(), polled.begin(), polled.end());
+    }
+  }
+  auto rest = stream.Finish();
+  emitted.insert(emitted.end(), rest.begin(), rest.end());
+  out.seconds = watch.ElapsedSeconds();
+  out.emitted_count = emitted.size();
+  out.recovery = EntityRecovery(ds, emitted);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  auto ds = MakeScaledRealLikeDataset(2000);
+  if (!ds.ok()) {
+    std::cerr << "generation failed: " << ds.status() << "\n";
+    return 1;
+  }
+  auto records = ds->ObservedRecords();
+  std::sort(records.begin(), records.end(), RecordChronoLess);
+  RepairOptions options;
+  options.theta = 4;
+  options.eta = 600;
+
+  // Batch reference, scored with the same entity-recovery metric.
+  TrajectorySet set = ds->BuildObservedTrajectories();
+  IdRepairer repairer(ds->graph, options);
+  auto batch = repairer.Repair(set);
+  if (!batch.ok()) {
+    std::cerr << "batch repair failed: " << batch.status() << "\n";
+    return 1;
+  }
+  double batch_recovery =
+      EntityRecovery(*ds, batch->repaired.trajectories());
+  std::cout << "stream of " << records.size() << " records; batch repair: "
+            << FmtMs(batch->stats.seconds_total)
+            << " ms, entity recovery " << Fmt(batch_recovery) << "\n";
+
+  PrintTitle("Streaming: poll cadence sweep (horizon 2.0*eta)");
+  PrintHeader({"poll_every", "time_ms", "peak_buffer", "emitted",
+               "recovery"});
+  for (size_t cadence : {50u, 200u, 1000u, 100000u}) {
+    auto r = RunStream(*ds, records, options, cadence, 2.0);
+    PrintRow({std::to_string(cadence), FmtMs(r.seconds),
+              std::to_string(r.peak_buffer),
+              std::to_string(r.emitted_count), Fmt(r.recovery)});
+  }
+
+  PrintTitle("Streaming: flush horizon sweep (poll every 200 records)");
+  PrintHeader({"horizon_x_eta", "time_ms", "peak_buffer", "emitted",
+               "recovery"});
+  for (double horizon : {1.0, 2.0, 4.0, 8.0}) {
+    auto r = RunStream(*ds, records, options, 200, horizon);
+    PrintRow({Fmt(horizon, 1), FmtMs(r.seconds),
+              std::to_string(r.peak_buffer),
+              std::to_string(r.emitted_count), Fmt(r.recovery)});
+  }
+  std::cout << "\n(expected: streaming recovery within a few points of the "
+               "batch value at every cadence; peak buffering grows with "
+               "the horizon)\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Figure 10: effects of the θ, ζ, η, λ parameters on the (calibrated
+// substitute of the) real dataset — f-measure and running time per value.
+//
+// Paper shapes to expect: f-measure rises then flattens in θ/ζ/η while
+// running time keeps growing; λ peaks around 0.5 with stable running time.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "eval/metrics.h"
+#include "gen/real_like.h"
+#include "repair/repairer.h"
+
+using namespace idrepair;
+using namespace idrepair::benchutil;
+
+namespace {
+
+struct Outcome {
+  double f_measure = 0.0;
+  double seconds = 0.0;
+};
+
+Outcome Run(const Dataset& ds, const RepairOptions& options) {
+  TrajectorySet set = ds.BuildObservedTrajectories();
+  auto truth = ComputeFragmentTruth(ds, set);
+  Outcome out;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    IdRepairer repairer(ds.graph, options);
+    auto result = repairer.Repair(set);
+    if (!result.ok()) {
+      std::cerr << "repair failed: " << result.status() << "\n";
+      std::exit(1);
+    }
+    out.seconds += result->stats.seconds_total / kRepetitions;
+    if (rep == 0) {
+      out.f_measure =
+          EvaluateRewrites(truth, set, result->rewrites).f_measure;
+    }
+  }
+  return out;
+}
+
+RepairOptions Defaults() {
+  RepairOptions o;
+  o.theta = 4;
+  o.eta = 600;
+  o.zeta = 4;
+  o.lambda = 0.5;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  auto ds = MakeRealLikeDataset();
+  if (!ds.ok()) {
+    std::cerr << "generation failed: " << ds.status() << "\n";
+    return 1;
+  }
+  std::cout << "real-like dataset: " << ds->NumEntities() << " entities, "
+            << ds->records.size() << " records, error rate "
+            << Fmt(ds->RecordErrorRate(), 3) << "\n";
+
+  PrintTitle("Fig 10(a): varying theta (max VT length)");
+  PrintHeader({"theta", "f-measure", "time_ms"});
+  for (size_t theta = 1; theta <= 5; ++theta) {
+    RepairOptions o = Defaults();
+    o.theta = theta;
+    Outcome r = Run(*ds, o);
+    PrintRow({std::to_string(theta), Fmt(r.f_measure), FmtMs(r.seconds)});
+  }
+
+  PrintTitle("Fig 10(b): varying zeta (max joinable-subset size)");
+  PrintHeader({"zeta", "f-measure", "time_ms"});
+  for (size_t zeta = 1; zeta <= 5; ++zeta) {
+    RepairOptions o = Defaults();
+    o.zeta = zeta;
+    Outcome r = Run(*ds, o);
+    PrintRow({std::to_string(zeta), Fmt(r.f_measure), FmtMs(r.seconds)});
+  }
+
+  PrintTitle("Fig 10(c): varying eta (max VT time span, seconds)");
+  PrintHeader({"eta_s", "f-measure", "time_ms"});
+  for (Timestamp eta : {100, 200, 400, 600, 800}) {
+    RepairOptions o = Defaults();
+    o.eta = eta;
+    Outcome r = Run(*ds, o);
+    PrintRow({std::to_string(eta), Fmt(r.f_measure), FmtMs(r.seconds)});
+  }
+
+  PrintTitle("Fig 10(d): varying lambda (Eq. 3 trade-off)");
+  PrintHeader({"lambda", "f-measure", "time_ms"});
+  for (double lambda : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    RepairOptions o = Defaults();
+    o.lambda = lambda;
+    Outcome r = Run(*ds, o);
+    PrintRow({Fmt(lambda, 1), Fmt(r.f_measure), FmtMs(r.seconds)});
+  }
+  return 0;
+}

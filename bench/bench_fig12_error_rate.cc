@@ -1,0 +1,79 @@
+// Figure 12: effect of the ID error rate. ID errors are injected at varying
+// rates into one identical original trajectory set of 500 trajectories
+// (the paper's §6.3.2 protocol).
+//
+// Paper shapes: #trajectories grows ~linearly with the rate, #candidate
+// repairs and running time grow polynomially, f-measure drops ~linearly.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "eval/metrics.h"
+#include "gen/synthetic.h"
+#include "graph/generators.h"
+#include "repair/repairer.h"
+
+using namespace idrepair;
+using namespace idrepair::benchutil;
+
+int main() {
+  TransitionGraph graph = MakeRealLikeGraph();
+  SyntheticConfig config;
+  config.num_trajectories = 500;
+  config.max_path_len = 4;
+  // Short legs keep full trajectories well inside η=600, as the paper's
+  // empirical travel-time distribution evidently does (its Fig 12 reaches
+  // f≈0.95 at low error rates).
+  config.travel_median_lo = 40;
+  config.travel_median_hi = 120;
+  config.seed = 42;
+  auto clean = GenerateCleanDataset(graph, config);
+  if (!clean.ok()) {
+    std::cerr << "generation failed: " << clean.status() << "\n";
+    return 1;
+  }
+
+  PrintTitle("Fig 12: varying ID error rate (same 500-trajectory base set)");
+  PrintHeader(
+      {"error_rate", "trajectories", "repairs", "f-measure", "time_ms"});
+  for (double rate : {0.0, 0.05, 0.10, 0.15, 0.20}) {
+    double trajectories = 0.0;
+    double repairs = 0.0;
+    double f_measure = 0.0;
+    double seconds = 0.0;
+    // Average over several injection draws on the identical base set (the
+    // paper averages >= 30 runs).
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+      Dataset ds = *clean;
+      Rng rng(1000 + 100 * static_cast<uint64_t>(rep) +
+              static_cast<uint64_t>(rate * 100));
+      IdErrorModel model;
+      InjectIdErrors(ds, rate, model, rng);
+
+      RepairOptions options;
+      options.theta = 8;
+      options.eta = 600;
+      options.zeta = 4;
+      options.lambda = 0.5;
+      TrajectorySet set = ds.BuildObservedTrajectories();
+      auto truth = ComputeFragmentTruth(ds, set);
+      IdRepairer repairer(ds.graph, options);
+      auto result = repairer.Repair(set);
+      if (!result.ok()) {
+        std::cerr << "repair failed: " << result.status() << "\n";
+        return 1;
+      }
+      trajectories += static_cast<double>(set.size()) / kRepetitions;
+      repairs +=
+          static_cast<double>(result->stats.joinable_subsets) / kRepetitions;
+      seconds += result->stats.seconds_total / kRepetitions;
+      f_measure +=
+          EvaluateRewrites(truth, set, result->rewrites).f_measure /
+          kRepetitions;
+    }
+    PrintRow({Fmt(rate, 2), Fmt(trajectories, 0), Fmt(repairs, 0),
+              Fmt(f_measure), FmtMs(seconds)});
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+#ifndef IDREPAIR_BENCH_BENCH_UTIL_H_
+#define IDREPAIR_BENCH_BENCH_UTIL_H_
+
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace idrepair {
+namespace benchutil {
+
+/// Number of repetitions per configuration. The paper repeats each
+/// experiment >= 30 times; three repetitions keep the full harness fast
+/// while still averaging out generator noise (results are deterministic per
+/// seed anyway).
+inline constexpr int kRepetitions = 3;
+
+inline void PrintTitle(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+inline void PrintHeader(const std::vector<std::string>& cols) {
+  for (size_t i = 0; i < cols.size(); ++i) {
+    std::cout << (i ? "  " : "") << std::setw(i ? 14 : 18) << cols[i];
+  }
+  std::cout << "\n";
+}
+
+inline void PrintCell(const std::string& value, bool first) {
+  std::cout << (first ? "" : "  ") << std::setw(first ? 18 : 14) << value;
+}
+
+inline void PrintRow(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) PrintCell(cells[i], i == 0);
+  std::cout << "\n";
+}
+
+inline std::string Fmt(double v, int digits = 3) {
+  return ToFixed(v, digits);
+}
+
+inline std::string FmtMs(double seconds) { return ToFixed(seconds * 1e3, 1); }
+
+}  // namespace benchutil
+}  // namespace idrepair
+
+#endif  // IDREPAIR_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,141 @@
+// Composite IDs: repairing camouflaged identities.
+//
+// §1 of the paper notes an ID "may be an atomic value or a composite one
+// consisting of multiple features, such as name, color and shape", and
+// §2.2.1 observes that camouflage usually fakes the *name* while the other
+// features stay recognizable. This example tracks ships whose composite ID
+// is name|color|type: a fraction of sightings carry a *completely faked
+// name* (not a small typo). A naive tracker that matches on the name field
+// alone loses those ships; scoring the full composite ID — with extra
+// weight on the hard-to-conceal color/type features — recovers them.
+
+#include <iostream>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "eval/metrics.h"
+#include "gen/dataset.h"
+#include "gen/id_generator.h"
+#include "gen/travel_time.h"
+#include "graph/generators.h"
+#include "graph/paths.h"
+#include "repair/repairer.h"
+#include "sim/composite_id.h"
+
+using namespace idrepair;
+
+namespace {
+
+// Generates a labeled dataset with composite IDs. Each entity has a
+// name|color|type identity; with probability `camouflage_rate` a sighting
+// reports a random fake name (color/type intact).
+Result<Dataset> GenerateCamouflageDataset(const TransitionGraph& graph,
+                                          size_t num_entities,
+                                          double camouflage_rate,
+                                          uint64_t seed) {
+  auto sampler = ValidPathSampler::Create(graph, 5);
+  if (!sampler.ok()) return sampler.status();
+  Rng rng(seed);
+  UniqueIdGenerator names(6, 8);
+  TravelTimeModel travel;
+  const char* colors[] = {"red", "blue", "green", "white", "black"};
+  const char* types[] = {"cargo", "tanker", "trawler", "ferry"};
+
+  Dataset dataset;
+  dataset.graph = graph;
+  for (size_t e = 0; e < num_entities; ++e) {
+    std::string name = names.Next(rng);
+    std::string color = colors[rng.UniformIndex(5)];
+    std::string type = types[rng.UniformIndex(4)];
+    auto true_id = EncodeCompositeId({name, color, type});
+    if (!true_id.ok()) return true_id.status();
+
+    const auto& path = sampler->Sample(rng);
+    Timestamp ts = rng.UniformInt(0, 6 * 3600);
+    for (size_t i = 0; i < path.size(); ++i) {
+      if (i > 0) ts += travel.SampleSeconds(path[i - 1], path[i], rng);
+      std::string observed = *true_id;
+      if (rng.Bernoulli(camouflage_rate)) {
+        // A fake name shares nothing with the real one.
+        auto fake = EncodeCompositeId({names.Next(rng), color, type});
+        if (!fake.ok()) return fake.status();
+        observed = *fake;
+      }
+      dataset.records.push_back(
+          GroundTruthRecord{*true_id, observed, path[i], ts});
+    }
+  }
+  return dataset;
+}
+
+}  // namespace
+
+int main() {
+  TransitionGraph graph = MakePaperExampleGraph();
+  auto dataset = GenerateCamouflageDataset(graph, /*num_entities=*/300,
+                                           /*camouflage_rate=*/0.18,
+                                           /*seed=*/99);
+  if (!dataset.ok()) {
+    std::cerr << "generation failed: " << dataset.status() << "\n";
+    return 1;
+  }
+  TrajectorySet set = dataset->BuildObservedTrajectories();
+  auto truth = ComputeFragmentTruth(*dataset, set);
+  std::cout << "Ships: " << dataset->NumEntities() << ", sightings: "
+            << dataset->records.size() << ", camouflaged sightings: "
+            << ToFixed(dataset->RecordErrorRate() * 100, 1) << "%\n\n";
+
+  RepairOptions options;
+  options.theta = 5;
+  options.eta = 1200;
+
+  // Attempt 1: the naive tracker — identity is the *name*; color and type
+  // are ignored. A fake name shares nothing with the real one, so the
+  // similarity term of Eq. (3) collapses for every camouflaged sighting.
+  auto name_only = CompositeIdSimilarity::Create({1.0, 0.0, 0.0});
+  if (!name_only.ok()) {
+    std::cerr << name_only.status() << "\n";
+    return 1;
+  }
+  options.similarity = &*name_only;
+  IdRepairer plain(graph, options);
+  auto plain_result = plain.Repair(set);
+  if (!plain_result.ok()) {
+    std::cerr << "repair failed: " << plain_result.status() << "\n";
+    return 1;
+  }
+  auto plain_metrics = EvaluateRewrites(truth, set, plain_result->rewrites);
+
+  // Attempt 2: composite similarity — name weight 1, color and type weight
+  // 2 each (the hard-to-conceal features dominate).
+  auto composite = CompositeIdSimilarity::Create({1.0, 2.0, 2.0});
+  if (!composite.ok()) {
+    std::cerr << composite.status() << "\n";
+    return 1;
+  }
+  options.similarity = &*composite;
+  IdRepairer smart(graph, options);
+  auto smart_result = smart.Repair(set);
+  if (!smart_result.ok()) {
+    std::cerr << "repair failed: " << smart_result.status() << "\n";
+    return 1;
+  }
+  auto smart_metrics = EvaluateRewrites(truth, set, smart_result->rewrites);
+
+  std::cout << "name-only similarity:       precision="
+            << ToFixed(plain_metrics.precision, 3)
+            << " recall=" << ToFixed(plain_metrics.recall, 3)
+            << " f-measure=" << ToFixed(plain_metrics.f_measure, 3) << "\n";
+  std::cout << "weighted composite (1:2:2): precision="
+            << ToFixed(smart_metrics.precision, 3)
+            << " recall=" << ToFixed(smart_metrics.recall, 3)
+            << " f-measure=" << ToFixed(smart_metrics.f_measure, 3) << "\n";
+
+  if (smart_metrics.f_measure <= plain_metrics.f_measure) {
+    std::cout << "\n(unexpected: composite similarity did not help)\n";
+    return 1;
+  }
+  std::cout << "\nWeighting the hard-to-conceal features recovers "
+               "camouflaged identities that name matching misses.\n";
+  return 0;
+}

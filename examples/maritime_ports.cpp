@@ -1,0 +1,112 @@
+// Maritime surveillance: repairing ship identities along regulated routes.
+//
+// The paper's other motivating domain (§1): port surveillance devices track
+// ships whose names are recognized from imagery, sometimes deliberately
+// camouflaged (e.g. smuggling). Shipping lanes impose a transition graph
+// just like a road network does. This example models a small coastal region
+// with two inbound lanes converging on a customs anchorage, injects
+// heavier, adversarial ID errors (camouflage = larger edit distances), and
+// shows that rarity-weighted repair still recovers most identities.
+
+#include <iostream>
+
+#include "common/string_util.h"
+#include "eval/metrics.h"
+#include "gen/synthetic.h"
+#include "graph/transition_graph.h"
+#include "repair/repairer.h"
+
+using namespace idrepair;
+
+namespace {
+
+// Shipping lanes: ships enter at the north or south approach, pass through
+// lane buoys, converge on the customs anchorage and leave via the harbor.
+//
+//   north ──► buoy1 ──► merge ──► customs ──► harbor
+//   south ──► buoy2 ──► merge
+//                buoy2 ───────────► customs      (fast lane for small craft)
+TransitionGraph MakeShippingLanes() {
+  TransitionGraph g;
+  LocationId north = g.AddLocation("north_approach");
+  LocationId south = g.AddLocation("south_approach");
+  LocationId buoy1 = g.AddLocation("buoy1");
+  LocationId buoy2 = g.AddLocation("buoy2");
+  LocationId merge = g.AddLocation("merge");
+  LocationId customs = g.AddLocation("customs");
+  LocationId harbor = g.AddLocation("harbor");
+  (void)g.AddEdge(north, buoy1);
+  (void)g.AddEdge(south, buoy2);
+  (void)g.AddEdge(buoy1, merge);
+  (void)g.AddEdge(buoy2, merge);
+  (void)g.AddEdge(buoy2, customs);
+  (void)g.AddEdge(merge, customs);
+  (void)g.AddEdge(customs, harbor);
+  (void)g.MarkEntrance(north);
+  (void)g.MarkEntrance(south);
+  (void)g.MarkExit(harbor);
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  TransitionGraph lanes = MakeShippingLanes();
+  std::cout << "Shipping lanes: " << lanes.num_locations() << " stations, "
+            << lanes.num_edges() << " legs\n";
+
+  // Adversarial error model: camouflaged names drift further from the true
+  // ID than OCR noise does (§1: "deliberate efforts ... to prevent the
+  // entities from being recognized").
+  SyntheticConfig config;
+  config.num_trajectories = 400;
+  config.record_error_rate = 0.25;
+  config.max_path_len = 5;
+  config.window_seconds = 6 * 3600;  // a six-hour tide window
+  config.error_distances.probs_by_distance = {0.25, 0.35, 0.25, 0.15};
+  config.seed = 1717;
+  auto dataset = GenerateSyntheticDataset(lanes, config);
+  if (!dataset.ok()) {
+    std::cerr << "generation failed: " << dataset.status() << "\n";
+    return 1;
+  }
+  TrajectorySet observed = dataset->BuildObservedTrajectories();
+  std::cout << "Ships: " << dataset->NumEntities() << ", sightings: "
+            << dataset->records.size() << ", observed trajectories: "
+            << observed.size() << " ("
+            << observed.InvalidTrajectories(lanes).size() << " invalid)\n\n";
+
+  // Ships dwell longer than cars: wide η, and a full lane traversal holds
+  // up to 5 sightings.
+  RepairOptions options;
+  options.theta = 5;
+  options.eta = 3600;
+  options.zeta = 4;
+  options.lambda = 0.5;
+  IdRepairer repairer(lanes, options);
+  auto result = repairer.Repair(observed);
+  if (!result.ok()) {
+    std::cerr << "repair failed: " << result.status() << "\n";
+    return 1;
+  }
+
+  auto truth = ComputeFragmentTruth(*dataset, observed);
+  auto metrics = EvaluateRewrites(truth, observed, result->rewrites);
+  std::cout << "Repairs selected: " << result->selected.size() << " (of "
+            << result->candidates.size() << " candidates) in "
+            << ToFixed(result->stats.seconds_total * 1e3, 1) << " ms\n";
+  std::cout << "precision=" << ToFixed(metrics.precision, 3)
+            << "  recall=" << ToFixed(metrics.recall, 3)
+            << "  f-measure=" << ToFixed(metrics.f_measure, 3) << "\n";
+
+  // Show a few concrete identity recoveries.
+  std::cout << "\nSample identity recoveries:\n";
+  int shown = 0;
+  for (const auto& [traj, id] : result->rewrites) {
+    if (truth[traj] != id) continue;  // show confirmed-correct ones
+    std::cout << "  " << observed.at(traj).ToString(lanes) << "  ->  " << id
+              << "\n";
+    if (++shown == 5) break;
+  }
+  return 0;
+}

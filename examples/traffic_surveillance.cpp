@@ -1,0 +1,94 @@
+// Traffic surveillance: repairing OCR'd license plates at city scale.
+//
+// The scenario of the paper's §1: cameras on a road network capture plates
+// with ~83% field accuracy. This example generates a labeled city-traffic
+// workload (the calibrated stand-in for the paper's real dataset), runs the
+// repair pipeline with the real-dataset defaults (θ=4, η=600 s, ζ=4, λ=0.5),
+// and scores it against ground truth — then shows how to persist the
+// repaired records back to CSV for a downstream consumer.
+
+#include <iostream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "eval/metrics.h"
+#include "gen/real_like.h"
+#include "repair/repairer.h"
+#include "traj/csv.h"
+
+using namespace idrepair;
+
+int main() {
+  // A labeled dataset shaped like the paper's: 699 vehicles, ~2,045 records
+  // between 8 and 9 a.m., 17% of plates misread.
+  auto dataset = MakeRealLikeDataset(/*seed=*/2018);
+  if (!dataset.ok()) {
+    std::cerr << "generation failed: " << dataset.status() << "\n";
+    return 1;
+  }
+  TrajectorySet observed = dataset->BuildObservedTrajectories();
+  std::cout << "Vehicles (true entities):   " << dataset->NumEntities()
+            << "\nTracking records:           " << dataset->records.size()
+            << "\nObserved trajectories:      " << observed.size()
+            << "\nRecord-level error rate:    "
+            << ToFixed(dataset->RecordErrorRate() * 100, 1) << "%\n";
+  size_t invalid = observed.InvalidTrajectories(dataset->graph).size();
+  std::cout << "Invalid trajectories (IVT): " << invalid << "\n\n";
+
+  // Repair with the paper's real-dataset defaults.
+  RepairOptions options;
+  options.theta = 4;
+  options.eta = 600;
+  options.zeta = 4;
+  options.lambda = 0.5;
+  IdRepairer repairer(dataset->graph, options);
+  auto result = repairer.Repair(observed);
+  if (!result.ok()) {
+    std::cerr << "repair failed: " << result.status() << "\n";
+    return 1;
+  }
+
+  const RepairStats& stats = result->stats;
+  std::cout << "Pipeline: " << stats.gm_edges << " Gm edges, "
+            << stats.num_candidates << " candidate repairs, "
+            << stats.num_selected << " selected, in "
+            << ToFixed(stats.seconds_total * 1e3, 1) << " ms\n";
+
+  // Score against the manual labels.
+  auto truth = ComputeFragmentTruth(*dataset, observed);
+  auto metrics = EvaluateRewrites(truth, observed, result->rewrites);
+  std::cout << "Erroneous trajectories: " << metrics.num_erroneous
+            << ", rewritten: " << metrics.num_rewritten
+            << ", correct: " << metrics.num_correct << "\n";
+  std::cout << "precision=" << ToFixed(metrics.precision, 3)
+            << "  recall=" << ToFixed(metrics.recall, 3)
+            << "  f-measure=" << ToFixed(metrics.f_measure, 3) << "\n";
+  std::cout << "Trajectory accuracy: "
+            << ToFixed(TrajectoryAccuracy(truth, observed, {}), 3) << " -> "
+            << ToFixed(TrajectoryAccuracy(truth, observed, result->rewrites),
+                       3)
+            << "\n";
+  size_t invalid_after =
+      result->repaired.InvalidTrajectories(dataset->graph).size();
+  std::cout << "Invalid trajectories: " << invalid << " -> " << invalid_after
+            << "\n\n";
+
+  // Persist the repaired records (here to a string; point it at a file in
+  // production).
+  std::vector<TrackingRecord> repaired_records;
+  for (const auto& t : result->repaired.trajectories()) {
+    for (const auto& p : t.points()) {
+      repaired_records.push_back(TrackingRecord{t.id(), p.loc, p.ts});
+    }
+  }
+  std::ostringstream csv;
+  if (auto s = WriteRecordsCsv(csv, dataset->graph, repaired_records);
+      !s.ok()) {
+    std::cerr << "csv write failed: " << s << "\n";
+    return 1;
+  }
+  std::cout << "Repaired CSV: " << repaired_records.size()
+            << " records, " << csv.str().size() << " bytes (first line: "
+            << csv.str().substr(0, csv.str().find('\n')) << ")\n";
+  return 0;
+}

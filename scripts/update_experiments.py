@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Splices measured benchmark sections from bench_output.txt into
+EXPERIMENTS.md (replacing the MEASURED_* placeholders). Idempotent only on
+a template containing the placeholders; keep a template copy if you plan to
+re-run."""
+
+import re
+import sys
+
+REPO = sys.argv[1] if len(sys.argv) > 1 else "."
+
+out = open(f"{REPO}/bench_output.txt").read()
+
+
+def section(title_substr, count=1):
+    """Returns the bench output section(s) whose === title contains the
+    substring, as one fenced block."""
+    blocks = []
+    parts = re.split(r"\n(?==== )", out)
+    for part in parts:
+        if part.startswith("=== ") and title_substr in part.splitlines()[0]:
+            blocks.append(part.rstrip())
+            if len(blocks) == count:
+                break
+    assert blocks, f"section not found: {title_substr}"
+    return "```\n" + "\n\n".join(blocks) + "\n```"
+
+
+def sections(prefix, howmany):
+    blocks = []
+    for part in re.split(r"\n(?==== )", out):
+        if part.startswith("=== ") and prefix in part.splitlines()[0]:
+            blocks.append(part.rstrip())
+    assert len(blocks) >= howmany, f"{prefix}: found {len(blocks)}"
+    return "```\n" + "\n\n".join(blocks[:howmany]) + "\n```"
+
+
+exp = open(f"{REPO}/EXPERIMENTS.md").read()
+
+replacements = {
+    "MEASURED_FIG10": sections("Fig 10", 4),
+    "MEASURED_FIG11": sections("Fig 11", 2),
+    "MEASURED_FIG12": section("Fig 12"),
+    "MEASURED_FIG13": section("Fig 13"),
+    "MEASURED_FIG14": sections("Fig 14", 2),
+    "MEASURED_FIG15": section("Fig 15"),
+    "MEASURED_FIG16": section("Fig 16"),
+    "MEASURED_ABLATION": sections("Ablation", 3),
+    "MEASURED_EXT_STREAM": sections("Streaming:", 2),
+    "MEASURED_EXT_PART": section("Partitioned repair"),
+}
+
+for key, value in replacements.items():
+    assert key in exp, f"placeholder missing: {key}"
+    exp = exp.replace(key, value)
+
+# EMAX averages line from the fig15 output.
+m = re.search(r"EMAX averages: dE/dEmax = ([0-9.]+), dA/dAopt = ([0-9.]+)",
+              out)
+assert m, "EMAX averages not found"
+exp = exp.replace("MEASURED_EMAX_RATIOS",
+                  f"{m.group(1)} on ΔE/ΔEmax and {m.group(2)} on ΔA/ΔAopt")
+
+open(f"{REPO}/EXPERIMENTS.md", "w").write(exp)
+print("EXPERIMENTS.md updated")

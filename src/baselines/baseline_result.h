@@ -1,0 +1,24 @@
+#ifndef IDREPAIR_BASELINES_BASELINE_RESULT_H_
+#define IDREPAIR_BASELINES_BASELINE_RESULT_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "traj/trajectory_set.h"
+
+namespace idrepair {
+
+/// Output shape shared by the competing repair approaches of §6.5.2, kept
+/// deliberately identical to the core pipeline's rewrite map so all three
+/// are scored by the same eval::EvaluateRewrites.
+struct BaselineResult {
+  /// trajectory index -> new ID (only genuinely changed IDs).
+  std::unordered_map<TrajIndex, std::string> rewrites;
+  /// Rewrites applied and records regrouped.
+  TrajectorySet repaired;
+  double seconds = 0.0;
+};
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_BASELINES_BASELINE_RESULT_H_

@@ -1,0 +1,30 @@
+#ifndef IDREPAIR_BASELINES_ID_SIMILARITY_REPAIRER_H_
+#define IDREPAIR_BASELINES_ID_SIMILARITY_REPAIRER_H_
+
+#include <cstddef>
+
+#include "baselines/baseline_result.h"
+#include "traj/trajectory_set.h"
+
+namespace idrepair {
+
+/// The ID-similarity baseline of §6.5.2: trajectories whose IDs are within
+/// `max_edit_distance` (the paper uses 3) are considered to come from the
+/// same entity and are merged. Clustering is transitive (union-find over
+/// qualifying pairs); each cluster's target ID is chosen by the same
+/// length-weighted rule as the core pipeline (Eq. 5). No movement
+/// constraints are consulted — that is the point of the comparison.
+class IdSimilarityRepairer {
+ public:
+  explicit IdSimilarityRepairer(size_t max_edit_distance = 3)
+      : max_edit_distance_(max_edit_distance) {}
+
+  BaselineResult Repair(const TrajectorySet& set) const;
+
+ private:
+  size_t max_edit_distance_;
+};
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_BASELINES_ID_SIMILARITY_REPAIRER_H_

@@ -1,0 +1,60 @@
+#include "baselines/neighborhood_repairer.h"
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "repair/predicates.h"
+#include "repair/repairer.h"
+#include "repair/trajectory_graph.h"
+#include "sim/edit_distance.h"
+
+namespace idrepair {
+
+BaselineResult NeighborhoodRepairer::Repair(const TrajectorySet& set) const {
+  Stopwatch watch;
+  BaselineResult result;
+
+  PredicateEvaluator pred(*graph_, options_.theta, options_.eta);
+  TrajectoryGraph gm(set, pred, options_);
+
+  // Candidate isolated rewrites: relabel dirty vertex v to neighbor w's
+  // label, valid only when the *pair* v+w merges into a valid trajectory
+  // (the binary neighborhood constraint). Neighbors that never satisfy it
+  // correspond to removed instance edges.
+  struct Candidate {
+    size_t cost;
+    TrajIndex vertex;
+    TrajIndex donor;
+  };
+  std::vector<Candidate> rewrites;
+  for (TrajIndex v = 0; v < set.size(); ++v) {
+    if (set.at(v).IsValid(*graph_)) continue;
+    for (TrajIndex w : gm.Neighbors(v)) {
+      const Trajectory* pair[] = {&set.at(v), &set.at(w)};
+      if (!pred.Jnb(pair)) continue;
+      rewrites.push_back(
+          Candidate{EditDistance(set.at(v).id(), set.at(w).id()), v, w});
+    }
+  }
+  // Minimum change first; both endpoints settle so labels never chain.
+  std::sort(rewrites.begin(), rewrites.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return std::tie(a.cost, a.vertex, a.donor) <
+                     std::tie(b.cost, b.vertex, b.donor);
+            });
+  std::vector<bool> settled(set.size(), false);
+  for (const auto& c : rewrites) {
+    if (settled[c.vertex] || settled[c.donor]) continue;
+    settled[c.vertex] = true;
+    settled[c.donor] = true;
+    const std::string& label = set.at(c.donor).id();
+    if (set.at(c.vertex).id() != label) result.rewrites[c.vertex] = label;
+  }
+  result.repaired = ApplyRewrites(set, result.rewrites);
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace idrepair

@@ -1,0 +1,76 @@
+#ifndef IDREPAIR_COMMON_RNG_H_
+#define IDREPAIR_COMMON_RNG_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace idrepair {
+
+/// Deterministic pseudo-random source used by all generators in the library.
+/// Wraps a fixed engine so experiments are reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform index in [0, n). Requires n > 0.
+  size_t UniformIndex(size_t n) {
+    assert(n > 0);
+    return static_cast<size_t>(UniformInt(0, static_cast<int64_t>(n) - 1));
+  }
+
+  /// Uniform real in [lo, hi).
+  double UniformReal(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Log-normal sample where the underlying normal has the given
+  /// location/scale parameters.
+  double LogNormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  /// Samples an index according to non-negative weights (not necessarily
+  /// normalized). Requires at least one positive weight.
+  size_t WeightedIndex(const std::vector<double>& weights) {
+    assert(!weights.empty());
+    return std::discrete_distribution<size_t>(weights.begin(), weights.end())(
+        engine_);
+  }
+
+  /// Random lowercase letter 'a'..'z'.
+  char LowercaseLetter() { return static_cast<char>('a' + UniformInt(0, 25)); }
+
+  template <typename It>
+  void Shuffle(It first, It last) {
+    std::shuffle(first, last, engine_);
+  }
+
+  /// Derives an independent child RNG; useful to decouple generation stages
+  /// so adding draws to one stage does not perturb another.
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_COMMON_RNG_H_

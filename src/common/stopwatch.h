@@ -1,0 +1,32 @@
+#ifndef IDREPAIR_COMMON_STOPWATCH_H_
+#define IDREPAIR_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace idrepair {
+
+/// Monotonic wall-clock stopwatch for the benchmark harness and the repair
+/// pipeline's per-phase statistics.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_COMMON_STOPWATCH_H_

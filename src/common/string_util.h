@@ -1,0 +1,27 @@
+#ifndef IDREPAIR_COMMON_STRING_UTIL_H_
+#define IDREPAIR_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace idrepair {
+
+/// Splits `input` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view input, char sep);
+
+/// Joins `parts` with `sep` ({"a","b"} -> "a,b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Formats a double with fixed decimal digits (no std::format in GCC 12).
+std::string ToFixed(double value, int digits);
+
+/// True if `s` consists only of characters in [a-z].
+bool IsLowercaseAlpha(std::string_view s);
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_COMMON_STRING_UTIL_H_

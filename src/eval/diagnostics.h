@@ -1,0 +1,58 @@
+#ifndef IDREPAIR_EVAL_DIAGNOSTICS_H_
+#define IDREPAIR_EVAL_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "gen/dataset.h"
+#include "repair/options.h"
+#include "repair/repairer.h"
+#include "traj/trajectory_set.h"
+
+namespace idrepair {
+
+/// Why an erroneous trajectory was not correctly repaired.
+enum class FailureReason {
+  kFixed,                 // not a failure: rewritten to the true ID
+  kEntitySpanExceedsEta,  // the true trajectory's span violates η
+  kEntityLengthExceedsTheta,   // its record count violates θ
+  kEntityFragmentsExceedZeta,  // it fractured into more than ζ pieces
+  kWrongTargetChosen,     // the correct joinable subset became a candidate,
+                          // but Eq. (5) picked an erroneous member's ID
+                          // (typically an equal-length tie)
+  kCandidateMissing,      // no candidate matches the entity's fragment set
+                          // for another reason (e.g. predicate bounds on a
+                          // sub-merge)
+  kCorrectCandidateNotSelected,  // generated but lost the selection phase
+};
+
+/// Returns a stable display name for a failure reason.
+const char* FailureReasonToString(FailureReason reason);
+
+/// Per-trajectory diagnosis plus aggregate counts.
+struct RepairDiagnostics {
+  /// reason per *erroneous* observed trajectory, aligned with `erroneous`.
+  std::vector<TrajIndex> erroneous;
+  std::vector<FailureReason> reasons;
+  /// histogram over FailureReason (index = enum value).
+  std::vector<size_t> counts;
+
+  size_t total_erroneous() const { return erroneous.size(); }
+
+  /// Multi-line human-readable summary.
+  std::string Describe() const;
+};
+
+/// Explains, against ground truth, what happened to every erroneous
+/// trajectory in a repair run: fixed, structurally irreparable under the
+/// θ/η/ζ bounds, mis-targeted by Eq. (5), lost in selection, or missing a
+/// candidate altogether. This is the tool that turns "f-measure = 0.85"
+/// into an actionable account of the residual 0.15.
+RepairDiagnostics DiagnoseRepair(const Dataset& dataset,
+                                 const TrajectorySet& observed,
+                                 const RepairResult& result,
+                                 const RepairOptions& options);
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_EVAL_DIAGNOSTICS_H_

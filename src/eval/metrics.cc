@@ -1,0 +1,73 @@
+#include "eval/metrics.h"
+
+#include <map>
+
+namespace idrepair {
+
+std::vector<std::string> ComputeFragmentTruth(const Dataset& dataset,
+                                              const TrajectorySet& observed) {
+  // observed_id -> (true_id -> record count). std::map for deterministic
+  // tie-breaking on the majority vote.
+  std::unordered_map<std::string, std::map<std::string, size_t>> votes;
+  for (const auto& r : dataset.records) {
+    ++votes[r.observed_id][r.true_id];
+  }
+  std::vector<std::string> truth(observed.size());
+  for (TrajIndex i = 0; i < observed.size(); ++i) {
+    const auto& counts = votes.at(observed.at(i).id());
+    const std::string* best = nullptr;
+    size_t best_count = 0;
+    for (const auto& [id, count] : counts) {
+      if (count > best_count) {
+        best = &id;
+        best_count = count;
+      }
+    }
+    truth[i] = *best;
+  }
+  return truth;
+}
+
+QualityMetrics EvaluateRewrites(
+    const std::vector<std::string>& fragment_truth,
+    const TrajectorySet& observed,
+    const std::unordered_map<TrajIndex, std::string>& rewrites) {
+  QualityMetrics m;
+  for (TrajIndex i = 0; i < observed.size(); ++i) {
+    if (observed.at(i).id() != fragment_truth[i]) ++m.num_erroneous;
+  }
+  for (const auto& [traj, new_id] : rewrites) {
+    ++m.num_rewritten;
+    if (new_id == fragment_truth[traj]) ++m.num_correct;
+  }
+  m.recall = m.num_erroneous == 0
+                 ? 1.0
+                 : static_cast<double>(m.num_correct) /
+                       static_cast<double>(m.num_erroneous);
+  m.precision = m.num_rewritten == 0
+                    ? 1.0
+                    : static_cast<double>(m.num_correct) /
+                          static_cast<double>(m.num_rewritten);
+  m.f_measure = (m.precision + m.recall) == 0.0
+                    ? 0.0
+                    : 2.0 * m.precision * m.recall /
+                          (m.precision + m.recall);
+  return m;
+}
+
+double TrajectoryAccuracy(
+    const std::vector<std::string>& fragment_truth,
+    const TrajectorySet& observed,
+    const std::unordered_map<TrajIndex, std::string>& rewrites) {
+  if (observed.empty()) return 1.0;
+  size_t correct = 0;
+  for (TrajIndex i = 0; i < observed.size(); ++i) {
+    auto it = rewrites.find(i);
+    const std::string& id =
+        it != rewrites.end() ? it->second : observed.at(i).id();
+    if (id == fragment_truth[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(observed.size());
+}
+
+}  // namespace idrepair

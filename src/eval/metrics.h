@@ -1,0 +1,53 @@
+#ifndef IDREPAIR_EVAL_METRICS_H_
+#define IDREPAIR_EVAL_METRICS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gen/dataset.h"
+#include "traj/trajectory_set.h"
+
+namespace idrepair {
+
+/// The per-trajectory ground truth: for each observed trajectory (fragment),
+/// the true entity ID — the majority ground-truth ID among its records
+/// (ties break lexicographically; non-majority mixtures only arise under
+/// rare observed-ID collisions).
+std::vector<std::string> ComputeFragmentTruth(const Dataset& dataset,
+                                              const TrajectorySet& observed);
+
+/// The paper's effectiveness metrics (§6.1.2): with Te the trajectories
+/// whose observed ID is erroneous, Tr those rewritten by the applied
+/// repairs, and Tc those rewritten to the correct ID:
+///   recall = |Tc| / |Te|, precision = |Tc| / |Tr|,
+///   f-measure = 2·precision·recall / (precision + recall).
+struct QualityMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f_measure = 0.0;
+  size_t num_erroneous = 0;  // |Te|
+  size_t num_rewritten = 0;  // |Tr|
+  size_t num_correct = 0;    // |Tc|
+};
+
+/// Evaluates a set of ID rewrites (trajectory index -> new ID) against the
+/// fragment truth of `observed`. Degenerate denominators count as perfect:
+/// no erroneous trajectories -> recall 1, nothing rewritten -> precision 1.
+QualityMetrics EvaluateRewrites(
+    const std::vector<std::string>& fragment_truth,
+    const TrajectorySet& observed,
+    const std::unordered_map<TrajIndex, std::string>& rewrites);
+
+/// Trajectory accuracy (§6.5.1): the fraction of trajectories whose
+/// (rewritten or original) ID equals the true ID. The paper measures repair
+/// quality improvement as the increase of this ratio under rewrites only
+/// (no merging, so the denominator stays fixed).
+double TrajectoryAccuracy(
+    const std::vector<std::string>& fragment_truth,
+    const TrajectorySet& observed,
+    const std::unordered_map<TrajIndex, std::string>& rewrites);
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_EVAL_METRICS_H_

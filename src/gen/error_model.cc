@@ -1,0 +1,61 @@
+#include "gen/error_model.h"
+
+#include <cstddef>
+
+namespace idrepair {
+
+void IdErrorModel::ApplyRandomEdit(std::string& s, Rng& rng) const {
+  // Substitutions dominate OCR confusions; insert/delete are rarer.
+  // With a length-1 string, deletion is excluded to keep IDs non-empty.
+  enum class Op { kSubstitute, kInsert, kDelete };
+  std::vector<double> weights = {0.70, 0.15, s.size() > 1 ? 0.15 : 0.0};
+  Op op = static_cast<Op>(rng.WeightedIndex(weights));
+  switch (op) {
+    case Op::kSubstitute: {
+      size_t pos = rng.UniformIndex(s.size());
+      char old = s[pos];
+      char repl = old;
+      while (repl == old) repl = rng.LowercaseLetter();
+      s[pos] = repl;
+      break;
+    }
+    case Op::kInsert: {
+      size_t pos = rng.UniformIndex(s.size() + 1);
+      s.insert(s.begin() + static_cast<ptrdiff_t>(pos),
+               rng.LowercaseLetter());
+      break;
+    }
+    case Op::kDelete: {
+      size_t pos = rng.UniformIndex(s.size());
+      s.erase(s.begin() + static_cast<ptrdiff_t>(pos));
+      break;
+    }
+  }
+}
+
+std::string IdErrorModel::Mutate(
+    const std::string& id, Rng& rng,
+    const std::function<bool(const std::string&)>& is_taken) const {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    size_t edits = rng.WeightedIndex(distances_.probs_by_distance) + 1;
+    std::string out = id;
+    for (size_t i = 0; i < edits; ++i) ApplyRandomEdit(out, rng);
+    if (out == id) continue;  // edits may cancel; resample
+    if (is_taken && is_taken(out)) continue;
+    return out;
+  }
+  // Degenerate inputs (e.g. every neighbor taken): fall back to a forced
+  // substitution scan that ignores the distance distribution.
+  std::string out = id;
+  for (size_t pos = 0; pos < out.size(); ++pos) {
+    for (char c = 'a'; c <= 'z'; ++c) {
+      if (c == id[pos]) continue;
+      out[pos] = c;
+      if (!is_taken || !is_taken(out)) return out;
+    }
+    out[pos] = id[pos];
+  }
+  return id + "x";  // last resort: length change
+}
+
+}  // namespace idrepair

@@ -1,0 +1,48 @@
+#ifndef IDREPAIR_GEN_ERROR_MODEL_H_
+#define IDREPAIR_GEN_ERROR_MODEL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace idrepair {
+
+/// Calibrated stand-in for the "edit distance distribution for erroneous IDs
+/// in the real dataset" the paper uses as a ballpark (§6.1.1, DESIGN.md §5).
+/// probs_by_distance[k] is the probability that a misrecognized ID ends up
+/// at edit distance k+1 from the true ID.
+struct ErrorDistanceDistribution {
+  std::vector<double> probs_by_distance = {0.55, 0.30, 0.10, 0.05};
+};
+
+/// Mutates IDs the way an OCR/vision pipeline misreads them: a sampled edit
+/// distance, realized as random substitutions (most common), insertions and
+/// deletions over the lowercase alphabet. The result is guaranteed to differ
+/// from the input and to pass the optional `is_taken` collision filter, so a
+/// corrupted ID never coincides with another entity's true ID (the paper's
+/// sparsity-of-IDs assumption).
+class IdErrorModel {
+ public:
+  explicit IdErrorModel(ErrorDistanceDistribution distances = {})
+      : distances_(std::move(distances)) {}
+
+  /// Produces a corrupted variant of `id`. `is_taken`, when provided,
+  /// rejects candidate outputs (e.g. IDs already owned by other entities).
+  std::string Mutate(const std::string& id, Rng& rng,
+                     const std::function<bool(const std::string&)>& is_taken =
+                         nullptr) const;
+
+  const ErrorDistanceDistribution& distances() const { return distances_; }
+
+ private:
+  /// Applies exactly one random edit operation in place.
+  void ApplyRandomEdit(std::string& s, Rng& rng) const;
+
+  ErrorDistanceDistribution distances_;
+};
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_GEN_ERROR_MODEL_H_

@@ -1,0 +1,15 @@
+#include "gen/id_generator.h"
+
+namespace idrepair {
+
+std::string UniqueIdGenerator::Next(Rng& rng) {
+  while (true) {
+    size_t len = static_cast<size_t>(rng.UniformInt(
+        static_cast<int64_t>(min_len_), static_cast<int64_t>(max_len_)));
+    std::string id(len, 'a');
+    for (char& c : id) c = rng.LowercaseLetter();
+    if (used_.insert(id).second) return id;
+  }
+}
+
+}  // namespace idrepair

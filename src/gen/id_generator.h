@@ -1,0 +1,37 @@
+#ifndef IDREPAIR_GEN_ID_GENERATOR_H_
+#define IDREPAIR_GEN_ID_GENERATOR_H_
+
+#include <string>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace idrepair {
+
+/// Generates unique entity IDs of `min_len`..`max_len` lowercase letters,
+/// each character i.i.d. uniform — the ID model of the paper's synthetic
+/// datasets (§6.1.1: "an ID consists of 7 to 9 lower-case letters only").
+/// Uniqueness across a dataset enforces the paper's sparsity-of-IDs premise.
+class UniqueIdGenerator {
+ public:
+  explicit UniqueIdGenerator(size_t min_len = 7, size_t max_len = 9)
+      : min_len_(min_len), max_len_(max_len) {}
+
+  /// Draws a fresh ID not returned before by this generator.
+  std::string Next(Rng& rng);
+
+  /// Marks an externally chosen ID as taken (so Next never returns it).
+  void Reserve(const std::string& id) { used_.insert(id); }
+
+  /// True iff `id` was produced by Next or reserved.
+  bool IsUsed(const std::string& id) const { return used_.count(id) > 0; }
+
+ private:
+  size_t min_len_;
+  size_t max_len_;
+  std::unordered_set<std::string> used_;
+};
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_GEN_ID_GENERATOR_H_

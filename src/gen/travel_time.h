@@ -1,0 +1,52 @@
+#ifndef IDREPAIR_GEN_TRAVEL_TIME_H_
+#define IDREPAIR_GEN_TRAVEL_TIME_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "graph/types.h"
+#include "traj/tracking_record.h"
+
+namespace idrepair {
+
+/// Edge travel-time model standing in for the paper's empirical travel-time
+/// distribution (DESIGN.md §5): per-edge log-normal, with a deterministic
+/// per-edge median in [median_lo, median_hi] seconds derived from the edge
+/// endpoints, so the same edge is consistently "fast" or "slow".
+class TravelTimeModel {
+ public:
+  explicit TravelTimeModel(double sigma = 0.35, int64_t median_lo = 60,
+                           int64_t median_hi = 180)
+      : sigma_(sigma), median_lo_(median_lo), median_hi_(median_hi) {}
+
+  /// Samples a travel time in whole seconds (always >= 1, so merged record
+  /// sequences have strictly increasing timestamps).
+  Timestamp SampleSeconds(LocationId from, LocationId to, Rng& rng) const {
+    double median = MedianSeconds(from, to);
+    double t = rng.LogNormal(std::log(median), sigma_);
+    return std::max<Timestamp>(1, static_cast<Timestamp>(t));
+  }
+
+  /// The deterministic median for an edge.
+  double MedianSeconds(LocationId from, LocationId to) const {
+    // Cheap integer hash of the edge; stable across runs.
+    uint64_t h = (static_cast<uint64_t>(from) << 32) | to;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    int64_t span = median_hi_ - median_lo_ + 1;
+    return static_cast<double>(median_lo_ +
+                               static_cast<int64_t>(h % span));
+  }
+
+ private:
+  double sigma_;
+  int64_t median_lo_;
+  int64_t median_hi_;
+};
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_GEN_TRAVEL_TIME_H_

@@ -1,0 +1,123 @@
+#include "graph/generators.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace idrepair {
+
+TransitionGraph MakePaperExampleGraph() {
+  TransitionGraph g;
+  LocationId a = g.AddLocation("A");
+  LocationId b = g.AddLocation("B");
+  LocationId c = g.AddLocation("C");
+  LocationId d = g.AddLocation("D");
+  LocationId e = g.AddLocation("E");
+  (void)g.AddEdge(a, b);
+  (void)g.AddEdge(b, c);
+  (void)g.AddEdge(b, d);
+  (void)g.AddEdge(c, d);
+  (void)g.AddEdge(d, e);
+  (void)g.MarkEntrance(a);
+  (void)g.MarkEntrance(c);
+  (void)g.MarkExit(e);
+  return g;
+}
+
+TransitionGraph MakeRealLikeGraph() {
+  TransitionGraph g;
+  LocationId a = g.AddLocation("A");
+  LocationId b = g.AddLocation("B");
+  LocationId c = g.AddLocation("C");
+  LocationId d = g.AddLocation("D");
+  (void)g.AddEdge(a, b);
+  (void)g.AddEdge(b, c);
+  (void)g.AddEdge(b, d);
+  (void)g.AddEdge(c, d);
+  (void)g.MarkEntrance(a);
+  (void)g.MarkEntrance(c);
+  (void)g.MarkExit(d);
+  return g;
+}
+
+TransitionGraph MakeChainGraph(size_t num_locations) {
+  TransitionGraph g;
+  std::vector<LocationId> ids;
+  ids.reserve(num_locations);
+  for (size_t i = 0; i < num_locations; ++i) {
+    ids.push_back(g.AddLocation("loc" + std::to_string(i + 1)));
+  }
+  for (size_t i = 0; i + 1 < num_locations; ++i) {
+    (void)g.AddEdge(ids[i], ids[i + 1]);
+  }
+  if (!ids.empty()) {
+    (void)g.MarkEntrance(ids.front());
+    (void)g.MarkExit(ids.back());
+  }
+  return g;
+}
+
+size_t AddRandomForwardEdges(TransitionGraph& graph, size_t count, Rng& rng) {
+  size_t n = graph.num_locations();
+  std::vector<std::pair<LocationId, LocationId>> candidates;
+  for (LocationId i = 0; i < n; ++i) {
+    for (LocationId j = i + 1; j < n; ++j) {
+      if (!graph.HasEdge(i, j)) candidates.emplace_back(i, j);
+    }
+  }
+  rng.Shuffle(candidates.begin(), candidates.end());
+  size_t added = 0;
+  for (const auto& [u, v] : candidates) {
+    if (added == count) break;
+    if (graph.AddEdge(u, v).ok()) ++added;
+  }
+  return added;
+}
+
+size_t AddRandomEdges(TransitionGraph& graph, size_t count, Rng& rng) {
+  size_t n = graph.num_locations();
+  std::vector<std::pair<LocationId, LocationId>> candidates;
+  for (LocationId i = 0; i < n; ++i) {
+    for (LocationId j = 0; j < n; ++j) {
+      if (i != j && !graph.HasEdge(i, j)) candidates.emplace_back(i, j);
+    }
+  }
+  rng.Shuffle(candidates.begin(), candidates.end());
+  size_t added = 0;
+  for (const auto& [u, v] : candidates) {
+    if (added == count) break;
+    if (graph.AddEdge(u, v).ok()) ++added;
+  }
+  return added;
+}
+
+TransitionGraph MakeGridNetwork(size_t rows, size_t cols) {
+  TransitionGraph g;
+  std::vector<std::vector<LocationId>> id(rows, std::vector<LocationId>(cols));
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      std::string name = "x";
+      name += std::to_string(r);
+      name += 'y';
+      name += std::to_string(c);
+      id[r][c] = g.AddLocation(std::move(name));
+    }
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) (void)g.AddEdge(id[r][c], id[r][c + 1]);
+      if (r + 1 < rows) (void)g.AddEdge(id[r][c], id[r + 1][c]);
+      // Every second intersection also offers a diagonal street.
+      if (c + 1 < cols && r + 1 < rows && (r + c) % 2 == 0) {
+        (void)g.AddEdge(id[r][c], id[r + 1][c + 1]);
+      }
+    }
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    (void)g.MarkEntrance(id[r][0]);
+    (void)g.MarkExit(id[r][cols - 1]);
+  }
+  return g;
+}
+
+}  // namespace idrepair

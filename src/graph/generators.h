@@ -1,0 +1,47 @@
+#ifndef IDREPAIR_GRAPH_GENERATORS_H_
+#define IDREPAIR_GRAPH_GENERATORS_H_
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "graph/transition_graph.h"
+
+namespace idrepair {
+
+/// The running-example transition graph of Figure 1(b): locations A..E,
+/// edges A->B, B->C, B->D, C->D, D->E, entrances {A, C}, exit {E}.
+TransitionGraph MakePaperExampleGraph();
+
+/// A stand-in for the real-dataset transition graph of Figure 9(b)
+/// (see DESIGN.md §5): locations A..D, edges A->B, B->C, B->D, C->D,
+/// entrances {A, C}, exit {D}. Valid paths have 2–4 locations, matching the
+/// real dataset's ~2.9 records/trajectory and default θ=4.
+TransitionGraph MakeRealLikeGraph();
+
+/// A simple chain loc1 -> loc2 -> ... -> locN with entrance {loc1} and exit
+/// {locN}; the base graph of the §6.3.1 experiments (Figure 11).
+TransitionGraph MakeChainGraph(size_t num_locations);
+
+/// Randomly adds `count` distinct forward "shortcut" edges (i -> j with
+/// i < j, skipping existing edges) to `graph`, increasing its density as in
+/// the Figure 11(b) experiment. Forward-only edges keep the valid-path space
+/// finite. Returns the number of edges actually added (the graph may
+/// saturate).
+size_t AddRandomForwardEdges(TransitionGraph& graph, size_t count, Rng& rng);
+
+/// Randomly adds `count` distinct directed edges (any direction, no
+/// self-loops, skipping existing edges) — the §6.3.1 density protocol.
+/// Backward edges create cycles, so valid paths may revisit locations;
+/// callers should keep path enumeration bounded by a max length. Returns
+/// the number of edges actually added.
+size_t AddRandomEdges(TransitionGraph& graph, size_t count, Rng& rng);
+
+/// A planar directed grid road network standing in for the SNAP California
+/// road-network sample (DESIGN.md §5): `rows` x `cols` intersections with
+/// rightward and downward streets plus every second diagonal. Entrances are
+/// the west-column vertices, exits the east-column vertices.
+TransitionGraph MakeGridNetwork(size_t rows, size_t cols);
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_GRAPH_GENERATORS_H_

@@ -1,0 +1,52 @@
+#ifndef IDREPAIR_GRAPH_PATHS_H_
+#define IDREPAIR_GRAPH_PATHS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/transition_graph.h"
+#include "graph/types.h"
+
+namespace idrepair {
+
+/// Enumerates valid paths (entrance → edges → exit, Definition 2.2) with at
+/// most `max_len` locations, in DFS order. Enumeration stops with an
+/// OutOfRange error once more than `max_paths` paths exist, which guards
+/// against dense/cyclic graphs whose path space explodes.
+Result<std::vector<std::vector<LocationId>>> EnumerateValidPaths(
+    const TransitionGraph& graph, size_t max_len, size_t max_paths = 100000);
+
+/// Samples random valid paths for synthetic data generation (§6.1.1 of the
+/// paper: "repeatedly sample random valid paths"). Paths of at most
+/// `max_len` locations are enumerated once up front and then drawn uniformly.
+class ValidPathSampler {
+ public:
+  /// Fails when the graph has no valid path of length <= max_len or when the
+  /// path space exceeds `max_paths`.
+  static Result<ValidPathSampler> Create(const TransitionGraph& graph,
+                                         size_t max_len,
+                                         size_t max_paths = 100000);
+
+  /// Draws one valid path uniformly at random.
+  const std::vector<LocationId>& Sample(Rng& rng) const {
+    return paths_[rng.UniformIndex(paths_.size())];
+  }
+
+  /// Number of distinct valid paths available.
+  size_t num_paths() const { return paths_.size(); }
+
+  /// All enumerated paths (useful for tests and exhaustive workloads).
+  const std::vector<std::vector<LocationId>>& paths() const { return paths_; }
+
+ private:
+  explicit ValidPathSampler(std::vector<std::vector<LocationId>> paths)
+      : paths_(std::move(paths)) {}
+
+  std::vector<std::vector<LocationId>> paths_;
+};
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_GRAPH_PATHS_H_

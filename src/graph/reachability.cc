@@ -1,0 +1,32 @@
+#include "graph/reachability.h"
+
+namespace idrepair {
+
+ReachabilityMatrix ReachabilityMatrix::Build(const TransitionGraph& graph) {
+  size_t n = graph.num_locations();
+  std::vector<uint32_t> hops(n * n, kUnreachable);
+  for (LocationId u = 0; u < n; ++u) {
+    for (LocationId v : graph.OutNeighbors(u)) {
+      uint32_t& cell = hops[static_cast<size_t>(u) * n + v];
+      cell = std::min<uint32_t>(cell, 1);
+    }
+  }
+  // Floyd–Warshall without zero-initializing the diagonal: hops[i][i] then
+  // converges to the shortest cycle length through i.
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t ik = hops[i * n + k];
+      if (ik == kUnreachable) continue;
+      const uint32_t* row_k = &hops[k * n];
+      uint32_t* row_i = &hops[i * n];
+      for (size_t j = 0; j < n; ++j) {
+        if (row_k[j] == kUnreachable) continue;
+        uint32_t via = ik + row_k[j];
+        if (via < row_i[j]) row_i[j] = via;
+      }
+    }
+  }
+  return ReachabilityMatrix(n, std::move(hops));
+}
+
+}  // namespace idrepair

@@ -1,0 +1,57 @@
+#ifndef IDREPAIR_GRAPH_REACHABILITY_H_
+#define IDREPAIR_GRAPH_REACHABILITY_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/transition_graph.h"
+#include "graph/types.h"
+
+namespace idrepair {
+
+/// All-pairs shortest hop counts for a transition graph, computed once with
+/// Floyd–Warshall (the preprocessing step of §4.1.1) so that the cex
+/// predicate answers reachability queries in O(1).
+///
+/// Semantics differ from the textbook matrix in one deliberate way: the
+/// diagonal entry Hops(u, u) is the length of the *shortest directed cycle*
+/// through u (kUnreachable when none exists), not 0. The cex predicate asks
+/// "can a second visit to this location occur later on the same path?", and
+/// in an acyclic graph the answer must be no — this is what makes
+/// cex(T1, T3) false in Example 3.1 of the paper.
+class ReachabilityMatrix {
+ public:
+  /// Hop count representing "not reachable by any non-empty walk".
+  static constexpr uint32_t kUnreachable =
+      std::numeric_limits<uint32_t>::max();
+
+  /// Builds the matrix for `graph` in O(|V|^3).
+  static ReachabilityMatrix Build(const TransitionGraph& graph);
+
+  /// Minimum number of edges on a walk from `from` to `to`; for from == to,
+  /// the shortest cycle length. kUnreachable if no such walk exists.
+  uint32_t Hops(LocationId from, LocationId to) const {
+    return hops_[static_cast<size_t>(from) * n_ + to];
+  }
+
+  /// True iff `to` is reachable from `from` by a non-empty walk of at most
+  /// `max_hops` edges.
+  bool Reachable(LocationId from, LocationId to, uint32_t max_hops) const {
+    uint32_t h = Hops(from, to);
+    return h != kUnreachable && h <= max_hops;
+  }
+
+  size_t num_locations() const { return n_; }
+
+ private:
+  ReachabilityMatrix(size_t n, std::vector<uint32_t> hops)
+      : n_(n), hops_(std::move(hops)) {}
+
+  size_t n_ = 0;
+  std::vector<uint32_t> hops_;
+};
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_GRAPH_REACHABILITY_H_

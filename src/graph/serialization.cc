@@ -1,0 +1,129 @@
+#include "graph/serialization.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace idrepair {
+
+namespace {
+
+// Splits a directive line on whitespace into at most 3 tokens.
+std::vector<std::string> Tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::istringstream iss{std::string(line)};
+  std::string tok;
+  while (iss >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+Status LineError(size_t line_no, const std::string& message) {
+  return Status::Corruption("line " + std::to_string(line_no) + ": " +
+                            message);
+}
+
+}  // namespace
+
+Result<TransitionGraph> ReadTransitionGraph(std::istream& in) {
+  TransitionGraph graph;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    auto tokens = Tokenize(trimmed);
+    const std::string& directive = tokens[0];
+    if (directive == "location") {
+      if (tokens.size() != 2) {
+        return LineError(line_no, "location expects one name");
+      }
+      graph.AddLocation(tokens[1]);
+    } else if (directive == "edge") {
+      if (tokens.size() != 3) {
+        return LineError(line_no, "edge expects two location names");
+      }
+      Status s = graph.AddEdge(tokens[1], tokens[2]);
+      if (!s.ok()) return LineError(line_no, s.ToString());
+    } else if (directive == "entrance" || directive == "exit") {
+      if (tokens.size() != 2) {
+        return LineError(line_no, directive + " expects one location name");
+      }
+      auto loc = graph.FindLocation(tokens[1]);
+      if (!loc) {
+        return LineError(line_no, "unknown location '" + tokens[1] + "'");
+      }
+      Status s = directive == "entrance" ? graph.MarkEntrance(*loc)
+                                         : graph.MarkExit(*loc);
+      if (!s.ok()) return LineError(line_no, s.ToString());
+    } else {
+      return LineError(line_no, "unknown directive '" + directive + "'");
+    }
+  }
+  IDREPAIR_RETURN_NOT_OK(graph.Validate());
+  return graph;
+}
+
+Result<TransitionGraph> ReadTransitionGraphFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  return ReadTransitionGraph(in);
+}
+
+Status WriteTransitionGraph(std::ostream& out, const TransitionGraph& graph) {
+  out << "# transition graph: " << graph.num_locations() << " locations, "
+      << graph.num_edges() << " edges\n";
+  for (LocationId v = 0; v < graph.num_locations(); ++v) {
+    out << "location " << graph.LocationName(v) << "\n";
+  }
+  for (LocationId u = 0; u < graph.num_locations(); ++u) {
+    for (LocationId v : graph.OutNeighbors(u)) {
+      out << "edge " << graph.LocationName(u) << " " << graph.LocationName(v)
+          << "\n";
+    }
+  }
+  for (LocationId v : graph.entrances()) {
+    out << "entrance " << graph.LocationName(v) << "\n";
+  }
+  for (LocationId v : graph.exits()) {
+    out << "exit " << graph.LocationName(v) << "\n";
+  }
+  if (!out) return Status::IoError("write failed");
+  return Status::OK();
+}
+
+Status WriteTransitionGraphFile(const std::string& path,
+                                const TransitionGraph& graph) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path);
+  return WriteTransitionGraph(out, graph);
+}
+
+std::string ToDot(const TransitionGraph& graph) {
+  std::ostringstream out;
+  out << "digraph transition_graph {\n  rankdir=LR;\n";
+  for (LocationId v = 0; v < graph.num_locations(); ++v) {
+    out << "  \"" << graph.LocationName(v) << "\"";
+    if (graph.IsEntrance(v)) {
+      out << " [shape=doublecircle]";
+    } else if (graph.IsExit(v)) {
+      out << " [shape=doubleoctagon]";
+    } else {
+      out << " [shape=circle]";
+    }
+    out << ";\n";
+  }
+  for (LocationId u = 0; u < graph.num_locations(); ++u) {
+    for (LocationId v : graph.OutNeighbors(u)) {
+      out << "  \"" << graph.LocationName(u) << "\" -> \""
+          << graph.LocationName(v) << "\";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace idrepair

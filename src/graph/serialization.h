@@ -1,0 +1,44 @@
+#ifndef IDREPAIR_GRAPH_SERIALIZATION_H_
+#define IDREPAIR_GRAPH_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "graph/transition_graph.h"
+
+namespace idrepair {
+
+/// Reads a transition graph from the plain-text format:
+///
+///   # comment / blank lines ignored
+///   location <name>
+///   edge <from> <to>
+///   entrance <name>
+///   exit <name>
+///
+/// Locations referenced by edge/entrance/exit lines must have been declared
+/// first. The graph is validated (non-empty entrance and exit sets) before
+/// being returned.
+Result<TransitionGraph> ReadTransitionGraph(std::istream& in);
+
+/// File-path convenience overload.
+Result<TransitionGraph> ReadTransitionGraphFile(const std::string& path);
+
+/// Writes a graph in the same text format (locations first, then edges,
+/// entrances and exits; reading it back reproduces the graph exactly,
+/// including ids).
+Status WriteTransitionGraph(std::ostream& out, const TransitionGraph& graph);
+
+/// File-path convenience overload.
+Status WriteTransitionGraphFile(const std::string& path,
+                                const TransitionGraph& graph);
+
+/// Renders the graph in Graphviz DOT, with entrances drawn as double
+/// circles and exits as double octagons — handy for documentation and
+/// debugging.
+std::string ToDot(const TransitionGraph& graph);
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_GRAPH_SERIALIZATION_H_

@@ -1,0 +1,154 @@
+#include "graph/transition_graph.h"
+
+#include <deque>
+
+namespace idrepair {
+
+LocationId TransitionGraph::AddLocation(std::string name) {
+  auto it = name_to_id_.find(name);
+  if (it != name_to_id_.end()) return it->second;
+  LocationId id = static_cast<LocationId>(names_.size());
+  name_to_id_.emplace(name, id);
+  names_.push_back(std::move(name));
+  out_.emplace_back();
+  in_.emplace_back();
+  is_entrance_.push_back(false);
+  is_exit_.push_back(false);
+  exit_reach_dirty_ = true;
+  // Grow the dense edge matrix to the new size, remapping old entries.
+  size_t n = names_.size();
+  std::vector<uint8_t> grown(n * n, 0);
+  size_t old_n = n - 1;
+  for (size_t u = 0; u < old_n; ++u) {
+    for (size_t v = 0; v < old_n; ++v) {
+      grown[u * n + v] = edge_matrix_[u * old_n + v];
+    }
+  }
+  edge_matrix_ = std::move(grown);
+  return id;
+}
+
+Status TransitionGraph::AddEdge(LocationId from, LocationId to) {
+  if (from >= num_locations() || to >= num_locations()) {
+    return Status::InvalidArgument("AddEdge: location id out of range");
+  }
+  size_t n = num_locations();
+  uint8_t& cell = edge_matrix_[static_cast<size_t>(from) * n + to];
+  if (cell) return Status::OK();  // idempotent
+  cell = 1;
+  out_[from].push_back(to);
+  in_[to].push_back(from);
+  ++num_edges_;
+  exit_reach_dirty_ = true;
+  return Status::OK();
+}
+
+Status TransitionGraph::AddEdge(std::string_view from, std::string_view to) {
+  auto f = FindLocation(from);
+  auto t = FindLocation(to);
+  if (!f || !t) {
+    return Status::NotFound("AddEdge: unknown location name");
+  }
+  return AddEdge(*f, *t);
+}
+
+Status TransitionGraph::MarkEntrance(LocationId loc) {
+  if (loc >= num_locations()) {
+    return Status::InvalidArgument("MarkEntrance: location id out of range");
+  }
+  if (!is_entrance_[loc]) {
+    is_entrance_[loc] = true;
+    entrances_.push_back(loc);
+  }
+  return Status::OK();
+}
+
+Status TransitionGraph::MarkExit(LocationId loc) {
+  if (loc >= num_locations()) {
+    return Status::InvalidArgument("MarkExit: location id out of range");
+  }
+  if (!is_exit_[loc]) {
+    is_exit_[loc] = true;
+    exits_.push_back(loc);
+    exit_reach_dirty_ = true;
+  }
+  return Status::OK();
+}
+
+bool TransitionGraph::HasEdge(LocationId from, LocationId to) const {
+  if (from >= num_locations() || to >= num_locations()) return false;
+  return edge_matrix_[static_cast<size_t>(from) * num_locations() + to] != 0;
+}
+
+std::optional<LocationId> TransitionGraph::FindLocation(
+    std::string_view name) const {
+  auto it = name_to_id_.find(std::string(name));
+  if (it == name_to_id_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool TransitionGraph::IsValidPath(std::span<const LocationId> path) const {
+  if (path.empty()) return false;
+  if (path.front() >= num_locations() || !is_entrance_[path.front()]) {
+    return false;
+  }
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    if (!HasEdge(path[i], path[i + 1])) return false;
+  }
+  return path.back() < num_locations() && is_exit_[path.back()];
+}
+
+bool TransitionGraph::IsValidPathPrefix(
+    std::span<const LocationId> path) const {
+  if (path.empty()) return false;
+  if (path.front() >= num_locations() || !is_entrance_[path.front()]) {
+    return false;
+  }
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    if (!HasEdge(path[i], path[i + 1])) return false;
+  }
+  // A completion to a valid path must exist from the last location.
+  return path.back() < num_locations() && CanReachExit(path.back());
+}
+
+bool TransitionGraph::CanReachExit(LocationId loc) const {
+  if (exit_reach_dirty_) RecomputeExitReachability();
+  return loc < can_reach_exit_.size() && can_reach_exit_[loc];
+}
+
+void TransitionGraph::RecomputeExitReachability() const {
+  size_t n = num_locations();
+  can_reach_exit_.assign(n, false);
+  std::deque<LocationId> queue;
+  for (LocationId e : exits_) {
+    can_reach_exit_[e] = true;
+    queue.push_back(e);
+  }
+  // Reverse BFS from the exit set.
+  while (!queue.empty()) {
+    LocationId v = queue.front();
+    queue.pop_front();
+    for (LocationId u : in_[v]) {
+      if (!can_reach_exit_[u]) {
+        can_reach_exit_[u] = true;
+        queue.push_back(u);
+      }
+    }
+  }
+  exit_reach_dirty_ = false;
+}
+
+Status TransitionGraph::Validate() const {
+  if (num_locations() == 0) {
+    return Status::InvalidArgument("transition graph has no locations");
+  }
+  if (entrances_.empty()) {
+    return Status::InvalidArgument("transition graph has no entrance");
+  }
+  if (exits_.empty()) {
+    return Status::InvalidArgument("transition graph has no exit");
+  }
+  return Status::OK();
+}
+
+}  // namespace idrepair

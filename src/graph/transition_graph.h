@@ -1,0 +1,118 @@
+#ifndef IDREPAIR_GRAPH_TRANSITION_GRAPH_H_
+#define IDREPAIR_GRAPH_TRANSITION_GRAPH_H_
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/types.h"
+
+namespace idrepair {
+
+/// A transition graph Gt = (V, E, I, O): a directed graph whose vertices are
+/// capture locations, whose edges are feasible direct moves, and whose
+/// designated entrance (I) / exit (O) locations bound where entities may
+/// enter or leave the area of interest (Definition 2.1 of the paper).
+///
+/// A location sequence is a *valid path* iff it starts at an entrance,
+/// follows edges, and ends at an exit (Definition 2.2).
+class TransitionGraph {
+ public:
+  TransitionGraph() = default;
+
+  /// Adds a location with a unique display name and returns its dense id.
+  /// Adding a name that already exists returns the existing id.
+  LocationId AddLocation(std::string name);
+
+  /// Adds the directed edge (from, to). Idempotent. Self-loops are permitted
+  /// (a device may capture the same entity twice in place) but none of the
+  /// bundled generators create them.
+  Status AddEdge(LocationId from, LocationId to);
+
+  /// Name-based convenience overload; both locations must already exist.
+  Status AddEdge(std::string_view from, std::string_view to);
+
+  /// Marks a location as an entrance (member of I).
+  Status MarkEntrance(LocationId loc);
+  /// Marks a location as an exit (member of O).
+  Status MarkExit(LocationId loc);
+
+  size_t num_locations() const { return out_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  /// True iff the directed edge (from, to) exists.
+  bool HasEdge(LocationId from, LocationId to) const;
+
+  /// Out-neighbors of `loc` in insertion order.
+  const std::vector<LocationId>& OutNeighbors(LocationId loc) const {
+    return out_[loc];
+  }
+  /// In-neighbors of `loc` in insertion order.
+  const std::vector<LocationId>& InNeighbors(LocationId loc) const {
+    return in_[loc];
+  }
+
+  bool IsEntrance(LocationId loc) const { return is_entrance_[loc]; }
+  bool IsExit(LocationId loc) const { return is_exit_[loc]; }
+
+  /// All entrance locations, in marking order.
+  const std::vector<LocationId>& entrances() const { return entrances_; }
+  /// All exit locations, in marking order.
+  const std::vector<LocationId>& exits() const { return exits_; }
+
+  /// Display name of a location id.
+  const std::string& LocationName(LocationId loc) const {
+    return names_[loc];
+  }
+
+  /// Looks up a location by display name.
+  std::optional<LocationId> FindLocation(std::string_view name) const;
+
+  /// True iff `path` is a valid path w.r.t. this graph: non-empty, starts at
+  /// an entrance, every consecutive pair is an edge, ends at an exit
+  /// (Definition 2.2).
+  bool IsValidPath(std::span<const LocationId> path) const;
+
+  /// True iff `path` is a prefix of some valid path: non-empty, starts at an
+  /// entrance, every consecutive pair is an edge, and a (possibly empty)
+  /// suffix reaching an exit exists. Used by the pck predicate (§5.2).
+  bool IsValidPathPrefix(std::span<const LocationId> path) const;
+
+  /// True iff some exit is reachable from `loc` (including loc itself being
+  /// an exit). Amortized O(1): the reachability set is cached and rebuilt
+  /// after mutations.
+  bool CanReachExit(LocationId loc) const;
+
+  /// Checks structural sanity: at least one location, entrance and exit sets
+  /// non-empty.
+  Status Validate() const;
+
+ private:
+  void RecomputeExitReachability() const;
+
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, LocationId> name_to_id_;
+  std::vector<std::vector<LocationId>> out_;
+  std::vector<std::vector<LocationId>> in_;
+  std::vector<bool> is_entrance_;
+  std::vector<bool> is_exit_;
+  std::vector<LocationId> entrances_;
+  std::vector<LocationId> exits_;
+  size_t num_edges_ = 0;
+
+  // Lazily rebuilt caches (mutable: logically const accessors).
+  mutable std::vector<bool> can_reach_exit_;
+  mutable bool exit_reach_dirty_ = true;
+
+  // Dense edge membership for O(1) HasEdge; n is small (tens to a few
+  // hundred locations) so n^2 bytes is cheap.
+  std::vector<uint8_t> edge_matrix_;
+};
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_GRAPH_TRANSITION_GRAPH_H_

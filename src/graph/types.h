@@ -1,0 +1,19 @@
+#ifndef IDREPAIR_GRAPH_TYPES_H_
+#define IDREPAIR_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace idrepair {
+
+/// Dense identifier of a location (a vertex of the transition graph, i.e. a
+/// surveillance capture site). Assigned by TransitionGraph::AddLocation.
+using LocationId = uint32_t;
+
+/// Sentinel for "no location".
+inline constexpr LocationId kInvalidLocation =
+    std::numeric_limits<LocationId>::max();
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_GRAPH_TYPES_H_

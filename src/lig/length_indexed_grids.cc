@@ -1,0 +1,72 @@
+#include "lig/length_indexed_grids.h"
+
+#include <algorithm>
+
+namespace idrepair {
+
+LengthIndexedGrids::LengthIndexedGrids(const TrajectorySet& set,
+                                       const Options& options)
+    : set_(set), options_(options) {
+  Timestamp min_start = 0;
+  Timestamp max_end = 0;
+  bool first = true;
+  for (const auto& t : set.trajectories()) {
+    if (t.empty()) continue;
+    if (first) {
+      min_start = t.start_time();
+      max_end = t.end_time();
+      first = false;
+    } else {
+      min_start = std::min(min_start, t.start_time());
+      max_end = std::max(max_end, t.end_time());
+    }
+  }
+  base_time_ = min_start;
+  Timestamp tb = std::max<Timestamp>(1, options_.time_bin);
+  num_bins_ = static_cast<size_t>((max_end - base_time_) / tb) + 1;
+  band_ = static_cast<size_t>(options_.eta / tb) + 2;
+  cells_.assign(options_.theta * num_bins_ * band_, {});
+
+  for (TrajIndex i = 0; i < set.size(); ++i) {
+    const Trajectory& t = set.at(i);
+    if (t.empty() || t.size() > options_.theta) continue;
+    if (t.TimeSpan() > options_.eta) continue;  // can never join anything
+    size_t sbin = static_cast<size_t>((t.start_time() - base_time_) / tb);
+    size_t ebin = static_cast<size_t>((t.end_time() - base_time_) / tb);
+    size_t off = ebin - sbin;
+    if (off >= band_) continue;  // span fits η but straddles bin edges
+    cells_[CellIndex(t.size(), sbin, off)].push_back(i);
+    ++num_indexed_;
+  }
+}
+
+void LengthIndexedGrids::CollectCandidates(TrajIndex k,
+                                           std::vector<TrajIndex>* out) const {
+  const Trajectory& t = set_.at(k);
+  if (t.empty() || t.size() >= options_.theta) return;  // no room for a peer
+  size_t max_len = options_.theta - t.size();
+  Timestamp tb = std::max<Timestamp>(1, options_.time_bin);
+  Timestamp window_lo = t.end_time() - options_.eta;
+  Timestamp window_hi = t.start_time() + options_.eta;
+  if (window_lo > window_hi) return;
+  int64_t lo_bin_signed = (window_lo - base_time_) / tb;
+  if (window_lo < base_time_) lo_bin_signed = 0;
+  size_t lo_bin = static_cast<size_t>(lo_bin_signed);
+  size_t hi_bin = std::min(
+      num_bins_ - 1,
+      static_cast<size_t>(std::max<Timestamp>(0, window_hi - base_time_) / tb));
+  if (lo_bin > hi_bin) return;
+  for (size_t len = 1; len <= max_len; ++len) {
+    for (size_t sbin = lo_bin; sbin <= hi_bin; ++sbin) {
+      for (size_t off = 0; off < band_; ++off) {
+        size_t ebin = sbin + off;
+        if (ebin > hi_bin) break;  // candidate end beyond the window
+        for (TrajIndex c : cells_[CellIndex(len, sbin, off)]) {
+          if (c != k) out->push_back(c);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace idrepair

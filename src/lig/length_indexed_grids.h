@@ -1,0 +1,67 @@
+#ifndef IDREPAIR_LIG_LENGTH_INDEXED_GRIDS_H_
+#define IDREPAIR_LIG_LENGTH_INDEXED_GRIDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "traj/tracking_record.h"
+#include "traj/trajectory_set.h"
+
+namespace idrepair {
+
+/// Length-Indexed Grids (LIG, §5.1 of the paper): a three-dimensional index
+/// over (trajectory length, start time, end time) that prunes candidate
+/// pairs before the cex predicate runs. Given a probe trajectory Tk, only
+/// trajectories with |Tu| <= θ − |Tk| and with both start and end times in
+/// [Tk.end − η, Tk.start + η] can share a joinable subset with Tk.
+///
+/// Implementation notes: time is discretized into fixed-size bins of
+/// `time_bin` seconds; because an indexed trajectory's span never exceeds η
+/// (longer ones cannot join anything and are skipped), the (start, end) grid
+/// is stored as a diagonal band, keeping memory linear in the time window
+/// rather than quadratic. The index is an over-approximation — cex re-checks
+/// the exact bounds — but never misses a feasible candidate.
+class LengthIndexedGrids {
+ public:
+  struct Options {
+    /// Maximum valid-trajectory length θ (records).
+    size_t theta = 8;
+    /// Maximum valid-trajectory time span η (seconds).
+    Timestamp eta = 600;
+    /// Grid bin width tb (seconds).
+    Timestamp time_bin = 60;
+  };
+
+  /// Builds the index over `set` in Θ(|set|).
+  LengthIndexedGrids(const TrajectorySet& set, const Options& options);
+
+  /// Appends to `out` all indexed trajectories (other than `k` itself) that
+  /// satisfy the grid-level length and time-window criteria for pairing
+  /// with trajectory `k`. A superset of the exact answer.
+  void CollectCandidates(TrajIndex k, std::vector<TrajIndex>* out) const;
+
+  /// Number of trajectories actually indexed (those with length <= θ and
+  /// span <= η).
+  size_t num_indexed() const { return num_indexed_; }
+
+  const Options& options() const { return options_; }
+
+ private:
+  size_t CellIndex(size_t length, size_t start_bin, size_t span_off) const {
+    return ((length - 1) * num_bins_ + start_bin) * band_ + span_off;
+  }
+
+  const TrajectorySet& set_;
+  Options options_;
+  Timestamp base_time_ = 0;
+  size_t num_bins_ = 0;
+  size_t band_ = 0;  // max (end_bin - start_bin) + 1 for indexed spans
+  size_t num_indexed_ = 0;
+  // cells_[CellIndex(len, sbin, off)] lists trajectories of that length
+  // whose start falls in sbin and whose end bin is sbin + off.
+  std::vector<std::vector<TrajIndex>> cells_;
+};
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_LIG_LENGTH_INDEXED_GRIDS_H_

@@ -1,0 +1,97 @@
+#include "repair/candidates.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace idrepair {
+
+TrajIndex AssignTargetId(const TrajectorySet& set,
+                         const std::vector<TrajIndex>& members,
+                         const IdSimilarity& similarity) {
+  TrajIndex best = members.front();
+  double best_score = -1.0;
+  for (TrajIndex i : members) {
+    const Trajectory& ti = set.at(i);
+    double score = 0.0;
+    for (TrajIndex j : members) {
+      const Trajectory& tj = set.at(j);
+      double ratio = static_cast<double>(ti.size()) /
+                     static_cast<double>(tj.size());
+      score += ratio * similarity.Similarity(ti.id(), tj.id());
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::vector<CandidateRepair> GenerateCandidates(
+    const TrajectorySet& set, const TrajectoryGraph& gm,
+    const PredicateEvaluator& pred, const RepairOptions& options,
+    const IdSimilarity& similarity, const std::vector<bool>& is_valid,
+    GenerationStats* stats) {
+  std::vector<CandidateRepair> out;
+  GenerationStats local;
+  CliqueEnumerator enumerator(set, gm, pred, options);
+  local.clique_stats = enumerator.Enumerate([&](const std::vector<TrajIndex>&
+                                                    clique,
+                                                const std::vector<
+                                                    MergedPoint>& merged) {
+    ++local.jnb_checks;
+    if (!pred.JnbMerged(merged)) return;
+    ++local.joinable_subsets;
+
+    CandidateRepair repair;
+    repair.members = clique;
+    for (TrajIndex m : clique) {
+      if (!is_valid[m]) repair.invalid_members.push_back(m);
+    }
+    if (repair.invalid_members.empty()) return;  // ω would be 0 (Eq. 3)
+
+    TrajIndex target = AssignTargetId(set, clique, similarity);
+    repair.target_id = set.at(target).id();
+    double min_sim = 1.0;
+    for (TrajIndex m : clique) {
+      min_sim = std::min(
+          min_sim, similarity.Similarity(repair.target_id, set.at(m).id()));
+    }
+    repair.similarity = min_sim;
+    out.push_back(std::move(repair));
+  });
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+void ComputeEffectiveness(std::vector<CandidateRepair>& candidates,
+                          const RepairOptions& options, size_t num_trajs) {
+  // d(T): how many candidate repairs cover each invalid trajectory.
+  std::vector<uint32_t> degree(num_trajs, 0);
+  for (const auto& r : candidates) {
+    for (TrajIndex t : r.invalid_members) ++degree[t];
+  }
+  for (auto& r : candidates) {
+    uint32_t ra = 0;
+    bool first = true;
+    for (TrajIndex t : r.invalid_members) {
+      uint32_t d = degree[t];
+      if (first) {
+        ra = d;
+        first = false;
+      } else if (options.rarity_aggregation == RarityAggregation::kMin) {
+        ra = std::min(ra, d);
+      } else {
+        ra = std::max(ra, d);
+      }
+    }
+    r.rarity = ra;
+    double ivt = static_cast<double>(r.invalid_members.size());
+    double base = static_cast<double>(ra + options.rarity_base_offset);
+    // ω(R) = sim(R) + λ · log_base(|ivt(R)|); |ivt| >= 1 by construction.
+    r.effectiveness =
+        r.similarity + options.lambda * (std::log(ivt) / std::log(base));
+  }
+}
+
+}  // namespace idrepair

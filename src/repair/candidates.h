@@ -1,0 +1,77 @@
+#ifndef IDREPAIR_REPAIR_CANDIDATES_H_
+#define IDREPAIR_REPAIR_CANDIDATES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "repair/cliques.h"
+#include "repair/options.h"
+#include "repair/predicates.h"
+#include "repair/trajectory_graph.h"
+#include "traj/trajectory_set.h"
+
+namespace idrepair {
+
+/// A candidate repair R = (T', r) (Definition 2.6): a joinable subset given
+/// by member indices plus the target ID all members would be rewritten to.
+struct CandidateRepair {
+  /// Joinable subset jns(R), ascending TrajectorySet indices.
+  std::vector<TrajIndex> members;
+  /// Target ID r (always the ID of one member, per the paper: repairs never
+  /// invent new values).
+  std::string target_id;
+  /// ivt(R): the members that are invalid trajectories, ascending.
+  std::vector<TrajIndex> invalid_members;
+  /// sim(R) of Eq. (1): minimum member-to-target similarity.
+  double similarity = 0.0;
+  /// ra(R) of Eq. (2); filled by ComputeEffectiveness.
+  uint32_t rarity = 0;
+  /// ω(R) of Eq. (3); filled by ComputeEffectiveness.
+  double effectiveness = 0.0;
+
+  size_t num_invalid() const { return invalid_members.size(); }
+};
+
+/// Chooses the target ID for a joinable subset by Eq. (5): the member ID
+/// maximizing the length-weighted sum of similarities to all member IDs
+/// (longer trajectories get precedence, since repeated misreads across many
+/// locations are unlikely). Ties break to the earlier member. `members`
+/// must be non-empty.
+TrajIndex AssignTargetId(const TrajectorySet& set,
+                         const std::vector<TrajIndex>& members,
+                         const IdSimilarity& similarity);
+
+/// Phase-1 statistics for the benchmark harness.
+struct GenerationStats {
+  CliqueEnumerator::Stats clique_stats;
+  size_t jnb_checks = 0;
+  size_t joinable_subsets = 0;
+};
+
+/// Phase 1 — candidate repair generation (§3.2): enumerates qualified
+/// cliques of Gm, keeps those passing jnb (true joinable subsets), assigns
+/// each a target ID, and computes sim(R). Repairs that fix no invalid
+/// trajectory (|ivt| = 0, e.g. the identity repair of a valid trajectory)
+/// are dropped: their effectiveness is 0 by Eq. (3) and they are never
+/// selected (Example 4.2).
+///
+/// Rarity and effectiveness are *not* filled here — they depend on the full
+/// candidate set; call ComputeEffectiveness next.
+std::vector<CandidateRepair> GenerateCandidates(
+    const TrajectorySet& set, const TrajectoryGraph& gm,
+    const PredicateEvaluator& pred, const RepairOptions& options,
+    const IdSimilarity& similarity, const std::vector<bool>& is_valid,
+    GenerationStats* stats = nullptr);
+
+/// Fills rarity (Eq. 2) and effectiveness ω (Eq. 3) across the whole
+/// candidate set: d(T) is the number of candidates covering the invalid
+/// trajectory T, rarity aggregates member degrees per
+/// `options.rarity_aggregation`, and
+/// ω = sim + λ · log_{rarity + rarity_base_offset}(|ivt|).
+void ComputeEffectiveness(std::vector<CandidateRepair>& candidates,
+                          const RepairOptions& options, size_t num_trajs);
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_REPAIR_CANDIDATES_H_

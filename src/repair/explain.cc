@@ -1,0 +1,63 @@
+#include "repair/explain.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+#include "traj/merge.h"
+
+namespace idrepair {
+
+std::string ExplainCandidate(const TrajectorySet& set,
+                             const TransitionGraph& graph,
+                             const CandidateRepair& candidate,
+                             const RepairOptions& options) {
+  std::ostringstream out;
+  out << "join {";
+  for (size_t i = 0; i < candidate.members.size(); ++i) {
+    const Trajectory& t = set.at(candidate.members[i]);
+    out << (i ? ", " : "") << t.ToString(graph);
+  }
+  out << "} -> " << candidate.target_id;
+  out << "  [sim=" << ToFixed(candidate.similarity, 3)
+      << ", |ivt|=" << candidate.num_invalid()
+      << ", rarity=" << candidate.rarity << ", omega=sim+"
+      << ToFixed(options.lambda, 2) << "*log_"
+      << candidate.rarity + options.rarity_base_offset << "("
+      << candidate.num_invalid()
+      << ")=" << ToFixed(candidate.effectiveness, 3) << "]";
+  return out.str();
+}
+
+std::string ExplainRepair(const TrajectorySet& set,
+                          const TransitionGraph& graph,
+                          const RepairResult& result,
+                          const RepairOptions& options, size_t max_repairs) {
+  std::ostringstream out;
+  out << "candidates: " << result.stats.num_candidates
+      << ", selected: " << result.selected.size()
+      << ", total omega: " << ToFixed(result.total_effectiveness, 3) << "\n";
+  size_t shown = 0;
+  for (RepairIndex r : result.selected) {
+    if (max_repairs != 0 && shown == max_repairs) {
+      out << "  ... (" << result.selected.size() - shown << " more)\n";
+      break;
+    }
+    const CandidateRepair& cand = result.candidates[r];
+    out << "  " << ExplainCandidate(set, graph, cand, options) << "\n";
+    // Show the join outcome.
+    std::vector<const Trajectory*> members;
+    for (TrajIndex m : cand.members) members.push_back(&set.at(m));
+    Trajectory joined = Join(members, cand.target_id);
+    out << "    => " << joined.ToString(graph) << "\n";
+    ++shown;
+  }
+  out << "phases: Gm " << ToFixed(result.stats.seconds_gm * 1e3, 1)
+      << " ms (" << result.stats.gm_edges << " edges), generation "
+      << ToFixed(result.stats.seconds_generation * 1e3, 1) << " ms ("
+      << result.stats.cliques_enumerated << " cliques, "
+      << result.stats.pck_pruned << " pruned), selection "
+      << ToFixed(result.stats.seconds_selection * 1e3, 1) << " ms\n";
+  return out.str();
+}
+
+}  // namespace idrepair

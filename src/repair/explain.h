@@ -1,0 +1,31 @@
+#ifndef IDREPAIR_REPAIR_EXPLAIN_H_
+#define IDREPAIR_REPAIR_EXPLAIN_H_
+
+#include <string>
+
+#include "graph/transition_graph.h"
+#include "repair/repairer.h"
+#include "traj/trajectory_set.h"
+
+namespace idrepair {
+
+/// Renders one candidate repair as a human-readable line:
+/// members, target, and the ω decomposition of Eq. (3)
+/// (similarity + λ·log_{ra+offset}|ivt| = ω).
+std::string ExplainCandidate(const TrajectorySet& set,
+                             const TransitionGraph& graph,
+                             const CandidateRepair& candidate,
+                             const RepairOptions& options);
+
+/// Renders a full repair run: every selected repair with its ω
+/// decomposition and the join it produces, followed by the phase stats.
+/// `max_repairs` caps the listing (0 = no cap).
+std::string ExplainRepair(const TrajectorySet& set,
+                          const TransitionGraph& graph,
+                          const RepairResult& result,
+                          const RepairOptions& options,
+                          size_t max_repairs = 20);
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_REPAIR_EXPLAIN_H_

@@ -1,0 +1,83 @@
+#ifndef IDREPAIR_REPAIR_OPTIONS_H_
+#define IDREPAIR_REPAIR_OPTIONS_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "sim/similarity.h"
+#include "traj/tracking_record.h"
+
+namespace idrepair {
+
+/// Which heuristic picks the compatible repair set from the repair graph
+/// (§4.2, §6.5.1). kExact solves the weighted-independent-set problem
+/// optimally (exponential worst case; use on small inputs only).
+enum class SelectionAlgorithm {
+  kEmax,   // maximum-effectiveness first (Algorithm 3; the paper's choice)
+  kDmin,   // minimum-degree first
+  kDmax,   // maximum-degree first
+  kExact,  // branch-and-bound optimum of Eq. (4)
+};
+
+/// How rarity aggregates the degrees of a repair's invalid trajectories.
+enum class RarityAggregation {
+  kMin,  // Eq. (2) as written
+  kMax,  // alternative consistent with the paper's worked example (see
+         // DESIGN.md §3); exposed for the ablation bench
+};
+
+/// Tuning knobs of the two-phase repair paradigm. Defaults are the paper's
+/// synthetic-dataset defaults (§6.3); the real-dataset experiments use
+/// θ=4, η=600, ζ=4, λ=0.5 (§6.1.1).
+struct RepairOptions {
+  /// θ — maximum records in a valid trajectory (§2.3).
+  size_t theta = 8;
+  /// η — maximum time span of a valid trajectory, seconds (§2.3).
+  Timestamp eta = 600;
+  /// ζ — maximum trajectories in a joinable subset (§2.3).
+  size_t zeta = 4;
+  /// λ — similarity/potency trade-off in Eq. (3), in (0, 1].
+  double lambda = 0.5;
+
+  /// Grid bin width of the LIG index, seconds.
+  Timestamp time_bin = 60;
+  /// Use the Length-Indexed Grids index when building the trajectory graph
+  /// (§5.1). Off = exhaustive pairwise cex.
+  bool use_lig = true;
+  /// Use minimum-cover-prefix pruning during clique generation (§5.2).
+  bool use_mcp_pruning = true;
+
+  /// Effectiveness logarithm base is rarity + this offset (Eq. (3) uses 1).
+  uint32_t rarity_base_offset = 1;
+  /// Degree aggregation for rarity.
+  RarityAggregation rarity_aggregation = RarityAggregation::kMin;
+
+  /// Repair-selection heuristic.
+  SelectionAlgorithm selection = SelectionAlgorithm::kEmax;
+
+  /// ID similarity metric for Eq. (1)/(5). Not owned; nullptr selects the
+  /// paper's normalized edit similarity.
+  const IdSimilarity* similarity = nullptr;
+
+  /// Rejects nonsensical parameter combinations.
+  Status Validate() const {
+    if (theta == 0) return Status::InvalidArgument("theta must be >= 1");
+    if (zeta == 0) return Status::InvalidArgument("zeta must be >= 1");
+    if (eta < 0) return Status::InvalidArgument("eta must be >= 0");
+    if (lambda <= 0.0 || lambda > 1.0) {
+      return Status::InvalidArgument("lambda must be in (0, 1]");
+    }
+    if (time_bin <= 0) {
+      return Status::InvalidArgument("time_bin must be positive");
+    }
+    if (rarity_base_offset == 0) {
+      return Status::InvalidArgument(
+          "rarity_base_offset must be >= 1 (log base must exceed 1)");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_REPAIR_OPTIONS_H_

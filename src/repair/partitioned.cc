@@ -1,0 +1,98 @@
+#include "repair/partitioned.h"
+
+#include <algorithm>
+
+namespace idrepair {
+
+std::vector<std::vector<TrajIndex>> PartitionedRepairer::Partition(
+    const TrajectorySet& set) const {
+  // TrajectorySet order is start-time order (FromRecords sorts), so chain
+  // components are contiguous index ranges; still sort defensively in case
+  // the set was constructed directly from unordered trajectories.
+  std::vector<TrajIndex> order(set.size());
+  for (TrajIndex i = 0; i < set.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](TrajIndex a, TrajIndex b) {
+                     return set.at(a).start_time() < set.at(b).start_time();
+                   });
+  std::vector<std::vector<TrajIndex>> partitions;
+  Timestamp eta = repairer_.options().eta;
+  for (size_t i = 0; i < order.size(); ++i) {
+    bool new_partition =
+        partitions.empty() ||
+        set.at(order[i]).start_time() -
+                set.at(order[i - 1]).start_time() > eta;
+    if (new_partition) partitions.emplace_back();
+    partitions.back().push_back(order[i]);
+  }
+  for (auto& p : partitions) std::sort(p.begin(), p.end());
+  return partitions;
+}
+
+Result<RepairResult> PartitionedRepairer::Repair(
+    const TrajectorySet& set, PartitionStats* stats) const {
+  IDREPAIR_RETURN_NOT_OK(repairer_.options().Validate());
+  auto partitions = Partition(set);
+
+  RepairResult combined;
+  PartitionStats local;
+  local.num_partitions = partitions.size();
+  combined.stats.num_trajectories = set.size();
+
+  std::vector<TrackingRecord> repaired_records;
+  repaired_records.reserve(set.total_records());
+
+  for (const auto& partition : partitions) {
+    local.largest_partition =
+        std::max(local.largest_partition, partition.size());
+    // Build the partition's own TrajectorySet; its internal order matches
+    // the global order restricted to the partition (both start-time
+    // sorted), so results map back through `partition`.
+    std::vector<Trajectory> trajs;
+    trajs.reserve(partition.size());
+    for (TrajIndex t : partition) trajs.push_back(set.at(t));
+    TrajectorySet chunk(std::move(trajs));
+
+    auto result = repairer_.Repair(chunk);
+    if (!result.ok()) return result.status();
+
+    // Re-index candidates and selections into global trajectory indices.
+    RepairIndex base = static_cast<RepairIndex>(combined.candidates.size());
+    for (auto& cand : result->candidates) {
+      for (TrajIndex& m : cand.members) m = partition[m];
+      for (TrajIndex& m : cand.invalid_members) m = partition[m];
+      combined.candidates.push_back(std::move(cand));
+    }
+    for (RepairIndex r : result->selected) {
+      combined.selected.push_back(base + r);
+    }
+    for (const auto& [traj, id] : result->rewrites) {
+      combined.rewrites.emplace(partition[traj], id);
+    }
+    combined.total_effectiveness += result->total_effectiveness;
+
+    // Aggregate stats: counters add, phase times add (sequential execution;
+    // a distributed deployment would take the max instead).
+    const RepairStats& s = result->stats;
+    combined.stats.num_invalid += s.num_invalid;
+    combined.stats.gm_edges += s.gm_edges;
+    combined.stats.cex_evaluations += s.cex_evaluations;
+    combined.stats.cliques_enumerated += s.cliques_enumerated;
+    combined.stats.pck_pruned += s.pck_pruned;
+    combined.stats.jnb_checks += s.jnb_checks;
+    combined.stats.joinable_subsets += s.joinable_subsets;
+    combined.stats.num_candidates += s.num_candidates;
+    combined.stats.gr_edges += s.gr_edges;
+    combined.stats.num_selected += s.num_selected;
+    combined.stats.seconds_gm += s.seconds_gm;
+    combined.stats.seconds_generation += s.seconds_generation;
+    combined.stats.seconds_selection += s.seconds_selection;
+    combined.stats.seconds_total += s.seconds_total;
+  }
+  combined.repaired = ApplyRewrites(set, combined.rewrites);
+  local.combined = combined.stats;
+  if (stats != nullptr) *stats = local;
+  return combined;
+}
+
+}  // namespace idrepair

@@ -1,0 +1,33 @@
+#include "repair/repair_graph.h"
+
+#include <algorithm>
+
+namespace idrepair {
+
+RepairGraph::RepairGraph(const std::vector<CandidateRepair>& candidates,
+                         size_t num_trajs) {
+  adj_.assign(candidates.size(), {});
+  // Repairs sharing a trajectory are exactly the pairs co-occurring in some
+  // per-trajectory cover list; building from cover lists avoids the
+  // quadratic all-pairs subset intersection.
+  std::vector<std::vector<RepairIndex>> covers(num_trajs);
+  for (RepairIndex r = 0; r < candidates.size(); ++r) {
+    for (TrajIndex t : candidates[r].members) covers[t].push_back(r);
+  }
+  for (const auto& list : covers) {
+    for (size_t a = 0; a < list.size(); ++a) {
+      for (size_t b = a + 1; b < list.size(); ++b) {
+        adj_[list[a]].push_back(list[b]);
+        adj_[list[b]].push_back(list[a]);
+      }
+    }
+  }
+  for (auto& nbrs : adj_) {
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+    num_edges_ += nbrs.size();
+  }
+  num_edges_ /= 2;
+}
+
+}  // namespace idrepair

@@ -1,0 +1,42 @@
+#ifndef IDREPAIR_REPAIR_REPAIR_GRAPH_H_
+#define IDREPAIR_REPAIR_REPAIR_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "repair/candidates.h"
+
+namespace idrepair {
+
+/// Index of a candidate repair within its generation batch.
+using RepairIndex = uint32_t;
+
+/// The repair graph Gr (§3.3): one vertex per candidate repair, an
+/// undirected edge wherever two repairs are *incompatible*, i.e. their
+/// joinable subsets share a trajectory. Selecting compatible repairs is then
+/// an independent-set problem on this graph.
+class RepairGraph {
+ public:
+  /// Builds Gr from the candidate set. `num_trajs` is the size of the
+  /// underlying TrajectorySet.
+  RepairGraph(const std::vector<CandidateRepair>& candidates,
+              size_t num_trajs);
+
+  size_t num_vertices() const { return adj_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  /// Sorted list of repairs incompatible with `v`.
+  const std::vector<RepairIndex>& Neighbors(RepairIndex v) const {
+    return adj_[v];
+  }
+
+  size_t Degree(RepairIndex v) const { return adj_[v].size(); }
+
+ private:
+  std::vector<std::vector<RepairIndex>> adj_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_REPAIR_REPAIR_GRAPH_H_

@@ -1,0 +1,106 @@
+#include "repair/repairer.h"
+
+#include "common/stopwatch.h"
+#include "repair/repair_graph.h"
+#include "repair/trajectory_graph.h"
+
+namespace idrepair {
+
+IdRepairer::IdRepairer(const TransitionGraph& graph, RepairOptions options)
+    : graph_(&graph), options_(std::move(options)) {}
+
+Result<RepairResult> IdRepairer::Repair(const TrajectorySet& set,
+                                        const RepairSelector* selector) const {
+  IDREPAIR_RETURN_NOT_OK(options_.Validate());
+  IDREPAIR_RETURN_NOT_OK(graph_->Validate());
+  const IdSimilarity& similarity = options_.similarity != nullptr
+                                       ? *options_.similarity
+                                       : default_similarity_;
+
+  RepairResult result;
+  Stopwatch total;
+  result.stats.num_trajectories = set.size();
+
+  std::vector<bool> is_valid(set.size(), false);
+  for (TrajIndex i = 0; i < set.size(); ++i) {
+    is_valid[i] = set.at(i).IsValid(*graph_);
+    if (!is_valid[i]) ++result.stats.num_invalid;
+  }
+
+  // ---- Phase 1: candidate repair generation (§3.2) ----
+  PredicateEvaluator pred(*graph_, options_.theta, options_.eta);
+  Stopwatch phase;
+  TrajectoryGraph gm(set, pred, options_);
+  result.stats.seconds_gm = phase.ElapsedSeconds();
+  result.stats.gm_edges = gm.num_edges();
+  result.stats.cex_evaluations = gm.stats().cex_evaluations;
+
+  phase.Restart();
+  GenerationStats gen_stats;
+  result.candidates = GenerateCandidates(set, gm, pred, options_, similarity,
+                                         is_valid, &gen_stats);
+  ComputeEffectiveness(result.candidates, options_, set.size());
+  result.stats.seconds_generation = phase.ElapsedSeconds();
+  result.stats.cliques_enumerated = gen_stats.clique_stats.cliques_emitted;
+  result.stats.pck_pruned = gen_stats.clique_stats.pck_pruned;
+  result.stats.jnb_checks = gen_stats.jnb_checks;
+  result.stats.joinable_subsets = gen_stats.joinable_subsets;
+  result.stats.num_candidates = result.candidates.size();
+
+  // ---- Phase 2: compatible repair selection (§3.3) ----
+  phase.Restart();
+  if (selector == nullptr &&
+      options_.selection == SelectionAlgorithm::kEmax) {
+    // EMAX fast path: greedily taking the highest-ω repair and discarding
+    // everything that shares a trajectory never needs the repair graph
+    // materialized — incompatibility is checked through a per-trajectory
+    // "used" mask, which is exactly "discard all Gr neighbors". On dense
+    // datasets Gr can hold hundreds of millions of edges, so this path
+    // turns the selection phase from the bottleneck into a linear pass.
+    result.selected = SelectEmaxByCover(result.candidates, set.size());
+  } else {
+    RepairGraph gr(result.candidates, set.size());
+    result.stats.gr_edges = gr.num_edges();
+    std::unique_ptr<RepairSelector> owned;
+    if (selector == nullptr) {
+      owned = MakeSelector(options_.selection);
+      selector = owned.get();
+    }
+    result.selected = selector->Select(gr, result.candidates);
+  }
+  result.stats.seconds_selection = phase.ElapsedSeconds();
+  result.stats.num_selected = result.selected.size();
+  result.total_effectiveness =
+      TotalEffectiveness(result.candidates, result.selected);
+
+  // ---- Apply: rewrite IDs and join (Definition 2.5) ----
+  for (RepairIndex r : result.selected) {
+    const CandidateRepair& repair = result.candidates[r];
+    for (TrajIndex m : repair.members) {
+      if (set.at(m).id() != repair.target_id) {
+        result.rewrites[m] = repair.target_id;
+      }
+    }
+  }
+  result.repaired = ApplyRewrites(set, result.rewrites);
+  result.stats.seconds_total = total.ElapsedSeconds();
+  return result;
+}
+
+TrajectorySet ApplyRewrites(
+    const TrajectorySet& set,
+    const std::unordered_map<TrajIndex, std::string>& rewrites) {
+  std::vector<TrackingRecord> records;
+  records.reserve(set.total_records());
+  for (TrajIndex i = 0; i < set.size(); ++i) {
+    const Trajectory& t = set.at(i);
+    auto it = rewrites.find(i);
+    const std::string& id = it != rewrites.end() ? it->second : t.id();
+    for (const auto& p : t.points()) {
+      records.push_back(TrackingRecord{id, p.loc, p.ts});
+    }
+  }
+  return TrajectorySet::FromRecords(records);
+}
+
+}  // namespace idrepair

@@ -1,0 +1,91 @@
+#ifndef IDREPAIR_REPAIR_REPAIRER_H_
+#define IDREPAIR_REPAIR_REPAIRER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "repair/candidates.h"
+#include "repair/options.h"
+#include "repair/selectors.h"
+#include "traj/trajectory_set.h"
+
+namespace idrepair {
+
+/// Per-phase timings and counters of one repair run, powering the paper's
+/// running-time plots.
+struct RepairStats {
+  size_t num_trajectories = 0;
+  size_t num_invalid = 0;           // IVTs in the input
+  size_t gm_edges = 0;
+  size_t cex_evaluations = 0;
+  size_t cliques_enumerated = 0;
+  size_t pck_pruned = 0;
+  size_t jnb_checks = 0;
+  size_t joinable_subsets = 0;      // all joinable subsets found (phase 1)
+  size_t num_candidates = 0;        // |R| (repairs with |ivt| >= 1)
+  size_t gr_edges = 0;              // 0 when the EMAX fast path skips Gr
+  size_t num_selected = 0;          // |R'|
+  double seconds_gm = 0.0;          // trajectory-graph construction
+  double seconds_generation = 0.0;  // cliques + jnb + target assignment
+  double seconds_selection = 0.0;   // Gr + selection
+  double seconds_total = 0.0;
+};
+
+/// The outcome of one repair run.
+struct RepairResult {
+  /// Phase-1 output: every candidate repair with |ivt| >= 1, with rarity and
+  /// effectiveness filled in.
+  std::vector<CandidateRepair> candidates;
+  /// Phase-2 output: indices into `candidates`, ascending, compatible.
+  std::vector<RepairIndex> selected;
+  /// ID rewrites the selected repairs apply: trajectory index -> target ID.
+  /// Only genuinely changed IDs appear.
+  std::unordered_map<TrajIndex, std::string> rewrites;
+  /// The repaired trajectory set: selected repairs joined, untouched
+  /// trajectories passed through.
+  TrajectorySet repaired;
+  /// Ω(R') — the objective value of Eq. (4) attained by `selected`.
+  double total_effectiveness = 0.0;
+  RepairStats stats;
+};
+
+/// Facade over the two-phase repair paradigm (§3): candidate repair
+/// generation followed by compatible repair selection, with the LIG index
+/// and MCP pruning optimizations applied per RepairOptions.
+///
+/// Typical use:
+///   IdRepairer repairer(graph, options);
+///   auto result = repairer.Repair(trajectories);
+class IdRepairer {
+ public:
+  /// The graph must outlive the repairer. Options are validated at Repair
+  /// time.
+  IdRepairer(const TransitionGraph& graph, RepairOptions options);
+
+  /// Runs the full pipeline on `set`. When `selector` is non-null it
+  /// overrides options.selection (used by the Fig 15 harness to plug in the
+  /// oracle).
+  Result<RepairResult> Repair(const TrajectorySet& set,
+                              const RepairSelector* selector = nullptr) const;
+
+  const RepairOptions& options() const { return options_; }
+  const TransitionGraph& graph() const { return *graph_; }
+
+ private:
+  const TransitionGraph* graph_;
+  RepairOptions options_;
+  NormalizedEditSimilarity default_similarity_;
+};
+
+/// Applies `rewrites` to the records of `set` and regroups, yielding the
+/// merged (joined) trajectory set. Exposed separately so baselines and the
+/// streaming repairer can share it.
+TrajectorySet ApplyRewrites(
+    const TrajectorySet& set,
+    const std::unordered_map<TrajIndex, std::string>& rewrites);
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_REPAIR_REPAIRER_H_

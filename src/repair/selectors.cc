@@ -1,0 +1,386 @@
+#include "repair/selectors.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <unordered_map>
+
+namespace idrepair {
+
+namespace {
+
+/// Shared greedy skeleton: visit vertices in the order produced by
+/// `ordered`, take each undiscarded one, discard its neighbors.
+std::vector<RepairIndex> GreedyByOrder(const RepairGraph& gr,
+                                       const std::vector<RepairIndex>& order,
+                                       const std::vector<bool>* skip) {
+  std::vector<bool> discarded(gr.num_vertices(), false);
+  std::vector<RepairIndex> out;
+  for (RepairIndex v : order) {
+    if (discarded[v]) continue;
+    if (skip != nullptr && (*skip)[v]) continue;
+    out.push_back(v);
+    for (RepairIndex w : gr.Neighbors(v)) discarded[w] = true;
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<RepairIndex> EmaxSelector::Select(
+    const RepairGraph& gr,
+    const std::vector<CandidateRepair>& candidates) const {
+  std::vector<RepairIndex> order(gr.num_vertices());
+  std::iota(order.begin(), order.end(), RepairIndex{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](RepairIndex a, RepairIndex b) {
+                     return candidates[a].effectiveness >
+                            candidates[b].effectiveness;
+                   });
+  std::vector<bool> skip(gr.num_vertices(), false);
+  for (RepairIndex v = 0; v < gr.num_vertices(); ++v) {
+    skip[v] = candidates[v].effectiveness <= 0.0;
+  }
+  return GreedyByOrder(gr, order, &skip);
+}
+
+namespace {
+
+/// Dynamic degree-driven greedy shared by DMIN and DMAX.
+std::vector<RepairIndex> DegreeGreedy(const RepairGraph& gr, bool minimize) {
+  size_t n = gr.num_vertices();
+  std::vector<bool> removed(n, false);
+  std::vector<size_t> degree(n);
+  for (RepairIndex v = 0; v < n; ++v) degree[v] = gr.Degree(v);
+  std::vector<RepairIndex> out;
+  size_t remaining = n;
+  while (remaining > 0) {
+    RepairIndex best = 0;
+    bool found = false;
+    for (RepairIndex v = 0; v < n; ++v) {
+      if (removed[v]) continue;
+      if (!found || (minimize ? degree[v] < degree[best]
+                              : degree[v] > degree[best])) {
+        best = v;
+        found = true;
+      }
+    }
+    assert(found);
+    out.push_back(best);
+    // Remove `best` and its surviving neighbors, updating degrees.
+    auto remove_vertex = [&](RepairIndex v) {
+      removed[v] = true;
+      --remaining;
+      for (RepairIndex w : gr.Neighbors(v)) {
+        if (!removed[w]) --degree[w];
+      }
+    };
+    remove_vertex(best);
+    for (RepairIndex w : gr.Neighbors(best)) {
+      if (!removed[w]) remove_vertex(w);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<RepairIndex> DminSelector::Select(
+    const RepairGraph& gr,
+    const std::vector<CandidateRepair>& candidates) const {
+  (void)candidates;
+  return DegreeGreedy(gr, /*minimize=*/true);
+}
+
+std::vector<RepairIndex> DmaxSelector::Select(
+    const RepairGraph& gr,
+    const std::vector<CandidateRepair>& candidates) const {
+  (void)candidates;
+  return DegreeGreedy(gr, /*minimize=*/false);
+}
+
+namespace {
+
+/// Branch-and-bound maximum-weight independent set over one connected
+/// component (vertex ids are component-local). Uses degree-0/1 reductions,
+/// a greedy-matching upper bound (for every matched edge at most one
+/// endpoint can be taken, so the lighter endpoint's weight is provably
+/// unreachable), and max-degree pivoting.
+class ComponentSolver {
+ public:
+  ComponentSolver(const std::vector<std::vector<uint32_t>>& adj,
+                  const std::vector<double>& weight)
+      : adj_(adj), weight_(weight), n_(weight.size()) {}
+
+  std::vector<uint32_t> Solve() {
+    std::vector<uint32_t> avail(n_);
+    std::iota(avail.begin(), avail.end(), 0u);
+    best_value_ = -1.0;
+    std::vector<uint32_t> chosen;
+    Recurse(std::move(avail), 0.0, chosen);
+    return best_set_;
+  }
+
+  double best_value() const { return best_value_; }
+
+ private:
+  bool Adjacent(uint32_t u, uint32_t v) const {
+    return std::binary_search(adj_[u].begin(), adj_[u].end(), v);
+  }
+
+  void Recurse(std::vector<uint32_t> avail, double current,
+               std::vector<uint32_t>& chosen) {
+    size_t chosen_mark = chosen.size();
+    std::vector<uint8_t> in_avail(n_, 0);
+    std::vector<uint32_t> degree(n_, 0);
+    std::vector<uint32_t> only_neighbor(n_, 0);
+
+    // ---- Reductions to a fixpoint ----
+    // degree-0: always take. degree-1 with weight >= its neighbor: take it
+    // and drop the neighbor (domination).
+    bool changed = true;
+    while (changed && !avail.empty()) {
+      changed = false;
+      for (uint32_t v : avail) in_avail[v] = 1;
+      for (uint32_t v : avail) {
+        uint32_t d = 0;
+        uint32_t last = 0;
+        for (uint32_t w : adj_[v]) {
+          if (in_avail[w]) {
+            ++d;
+            last = w;
+          }
+        }
+        degree[v] = d;
+        only_neighbor[v] = last;
+      }
+      for (uint32_t v : avail) {
+        if (!in_avail[v]) continue;
+        if (degree[v] == 0) {
+          chosen.push_back(v);
+          current += weight_[v];
+          in_avail[v] = 0;
+          changed = true;
+        } else if (degree[v] == 1) {
+          uint32_t u = only_neighbor[v];
+          if (in_avail[u] && weight_[v] >= weight_[u]) {
+            chosen.push_back(v);
+            current += weight_[v];
+            in_avail[v] = 0;
+            in_avail[u] = 0;
+            changed = true;
+          }
+        }
+      }
+      if (changed) {
+        std::vector<uint32_t> next;
+        next.reserve(avail.size());
+        for (uint32_t v : avail) {
+          if (in_avail[v]) next.push_back(v);
+        }
+        for (uint32_t v : avail) in_avail[v] = 0;  // reset for next pass
+        avail = std::move(next);
+      }
+    }
+
+    if (avail.empty()) {
+      if (current > best_value_) {
+        best_value_ = current;
+        best_set_ = chosen;
+      }
+      chosen.resize(chosen_mark);
+      return;
+    }
+    // The reduction loop exits with in_avail set for the surviving set.
+    for (uint32_t v : avail) in_avail[v] = 1;
+
+    // ---- Greedy-matching upper bound ----
+    double avail_weight = 0.0;
+    for (uint32_t v : avail) avail_weight += weight_[v];
+    double penalty = 0.0;
+    {
+      std::vector<uint8_t> matched(n_, 0);
+      for (uint32_t v : avail) {
+        if (matched[v]) continue;
+        for (uint32_t w : adj_[v]) {
+          if (w <= v || !in_avail[w] || matched[w]) continue;
+          matched[v] = 1;
+          matched[w] = 1;
+          penalty += std::min(weight_[v], weight_[w]);
+          break;
+        }
+      }
+    }
+    if (current + avail_weight - penalty <= best_value_) {
+      chosen.resize(chosen_mark);
+      return;
+    }
+
+    // ---- Branch on the max-degree (ties: heaviest) vertex ----
+    uint32_t pivot = avail.front();
+    uint32_t pivot_degree = 0;
+    bool have_pivot = false;
+    for (uint32_t v : avail) {
+      uint32_t d = degree[v];
+      if (!have_pivot || d > pivot_degree ||
+          (d == pivot_degree && weight_[v] > weight_[pivot])) {
+        pivot = v;
+        pivot_degree = d;
+        have_pivot = true;
+      }
+    }
+
+    // Include branch: drop pivot and its neighbors.
+    {
+      std::vector<uint32_t> next;
+      next.reserve(avail.size());
+      for (uint32_t v : avail) {
+        if (v != pivot && !Adjacent(pivot, v)) next.push_back(v);
+      }
+      chosen.push_back(pivot);
+      Recurse(std::move(next), current + weight_[pivot], chosen);
+      chosen.pop_back();
+    }
+    // Exclude branch: drop pivot only.
+    {
+      std::vector<uint32_t> next;
+      next.reserve(avail.size());
+      for (uint32_t v : avail) {
+        if (v != pivot) next.push_back(v);
+      }
+      Recurse(std::move(next), current, chosen);
+    }
+    chosen.resize(chosen_mark);
+  }
+
+  const std::vector<std::vector<uint32_t>>& adj_;
+  const std::vector<double>& weight_;
+  size_t n_;
+  double best_value_ = -1.0;
+  std::vector<uint32_t> best_set_;
+};
+
+}  // namespace
+
+std::vector<RepairIndex> ExactSelector::Select(
+    const RepairGraph& gr,
+    const std::vector<CandidateRepair>& candidates) const {
+  size_t n = gr.num_vertices();
+  // Connected components (repairs in different components never conflict).
+  std::vector<int64_t> component(n, -1);
+  std::vector<RepairIndex> out;
+  std::vector<RepairIndex> stack;
+  int64_t num_components = 0;
+  for (RepairIndex s = 0; s < n; ++s) {
+    if (component[s] >= 0) continue;
+    int64_t c = num_components++;
+    stack.push_back(s);
+    component[s] = c;
+    std::vector<RepairIndex> members;
+    while (!stack.empty()) {
+      RepairIndex v = stack.back();
+      stack.pop_back();
+      members.push_back(v);
+      for (RepairIndex w : gr.Neighbors(v)) {
+        if (component[w] < 0) {
+          component[w] = c;
+          stack.push_back(w);
+        }
+      }
+    }
+    // Solve this component with local ids.
+    std::sort(members.begin(), members.end());
+    std::unordered_map<RepairIndex, uint32_t> local;
+    local.reserve(members.size());
+    for (uint32_t i = 0; i < members.size(); ++i) local[members[i]] = i;
+    std::vector<std::vector<uint32_t>> adj(members.size());
+    std::vector<double> weight(members.size());
+    for (uint32_t i = 0; i < members.size(); ++i) {
+      weight[i] = candidates[members[i]].effectiveness;
+      for (RepairIndex w : gr.Neighbors(members[i])) {
+        adj[i].push_back(local.at(w));
+      }
+      std::sort(adj[i].begin(), adj[i].end());
+    }
+    ComponentSolver solver(adj, weight);
+    for (uint32_t v : solver.Solve()) out.push_back(members[v]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<RepairIndex> OracleSelector::Select(
+    const RepairGraph& gr,
+    const std::vector<CandidateRepair>& candidates) const {
+  (void)gr;
+  // Fragment sets per entity: entity -> sorted trajectory indices.
+  std::unordered_map<std::string, std::vector<TrajIndex>> fragments;
+  for (TrajIndex t = 0; t < true_ids_.size(); ++t) {
+    fragments[true_ids_[t]].push_back(t);
+  }
+  std::vector<RepairIndex> out;
+  for (RepairIndex r = 0; r < candidates.size(); ++r) {
+    const CandidateRepair& cand = candidates[r];
+    const std::string& entity = true_ids_[cand.members.front()];
+    if (cand.target_id != entity) continue;
+    auto it = fragments.find(entity);
+    // Correct iff the members are exactly the entity's fragments (members
+    // are already ascending; fragments built in ascending order).
+    if (it != fragments.end() && it->second == cand.members) out.push_back(r);
+  }
+  return out;
+}
+
+std::unique_ptr<RepairSelector> MakeSelector(SelectionAlgorithm algorithm) {
+  switch (algorithm) {
+    case SelectionAlgorithm::kEmax:
+      return std::make_unique<EmaxSelector>();
+    case SelectionAlgorithm::kDmin:
+      return std::make_unique<DminSelector>();
+    case SelectionAlgorithm::kDmax:
+      return std::make_unique<DmaxSelector>();
+    case SelectionAlgorithm::kExact:
+      return std::make_unique<ExactSelector>();
+  }
+  return nullptr;
+}
+
+std::vector<RepairIndex> SelectEmaxByCover(
+    const std::vector<CandidateRepair>& candidates, size_t num_trajs) {
+  std::vector<RepairIndex> order(candidates.size());
+  std::iota(order.begin(), order.end(), RepairIndex{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](RepairIndex a, RepairIndex b) {
+                     return candidates[a].effectiveness >
+                            candidates[b].effectiveness;
+                   });
+  std::vector<bool> used(num_trajs, false);
+  std::vector<RepairIndex> out;
+  for (RepairIndex r : order) {
+    const CandidateRepair& cand = candidates[r];
+    if (cand.effectiveness <= 0.0) continue;
+    bool free = true;
+    for (TrajIndex m : cand.members) {
+      if (used[m]) {
+        free = false;
+        break;
+      }
+    }
+    if (!free) continue;
+    for (TrajIndex m : cand.members) used[m] = true;
+    out.push_back(r);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double TotalEffectiveness(const std::vector<CandidateRepair>& candidates,
+                          const std::vector<RepairIndex>& selected) {
+  double total = 0.0;
+  for (RepairIndex r : selected) total += candidates[r].effectiveness;
+  return total;
+}
+
+}  // namespace idrepair

@@ -1,0 +1,109 @@
+#ifndef IDREPAIR_REPAIR_SELECTORS_H_
+#define IDREPAIR_REPAIR_SELECTORS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "repair/options.h"
+#include "repair/repair_graph.h"
+
+namespace idrepair {
+
+/// Phase 2 — compatible repair selection (§3.3, §4.2): pick an independent
+/// set of the repair graph. Implementations return candidate indices in
+/// ascending order; the returned set is always independent (compatible).
+class RepairSelector {
+ public:
+  virtual ~RepairSelector() = default;
+
+  virtual std::vector<RepairIndex> Select(
+      const RepairGraph& gr,
+      const std::vector<CandidateRepair>& candidates) const = 0;
+
+  /// Stable algorithm name for logs and the Fig 15 harness.
+  virtual std::string_view name() const = 0;
+};
+
+/// Maximum-effectiveness first (Algorithm 3, "EMAX"): repeatedly take the
+/// highest-ω repair and discard its neighbors. Zero-effectiveness repairs
+/// are never taken (Example 4.2). O(|Vr| log |Vr| + |Er|).
+class EmaxSelector final : public RepairSelector {
+ public:
+  std::vector<RepairIndex> Select(
+      const RepairGraph& gr,
+      const std::vector<CandidateRepair>& candidates) const override;
+  std::string_view name() const override { return "EMAX"; }
+};
+
+/// Minimum-degree first (DMIN, §6.5.1): repeatedly take a remaining vertex
+/// of minimum *current* degree and discard its neighbors — the classic
+/// greedy independent-set heuristic, blind to ω.
+class DminSelector final : public RepairSelector {
+ public:
+  std::vector<RepairIndex> Select(
+      const RepairGraph& gr,
+      const std::vector<CandidateRepair>& candidates) const override;
+  std::string_view name() const override { return "DMIN"; }
+};
+
+/// Maximum-degree first (DMAX, §6.5.1): the adversarial twin of DMIN.
+class DmaxSelector final : public RepairSelector {
+ public:
+  std::vector<RepairIndex> Select(
+      const RepairGraph& gr,
+      const std::vector<CandidateRepair>& candidates) const override;
+  std::string_view name() const override { return "DMAX"; }
+};
+
+/// Exact maximum-weight independent set via branch-and-bound with connected
+/// component decomposition. Exponential worst case — intended for the small
+/// datasets of the Fig 15 experiment, exactly as in the paper.
+class ExactSelector final : public RepairSelector {
+ public:
+  std::vector<RepairIndex> Select(
+      const RepairGraph& gr,
+      const std::vector<CandidateRepair>& candidates) const override;
+  std::string_view name() const override { return "exact"; }
+};
+
+/// The paper's "optimal selection" oracle (§6.5.1): armed with ground truth,
+/// it applies exactly the *correct* candidate repairs — those whose members
+/// are all fragments of one entity, cover every fragment of that entity, and
+/// whose target is the entity's true ID — regardless of ω. Requires the
+/// per-trajectory true IDs (majority ground-truth ID of each observed
+/// trajectory's records).
+class OracleSelector final : public RepairSelector {
+ public:
+  explicit OracleSelector(std::vector<std::string> true_id_per_traj)
+      : true_ids_(std::move(true_id_per_traj)) {}
+
+  std::vector<RepairIndex> Select(
+      const RepairGraph& gr,
+      const std::vector<CandidateRepair>& candidates) const override;
+  std::string_view name() const override { return "optimal"; }
+
+ private:
+  std::vector<std::string> true_ids_;
+};
+
+/// Factory over the SelectionAlgorithm enum (the oracle is excluded: it
+/// needs ground truth and is constructed explicitly).
+std::unique_ptr<RepairSelector> MakeSelector(SelectionAlgorithm algorithm);
+
+/// Total effectiveness Ω of a selected set (Eq. 4's objective).
+double TotalEffectiveness(const std::vector<CandidateRepair>& candidates,
+                          const std::vector<RepairIndex>& selected);
+
+/// EMAX without materializing the repair graph: identical output to
+/// EmaxSelector::Select, but incompatibility is tracked with a
+/// per-trajectory mask instead of Gr adjacency — O(Σ|members| + n log n)
+/// rather than O(|Er|). Used by IdRepairer on large inputs, where Gr can
+/// hold hundreds of millions of edges.
+std::vector<RepairIndex> SelectEmaxByCover(
+    const std::vector<CandidateRepair>& candidates, size_t num_trajs);
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_REPAIR_SELECTORS_H_

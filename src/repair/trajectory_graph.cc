@@ -1,0 +1,61 @@
+#include "repair/trajectory_graph.h"
+
+#include <algorithm>
+
+namespace idrepair {
+
+TrajectoryGraph::TrajectoryGraph(const TrajectorySet& set,
+                                 const PredicateEvaluator& pred,
+                                 const RepairOptions& options) {
+  size_t n = set.size();
+  adj_.assign(n, {});
+  feasible_.assign(n, false);
+  for (TrajIndex i = 0; i < n; ++i) {
+    feasible_[i] = pred.InternallyFeasible(set.at(i));
+  }
+  stats_.used_lig = options.use_lig;
+
+  if (options.use_lig) {
+    LengthIndexedGrids::Options lig_opts;
+    lig_opts.theta = options.theta;
+    lig_opts.eta = options.eta;
+    lig_opts.time_bin = options.time_bin;
+    LengthIndexedGrids index(set, lig_opts);
+    std::vector<TrajIndex> candidates;
+    for (TrajIndex i = 0; i < n; ++i) {
+      if (!feasible_[i]) continue;
+      candidates.clear();
+      index.CollectCandidates(i, &candidates);
+      for (TrajIndex j : candidates) {
+        if (j <= i || !feasible_[j]) continue;  // each pair tested once
+        ++stats_.candidate_pairs;
+        ++stats_.cex_evaluations;
+        if (pred.Cex(set.at(i), set.at(j))) AddEdge(i, j);
+      }
+    }
+  } else {
+    for (TrajIndex i = 0; i < n; ++i) {
+      if (!feasible_[i]) continue;
+      for (TrajIndex j = i + 1; j < n; ++j) {
+        if (!feasible_[j]) continue;
+        ++stats_.candidate_pairs;
+        ++stats_.cex_evaluations;
+        if (pred.Cex(set.at(i), set.at(j))) AddEdge(i, j);
+      }
+    }
+  }
+  for (auto& nbrs : adj_) std::sort(nbrs.begin(), nbrs.end());
+}
+
+void TrajectoryGraph::AddEdge(TrajIndex u, TrajIndex v) {
+  adj_[u].push_back(v);
+  adj_[v].push_back(u);
+  ++stats_.edges;
+}
+
+bool TrajectoryGraph::HasEdge(TrajIndex u, TrajIndex v) const {
+  const auto& nbrs = adj_[u];
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+}  // namespace idrepair

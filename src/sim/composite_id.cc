@@ -1,0 +1,63 @@
+#include "sim/composite_id.h"
+
+#include "common/string_util.h"
+
+namespace idrepair {
+
+namespace {
+constexpr char kSeparator = '|';
+}  // namespace
+
+Result<std::string> EncodeCompositeId(
+    const std::vector<std::string>& fields) {
+  if (fields.empty()) {
+    return Status::InvalidArgument("composite ID needs at least one field");
+  }
+  for (const auto& f : fields) {
+    if (f.find(kSeparator) != std::string::npos) {
+      return Status::InvalidArgument("field contains the '|' separator: " +
+                                     f);
+    }
+  }
+  return Join(fields, std::string(1, kSeparator));
+}
+
+std::vector<std::string> DecodeCompositeId(std::string_view id) {
+  return Split(id, kSeparator);
+}
+
+Result<CompositeIdSimilarity> CompositeIdSimilarity::Create(
+    std::vector<double> weights, const IdSimilarity* field_metric) {
+  if (weights.empty()) {
+    return Status::InvalidArgument("composite similarity needs weights");
+  }
+  double sum = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) {
+      return Status::InvalidArgument("weights must be non-negative");
+    }
+    sum += w;
+  }
+  if (sum <= 0.0) {
+    return Status::InvalidArgument("weights must have a positive sum");
+  }
+  for (double& w : weights) w /= sum;  // normalize once
+  return CompositeIdSimilarity(std::move(weights), field_metric);
+}
+
+double CompositeIdSimilarity::Similarity(std::string_view a,
+                                         std::string_view b) const {
+  auto fa = DecodeCompositeId(a);
+  auto fb = DecodeCompositeId(b);
+  if (fa.size() != weights_.size() || fb.size() != weights_.size()) {
+    // Graceful fallback for non-composite or malformed IDs.
+    return metric().Similarity(a, b);
+  }
+  double score = 0.0;
+  for (size_t i = 0; i < weights_.size(); ++i) {
+    score += weights_[i] * metric().Similarity(fa[i], fb[i]);
+  }
+  return score;
+}
+
+}  // namespace idrepair

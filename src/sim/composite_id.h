@@ -1,0 +1,71 @@
+#ifndef IDREPAIR_SIM_COMPOSITE_ID_H_
+#define IDREPAIR_SIM_COMPOSITE_ID_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/similarity.h"
+
+namespace idrepair {
+
+/// Support for composite IDs (§1 of the paper: "a composite one consisting
+/// of multiple features, such as name, color and shape"; §2.2.1: "even if
+/// attempts are made to camouflage the entities with a fake name, the
+/// remaining components of the IDs ... are more difficult to conceal").
+///
+/// A composite ID is encoded into the ordinary string ID slot as fields
+/// joined by '|' (e.g. "evergreen|green|cargo"), so the whole repair
+/// pipeline works unchanged; CompositeIdSimilarity then scores the fields
+/// independently and combines them with configurable weights.
+///
+/// Encoding with EncodeCompositeId and decoding with DecodeCompositeId
+/// round-trip exactly; field values must not contain '|'.
+
+/// Joins fields into the encoded form. Returns InvalidArgument when a field
+/// contains the separator or no fields are given.
+Result<std::string> EncodeCompositeId(const std::vector<std::string>& fields);
+
+/// Splits an encoded composite ID back into fields.
+std::vector<std::string> DecodeCompositeId(std::string_view id);
+
+/// Weighted per-field similarity over encoded composite IDs.
+///
+/// Each field is scored with the wrapped metric (normalized edit similarity
+/// by default) and the results are combined as a weighted mean. When two
+/// IDs have different field counts (e.g. a plain ID meets a composite one),
+/// the whole-string fallback metric is used instead — the comparison
+/// degrades gracefully rather than failing.
+class CompositeIdSimilarity final : public IdSimilarity {
+ public:
+  /// `weights` must be non-empty with a positive sum; its size fixes the
+  /// expected field count. `field_metric` scores one field pair (defaults
+  /// to normalized edit similarity; not owned when provided).
+  static Result<CompositeIdSimilarity> Create(
+      std::vector<double> weights,
+      const IdSimilarity* field_metric = nullptr);
+
+  double Similarity(std::string_view a, std::string_view b) const override;
+  std::string_view name() const override { return "composite"; }
+
+  size_t num_fields() const { return weights_.size(); }
+
+ private:
+  CompositeIdSimilarity(std::vector<double> weights,
+                        const IdSimilarity* field_metric)
+      : weights_(std::move(weights)), field_metric_(field_metric) {}
+
+  const IdSimilarity& metric() const {
+    return field_metric_ != nullptr ? *field_metric_ : default_metric_;
+  }
+
+  std::vector<double> weights_;
+  const IdSimilarity* field_metric_;
+  NormalizedEditSimilarity default_metric_;
+};
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_SIM_COMPOSITE_ID_H_

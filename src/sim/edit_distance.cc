@@ -1,0 +1,50 @@
+#include "sim/edit_distance.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace idrepair {
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter string
+  if (b.empty()) return a.size();
+  std::vector<size_t> row(b.size() + 1);
+  std::iota(row.begin(), row.end(), size_t{0});
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diag = row[0];  // D[i-1][j-1]
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t up = row[j];  // D[i-1][j]
+      size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({row[j - 1] + 1, up + 1, sub});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+size_t EditDistanceBounded(std::string_view a, std::string_view b,
+                           size_t limit) {
+  if (a.size() < b.size()) std::swap(a, b);
+  if (a.size() - b.size() > limit) return limit + 1;
+  if (b.empty()) return a.size();
+  std::vector<size_t> row(b.size() + 1);
+  std::iota(row.begin(), row.end(), size_t{0});
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diag = row[0];
+    row[0] = i;
+    size_t row_min = row[0];
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t up = row[j];
+      size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({row[j - 1] + 1, up + 1, sub});
+      row_min = std::min(row_min, row[j]);
+      diag = up;
+    }
+    if (row_min > limit) return limit + 1;  // no cell can recover
+  }
+  return row[b.size()];
+}
+
+}  // namespace idrepair

@@ -1,0 +1,21 @@
+#ifndef IDREPAIR_SIM_EDIT_DISTANCE_H_
+#define IDREPAIR_SIM_EDIT_DISTANCE_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace idrepair {
+
+/// Levenshtein distance (unit-cost substitution/insertion/deletion) between
+/// two byte strings. O(|a|·|b|) time, O(min(|a|,|b|)) space.
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// Early-exiting variant: returns the exact distance when it is <= `limit`,
+/// otherwise any value > `limit`. Used by the ID-similarity baseline, whose
+/// merge rule is a distance threshold (§6.5.2).
+size_t EditDistanceBounded(std::string_view a, std::string_view b,
+                           size_t limit);
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_SIM_EDIT_DISTANCE_H_

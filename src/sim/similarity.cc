@@ -1,0 +1,133 @@
+#include "sim/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/edit_distance.h"
+
+namespace idrepair {
+
+namespace {
+
+// Packs a character bigram into a 16-bit key.
+uint16_t BigramKey(char a, char b) {
+  return static_cast<uint16_t>((static_cast<uint8_t>(a) << 8) |
+                               static_cast<uint8_t>(b));
+}
+
+std::unordered_map<uint16_t, int> BigramCounts(std::string_view s) {
+  std::unordered_map<uint16_t, int> counts;
+  for (size_t i = 0; i + 1 < s.size(); ++i) {
+    ++counts[BigramKey(s[i], s[i + 1])];
+  }
+  return counts;
+}
+
+}  // namespace
+
+double NormalizedEditSimilarity::Similarity(std::string_view a,
+                                            std::string_view b) const {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t max_len = std::max(a.size(), b.size());
+  return 1.0 - static_cast<double>(EditDistance(a, b)) /
+                   static_cast<double>(max_len);
+}
+
+double JaroWinklerSimilarity::Similarity(std::string_view a,
+                                         std::string_view b) const {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  size_t match_window =
+      std::max(a.size(), b.size()) / 2 == 0
+          ? 0
+          : std::max(a.size(), b.size()) / 2 - 1;
+  std::vector<bool> a_matched(a.size(), false);
+  std::vector<bool> b_matched(b.size(), false);
+  size_t matches = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    size_t lo = i > match_window ? i - match_window : 0;
+    size_t hi = std::min(b.size(), i + match_window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (!b_matched[j] && a[i] == b[j]) {
+        a_matched[i] = true;
+        b_matched[j] = true;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) return 0.0;
+  // Transpositions: matched characters in order of appearance.
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  double m = static_cast<double>(matches);
+  double jaro = (m / static_cast<double>(a.size()) +
+                 m / static_cast<double>(b.size()) +
+                 (m - static_cast<double>(transpositions) / 2.0) / m) /
+                3.0;
+  // Winkler prefix bonus on the common prefix (capped at 4).
+  size_t prefix = 0;
+  size_t max_prefix = std::min({size_t{4}, a.size(), b.size()});
+  while (prefix < max_prefix && a[prefix] == b[prefix]) ++prefix;
+  return jaro + static_cast<double>(prefix) * prefix_scale_ * (1.0 - jaro);
+}
+
+double BigramCosineSimilarity::Similarity(std::string_view a,
+                                          std::string_view b) const {
+  if (a == b) return 1.0;
+  auto ca = BigramCounts(a);
+  auto cb = BigramCounts(b);
+  if (ca.empty() || cb.empty()) return 0.0;
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (const auto& [k, v] : ca) {
+    na += static_cast<double>(v) * v;
+    auto it = cb.find(k);
+    if (it != cb.end()) dot += static_cast<double>(v) * it->second;
+  }
+  for (const auto& [k, v] : cb) nb += static_cast<double>(v) * v;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double OverlapCoefficientSimilarity::Similarity(std::string_view a,
+                                                std::string_view b) const {
+  if (a == b) return 1.0;
+  auto ca = BigramCounts(a);
+  auto cb = BigramCounts(b);
+  if (ca.empty() || cb.empty()) return 0.0;
+  size_t inter = 0;
+  for (const auto& [k, v] : ca) {
+    (void)v;
+    if (cb.count(k) > 0) ++inter;
+  }
+  return static_cast<double>(inter) /
+         static_cast<double>(std::min(ca.size(), cb.size()));
+}
+
+Result<std::unique_ptr<IdSimilarity>> MakeSimilarity(std::string_view name) {
+  if (name == "edit") {
+    return std::unique_ptr<IdSimilarity>(new NormalizedEditSimilarity());
+  }
+  if (name == "jaro_winkler") {
+    return std::unique_ptr<IdSimilarity>(new JaroWinklerSimilarity());
+  }
+  if (name == "bigram_cosine") {
+    return std::unique_ptr<IdSimilarity>(new BigramCosineSimilarity());
+  }
+  if (name == "overlap") {
+    return std::unique_ptr<IdSimilarity>(new OverlapCoefficientSimilarity());
+  }
+  return Status::NotFound("unknown similarity metric: " + std::string(name));
+}
+
+}  // namespace idrepair

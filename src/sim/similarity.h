@@ -1,0 +1,73 @@
+#ifndef IDREPAIR_SIM_SIMILARITY_H_
+#define IDREPAIR_SIM_SIMILARITY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace idrepair {
+
+/// Strategy interface for ID similarity. The paper (§2.2.1) uses normalized
+/// edit similarity but explicitly allows swapping in other metrics ("there
+/// have been dozens of metrics proposed in the literature"); the repair
+/// pipeline takes any implementation of this interface.
+///
+/// Implementations must be symmetric, return values in [0, 1], and return 1
+/// exactly for equal strings.
+class IdSimilarity {
+ public:
+  virtual ~IdSimilarity() = default;
+
+  /// Similarity of two IDs in [0, 1]; 1 means identical.
+  virtual double Similarity(std::string_view a, std::string_view b) const = 0;
+
+  /// Stable metric name for configs and logs.
+  virtual std::string_view name() const = 0;
+};
+
+/// Eq. (1) of the paper: 1 - editDistance(a, b) / max(|a|, |b|).
+class NormalizedEditSimilarity final : public IdSimilarity {
+ public:
+  double Similarity(std::string_view a, std::string_view b) const override;
+  std::string_view name() const override { return "edit"; }
+};
+
+/// Jaro–Winkler similarity (prefix-boosted Jaro), a common alternative for
+/// short identifier strings.
+class JaroWinklerSimilarity final : public IdSimilarity {
+ public:
+  /// `prefix_scale` is the Winkler prefix bonus weight, at most 0.25.
+  explicit JaroWinklerSimilarity(double prefix_scale = 0.1)
+      : prefix_scale_(prefix_scale) {}
+
+  double Similarity(std::string_view a, std::string_view b) const override;
+  std::string_view name() const override { return "jaro_winkler"; }
+
+ private:
+  double prefix_scale_;
+};
+
+/// Cosine similarity over character bigram frequency vectors.
+class BigramCosineSimilarity final : public IdSimilarity {
+ public:
+  double Similarity(std::string_view a, std::string_view b) const override;
+  std::string_view name() const override { return "bigram_cosine"; }
+};
+
+/// Overlap coefficient over character bigram sets:
+/// |A ∩ B| / min(|A|, |B|) (mentioned in §2.2.1).
+class OverlapCoefficientSimilarity final : public IdSimilarity {
+ public:
+  double Similarity(std::string_view a, std::string_view b) const override;
+  std::string_view name() const override { return "overlap"; }
+};
+
+/// Creates a similarity metric by its stable name ("edit", "jaro_winkler",
+/// "bigram_cosine", "overlap").
+Result<std::unique_ptr<IdSimilarity>> MakeSimilarity(std::string_view name);
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_SIM_SIMILARITY_H_

@@ -1,0 +1,205 @@
+#include "stream/streaming_repairer.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <unordered_set>
+
+namespace idrepair {
+
+StreamingRepairer::StreamingRepairer(const TransitionGraph& graph,
+                                     RepairOptions options,
+                                     double flush_horizon_multiplier)
+    : graph_(&graph), options_(std::move(options)) {
+  // Emitted fragments must at least be inert (no future record can join a
+  // fragment whose start is more than η behind the watermark), so the
+  // horizon is clamped to one η.
+  flush_horizon_ = std::max(
+      options_.eta,
+      static_cast<Timestamp>(flush_horizon_multiplier *
+                             static_cast<double>(options_.eta)));
+}
+
+Status StreamingRepairer::Append(const TrackingRecord& record) {
+  if (saw_any_ && record.ts < watermark_) {
+    return Status::OutOfRange(
+        "stream records must arrive in non-decreasing timestamp order");
+  }
+  saw_any_ = true;
+  watermark_ = record.ts;
+  buffer_.push_back(record);
+  return Status::OK();
+}
+
+std::vector<Trajectory> StreamingRepairer::Poll() {
+  if (buffer_.empty()) return {};
+  // Fragment start times, grouped by observed ID (deterministic order).
+  std::map<std::string, Timestamp> fragment_start;
+  for (const auto& r : buffer_) {
+    auto [it, inserted] = fragment_start.emplace(r.id, r.ts);
+    if (!inserted) it->second = std::min(it->second, r.ts);
+  }
+  struct Frag {
+    Timestamp start;
+    const std::string* id;
+  };
+  std::vector<Frag> frags;
+  frags.reserve(fragment_start.size());
+  for (const auto& [id, start] : fragment_start) {
+    frags.push_back(Frag{start, &id});
+  }
+  std::sort(frags.begin(), frags.end(), [](const Frag& a, const Frag& b) {
+    return std::tie(a.start, *a.id) < std::tie(b.start, *b.id);
+  });
+
+  const Timestamp inert_before = watermark_ - options_.eta;  // exclusive
+  const Timestamp cut = watermark_ - flush_horizon_;
+
+  // Walk chain components (consecutive start gaps <= η). A component whose
+  // newest fragment is inert flushes whole — batch-exact. An open component
+  // force-flushes only the fragments behind the horizon cut, repairing them
+  // *with* their full η-context so no joinable subset is severed: the
+  // repair batch contains every fragment with start <= cut + η, but only
+  // decisions whose members all start <= cut are applied and emitted;
+  // everything else stays buffered for the next poll.
+  std::unordered_set<std::string> exact_ids;    // flush fully, batch-exact
+  std::unordered_set<std::string> safe_ids;     // emit decisions
+  std::unordered_set<std::string> context_ids;  // present but deferred
+  size_t i = 0;
+  while (i < frags.size()) {
+    size_t j = i;
+    while (j + 1 < frags.size() &&
+           frags[j + 1].start - frags[j].start <= options_.eta) {
+      ++j;
+    }
+    if (frags[j].start < inert_before) {
+      for (size_t k = i; k <= j; ++k) exact_ids.insert(*frags[k].id);
+    } else {
+      for (size_t k = i; k <= j; ++k) {
+        if (frags[k].start <= cut) {
+          safe_ids.insert(*frags[k].id);
+        } else if (frags[k].start <= cut + options_.eta) {
+          context_ids.insert(*frags[k].id);
+        }
+      }
+    }
+    i = j + 1;
+  }
+  if (exact_ids.empty() && safe_ids.empty()) return {};
+
+  std::vector<Trajectory> emitted;
+
+  // ---- Exact components: repair and emit everything. ----
+  if (!exact_ids.empty()) {
+    std::vector<TrackingRecord> batch;
+    ExtractRecords(exact_ids, &batch);
+    auto repaired = RepairBatch(std::move(batch));
+    emitted.insert(emitted.end(), repaired.begin(), repaired.end());
+  }
+
+  // ---- Forced flush with context. ----
+  if (!safe_ids.empty()) {
+    std::vector<TrackingRecord> window;
+    window.reserve(buffer_.size());
+    for (const auto& r : buffer_) {
+      if (safe_ids.count(r.id) > 0 || context_ids.count(r.id) > 0) {
+        window.push_back(r);
+      }
+    }
+    TrajectorySet chunk = TrajectorySet::FromRecords(window);
+    IdRepairer repairer(*graph_, options_);
+    auto result = repairer.Repair(chunk);
+
+    std::unordered_set<std::string> consumed;
+    std::unordered_set<std::string> deferred;  // safe but in a mixed repair
+    if (result.ok()) {
+      for (RepairIndex r : result->selected) {
+        const CandidateRepair& cand = result->candidates[r];
+        bool all_safe = true;
+        for (TrajIndex m : cand.members) {
+          if (safe_ids.count(chunk.at(m).id()) == 0) all_safe = false;
+        }
+        if (all_safe) {
+          std::vector<const Trajectory*> members;
+          for (TrajIndex m : cand.members) {
+            members.push_back(&chunk.at(m));
+            consumed.insert(chunk.at(m).id());
+          }
+          emitted.push_back(Join(members, cand.target_id));
+        } else {
+          // Defer every safe member of a mixed repair; applying it later,
+          // once the unsafe members become safe, reproduces the batch
+          // decision.
+          for (TrajIndex m : cand.members) {
+            if (safe_ids.count(chunk.at(m).id()) > 0) {
+              deferred.insert(chunk.at(m).id());
+            }
+          }
+        }
+      }
+    }
+    // Safe fragments in no applied or deferred repair leave the stream
+    // unrepaired: all of their potential partners were in the window and
+    // the selection passed them over.
+    for (const std::string& id : safe_ids) {
+      if (consumed.count(id) > 0 || deferred.count(id) > 0) continue;
+      std::vector<TrajectoryPoint> points;
+      for (const auto& r : buffer_) {
+        if (r.id == id) points.push_back(TrajectoryPoint{r.loc, r.ts});
+      }
+      emitted.emplace_back(id, std::move(points));
+      consumed.insert(id);
+    }
+    // Drop consumed records from the buffer.
+    std::vector<TrackingRecord> kept;
+    kept.reserve(buffer_.size());
+    for (auto& r : buffer_) {
+      if (consumed.count(r.id) == 0) kept.push_back(std::move(r));
+    }
+    buffer_ = std::move(kept);
+  }
+  emitted_ += emitted.size();
+  return emitted;
+}
+
+std::vector<Trajectory> StreamingRepairer::Finish() {
+  std::vector<TrackingRecord> batch = std::move(buffer_);
+  buffer_.clear();
+  if (batch.empty()) return {};
+  auto out = RepairBatch(std::move(batch));
+  emitted_ += out.size();
+  return out;
+}
+
+void StreamingRepairer::ExtractRecords(
+    const std::unordered_set<std::string>& ids,
+    std::vector<TrackingRecord>* out) {
+  std::vector<TrackingRecord> kept;
+  kept.reserve(buffer_.size());
+  for (auto& r : buffer_) {
+    if (ids.count(r.id) > 0) {
+      out->push_back(std::move(r));
+    } else {
+      kept.push_back(std::move(r));
+    }
+  }
+  buffer_ = std::move(kept);
+}
+
+std::vector<Trajectory> StreamingRepairer::RepairBatch(
+    std::vector<TrackingRecord> records) {
+  TrajectorySet set = TrajectorySet::FromRecords(records);
+  IdRepairer repairer(*graph_, options_);
+  auto result = repairer.Repair(set);
+  std::vector<Trajectory> out;
+  if (result.ok()) {
+    out = result->repaired.trajectories();
+  } else {
+    // Configuration errors surface at the first batch; pass records through
+    // unrepaired rather than dropping data.
+    out = set.trajectories();
+  }
+  return out;
+}
+
+}  // namespace idrepair

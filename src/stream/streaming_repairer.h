@@ -1,0 +1,86 @@
+#ifndef IDREPAIR_STREAM_STREAMING_REPAIRER_H_
+#define IDREPAIR_STREAM_STREAMING_REPAIRER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/transition_graph.h"
+#include "repair/options.h"
+#include "repair/repairer.h"
+#include "traj/tracking_record.h"
+#include "traj/trajectory.h"
+
+namespace idrepair {
+
+/// Online ID repair over a record stream — the paper's §8 future-work
+/// direction ("solutions that could perform ID repair as the tracking
+/// records stream in"), built on the batch pipeline.
+///
+/// Records arrive in timestamp order and are buffered as trajectory
+/// fragments (grouped by observed ID). The time-span bound η makes old
+/// fragments inert: a fragment whose start time is more than η behind the
+/// stream watermark (largest timestamp seen) can never gain another record,
+/// because every joinable subset spans at most η. Poll() flushes fragments
+/// in *chain components* — maximal runs of fragments whose start times are
+/// within η of their neighbors — so that a fragment is only repaired once
+/// everything it could possibly be joined with is on the table. A component
+/// whose newest fragment is inert is repaired exactly as the batch pipeline
+/// would repair it.
+///
+/// Under continuously dense traffic a chain may never close on its own;
+/// `flush_horizon_multiplier` bounds buffering by force-flushing fragments
+/// older than multiplier·η even mid-chain (clamped to at least 1·η so
+/// emitted fragments are always inert). A forced flush is repaired together
+/// with its full η-context — every fragment that could still share a
+/// joinable subset with it — and only decisions whose members are all
+/// behind the cut are applied; mixed decisions stay buffered and re-enter
+/// the next poll, so quality stays close to batch even under frequent
+/// polling.
+class StreamingRepairer {
+ public:
+  StreamingRepairer(const TransitionGraph& graph, RepairOptions options,
+                    double flush_horizon_multiplier = 2.0);
+
+  /// Buffers one record. Records must arrive in non-decreasing timestamp
+  /// order (an OutOfRange error reports a regression; the record is
+  /// dropped).
+  Status Append(const TrackingRecord& record);
+
+  /// Repairs and returns every trajectory whose fragment group has expired
+  /// under the current watermark. May return an empty vector.
+  std::vector<Trajectory> Poll();
+
+  /// Flushes everything still buffered, repairing one final batch.
+  std::vector<Trajectory> Finish();
+
+  /// Largest timestamp observed so far.
+  Timestamp watermark() const { return watermark_; }
+
+  /// Records currently buffered (not yet emitted).
+  size_t pending_records() const { return buffer_.size(); }
+
+  /// Total trajectories emitted over the lifetime of the stream.
+  size_t emitted_trajectories() const { return emitted_; }
+
+ private:
+  /// Moves all records whose ID is in `ids` out of the buffer into `out`.
+  void ExtractRecords(const std::unordered_set<std::string>& ids,
+                      std::vector<TrackingRecord>* out);
+
+  std::vector<Trajectory> RepairBatch(std::vector<TrackingRecord> records);
+
+  const TransitionGraph* graph_;
+  RepairOptions options_;
+  Timestamp flush_horizon_;
+  Timestamp watermark_ = 0;
+  bool saw_any_ = false;
+  std::vector<TrackingRecord> buffer_;
+  size_t emitted_ = 0;
+};
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_STREAM_STREAMING_REPAIRER_H_

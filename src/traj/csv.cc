@@ -1,0 +1,81 @@
+#include "traj/csv.h"
+
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace idrepair {
+
+Result<std::vector<TrackingRecord>> ReadRecordsCsv(
+    std::istream& in, const TransitionGraph& graph) {
+  std::vector<TrackingRecord> records;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    if (line_no == 1 && trimmed == "id,loc,ts") continue;  // header
+    auto fields = Split(trimmed, ',');
+    if (fields.size() != 3) {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": expected 3 fields, got " +
+                                std::to_string(fields.size()));
+    }
+    std::string id(Trim(fields[0]));
+    if (id.empty()) {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": empty id");
+    }
+    auto loc = graph.FindLocation(Trim(fields[1]));
+    if (!loc) {
+      return Status::NotFound("line " + std::to_string(line_no) +
+                              ": unknown location '" + fields[1] + "'");
+    }
+    std::string_view ts_str = Trim(fields[2]);
+    Timestamp ts = 0;
+    auto [ptr, ec] =
+        std::from_chars(ts_str.data(), ts_str.data() + ts_str.size(), ts);
+    if (ec != std::errc() || ptr != ts_str.data() + ts_str.size()) {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": bad timestamp '" + std::string(ts_str) +
+                                "'");
+    }
+    records.push_back(TrackingRecord{std::move(id), *loc, ts});
+  }
+  return records;
+}
+
+Result<std::vector<TrackingRecord>> ReadRecordsCsvFile(
+    const std::string& path, const TransitionGraph& graph) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  return ReadRecordsCsv(in, graph);
+}
+
+Status WriteRecordsCsv(std::ostream& out, const TransitionGraph& graph,
+                       const std::vector<TrackingRecord>& records) {
+  out << "id,loc,ts\n";
+  for (const auto& r : records) {
+    if (r.loc >= graph.num_locations()) {
+      return Status::InvalidArgument("record references unknown location id");
+    }
+    out << r.id << ',' << graph.LocationName(r.loc) << ',' << r.ts << '\n';
+  }
+  if (!out) return Status::IoError("write failed");
+  return Status::OK();
+}
+
+Status WriteRecordsCsvFile(const std::string& path,
+                           const TransitionGraph& graph,
+                           const std::vector<TrackingRecord>& records) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path);
+  return WriteRecordsCsv(out, graph, records);
+}
+
+}  // namespace idrepair

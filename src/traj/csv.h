@@ -1,0 +1,35 @@
+#ifndef IDREPAIR_TRAJ_CSV_H_
+#define IDREPAIR_TRAJ_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/transition_graph.h"
+#include "traj/tracking_record.h"
+
+namespace idrepair {
+
+/// Reads tracking records from CSV lines of the form `id,location,timestamp`
+/// (a header line `id,loc,ts` is skipped if present). Location names are
+/// resolved against `graph`; unknown names are a NotFound error.
+Result<std::vector<TrackingRecord>> ReadRecordsCsv(
+    std::istream& in, const TransitionGraph& graph);
+
+/// File-path convenience overload.
+Result<std::vector<TrackingRecord>> ReadRecordsCsvFile(
+    const std::string& path, const TransitionGraph& graph);
+
+/// Writes records as `id,location,timestamp` with a header line.
+Status WriteRecordsCsv(std::ostream& out, const TransitionGraph& graph,
+                       const std::vector<TrackingRecord>& records);
+
+/// File-path convenience overload.
+Status WriteRecordsCsvFile(const std::string& path,
+                           const TransitionGraph& graph,
+                           const std::vector<TrackingRecord>& records);
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_TRAJ_CSV_H_

@@ -1,0 +1,39 @@
+#ifndef IDREPAIR_TRAJ_MERGE_H_
+#define IDREPAIR_TRAJ_MERGE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "traj/trajectory.h"
+
+namespace idrepair {
+
+/// One element of a chronologically merged record sequence; `source` is the
+/// ordinal of the contributing trajectory within the merged group.
+struct MergedPoint {
+  LocationId loc = kInvalidLocation;
+  Timestamp ts = 0;
+  uint32_t source = 0;
+};
+
+/// Merges the records of several trajectories chronologically (the sequence
+/// the cex/jnb/pck predicates operate on). Ties are broken by location, then
+/// source ordinal, for determinism; predicates reject equal adjacent
+/// timestamps anyway, since an entity cannot be at two places at once.
+std::vector<MergedPoint> MergeChronological(
+    std::span<const Trajectory* const> trajectories);
+
+/// Convenience overload for two trajectories (the cex predicate case).
+std::vector<MergedPoint> MergeChronological(const Trajectory& a,
+                                            const Trajectory& b);
+
+/// The join operation of Definition 2.5: rewrites every trajectory's ID to
+/// `target_id` and merges all records chronologically into one trajectory.
+Trajectory Join(std::span<const Trajectory* const> trajectories,
+                std::string target_id);
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_TRAJ_MERGE_H_

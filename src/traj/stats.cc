@@ -1,0 +1,83 @@
+#include "traj/stats.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace idrepair {
+
+TrajectorySetStats ComputeStats(const TrajectorySet& set,
+                                const TransitionGraph& graph,
+                                double quantile, Timestamp span_bucket) {
+  TrajectorySetStats stats;
+  stats.span_bucket = std::max<Timestamp>(1, span_bucket);
+  stats.num_trajectories = set.size();
+  stats.num_records = set.total_records();
+  if (set.empty()) return stats;
+
+  std::vector<size_t> lengths;
+  std::vector<Timestamp> spans;
+  lengths.reserve(set.size());
+  spans.reserve(set.size());
+  for (const auto& t : set.trajectories()) {
+    if (t.IsValid(graph)) {
+      ++stats.num_valid;
+    } else {
+      ++stats.num_invalid;
+    }
+    lengths.push_back(t.size());
+    spans.push_back(t.TimeSpan());
+    ++stats.length_histogram[t.size()];
+    ++stats.span_histogram[(t.TimeSpan() / stats.span_bucket) *
+                           stats.span_bucket];
+  }
+  std::sort(lengths.begin(), lengths.end());
+  std::sort(spans.begin(), spans.end());
+  stats.min_length = lengths.front();
+  stats.max_length = lengths.back();
+  stats.min_span = spans.front();
+  stats.max_span = spans.back();
+  double length_sum = 0.0;
+  double span_sum = 0.0;
+  for (size_t l : lengths) length_sum += static_cast<double>(l);
+  for (Timestamp s : spans) span_sum += static_cast<double>(s);
+  stats.mean_length = length_sum / static_cast<double>(lengths.size());
+  stats.mean_span = span_sum / static_cast<double>(spans.size());
+
+  // Suggested bounds: quantiles over the distribution. A fragment can be
+  // shorter than its entity's full trajectory, so practitioners should
+  // treat these as a floor; still, a bound below these values provably
+  // discards observed behavior.
+  double q = std::clamp(quantile, 0.0, 1.0);
+  size_t idx = std::min(
+      lengths.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(lengths.size())));
+  stats.suggested_theta = lengths[idx];
+  stats.suggested_eta = spans[idx];
+  return stats;
+}
+
+std::string DescribeStats(const TrajectorySetStats& stats) {
+  std::ostringstream out;
+  out << "trajectories: " << stats.num_trajectories << " ("
+      << stats.num_valid << " valid, " << stats.num_invalid
+      << " invalid), records: " << stats.num_records << "\n";
+  if (stats.num_trajectories == 0) return out.str();
+  out << "length: min " << stats.min_length << ", mean "
+      << ToFixed(stats.mean_length, 2) << ", max " << stats.max_length
+      << "\n";
+  out << "span (s): min " << stats.min_span << ", mean "
+      << ToFixed(stats.mean_span, 1) << ", max " << stats.max_span << "\n";
+  out << "suggested bounds: theta >= " << stats.suggested_theta
+      << ", eta >= " << stats.suggested_eta << "\n";
+  out << "length histogram:";
+  for (const auto& [len, count] : stats.length_histogram) {
+    out << " " << len << ":" << count;
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace idrepair

@@ -1,0 +1,55 @@
+#ifndef IDREPAIR_TRAJ_STATS_H_
+#define IDREPAIR_TRAJ_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "graph/transition_graph.h"
+#include "traj/trajectory_set.h"
+
+namespace idrepair {
+
+/// Descriptive statistics of a trajectory set — what a practitioner looks
+/// at before choosing the θ/η/ζ bounds (§2.3: "by carefully choosing the
+/// bounds, we can reduce the running time ... significantly").
+struct TrajectorySetStats {
+  size_t num_trajectories = 0;
+  size_t num_records = 0;
+  size_t num_valid = 0;
+  size_t num_invalid = 0;
+
+  size_t min_length = 0;
+  size_t max_length = 0;
+  double mean_length = 0.0;
+
+  Timestamp min_span = 0;
+  Timestamp max_span = 0;
+  double mean_span = 0.0;
+
+  /// length -> trajectory count.
+  std::map<size_t, size_t> length_histogram;
+  /// span bucket (seconds, floor to `span_bucket`) -> trajectory count.
+  std::map<Timestamp, size_t> span_histogram;
+  Timestamp span_bucket = 60;
+
+  /// Suggested bounds covering the given quantile of the *valid*
+  /// trajectories (e.g. 0.99): the smallest θ/η that keep that share of
+  /// observed valid trajectories repertoire intact.
+  size_t suggested_theta = 0;
+  Timestamp suggested_eta = 0;
+};
+
+/// Computes stats over `set` w.r.t. `graph`. `quantile` controls the
+/// suggested θ/η (fraction of trajectories the bounds must cover).
+TrajectorySetStats ComputeStats(const TrajectorySet& set,
+                                const TransitionGraph& graph,
+                                double quantile = 0.99,
+                                Timestamp span_bucket = 60);
+
+/// Multi-line human-readable rendering.
+std::string DescribeStats(const TrajectorySetStats& stats);
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_TRAJ_STATS_H_

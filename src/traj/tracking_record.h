@@ -1,0 +1,36 @@
+#ifndef IDREPAIR_TRAJ_TRACKING_RECORD_H_
+#define IDREPAIR_TRAJ_TRACKING_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+
+#include "graph/types.h"
+
+namespace idrepair {
+
+/// Capture timestamp, in seconds (any epoch; only differences matter).
+using Timestamp = int64_t;
+
+/// A tracking record (id, loc, ts) — Definition 2.3. `id` is the *observed*
+/// entity identifier, which may be erroneous; location and timestamp are
+/// assumed correct (fixed devices, synchronized clocks).
+struct TrackingRecord {
+  std::string id;
+  LocationId loc = kInvalidLocation;
+  Timestamp ts = 0;
+
+  friend bool operator==(const TrackingRecord& a,
+                         const TrackingRecord& b) = default;
+};
+
+/// Chronological-then-deterministic record ordering used everywhere a stable
+/// total order is required (grouping, merging).
+inline bool RecordChronoLess(const TrackingRecord& a,
+                             const TrackingRecord& b) {
+  return std::tie(a.ts, a.loc, a.id) < std::tie(b.ts, b.loc, b.id);
+}
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_TRAJ_TRACKING_RECORD_H_

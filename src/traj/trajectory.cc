@@ -1,0 +1,43 @@
+#include "traj/trajectory.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace idrepair {
+
+Trajectory::Trajectory(std::string id, std::vector<TrajectoryPoint> points)
+    : id_(std::move(id)), points_(std::move(points)) {
+  std::sort(points_.begin(), points_.end(),
+            [](const TrajectoryPoint& a, const TrajectoryPoint& b) {
+              return std::tie(a.ts, a.loc) < std::tie(b.ts, b.loc);
+            });
+}
+
+std::vector<LocationId> Trajectory::LocationSequence() const {
+  std::vector<LocationId> seq;
+  seq.reserve(points_.size());
+  for (const auto& p : points_) seq.push_back(p.loc);
+  return seq;
+}
+
+bool Trajectory::IsValid(const TransitionGraph& graph) const {
+  if (empty()) return false;
+  for (size_t i = 0; i + 1 < points_.size(); ++i) {
+    if (points_[i].ts >= points_[i + 1].ts) return false;
+  }
+  auto seq = LocationSequence();
+  return graph.IsValidPath(seq);
+}
+
+std::string Trajectory::ToString(const TransitionGraph& graph) const {
+  std::string out = id_;
+  out += "<";
+  for (size_t i = 0; i < points_.size(); ++i) {
+    if (i > 0) out += " -> ";
+    out += graph.LocationName(points_[i].loc);
+  }
+  out += ">";
+  return out;
+}
+
+}  // namespace idrepair

@@ -1,0 +1,75 @@
+#ifndef IDREPAIR_TRAJ_TRAJECTORY_H_
+#define IDREPAIR_TRAJ_TRAJECTORY_H_
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "graph/transition_graph.h"
+#include "graph/types.h"
+#include "traj/tracking_record.h"
+
+namespace idrepair {
+
+/// One spatio-temporal sample of a trajectory (the ID is stored once on the
+/// owning Trajectory).
+struct TrajectoryPoint {
+  LocationId loc = kInvalidLocation;
+  Timestamp ts = 0;
+
+  friend bool operator==(const TrajectoryPoint& a,
+                         const TrajectoryPoint& b) = default;
+};
+
+/// A trajectory: the chronologically ordered tracking records sharing one
+/// observed ID (Definition 2.4).
+class Trajectory {
+ public:
+  Trajectory() = default;
+
+  /// Builds a trajectory from points, sorting them chronologically
+  /// (ties broken by location for determinism).
+  Trajectory(std::string id, std::vector<TrajectoryPoint> points);
+
+  const std::string& id() const { return id_; }
+
+  /// Number of tracking records, written |T| in the paper.
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  const TrajectoryPoint& point(size_t i) const { return points_[i]; }
+  const std::vector<TrajectoryPoint>& points() const { return points_; }
+
+  /// Timestamp of the earliest record (Definition 5.1). Requires non-empty.
+  Timestamp start_time() const {
+    assert(!empty());
+    return points_.front().ts;
+  }
+  /// Timestamp of the latest record (Definition 5.1). Requires non-empty.
+  Timestamp end_time() const {
+    assert(!empty());
+    return points_.back().ts;
+  }
+  /// end_time() - start_time().
+  Timestamp TimeSpan() const { return end_time() - start_time(); }
+
+  /// The location sequence of the trajectory.
+  std::vector<LocationId> LocationSequence() const;
+
+  /// True iff the location sequence is a valid path w.r.t. `graph`
+  /// (a VT, Definition 2.4) and timestamps are strictly increasing.
+  bool IsValid(const TransitionGraph& graph) const;
+
+  /// "id<A -> B -> C>" rendering used in the paper's tables.
+  std::string ToString(const TransitionGraph& graph) const;
+
+  friend bool operator==(const Trajectory& a, const Trajectory& b) = default;
+
+ private:
+  std::string id_;
+  std::vector<TrajectoryPoint> points_;
+};
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_TRAJ_TRAJECTORY_H_

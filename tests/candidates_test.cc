@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "graph/generators.h"
+#include "repair/candidates.h"
+#include "test_util.h"
+
+namespace idrepair {
+namespace {
+
+using testutil::MakeTable2Trajectories;
+using testutil::RunningExampleOptions;
+
+class CandidatesFixture : public ::testing::Test {
+ protected:
+  CandidatesFixture()
+      : graph_(MakePaperExampleGraph()),
+        set_(MakeTable2Trajectories()),
+        options_(RunningExampleOptions()),
+        pred_(graph_, options_.theta, options_.eta) {}
+
+  std::vector<CandidateRepair> Generate() {
+    TrajectoryGraph gm(set_, pred_, options_);
+    std::vector<bool> is_valid(set_.size());
+    for (TrajIndex i = 0; i < set_.size(); ++i) {
+      is_valid[i] = set_.at(i).IsValid(graph_);
+    }
+    auto candidates = GenerateCandidates(set_, gm, pred_, options_,
+                                         similarity_, is_valid, &stats_);
+    ComputeEffectiveness(candidates, options_, set_.size());
+    // Deterministic order for assertions.
+    std::sort(candidates.begin(), candidates.end(),
+              [](const CandidateRepair& a, const CandidateRepair& b) {
+                return a.members < b.members;
+              });
+    return candidates;
+  }
+
+  TransitionGraph graph_;
+  TrajectorySet set_;
+  RepairOptions options_;
+  PredicateEvaluator pred_;
+  NormalizedEditSimilarity similarity_;
+  GenerationStats stats_;
+};
+
+// ----------------------------------------------------------- target IDs
+
+TEST_F(CandidatesFixture, AssignTargetIdMatchesExample34) {
+  // {T1, T2} -> GL21348 (trajectory 0); {T2, T3} -> GL83248 (trajectory 2).
+  EXPECT_EQ(AssignTargetId(set_, {0, 1}, similarity_), 0u);
+  EXPECT_EQ(AssignTargetId(set_, {1, 2}, similarity_), 2u);
+  EXPECT_EQ(AssignTargetId(set_, {0}, similarity_), 0u);
+}
+
+TEST_F(CandidatesFixture, AssignTargetIdPrefersLongerTrajectories) {
+  // A long trajectory with a dissimilar ID still wins Eq. (5) through the
+  // |Ti|/|Tj| weights.
+  std::vector<TrackingRecord> records = {
+      {"aaaaaaa", 0, 0}, {"aaaaaaa", 1, 100}, {"aaaaaaa", 3, 200},
+      {"aaazzzz", 4, 300}};
+  TrajectorySet set = TrajectorySet::FromRecords(records);
+  TrajIndex target = AssignTargetId(set, {0, 1}, similarity_);
+  EXPECT_EQ(set.at(target).id(), "aaaaaaa");
+}
+
+TEST_F(CandidatesFixture, AssignTargetIdTieBreaksToEarlierMember) {
+  std::vector<TrackingRecord> records = {{"same1", 0, 0}, {"same2", 1, 100}};
+  TrajectorySet set = TrajectorySet::FromRecords(records);
+  // Perfect symmetry: equal lengths, equal mutual similarity.
+  EXPECT_EQ(AssignTargetId(set, {0, 1}, similarity_), 0u);
+}
+
+// ----------------------------------------------------------- generation
+
+TEST_F(CandidatesFixture, GeneratesExactlyTheExample34Repairs) {
+  auto candidates = Generate();
+  // R1 = ({T1}, GL21348) has no invalid member and is dropped; R2 and R3
+  // remain.
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_EQ(candidates[0].members, (std::vector<TrajIndex>{0, 1}));
+  EXPECT_EQ(candidates[0].target_id, "GL21348");
+  EXPECT_EQ(candidates[0].invalid_members, (std::vector<TrajIndex>{1}));
+  EXPECT_EQ(candidates[1].members, (std::vector<TrajIndex>{1, 2}));
+  EXPECT_EQ(candidates[1].target_id, "GL83248");
+  EXPECT_EQ(candidates[1].invalid_members, (std::vector<TrajIndex>{1, 2}));
+}
+
+TEST_F(CandidatesFixture, SimilarityMatchesEquationOne) {
+  auto candidates = Generate();
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_NEAR(candidates[0].similarity, 1.0 - 4.0 / 7.0, 1e-9);  // 0.428
+  EXPECT_NEAR(candidates[1].similarity, 1.0 - 2.0 / 7.0, 1e-9);  // 0.714
+}
+
+TEST_F(CandidatesFixture, EffectivenessWithDefaultEquationThree) {
+  auto candidates = Generate();
+  ASSERT_EQ(candidates.size(), 2u);
+  // R2: |ivt| = 1 so the potency term vanishes; ω = sim.
+  EXPECT_NEAR(candidates[0].effectiveness, 0.4286, 1e-3);
+  // R3: d(T2)=2, d(T3)=1, min-rarity=1, base=2: ω = 0.714 + 0.5·log2(2).
+  EXPECT_EQ(candidates[1].rarity, 1u);
+  EXPECT_NEAR(candidates[1].effectiveness, 0.714 + 0.5, 1e-3);
+}
+
+TEST_F(CandidatesFixture, PaperWorkedExampleValueNeedsBaseOffsetTwo) {
+  // Figure 4(b) reports ω(R3) = 1.029, reproducible with log base ra+2
+  // (see DESIGN.md §3).
+  options_.rarity_base_offset = 2;
+  auto candidates = Generate();
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_NEAR(candidates[0].effectiveness, 0.428, 1e-3);
+  EXPECT_NEAR(candidates[1].effectiveness, 1.029, 1e-3);
+}
+
+TEST_F(CandidatesFixture, MaxRarityAggregationUsesLargestDegree) {
+  options_.rarity_aggregation = RarityAggregation::kMax;
+  auto candidates = Generate();
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_EQ(candidates[1].rarity, 2u);  // max(d(T2)=2, d(T3)=1)
+  EXPECT_NEAR(candidates[1].effectiveness,
+              0.714 + 0.5 * std::log(2.0) / std::log(3.0), 1e-3);
+}
+
+TEST_F(CandidatesFixture, GenerationStatsAreConsistent) {
+  auto candidates = Generate();
+  EXPECT_EQ(stats_.joinable_subsets, 3u);  // {T1}, {T1,T2}, {T2,T3}
+  EXPECT_EQ(candidates.size(), 2u);        // minus the |ivt|=0 repair
+  EXPECT_GE(stats_.jnb_checks, stats_.joinable_subsets);
+}
+
+TEST_F(CandidatesFixture, LambdaScalesThePotencyTerm) {
+  options_.lambda = 1.0;
+  auto candidates = Generate();
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_NEAR(candidates[1].effectiveness, 0.714 + 1.0, 1e-3);
+}
+
+TEST_F(CandidatesFixture, TargetIdIsAlwaysAMemberId) {
+  auto candidates = Generate();
+  for (const auto& c : candidates) {
+    bool found = false;
+    for (TrajIndex m : c.members) {
+      found = found || set_.at(m).id() == c.target_id;
+    }
+    EXPECT_TRUE(found) << c.target_id;
+  }
+}
+
+TEST_F(CandidatesFixture, RarityIsMinCoverDegreeOfInvalidMembers) {
+  auto candidates = Generate();
+  // Recompute degrees by hand.
+  std::vector<uint32_t> degree(set_.size(), 0);
+  for (const auto& c : candidates) {
+    for (TrajIndex t : c.invalid_members) ++degree[t];
+  }
+  for (const auto& c : candidates) {
+    uint32_t expected = UINT32_MAX;
+    for (TrajIndex t : c.invalid_members) {
+      expected = std::min(expected, degree[t]);
+    }
+    EXPECT_EQ(c.rarity, expected);
+  }
+}
+
+}  // namespace
+}  // namespace idrepair

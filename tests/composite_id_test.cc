@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "sim/composite_id.h"
+
+namespace idrepair {
+namespace {
+
+TEST(CompositeIdTest, EncodeDecodeRoundTrip) {
+  auto id = EncodeCompositeId({"evergreen", "green", "cargo"});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, "evergreen|green|cargo");
+  EXPECT_EQ(DecodeCompositeId(*id),
+            (std::vector<std::string>{"evergreen", "green", "cargo"}));
+}
+
+TEST(CompositeIdTest, EncodeRejectsSeparatorInField) {
+  auto id = EncodeCompositeId({"ever|green", "x"});
+  EXPECT_FALSE(id.ok());
+  EXPECT_EQ(id.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CompositeIdTest, EncodeRejectsEmptyFieldList) {
+  EXPECT_FALSE(EncodeCompositeId({}).ok());
+}
+
+TEST(CompositeIdTest, EmptyFieldsSurviveRoundTrip) {
+  auto id = EncodeCompositeId({"", "red", ""});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(DecodeCompositeId(*id),
+            (std::vector<std::string>{"", "red", ""}));
+}
+
+TEST(CompositeIdSimilarityTest, CreateValidatesWeights) {
+  EXPECT_FALSE(CompositeIdSimilarity::Create({}).ok());
+  EXPECT_FALSE(CompositeIdSimilarity::Create({0.0, 0.0}).ok());
+  EXPECT_FALSE(CompositeIdSimilarity::Create({1.0, -0.5}).ok());
+  EXPECT_TRUE(CompositeIdSimilarity::Create({2.0, 1.0}).ok());
+}
+
+TEST(CompositeIdSimilarityTest, IdenticalIdsScoreOne) {
+  auto sim = CompositeIdSimilarity::Create({1.0, 1.0, 1.0});
+  ASSERT_TRUE(sim.ok());
+  EXPECT_DOUBLE_EQ(sim->Similarity("a|b|c", "a|b|c"), 1.0);
+}
+
+TEST(CompositeIdSimilarityTest, WeightsScaleFieldContributions) {
+  // Two fields, equal weights: half credit when one field matches exactly
+  // and the other is disjoint.
+  auto sim = CompositeIdSimilarity::Create({1.0, 1.0});
+  ASSERT_TRUE(sim.ok());
+  EXPECT_NEAR(sim->Similarity("abc|xxx", "abc|yyy"), 0.5, 1e-12);
+  // Weight the first field 3:1 — the match now dominates.
+  auto skewed = CompositeIdSimilarity::Create({3.0, 1.0});
+  ASSERT_TRUE(skewed.ok());
+  EXPECT_NEAR(skewed->Similarity("abc|xxx", "abc|yyy"), 0.75, 1e-12);
+}
+
+TEST(CompositeIdSimilarityTest, CamouflagedNameStillScoresHighOverall) {
+  // §2.2.1: a faked name with stable color/type keeps the composite ID
+  // similar. Name weight 1, attribute weights 1 each.
+  auto sim = CompositeIdSimilarity::Create({1.0, 1.0, 1.0});
+  ASSERT_TRUE(sim.ok());
+  double camouflaged =
+      sim->Similarity("evergreen|green|cargo", "nighthawk|green|cargo");
+  double different_ship =
+      sim->Similarity("evergreen|green|cargo", "nighthawk|red|tanker");
+  EXPECT_GT(camouflaged, 0.6);
+  EXPECT_GT(camouflaged, different_ship);
+}
+
+TEST(CompositeIdSimilarityTest, FallsBackOnFieldCountMismatch) {
+  auto sim = CompositeIdSimilarity::Create({1.0, 1.0});
+  ASSERT_TRUE(sim.ok());
+  // Plain IDs (one field) against the 2-field schema: whole-string edit
+  // similarity fallback keeps comparisons meaningful.
+  EXPECT_DOUBLE_EQ(sim->Similarity("abcd", "abcd"), 1.0);
+  EXPECT_GT(sim->Similarity("abcd", "abce"), 0.5);
+}
+
+TEST(CompositeIdSimilarityTest, CustomFieldMetricIsUsed) {
+  JaroWinklerSimilarity jw;
+  auto sim = CompositeIdSimilarity::Create({1.0}, &jw);
+  ASSERT_TRUE(sim.ok());
+  NormalizedEditSimilarity edit;
+  // Values must match the wrapped metric, not the default edit metric.
+  EXPECT_DOUBLE_EQ(sim->Similarity("martha", "marhta"),
+                   jw.Similarity("martha", "marhta"));
+  EXPECT_NE(sim->Similarity("martha", "marhta"),
+            edit.Similarity("martha", "marhta"));
+}
+
+TEST(CompositeIdSimilarityTest, SymmetricAndBounded) {
+  auto sim = CompositeIdSimilarity::Create({2.0, 1.0});
+  ASSERT_TRUE(sim.ok());
+  const char* ids[] = {"abc|red", "abd|red", "zzz|blue", "abc|blu"};
+  for (const char* a : ids) {
+    for (const char* b : ids) {
+      double s1 = sim->Similarity(a, b);
+      double s2 = sim->Similarity(b, a);
+      EXPECT_DOUBLE_EQ(s1, s2);
+      EXPECT_GE(s1, 0.0);
+      EXPECT_LE(s1, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace idrepair

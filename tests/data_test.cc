@@ -1,0 +1,60 @@
+// Golden-file test: the shipped sample data (data/) must load and repair
+// to the paper's documented outcome, guarding the CLI workflow in
+// data/README.md.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "graph/serialization.h"
+#include "repair/repairer.h"
+#include "traj/csv.h"
+
+namespace idrepair {
+namespace {
+
+std::string DataPath(const std::string& name) {
+  return std::string(IDREPAIR_SOURCE_DIR) + "/data/" + name;
+}
+
+TEST(SampleDataTest, GraphFileMatchesFigure1b) {
+  auto graph = ReadTransitionGraphFile(DataPath("paper_example_graph.txt"));
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  EXPECT_EQ(graph->num_locations(), 5u);
+  EXPECT_EQ(graph->num_edges(), 5u);
+  EXPECT_EQ(graph->entrances().size(), 2u);
+  EXPECT_EQ(graph->exits().size(), 1u);
+  EXPECT_TRUE(graph->HasEdge(*graph->FindLocation("D"),
+                             *graph->FindLocation("E")));
+}
+
+TEST(SampleDataTest, RecordsFileMatchesTable1) {
+  auto graph = ReadTransitionGraphFile(DataPath("paper_example_graph.txt"));
+  ASSERT_TRUE(graph.ok());
+  auto records =
+      ReadRecordsCsvFile(DataPath("paper_example_records.csv"), *graph);
+  ASSERT_TRUE(records.ok()) << records.status();
+  EXPECT_EQ(records->size(), 7u);
+  EXPECT_EQ((*records)[0].id, "GL21348");
+  EXPECT_EQ((*records)[0].ts, 29350);  // 08:09:10
+}
+
+TEST(SampleDataTest, CliWorkflowRepairsTheExample) {
+  auto graph = ReadTransitionGraphFile(DataPath("paper_example_graph.txt"));
+  ASSERT_TRUE(graph.ok());
+  auto records =
+      ReadRecordsCsvFile(DataPath("paper_example_records.csv"), *graph);
+  ASSERT_TRUE(records.ok());
+  TrajectorySet set = TrajectorySet::FromRecords(*records);
+  RepairOptions options;  // the flags documented in data/README.md
+  options.theta = 5;
+  options.eta = 1200;
+  IdRepairer repairer(*graph, options);
+  auto result = repairer.Repair(set);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rewrites.size(), 1u);
+  EXPECT_EQ(result->rewrites.begin()->second, "GL83248");
+}
+
+}  // namespace
+}  // namespace idrepair

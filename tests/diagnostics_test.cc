@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "eval/diagnostics.h"
+#include "eval/metrics.h"
+#include "gen/real_like.h"
+#include "gen/synthetic.h"
+#include "graph/generators.h"
+#include "repair/repairer.h"
+
+namespace idrepair {
+namespace {
+
+RepairOptions RealOptions() {
+  RepairOptions o;
+  o.theta = 4;
+  o.eta = 600;
+  return o;
+}
+
+TEST(DiagnosticsTest, CleanRunHasNothingToExplain) {
+  TransitionGraph graph = MakeRealLikeGraph();
+  SyntheticConfig config;
+  config.num_trajectories = 80;
+  config.max_path_len = 4;
+  config.record_error_rate = 0.0;
+  auto ds = GenerateSyntheticDataset(graph, config);
+  ASSERT_TRUE(ds.ok());
+  TrajectorySet set = ds->BuildObservedTrajectories();
+  IdRepairer repairer(graph, RealOptions());
+  auto result = repairer.Repair(set);
+  ASSERT_TRUE(result.ok());
+  auto diag = DiagnoseRepair(*ds, set, *result, RealOptions());
+  EXPECT_EQ(diag.total_erroneous(), 0u);
+}
+
+TEST(DiagnosticsTest, AccountsForEveryErroneousTrajectory) {
+  auto ds = MakeRealLikeDataset();
+  ASSERT_TRUE(ds.ok());
+  TrajectorySet set = ds->BuildObservedTrajectories();
+  IdRepairer repairer(ds->graph, RealOptions());
+  auto result = repairer.Repair(set);
+  ASSERT_TRUE(result.ok());
+  auto diag = DiagnoseRepair(*ds, set, *result, RealOptions());
+
+  auto truth = ComputeFragmentTruth(*ds, set);
+  auto metrics = EvaluateRewrites(truth, set, result->rewrites);
+  EXPECT_EQ(diag.total_erroneous(), metrics.num_erroneous);
+  // The histogram partitions the erroneous set.
+  size_t histogram_total = 0;
+  for (size_t c : diag.counts) histogram_total += c;
+  EXPECT_EQ(histogram_total, diag.total_erroneous());
+  // "fixed" must agree with the metric's correct count restricted to
+  // erroneous trajectories (every correct rewrite targets one).
+  EXPECT_EQ(diag.counts[static_cast<size_t>(FailureReason::kFixed)],
+            metrics.num_correct);
+}
+
+TEST(DiagnosticsTest, FlagsEtaViolations) {
+  // An entity whose fragments span more than η can never be reassembled.
+  Dataset ds;
+  ds.graph = MakeRealLikeGraph();
+  ds.records = {
+      {"slowcar", "slowcar", 0, 0},     // A
+      {"slowcar", "slowcar", 1, 300},   // B
+      {"slowcar", "xlowcar", 3, 5000},  // D, corrupted, far beyond η
+  };
+  TrajectorySet set = ds.BuildObservedTrajectories();
+  IdRepairer repairer(ds.graph, RealOptions());
+  auto result = repairer.Repair(set);
+  ASSERT_TRUE(result.ok());
+  auto diag = DiagnoseRepair(ds, set, *result, RealOptions());
+  ASSERT_EQ(diag.total_erroneous(), 1u);
+  EXPECT_EQ(diag.reasons[0], FailureReason::kEntitySpanExceedsEta);
+}
+
+TEST(DiagnosticsTest, FlagsThetaViolations) {
+  // Five records can never fit θ=4.
+  Dataset ds;
+  ds.graph = MakePaperExampleGraph();
+  ds.records = {
+      {"e", "e", 0, 0},   {"e", "e", 1, 60},  {"e", "x", 2, 120},
+      {"e", "e", 3, 180}, {"e", "e", 4, 240},
+  };
+  RepairOptions options;
+  options.theta = 4;
+  options.eta = 600;
+  TrajectorySet set = ds.BuildObservedTrajectories();
+  IdRepairer repairer(ds.graph, options);
+  auto result = repairer.Repair(set);
+  ASSERT_TRUE(result.ok());
+  auto diag = DiagnoseRepair(ds, set, *result, options);
+  ASSERT_EQ(diag.total_erroneous(), 1u);
+  EXPECT_EQ(diag.reasons[0], FailureReason::kEntityLengthExceedsTheta);
+}
+
+TEST(DiagnosticsTest, FlagsZetaViolations) {
+  // Entity fractured into 3 fragments; ζ=2 forbids reassembly.
+  Dataset ds;
+  ds.graph = MakePaperExampleGraph();
+  ds.records = {
+      {"e", "aaa", 0, 0},    // A corrupted
+      {"e", "e", 1, 60},     // B
+      {"e", "bbb", 3, 120},  // D corrupted
+      {"e", "e", 4, 180},    // E -- wait, same id as B fragment
+  };
+  RepairOptions options;
+  options.theta = 5;
+  options.eta = 600;
+  options.zeta = 2;
+  TrajectorySet set = ds.BuildObservedTrajectories();
+  IdRepairer repairer(ds.graph, options);
+  auto result = repairer.Repair(set);
+  ASSERT_TRUE(result.ok());
+  auto diag = DiagnoseRepair(ds, set, *result, options);
+  ASSERT_EQ(diag.total_erroneous(), 2u);
+  for (auto reason : diag.reasons) {
+    EXPECT_EQ(reason, FailureReason::kEntityFragmentsExceedZeta);
+  }
+}
+
+TEST(DiagnosticsTest, FlagsWrongTargetTies) {
+  // Entity C->D with the C record corrupted: two single-record fragments of
+  // equal length tie in Eq. (5) and the earlier (corrupted) ID wins — the
+  // systematic failure the diagnostics expose (DESIGN.md).
+  Dataset ds;
+  ds.graph = MakeRealLikeGraph();
+  ds.records = {
+      {"truecar", "zruecar", 2, 0},    // C corrupted
+      {"truecar", "truecar", 3, 60},   // D
+  };
+  TrajectorySet set = ds.BuildObservedTrajectories();
+  IdRepairer repairer(ds.graph, RealOptions());
+  auto result = repairer.Repair(set);
+  ASSERT_TRUE(result.ok());
+  auto diag = DiagnoseRepair(ds, set, *result, RealOptions());
+  ASSERT_EQ(diag.total_erroneous(), 1u);
+  EXPECT_EQ(diag.reasons[0], FailureReason::kWrongTargetChosen);
+}
+
+TEST(DiagnosticsTest, DescribeListsNonZeroBuckets) {
+  auto ds = MakeRealLikeDataset();
+  ASSERT_TRUE(ds.ok());
+  TrajectorySet set = ds->BuildObservedTrajectories();
+  IdRepairer repairer(ds->graph, RealOptions());
+  auto result = repairer.Repair(set);
+  ASSERT_TRUE(result.ok());
+  auto diag = DiagnoseRepair(*ds, set, *result, RealOptions());
+  std::string text = diag.Describe();
+  EXPECT_NE(text.find("erroneous trajectories:"), std::string::npos);
+  EXPECT_NE(text.find("fixed:"), std::string::npos);
+}
+
+TEST(FailureReasonTest, AllReasonsHaveNames) {
+  for (int i = 0; i <= 6; ++i) {
+    EXPECT_STRNE(FailureReasonToString(static_cast<FailureReason>(i)),
+                 "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace idrepair

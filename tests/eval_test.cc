@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "graph/generators.h"
+
+namespace idrepair {
+namespace {
+
+Dataset MakeLabeledDataset() {
+  // Entity "aaaa" broken into fragments "aaaa" and "axaa"; entity "bbbb"
+  // intact.
+  Dataset ds;
+  ds.graph = MakeRealLikeGraph();
+  ds.records = {
+      {"aaaa", "aaaa", 0, 10},
+      {"aaaa", "axaa", 1, 20},
+      {"aaaa", "aaaa", 3, 30},
+      {"bbbb", "bbbb", 2, 40},
+      {"bbbb", "bbbb", 3, 50},
+  };
+  return ds;
+}
+
+TEST(FragmentTruthTest, MapsFragmentsToMajorityEntity) {
+  Dataset ds = MakeLabeledDataset();
+  TrajectorySet observed = ds.BuildObservedTrajectories();
+  auto truth = ComputeFragmentTruth(ds, observed);
+  auto idx = observed.BuildIdIndex();
+  EXPECT_EQ(truth[idx.at("aaaa")], "aaaa");
+  EXPECT_EQ(truth[idx.at("axaa")], "aaaa");
+  EXPECT_EQ(truth[idx.at("bbbb")], "bbbb");
+}
+
+TEST(FragmentTruthTest, MajorityVoteOnCollidingObservedIds) {
+  Dataset ds;
+  ds.graph = MakeRealLikeGraph();
+  // Observed id "xxxx" covers two records of entity "e1" and one of "e2".
+  ds.records = {
+      {"e1", "xxxx", 0, 10},
+      {"e1", "xxxx", 1, 20},
+      {"e2", "xxxx", 2, 30},
+  };
+  TrajectorySet observed = ds.BuildObservedTrajectories();
+  auto truth = ComputeFragmentTruth(ds, observed);
+  EXPECT_EQ(truth[0], "e1");
+}
+
+TEST(EvaluateRewritesTest, PerfectRepair) {
+  Dataset ds = MakeLabeledDataset();
+  TrajectorySet observed = ds.BuildObservedTrajectories();
+  auto truth = ComputeFragmentTruth(ds, observed);
+  auto idx = observed.BuildIdIndex();
+  std::unordered_map<TrajIndex, std::string> rewrites = {
+      {idx.at("axaa"), "aaaa"}};
+  auto m = EvaluateRewrites(truth, observed, rewrites);
+  EXPECT_EQ(m.num_erroneous, 1u);
+  EXPECT_EQ(m.num_rewritten, 1u);
+  EXPECT_EQ(m.num_correct, 1u);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f_measure, 1.0);
+}
+
+TEST(EvaluateRewritesTest, WrongRewriteCostsPrecision) {
+  Dataset ds = MakeLabeledDataset();
+  TrajectorySet observed = ds.BuildObservedTrajectories();
+  auto truth = ComputeFragmentTruth(ds, observed);
+  auto idx = observed.BuildIdIndex();
+  std::unordered_map<TrajIndex, std::string> rewrites = {
+      {idx.at("axaa"), "aaaa"},   // correct
+      {idx.at("bbbb"), "zzzz"}};  // spurious
+  auto m = EvaluateRewrites(truth, observed, rewrites);
+  EXPECT_EQ(m.num_rewritten, 2u);
+  EXPECT_EQ(m.num_correct, 1u);
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_NEAR(m.f_measure, 2.0 * 0.5 / 1.5, 1e-12);
+}
+
+TEST(EvaluateRewritesTest, MissedRepairCostsRecall) {
+  Dataset ds = MakeLabeledDataset();
+  TrajectorySet observed = ds.BuildObservedTrajectories();
+  auto truth = ComputeFragmentTruth(ds, observed);
+  auto m = EvaluateRewrites(truth, observed, {});
+  EXPECT_EQ(m.num_erroneous, 1u);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);  // nothing rewritten
+  EXPECT_DOUBLE_EQ(m.f_measure, 0.0);
+}
+
+TEST(EvaluateRewritesTest, CleanDatasetScoresPerfect) {
+  Dataset ds = MakeLabeledDataset();
+  for (auto& r : ds.records) r.observed_id = r.true_id;
+  TrajectorySet observed = ds.BuildObservedTrajectories();
+  auto truth = ComputeFragmentTruth(ds, observed);
+  auto m = EvaluateRewrites(truth, observed, {});
+  EXPECT_EQ(m.num_erroneous, 0u);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+}
+
+TEST(TrajectoryAccuracyTest, CountsCorrectIds) {
+  Dataset ds = MakeLabeledDataset();
+  TrajectorySet observed = ds.BuildObservedTrajectories();
+  auto truth = ComputeFragmentTruth(ds, observed);
+  // 2 of 3 observed trajectories carry their true ID.
+  EXPECT_NEAR(TrajectoryAccuracy(truth, observed, {}), 2.0 / 3.0, 1e-12);
+  auto idx = observed.BuildIdIndex();
+  std::unordered_map<TrajIndex, std::string> rewrites = {
+      {idx.at("axaa"), "aaaa"}};
+  EXPECT_DOUBLE_EQ(TrajectoryAccuracy(truth, observed, rewrites), 1.0);
+}
+
+TEST(TrajectoryAccuracyTest, EmptySetIsPerfect) {
+  EXPECT_DOUBLE_EQ(TrajectoryAccuracy({}, TrajectorySet{}, {}), 1.0);
+}
+
+}  // namespace
+}  // namespace idrepair

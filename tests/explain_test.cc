@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "repair/explain.h"
+#include "test_util.h"
+
+namespace idrepair {
+namespace {
+
+using testutil::MakeTable2Trajectories;
+using testutil::RunningExampleOptions;
+
+class ExplainFixture : public ::testing::Test {
+ protected:
+  ExplainFixture()
+      : graph_(MakePaperExampleGraph()),
+        set_(MakeTable2Trajectories()),
+        options_(RunningExampleOptions()) {
+    IdRepairer repairer(graph_, options_);
+    auto result = repairer.Repair(set_);
+    EXPECT_TRUE(result.ok());
+    result_ = std::move(*result);
+  }
+
+  TransitionGraph graph_;
+  TrajectorySet set_;
+  RepairOptions options_;
+  RepairResult result_;
+};
+
+TEST_F(ExplainFixture, CandidateExplanationShowsOmegaParts) {
+  ASSERT_FALSE(result_.candidates.empty());
+  const CandidateRepair* r3 = nullptr;
+  for (const auto& c : result_.candidates) {
+    if (c.target_id == "GL83248") r3 = &c;
+  }
+  ASSERT_NE(r3, nullptr);
+  std::string text = ExplainCandidate(set_, graph_, *r3, options_);
+  EXPECT_NE(text.find("GL83248"), std::string::npos);
+  EXPECT_NE(text.find("GL03245<C>"), std::string::npos);
+  EXPECT_NE(text.find("sim=0.714"), std::string::npos);
+  EXPECT_NE(text.find("|ivt|=2"), std::string::npos);
+  EXPECT_NE(text.find("omega="), std::string::npos);
+}
+
+TEST_F(ExplainFixture, RepairExplanationListsSelectionAndJoin) {
+  std::string text = ExplainRepair(set_, graph_, result_, options_);
+  EXPECT_NE(text.find("selected: 1"), std::string::npos);
+  // The join outcome of the selected repair.
+  EXPECT_NE(text.find("=> GL83248<C -> D -> E>"), std::string::npos);
+  // Phase stats are present.
+  EXPECT_NE(text.find("phases: Gm"), std::string::npos);
+  EXPECT_NE(text.find("cliques"), std::string::npos);
+}
+
+TEST_F(ExplainFixture, MaxRepairsCapsTheListing) {
+  std::string capped = ExplainRepair(set_, graph_, result_, options_, 0);
+  EXPECT_NE(capped.find("=>"), std::string::npos);  // 0 = unlimited
+  // Build a result with several selected repairs by reusing candidates.
+  RepairResult many = result_;
+  many.selected = {0, 0, 0};
+  std::string text = ExplainRepair(set_, graph_, many, options_, 1);
+  EXPECT_NE(text.find("... (2 more)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace idrepair

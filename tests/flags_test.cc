@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+
+namespace idrepair {
+namespace {
+
+Result<FlagParser> ParseArgs(std::vector<const char*> argv,
+                             std::vector<std::string> bools = {}) {
+  return FlagParser::Parse(static_cast<int>(argv.size()), argv.data(),
+                           bools);
+}
+
+TEST(FlagParserTest, EqualsSyntax) {
+  auto p = ParseArgs({"--theta=4", "--name=hello"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->GetString("name"), "hello");
+  EXPECT_EQ(*p->GetInt("theta", 0), 4);
+}
+
+TEST(FlagParserTest, SpaceSyntax) {
+  auto p = ParseArgs({"--theta", "4", "--name", "hello"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->GetString("name"), "hello");
+  EXPECT_EQ(*p->GetInt("theta", 0), 4);
+}
+
+TEST(FlagParserTest, BooleanSwitches) {
+  auto p = ParseArgs({"--verbose", "--out", "x.csv"}, {"verbose"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->GetBool("verbose"));
+  EXPECT_FALSE(p->GetBool("quiet"));
+  EXPECT_EQ(p->GetString("out"), "x.csv");
+}
+
+TEST(FlagParserTest, PositionalArguments) {
+  auto p = ParseArgs({"input.csv", "--k=1", "more"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->positional(),
+            (std::vector<std::string>{"input.csv", "more"}));
+}
+
+TEST(FlagParserTest, MissingValueIsAnError) {
+  auto p = ParseArgs({"--out"});
+  EXPECT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagParserTest, BareDashDashIsAnError) {
+  auto p = ParseArgs({"--"});
+  EXPECT_FALSE(p.ok());
+}
+
+TEST(FlagParserTest, DefaultsApplyWhenAbsent) {
+  auto p = ParseArgs({});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->GetString("name", "dflt"), "dflt");
+  EXPECT_EQ(*p->GetInt("k", 7), 7);
+  EXPECT_DOUBLE_EQ(*p->GetDouble("rate", 0.25), 0.25);
+}
+
+TEST(FlagParserTest, MalformedNumbersAreErrors) {
+  auto p = ParseArgs({"--k=abc", "--rate=1.2.3"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(p->GetInt("k", 0).ok());
+  EXPECT_FALSE(p->GetDouble("rate", 0).ok());
+}
+
+TEST(FlagParserTest, NegativeAndFloatValues) {
+  auto p = ParseArgs({"--k=-12", "--rate=0.5"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(*p->GetInt("k", 0), -12);
+  EXPECT_DOUBLE_EQ(*p->GetDouble("rate", 0), 0.5);
+}
+
+TEST(FlagParserTest, EmptyValueViaEquals) {
+  auto p = ParseArgs({"--name="});
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->Has("name"));
+  EXPECT_EQ(p->GetString("name", "x"), "");
+}
+
+TEST(FlagParserTest, LaterValueWins) {
+  auto p = ParseArgs({"--k=1", "--k=2"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(*p->GetInt("k", 0), 2);
+}
+
+}  // namespace
+}  // namespace idrepair

@@ -1,0 +1,145 @@
+// Independent re-derivations of the paper's formulas (Eq. 1, 3, 5) checked
+// against the production implementation over randomized inputs — the
+// implementations under test share no code with the oracles here.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "gen/synthetic.h"
+#include "graph/generators.h"
+#include "repair/candidates.h"
+#include "repair/repairer.h"
+#include "sim/edit_distance.h"
+
+namespace idrepair {
+namespace {
+
+std::string RandomId(Rng& rng, size_t min_len = 3, size_t max_len = 9) {
+  std::string s(static_cast<size_t>(rng.UniformInt(
+                    static_cast<int64_t>(min_len),
+                    static_cast<int64_t>(max_len))),
+                'a');
+  for (char& c : s) c = static_cast<char>('a' + rng.UniformIndex(4));
+  return s;
+}
+
+// Eq. (1) oracle: 1 - dist / max(len).
+TEST(FormulaFuzzTest, EquationOneMatchesDirectComputation) {
+  NormalizedEditSimilarity sim;
+  Rng rng(301);
+  for (int i = 0; i < 300; ++i) {
+    std::string a = RandomId(rng);
+    std::string b = RandomId(rng);
+    double expected =
+        1.0 - static_cast<double>(EditDistance(a, b)) /
+                  static_cast<double>(std::max(a.size(), b.size()));
+    EXPECT_NEAR(sim.Similarity(a, b), expected, 1e-12);
+  }
+}
+
+// Eq. (5) oracle: brute-force argmax of the length-weighted similarity sum.
+TEST(FormulaFuzzTest, EquationFiveMatchesBruteForce) {
+  NormalizedEditSimilarity sim;
+  Rng rng(303);
+  for (int trial = 0; trial < 100; ++trial) {
+    // Random member trajectories with random lengths and IDs.
+    std::vector<TrackingRecord> records;
+    size_t members = 2 + rng.UniformIndex(3);
+    Timestamp ts = 0;
+    for (size_t m = 0; m < members; ++m) {
+      std::string id = RandomId(rng);
+      size_t len = 1 + rng.UniformIndex(3);
+      for (size_t k = 0; k < len; ++k) {
+        records.push_back(TrackingRecord{
+            id, static_cast<LocationId>(rng.UniformIndex(4)), ts});
+        ts += 1 + static_cast<Timestamp>(rng.UniformIndex(30));
+      }
+    }
+    TrajectorySet set = TrajectorySet::FromRecords(records);
+    std::vector<TrajIndex> all(set.size());
+    for (TrajIndex i = 0; i < set.size(); ++i) all[i] = i;
+
+    // Oracle: direct Eq. (5), first-maximum tie-break.
+    TrajIndex best = 0;
+    double best_score = -1.0;
+    for (TrajIndex i : all) {
+      double score = 0.0;
+      for (TrajIndex j : all) {
+        double ratio = static_cast<double>(set.at(i).size()) /
+                       static_cast<double>(set.at(j).size());
+        double dist = static_cast<double>(
+            EditDistance(set.at(i).id(), set.at(j).id()));
+        double max_len = static_cast<double>(
+            std::max(set.at(i).id().size(), set.at(j).id().size()));
+        score += ratio * (1.0 - dist / max_len);
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    EXPECT_EQ(AssignTargetId(set, all, sim), best) << "trial " << trial;
+  }
+}
+
+// Eq. (3) oracle: recompute rarity and ω from the candidate set by hand.
+TEST(FormulaFuzzTest, EquationThreeMatchesDirectComputation) {
+  TransitionGraph graph = MakeRealLikeGraph();
+  for (uint64_t seed : {401u, 402u, 403u}) {
+    SyntheticConfig config;
+    config.num_trajectories = 80;
+    config.max_path_len = 4;
+    config.seed = seed;
+    auto ds = GenerateSyntheticDataset(graph, config);
+    ASSERT_TRUE(ds.ok());
+    TrajectorySet set = ds->BuildObservedTrajectories();
+    RepairOptions options;
+    options.theta = 4;
+    options.eta = 600;
+    IdRepairer repairer(graph, options);
+    auto result = repairer.Repair(set);
+    ASSERT_TRUE(result.ok());
+
+    // Oracle degree map.
+    std::vector<uint32_t> degree(set.size(), 0);
+    for (const auto& cand : result->candidates) {
+      for (TrajIndex t : cand.invalid_members) ++degree[t];
+    }
+    for (const auto& cand : result->candidates) {
+      uint32_t ra = UINT32_MAX;
+      for (TrajIndex t : cand.invalid_members) {
+        ra = std::min(ra, degree[t]);
+      }
+      double expected =
+          cand.similarity +
+          options.lambda *
+              std::log(static_cast<double>(cand.invalid_members.size())) /
+              std::log(static_cast<double>(ra + options.rarity_base_offset));
+      EXPECT_EQ(cand.rarity, ra);
+      EXPECT_NEAR(cand.effectiveness, expected, 1e-12);
+    }
+  }
+}
+
+// ω is monotone in |ivt| and sim: strictly more invalid members (same
+// rarity) or higher similarity never lowers effectiveness.
+TEST(FormulaFuzzTest, EffectivenessMonotonicity) {
+  RepairOptions options;
+  auto omega = [&](double sim, size_t ivt, uint32_t ra) {
+    return sim + options.lambda * std::log(static_cast<double>(ivt)) /
+                     std::log(static_cast<double>(ra + 1));
+  };
+  for (uint32_t ra = 1; ra <= 50; ++ra) {
+    for (size_t ivt = 1; ivt + 1 <= 8; ++ivt) {
+      EXPECT_LE(omega(0.5, ivt, ra), omega(0.5, ivt + 1, ra));
+      EXPECT_LE(omega(0.5, ivt, ra), omega(0.6, ivt, ra));
+      // Rarer repairs (smaller ra) score at least as high.
+      EXPECT_GE(omega(0.5, ivt, ra), omega(0.5, ivt, ra + 1));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace idrepair

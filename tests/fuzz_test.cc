@@ -1,0 +1,167 @@
+// Randomized robustness tests: throw structurally messy inputs at the whole
+// pipeline and check the invariants that must hold regardless of data —
+// no crashes, record conservation, compatibility, validity of applied
+// joins, and optimization-independence of results.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "gen/synthetic.h"
+#include "graph/generators.h"
+#include "repair/repairer.h"
+
+namespace idrepair {
+namespace {
+
+// Completely unstructured records: random locations, timestamps (with
+// collisions), and short IDs (with collisions). Nothing here resembles a
+// valid trajectory; the pipeline must cope gracefully.
+std::vector<TrackingRecord> RandomChaosRecords(Rng& rng, size_t n,
+                                               size_t num_locations) {
+  std::vector<TrackingRecord> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::string id(1 + rng.UniformIndex(3), 'a');
+    for (char& c : id) c = static_cast<char>('a' + rng.UniformIndex(4));
+    records.push_back(TrackingRecord{
+        std::move(id),
+        static_cast<LocationId>(rng.UniformIndex(num_locations)),
+        static_cast<Timestamp>(rng.UniformIndex(500))});
+  }
+  return records;
+}
+
+class ChaosFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosFuzzTest, PipelineSurvivesUnstructuredInput) {
+  Rng rng(GetParam());
+  TransitionGraph graph = MakePaperExampleGraph();
+  auto records = RandomChaosRecords(rng, 120, graph.num_locations());
+  TrajectorySet set = TrajectorySet::FromRecords(records);
+
+  RepairOptions options;
+  options.theta = 5;
+  options.eta = 300;
+  IdRepairer repairer(graph, options);
+  auto result = repairer.Repair(set);
+  ASSERT_TRUE(result.ok());
+
+  // Conservation.
+  EXPECT_EQ(result->repaired.total_records(), set.total_records());
+  // Compatibility.
+  std::set<TrajIndex> used;
+  for (RepairIndex r : result->selected) {
+    for (TrajIndex m : result->candidates[r].members) {
+      EXPECT_TRUE(used.insert(m).second);
+    }
+  }
+  // Selected joins are valid.
+  auto idx = result->repaired.BuildIdIndex();
+  for (RepairIndex r : result->selected) {
+    const auto& cand = result->candidates[r];
+    auto it = idx.find(cand.target_id);
+    ASSERT_NE(it, idx.end());
+    EXPECT_TRUE(result->repaired.at(it->second).IsValid(graph));
+  }
+}
+
+TEST_P(ChaosFuzzTest, OptimizationsNeverChangeTheAnswer) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  TransitionGraph graph = MakeRealLikeGraph();
+  auto records = RandomChaosRecords(rng, 80, graph.num_locations());
+  TrajectorySet set = TrajectorySet::FromRecords(records);
+
+  RepairOptions options;
+  options.theta = 4;
+  options.eta = 200;
+  std::vector<std::unordered_map<TrajIndex, std::string>> rewrites;
+  for (bool lig : {true, false}) {
+    for (bool mcp : {true, false}) {
+      RepairOptions o = options;
+      o.use_lig = lig;
+      o.use_mcp_pruning = mcp;
+      IdRepairer repairer(graph, o);
+      auto result = repairer.Repair(set);
+      ASSERT_TRUE(result.ok());
+      rewrites.push_back(result->rewrites);
+    }
+  }
+  for (size_t i = 1; i < rewrites.size(); ++i) {
+    EXPECT_EQ(rewrites[i], rewrites[0]) << "config " << i;
+  }
+}
+
+TEST_P(ChaosFuzzTest, SelectorsAlwaysReturnCompatibleSets) {
+  Rng rng(GetParam() ^ 0x5555);
+  TransitionGraph graph = MakeRealLikeGraph();
+  auto records = RandomChaosRecords(rng, 60, graph.num_locations());
+  TrajectorySet set = TrajectorySet::FromRecords(records);
+  RepairOptions options;
+  options.theta = 4;
+  options.eta = 200;
+  for (auto alg : {SelectionAlgorithm::kEmax, SelectionAlgorithm::kDmin,
+                   SelectionAlgorithm::kDmax, SelectionAlgorithm::kExact}) {
+    RepairOptions o = options;
+    o.selection = alg;
+    IdRepairer repairer(graph, o);
+    auto result = repairer.Repair(set);
+    ASSERT_TRUE(result.ok());
+    std::set<TrajIndex> used;
+    for (RepairIndex r : result->selected) {
+      for (TrajIndex m : result->candidates[r].members) {
+        EXPECT_TRUE(used.insert(m).second) << "selector " << (int)alg;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosFuzzTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+// Structured-but-degenerate datasets: extreme parameter corners.
+struct Corner {
+  const char* name;
+  size_t theta;
+  Timestamp eta;
+  size_t zeta;
+};
+
+class CornerTest : public ::testing::TestWithParam<Corner> {};
+
+TEST_P(CornerTest, DegenerateBoundsNeverCrash) {
+  const Corner& corner = GetParam();
+  TransitionGraph graph = MakeRealLikeGraph();
+  SyntheticConfig config;
+  config.num_trajectories = 60;
+  config.max_path_len = 4;
+  config.seed = 77;
+  auto ds = GenerateSyntheticDataset(graph, config);
+  ASSERT_TRUE(ds.ok());
+  TrajectorySet set = ds->BuildObservedTrajectories();
+  RepairOptions options;
+  options.theta = corner.theta;
+  options.eta = corner.eta;
+  options.zeta = corner.zeta;
+  IdRepairer repairer(graph, options);
+  auto result = repairer.Repair(set);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->repaired.total_records(), set.total_records());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corners, CornerTest,
+    ::testing::Values(Corner{"theta1", 1, 600, 4},
+                      Corner{"eta0", 4, 0, 4},
+                      Corner{"zeta1", 4, 600, 1},
+                      Corner{"huge_theta", 100, 600, 4},
+                      Corner{"huge_eta", 4, 1000000, 4},
+                      Corner{"all_tight", 1, 0, 1},
+                      Corner{"wide_open", 16, 100000, 5}),
+    [](const ::testing::TestParamInfo<Corner>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace idrepair

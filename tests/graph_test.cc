@@ -1,0 +1,428 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/paths.h"
+#include "graph/reachability.h"
+#include "graph/transition_graph.h"
+
+namespace idrepair {
+namespace {
+
+// --------------------------------------------------------- TransitionGraph
+
+TEST(TransitionGraphTest, AddLocationAssignsDenseIds) {
+  TransitionGraph g;
+  EXPECT_EQ(g.AddLocation("A"), 0u);
+  EXPECT_EQ(g.AddLocation("B"), 1u);
+  EXPECT_EQ(g.num_locations(), 2u);
+  EXPECT_EQ(g.LocationName(0), "A");
+  EXPECT_EQ(g.LocationName(1), "B");
+}
+
+TEST(TransitionGraphTest, AddLocationIsIdempotentPerName) {
+  TransitionGraph g;
+  LocationId a1 = g.AddLocation("A");
+  LocationId a2 = g.AddLocation("A");
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(g.num_locations(), 1u);
+}
+
+TEST(TransitionGraphTest, FindLocation) {
+  TransitionGraph g;
+  g.AddLocation("X");
+  EXPECT_EQ(g.FindLocation("X"), std::optional<LocationId>(0));
+  EXPECT_EQ(g.FindLocation("Y"), std::nullopt);
+}
+
+TEST(TransitionGraphTest, AddEdgeAndHasEdge) {
+  TransitionGraph g;
+  LocationId a = g.AddLocation("A");
+  LocationId b = g.AddLocation("B");
+  EXPECT_FALSE(g.HasEdge(a, b));
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
+  EXPECT_TRUE(g.HasEdge(a, b));
+  EXPECT_FALSE(g.HasEdge(b, a));  // directed
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(TransitionGraphTest, AddEdgeIsIdempotent) {
+  TransitionGraph g;
+  LocationId a = g.AddLocation("A");
+  LocationId b = g.AddLocation("B");
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.OutNeighbors(a).size(), 1u);
+}
+
+TEST(TransitionGraphTest, AddEdgeRejectsOutOfRangeIds) {
+  TransitionGraph g;
+  g.AddLocation("A");
+  EXPECT_EQ(g.AddEdge(0, 5).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(g.AddEdge(5, 0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TransitionGraphTest, AddEdgeByNameResolvesOrFails) {
+  TransitionGraph g;
+  g.AddLocation("A");
+  g.AddLocation("B");
+  EXPECT_TRUE(g.AddEdge("A", "B").ok());
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_EQ(g.AddEdge("A", "Z").code(), StatusCode::kNotFound);
+}
+
+TEST(TransitionGraphTest, EdgeMatrixSurvivesLaterLocationGrowth) {
+  TransitionGraph g;
+  LocationId a = g.AddLocation("A");
+  LocationId b = g.AddLocation("B");
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
+  LocationId c = g.AddLocation("C");  // grows the dense matrix
+  EXPECT_TRUE(g.HasEdge(a, b));
+  EXPECT_FALSE(g.HasEdge(a, c));
+  ASSERT_TRUE(g.AddEdge(b, c).ok());
+  EXPECT_TRUE(g.HasEdge(b, c));
+}
+
+TEST(TransitionGraphTest, InAndOutNeighbors) {
+  TransitionGraph g = MakePaperExampleGraph();
+  // B has out-neighbors C and D; D has in-neighbors B and C.
+  EXPECT_EQ(g.OutNeighbors(1), (std::vector<LocationId>{2, 3}));
+  EXPECT_EQ(g.InNeighbors(3), (std::vector<LocationId>{1, 2}));
+}
+
+TEST(TransitionGraphTest, EntrancesAndExits) {
+  TransitionGraph g = MakePaperExampleGraph();
+  EXPECT_EQ(g.entrances(), (std::vector<LocationId>{0, 2}));
+  EXPECT_EQ(g.exits(), (std::vector<LocationId>{4}));
+  EXPECT_TRUE(g.IsEntrance(0));
+  EXPECT_TRUE(g.IsEntrance(2));
+  EXPECT_FALSE(g.IsEntrance(1));
+  EXPECT_TRUE(g.IsExit(4));
+  EXPECT_FALSE(g.IsExit(3));
+}
+
+TEST(TransitionGraphTest, MarkEntranceIsIdempotent) {
+  TransitionGraph g;
+  LocationId a = g.AddLocation("A");
+  ASSERT_TRUE(g.MarkEntrance(a).ok());
+  ASSERT_TRUE(g.MarkEntrance(a).ok());
+  EXPECT_EQ(g.entrances().size(), 1u);
+  EXPECT_EQ(g.MarkEntrance(9).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(g.MarkExit(9).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TransitionGraphTest, ValidateRequiresEntranceAndExit) {
+  TransitionGraph g;
+  EXPECT_FALSE(g.Validate().ok());  // empty
+  LocationId a = g.AddLocation("A");
+  EXPECT_FALSE(g.Validate().ok());  // no entrance
+  ASSERT_TRUE(g.MarkEntrance(a).ok());
+  EXPECT_FALSE(g.Validate().ok());  // no exit
+  ASSERT_TRUE(g.MarkExit(a).ok());
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+// Valid paths on the Figure 1(b) graph: A=0, B=1, C=2, D=3, E=4.
+TEST(TransitionGraphTest, IsValidPathAcceptsPaperPaths) {
+  TransitionGraph g = MakePaperExampleGraph();
+  std::vector<LocationId> abde = {0, 1, 3, 4};
+  std::vector<LocationId> abcde = {0, 1, 2, 3, 4};
+  std::vector<LocationId> cde = {2, 3, 4};
+  EXPECT_TRUE(g.IsValidPath(abde));
+  EXPECT_TRUE(g.IsValidPath(abcde));
+  EXPECT_TRUE(g.IsValidPath(cde));
+}
+
+TEST(TransitionGraphTest, IsValidPathRejectsViolations) {
+  TransitionGraph g = MakePaperExampleGraph();
+  std::vector<LocationId> starts_mid = {1, 3, 4};     // B not an entrance
+  std::vector<LocationId> ends_mid = {0, 1, 3};       // D not an exit
+  std::vector<LocationId> skips_edge = {0, 3, 4};     // no A->D edge
+  std::vector<LocationId> single_entrance = {2};      // C entrance, not exit
+  std::vector<LocationId> empty;
+  EXPECT_FALSE(g.IsValidPath(starts_mid));
+  EXPECT_FALSE(g.IsValidPath(ends_mid));
+  EXPECT_FALSE(g.IsValidPath(skips_edge));
+  EXPECT_FALSE(g.IsValidPath(single_entrance));
+  EXPECT_FALSE(g.IsValidPath(empty));
+}
+
+TEST(TransitionGraphTest, IsValidPathPrefix) {
+  TransitionGraph g = MakePaperExampleGraph();
+  std::vector<LocationId> ab = {0, 1};
+  std::vector<LocationId> a = {0};
+  std::vector<LocationId> bd = {1, 3};      // starts mid-graph
+  std::vector<LocationId> ad = {0, 3};      // missing edge
+  std::vector<LocationId> full = {0, 1, 2, 3, 4};
+  EXPECT_TRUE(g.IsValidPathPrefix(ab));
+  EXPECT_TRUE(g.IsValidPathPrefix(a));
+  EXPECT_TRUE(g.IsValidPathPrefix(full));
+  EXPECT_FALSE(g.IsValidPathPrefix(bd));
+  EXPECT_FALSE(g.IsValidPathPrefix(ad));
+}
+
+TEST(TransitionGraphTest, PrefixRequiresExitStillReachable) {
+  TransitionGraph g;
+  LocationId a = g.AddLocation("A");
+  LocationId b = g.AddLocation("B");
+  LocationId dead = g.AddLocation("dead");
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
+  ASSERT_TRUE(g.AddEdge(a, dead).ok());
+  ASSERT_TRUE(g.MarkEntrance(a).ok());
+  ASSERT_TRUE(g.MarkExit(b).ok());
+  std::vector<LocationId> into_dead = {a, dead};
+  EXPECT_FALSE(g.IsValidPathPrefix(into_dead));
+}
+
+TEST(TransitionGraphTest, CanReachExitUpdatesAfterMutation) {
+  TransitionGraph g;
+  LocationId a = g.AddLocation("A");
+  LocationId b = g.AddLocation("B");
+  ASSERT_TRUE(g.MarkExit(b).ok());
+  EXPECT_FALSE(g.CanReachExit(a));
+  EXPECT_TRUE(g.CanReachExit(b));
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
+  EXPECT_TRUE(g.CanReachExit(a));
+}
+
+// ------------------------------------------------------ ReachabilityMatrix
+
+TEST(ReachabilityTest, HopCountsOnPaperGraph) {
+  TransitionGraph g = MakePaperExampleGraph();
+  auto m = ReachabilityMatrix::Build(g);
+  EXPECT_EQ(m.Hops(0, 1), 1u);  // A->B
+  EXPECT_EQ(m.Hops(0, 2), 2u);  // A->B->C
+  EXPECT_EQ(m.Hops(0, 3), 2u);  // A->B->D
+  EXPECT_EQ(m.Hops(0, 4), 3u);  // A->B->D->E
+  EXPECT_EQ(m.Hops(2, 4), 2u);  // C->D->E
+  EXPECT_EQ(m.Hops(4, 0), ReachabilityMatrix::kUnreachable);
+}
+
+TEST(ReachabilityTest, DiagonalIsUnreachableInAcyclicGraph) {
+  TransitionGraph g = MakePaperExampleGraph();
+  auto m = ReachabilityMatrix::Build(g);
+  for (LocationId v = 0; v < g.num_locations(); ++v) {
+    EXPECT_EQ(m.Hops(v, v), ReachabilityMatrix::kUnreachable);
+  }
+}
+
+TEST(ReachabilityTest, DiagonalIsShortestCycleLength) {
+  TransitionGraph g;
+  LocationId a = g.AddLocation("A");
+  LocationId b = g.AddLocation("B");
+  LocationId c = g.AddLocation("C");
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
+  ASSERT_TRUE(g.AddEdge(b, c).ok());
+  ASSERT_TRUE(g.AddEdge(c, a).ok());
+  auto m = ReachabilityMatrix::Build(g);
+  EXPECT_EQ(m.Hops(a, a), 3u);
+  EXPECT_EQ(m.Hops(b, b), 3u);
+  EXPECT_EQ(m.Hops(c, c), 3u);
+}
+
+TEST(ReachabilityTest, SelfLoopGivesCycleLengthOne) {
+  TransitionGraph g;
+  LocationId a = g.AddLocation("A");
+  ASSERT_TRUE(g.AddEdge(a, a).ok());
+  auto m = ReachabilityMatrix::Build(g);
+  EXPECT_EQ(m.Hops(a, a), 1u);
+}
+
+TEST(ReachabilityTest, ReachableRespectsHopBudget) {
+  TransitionGraph g = MakePaperExampleGraph();
+  auto m = ReachabilityMatrix::Build(g);
+  EXPECT_TRUE(m.Reachable(0, 4, 3));   // A->E in 3 hops
+  EXPECT_FALSE(m.Reachable(0, 4, 2));  // not in 2
+  EXPECT_FALSE(m.Reachable(4, 0, 100));
+}
+
+TEST(ReachabilityTest, MatchesBfsOnRandomDags) {
+  // Property: Floyd–Warshall hop counts equal a per-source BFS.
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    TransitionGraph g = MakeChainGraph(8);
+    AddRandomForwardEdges(g, 6, rng);
+    auto m = ReachabilityMatrix::Build(g);
+    size_t n = g.num_locations();
+    for (LocationId s = 0; s < n; ++s) {
+      // BFS over non-empty walks from s.
+      std::vector<uint32_t> dist(n, ReachabilityMatrix::kUnreachable);
+      std::vector<LocationId> frontier = {s};
+      uint32_t depth = 0;
+      std::vector<bool> visited(n, false);
+      while (!frontier.empty()) {
+        ++depth;
+        std::vector<LocationId> next;
+        for (LocationId u : frontier) {
+          for (LocationId v : g.OutNeighbors(u)) {
+            if (dist[v] == ReachabilityMatrix::kUnreachable) {
+              dist[v] = depth;
+              next.push_back(v);
+            }
+          }
+        }
+        frontier = std::move(next);
+        if (depth > n + 1) break;
+      }
+      (void)visited;
+      for (LocationId t = 0; t < n; ++t) {
+        EXPECT_EQ(m.Hops(s, t), dist[t]) << "s=" << s << " t=" << t;
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------------------- Paths
+
+TEST(PathsTest, EnumerateValidPathsOnPaperGraph) {
+  TransitionGraph g = MakePaperExampleGraph();
+  auto paths = EnumerateValidPaths(g, 5);
+  ASSERT_TRUE(paths.ok());
+  // Exactly three valid paths: ABCDE, ABDE, CDE.
+  ASSERT_EQ(paths->size(), 3u);
+  std::set<std::vector<LocationId>> expected = {
+      {0, 1, 2, 3, 4}, {0, 1, 3, 4}, {2, 3, 4}};
+  std::set<std::vector<LocationId>> got(paths->begin(), paths->end());
+  EXPECT_EQ(got, expected);
+}
+
+TEST(PathsTest, MaxLenLimitsPaths) {
+  TransitionGraph g = MakePaperExampleGraph();
+  auto paths = EnumerateValidPaths(g, 4);
+  ASSERT_TRUE(paths.ok());
+  EXPECT_EQ(paths->size(), 2u);  // ABCDE excluded
+  auto paths3 = EnumerateValidPaths(g, 3);
+  ASSERT_TRUE(paths3.ok());
+  EXPECT_EQ(paths3->size(), 1u);  // only CDE
+}
+
+TEST(PathsTest, EveryEnumeratedPathIsValid) {
+  TransitionGraph g = MakeGridNetwork(3, 4);
+  auto paths = EnumerateValidPaths(g, 7);
+  ASSERT_TRUE(paths.ok());
+  EXPECT_GT(paths->size(), 0u);
+  for (const auto& p : *paths) {
+    EXPECT_TRUE(g.IsValidPath(p));
+    EXPECT_LE(p.size(), 7u);
+  }
+}
+
+TEST(PathsTest, EnumerationCapsPathExplosion) {
+  TransitionGraph g = MakeGridNetwork(6, 6);
+  auto paths = EnumerateValidPaths(g, 12, /*max_paths=*/10);
+  EXPECT_FALSE(paths.ok());
+  EXPECT_EQ(paths.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(PathsTest, EnumerationRejectsInvalidGraph) {
+  TransitionGraph g;
+  g.AddLocation("A");
+  auto paths = EnumerateValidPaths(g, 3);
+  EXPECT_FALSE(paths.ok());
+}
+
+TEST(PathsTest, SamplerDrawsOnlyValidPaths) {
+  TransitionGraph g = MakePaperExampleGraph();
+  auto sampler = ValidPathSampler::Create(g, 5);
+  ASSERT_TRUE(sampler.ok());
+  EXPECT_EQ(sampler->num_paths(), 3u);
+  Rng rng(4);
+  std::set<size_t> lengths;
+  for (int i = 0; i < 100; ++i) {
+    const auto& p = sampler->Sample(rng);
+    EXPECT_TRUE(g.IsValidPath(p));
+    lengths.insert(p.size());
+  }
+  EXPECT_EQ(lengths, (std::set<size_t>{3, 4, 5}));  // all paths drawn
+}
+
+TEST(PathsTest, SamplerFailsWithoutValidPaths) {
+  TransitionGraph g;
+  LocationId a = g.AddLocation("A");
+  LocationId b = g.AddLocation("B");
+  ASSERT_TRUE(g.MarkEntrance(a).ok());
+  ASSERT_TRUE(g.MarkExit(b).ok());
+  // No edge A->B: no valid path exists.
+  auto sampler = ValidPathSampler::Create(g, 5);
+  EXPECT_FALSE(sampler.ok());
+  EXPECT_EQ(sampler.status().code(), StatusCode::kNotFound);
+}
+
+// ------------------------------------------------------------- Generators
+
+TEST(GeneratorsTest, PaperExampleGraphShape) {
+  TransitionGraph g = MakePaperExampleGraph();
+  EXPECT_EQ(g.num_locations(), 5u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(GeneratorsTest, RealLikeGraphShape) {
+  TransitionGraph g = MakeRealLikeGraph();
+  EXPECT_EQ(g.num_locations(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(g.Validate().ok());
+  auto paths = EnumerateValidPaths(g, 4);
+  ASSERT_TRUE(paths.ok());
+  EXPECT_EQ(paths->size(), 3u);  // ABCD, ABD, CD
+}
+
+TEST(GeneratorsTest, ChainGraphShape) {
+  for (size_t n : {2u, 6u, 10u}) {
+    TransitionGraph g = MakeChainGraph(n);
+    EXPECT_EQ(g.num_locations(), n);
+    EXPECT_EQ(g.num_edges(), n - 1);
+    EXPECT_TRUE(g.Validate().ok());
+    auto paths = EnumerateValidPaths(g, n);
+    ASSERT_TRUE(paths.ok());
+    EXPECT_EQ(paths->size(), 1u);  // the chain itself
+  }
+}
+
+TEST(GeneratorsTest, AddRandomForwardEdgesAddsExactlyCount) {
+  Rng rng(8);
+  TransitionGraph g = MakeChainGraph(8);
+  size_t before = g.num_edges();
+  size_t added = AddRandomForwardEdges(g, 3, rng);
+  EXPECT_EQ(added, 3u);
+  EXPECT_EQ(g.num_edges(), before + 3);
+}
+
+TEST(GeneratorsTest, AddRandomForwardEdgesOnlyAddsForward) {
+  Rng rng(8);
+  TransitionGraph g = MakeChainGraph(6);
+  AddRandomForwardEdges(g, 100, rng);  // saturate
+  for (LocationId u = 0; u < g.num_locations(); ++u) {
+    for (LocationId v : g.OutNeighbors(u)) {
+      EXPECT_LT(u, v);
+    }
+  }
+  // Saturated DAG on 6 vertices has 15 edges.
+  EXPECT_EQ(g.num_edges(), 15u);
+}
+
+TEST(GeneratorsTest, AddRandomForwardEdgesSaturates) {
+  Rng rng(8);
+  TransitionGraph g = MakeChainGraph(4);
+  size_t added = AddRandomForwardEdges(g, 100, rng);
+  EXPECT_EQ(added, 3u);  // 6 possible forward edges, 3 already in the chain
+}
+
+TEST(GeneratorsTest, GridNetworkValidates) {
+  TransitionGraph g = MakeGridNetwork(3, 5);
+  EXPECT_EQ(g.num_locations(), 15u);
+  EXPECT_TRUE(g.Validate().ok());
+  EXPECT_EQ(g.entrances().size(), 3u);
+  EXPECT_EQ(g.exits().size(), 3u);
+  // Every vertex can reach an exit (east column is absorbing).
+  for (LocationId v = 0; v < g.num_locations(); ++v) {
+    EXPECT_TRUE(g.CanReachExit(v)) << g.LocationName(v);
+  }
+}
+
+}  // namespace
+}  // namespace idrepair

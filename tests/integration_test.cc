@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "eval/metrics.h"
+#include "gen/real_like.h"
+#include "gen/synthetic.h"
+#include "graph/generators.h"
+#include "repair/repairer.h"
+
+namespace idrepair {
+namespace {
+
+// Multiset of (loc, ts) records, for conservation checks.
+std::multiset<std::pair<LocationId, Timestamp>> RecordMultiset(
+    const TrajectorySet& set) {
+  std::multiset<std::pair<LocationId, Timestamp>> out;
+  for (const auto& t : set.trajectories()) {
+    for (const auto& p : t.points()) out.emplace(p.loc, p.ts);
+  }
+  return out;
+}
+
+struct PipelineCase {
+  const char* name;
+  size_t num_trajectories;
+  double error_rate;
+  double missing_rate;
+  uint64_t seed;
+};
+
+class PipelineInvariantTest : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(PipelineInvariantTest, CoreInvariantsHold) {
+  const PipelineCase& pc = GetParam();
+  TransitionGraph graph = MakeRealLikeGraph();
+  SyntheticConfig config;
+  config.num_trajectories = pc.num_trajectories;
+  config.record_error_rate = pc.error_rate;
+  config.record_missing_rate = pc.missing_rate;
+  config.max_path_len = 4;
+  config.seed = pc.seed;
+  auto ds = GenerateSyntheticDataset(graph, config);
+  ASSERT_TRUE(ds.ok());
+  TrajectorySet set = ds->BuildObservedTrajectories();
+
+  RepairOptions options;
+  options.theta = 4;
+  options.eta = 600;
+  IdRepairer repairer(graph, options);
+  auto result = repairer.Repair(set);
+  ASSERT_TRUE(result.ok());
+
+  // 1. Records are conserved: repair rewrites IDs, never loses a record.
+  EXPECT_EQ(RecordMultiset(result->repaired), RecordMultiset(set));
+
+  // 2. The selected repairs are pairwise compatible.
+  std::set<TrajIndex> used;
+  for (RepairIndex r : result->selected) {
+    for (TrajIndex m : result->candidates[r].members) {
+      EXPECT_TRUE(used.insert(m).second);
+    }
+  }
+
+  // 3. Every selected repair's join is a valid trajectory.
+  auto repaired_idx = result->repaired.BuildIdIndex();
+  for (RepairIndex r : result->selected) {
+    const auto& cand = result->candidates[r];
+    auto it = repaired_idx.find(cand.target_id);
+    ASSERT_NE(it, repaired_idx.end());
+    EXPECT_TRUE(result->repaired.at(it->second).IsValid(graph));
+  }
+
+  // 4. The number of invalid trajectories never increases.
+  size_t invalid_before = set.InvalidTrajectories(graph).size();
+  size_t invalid_after = result->repaired.InvalidTrajectories(graph).size();
+  EXPECT_LE(invalid_after, invalid_before);
+
+  // 5. Rewrites only ever assign IDs that exist in the dataset (repairs
+  //    never invent values — §1.2).
+  std::set<std::string> existing;
+  for (const auto& t : set.trajectories()) existing.insert(t.id());
+  for (const auto& [traj, id] : result->rewrites) {
+    EXPECT_TRUE(existing.count(id) > 0) << id;
+  }
+
+  // 6. Candidate bookkeeping is internally consistent.
+  for (const auto& cand : result->candidates) {
+    EXPECT_FALSE(cand.members.empty());
+    EXPECT_FALSE(cand.invalid_members.empty());
+    EXPECT_TRUE(std::includes(cand.members.begin(), cand.members.end(),
+                              cand.invalid_members.begin(),
+                              cand.invalid_members.end()));
+    EXPECT_GE(cand.similarity, 0.0);
+    EXPECT_LE(cand.similarity, 1.0);
+    EXPECT_GE(cand.rarity, 1u);
+    EXPECT_GE(cand.effectiveness, 0.0);
+    size_t total_records = 0;
+    for (TrajIndex m : cand.members) total_records += set.at(m).size();
+    EXPECT_LE(total_records, options.theta);
+    EXPECT_LE(cand.members.size(), options.zeta);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, PipelineInvariantTest,
+    ::testing::Values(
+        PipelineCase{"small_low_error", 100, 0.05, 0.0, 1},
+        PipelineCase{"small_default", 150, 0.2, 0.0, 2},
+        PipelineCase{"medium_default", 400, 0.2, 0.0, 3},
+        PipelineCase{"high_error", 200, 0.4, 0.0, 4},
+        PipelineCase{"with_missing", 200, 0.2, 0.1, 5},
+        PipelineCase{"heavy_missing", 200, 0.2, 0.3, 6},
+        PipelineCase{"error_free", 150, 0.0, 0.0, 7},
+        PipelineCase{"dense_window", 600, 0.2, 0.0, 8}),
+    [](const ::testing::TestParamInfo<PipelineCase>& info) {
+      return info.param.name;
+    });
+
+// Quality responds to error rate the way Fig 12 shows.
+TEST(PipelineTrendTest, FMeasureDegradesWithErrorRate) {
+  TransitionGraph graph = MakeRealLikeGraph();
+  RepairOptions options;
+  options.theta = 4;
+  options.eta = 600;
+  std::vector<double> f_by_rate;
+  for (double rate : {0.05, 0.30}) {
+    double f_sum = 0.0;
+    for (uint64_t seed : {11u, 12u, 13u}) {
+      SyntheticConfig config;
+      config.num_trajectories = 300;
+      config.record_error_rate = rate;
+      config.max_path_len = 4;
+      config.seed = seed;
+      auto ds = GenerateSyntheticDataset(graph, config);
+      ASSERT_TRUE(ds.ok());
+      TrajectorySet set = ds->BuildObservedTrajectories();
+      IdRepairer repairer(graph, options);
+      auto result = repairer.Repair(set);
+      ASSERT_TRUE(result.ok());
+      auto truth = ComputeFragmentTruth(*ds, set);
+      f_sum += EvaluateRewrites(truth, set, result->rewrites).f_measure;
+    }
+    f_by_rate.push_back(f_sum / 3.0);
+  }
+  EXPECT_GT(f_by_rate[0], f_by_rate[1]);
+}
+
+// Larger chain graphs are harder to reassemble (Fig 11(a) trend). Short
+// legs (20–60 s medians) keep full chain traversals within η=600 as in the
+// paper's synthetic setup.
+TEST(PipelineTrendTest, LongerChainsReduceFMeasure) {
+  auto run = [&](size_t chain_len) {
+    RepairOptions options;
+    options.theta = chain_len;
+    options.eta = 600;
+    TransitionGraph graph = MakeChainGraph(chain_len);
+    double f_sum = 0.0;
+    for (uint64_t seed : {21u, 22u}) {
+      SyntheticConfig config;
+      config.num_trajectories = 120;
+      config.max_path_len = chain_len;
+      config.window_seconds = 4 * 3600;
+      config.travel_median_lo = 20;
+      config.travel_median_hi = 60;
+      config.seed = seed;
+      auto ds = GenerateSyntheticDataset(graph, config);
+      EXPECT_TRUE(ds.ok());
+      TrajectorySet set = ds->BuildObservedTrajectories();
+      IdRepairer repairer(graph, options);
+      auto result = repairer.Repair(set);
+      EXPECT_TRUE(result.ok());
+      auto truth = ComputeFragmentTruth(*ds, set);
+      f_sum += EvaluateRewrites(truth, set, result->rewrites).f_measure;
+    }
+    return f_sum / 2.0;
+  };
+  EXPECT_GT(run(4), run(8));
+}
+
+// End-to-end over the grid road network (the "California-like" substrate).
+TEST(PipelineTest, WorksOnGridNetworks) {
+  TransitionGraph graph = MakeGridNetwork(3, 4);
+  SyntheticConfig config;
+  config.num_trajectories = 200;
+  config.max_path_len = 6;
+  config.seed = 31;
+  auto ds = GenerateSyntheticDataset(graph, config);
+  ASSERT_TRUE(ds.ok());
+  TrajectorySet set = ds->BuildObservedTrajectories();
+  RepairOptions options;
+  options.theta = 6;
+  options.eta = 1200;
+  IdRepairer repairer(graph, options);
+  auto result = repairer.Repair(set);
+  ASSERT_TRUE(result.ok());
+  auto truth = ComputeFragmentTruth(*ds, set);
+  auto metrics = EvaluateRewrites(truth, set, result->rewrites);
+  EXPECT_GT(metrics.f_measure, 0.3);
+  EXPECT_EQ(RecordMultiset(result->repaired), RecordMultiset(set));
+}
+
+// The selection algorithms order as in Fig 15: exact >= EMAX in Ω, and
+// EMAX well above DMAX.
+TEST(PipelineTest, SelectionAlgorithmOrdering) {
+  // A small, *sparse* dataset (full one-hour window for only 60 entities):
+  // the exact weighted-independent-set solver needs modest Gr components,
+  // exactly like the paper's <=100-trajectory datasets in §6.5.1.
+  TransitionGraph graph = MakeRealLikeGraph();
+  SyntheticConfig config;
+  config.num_trajectories = 60;
+  config.max_path_len = 4;
+  config.window_seconds = 3600;
+  config.seed = 41;
+  auto ds = GenerateSyntheticDataset(graph, config);
+  ASSERT_TRUE(ds.ok());
+  TrajectorySet set = ds->BuildObservedTrajectories();
+  RepairOptions options;
+  options.theta = 4;
+  options.eta = 600;
+  IdRepairer repairer(ds->graph, options);
+
+  auto omega_for = [&](SelectionAlgorithm alg) {
+    RepairOptions o = options;
+    o.selection = alg;
+    IdRepairer r(ds->graph, o);
+    auto result = r.Repair(set);
+    EXPECT_TRUE(result.ok());
+    return result->total_effectiveness;
+  };
+  double exact = omega_for(SelectionAlgorithm::kExact);
+  double emax = omega_for(SelectionAlgorithm::kEmax);
+  double dmax = omega_for(SelectionAlgorithm::kDmax);
+  EXPECT_GE(exact, emax - 1e-9);
+  EXPECT_GE(exact, dmax - 1e-9);
+  EXPECT_GE(emax / exact, 0.9);  // the paper reports ≥ 0.95 on average
+}
+
+}  // namespace
+}  // namespace idrepair

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "gen/real_like.h"
+#include "gen/synthetic.h"
+#include "graph/generators.h"
+#include "lig/length_indexed_grids.h"
+
+namespace idrepair {
+namespace {
+
+TrajectorySet MakeSmallSet() {
+  // Lengths 1..3, assorted start/end times.
+  std::vector<TrackingRecord> records = {
+      {"t1", 0, 0},    {"t1", 1, 100},  {"t1", 2, 200},  // len 3, [0,200]
+      {"t2", 0, 150},                                    // len 1, [150,150]
+      {"t3", 1, 400},  {"t3", 2, 500},                   // len 2, [400,500]
+      {"t4", 0, 5000},                                   // len 1, far future
+  };
+  return TrajectorySet::FromRecords(records);
+}
+
+LengthIndexedGrids::Options SmallOptions() {
+  LengthIndexedGrids::Options o;
+  o.theta = 4;
+  o.eta = 600;
+  o.time_bin = 60;
+  return o;
+}
+
+std::set<TrajIndex> Candidates(const LengthIndexedGrids& lig, TrajIndex k) {
+  std::vector<TrajIndex> out;
+  lig.CollectCandidates(k, &out);
+  return {out.begin(), out.end()};
+}
+
+TEST(LigTest, IndexesAllEligibleTrajectories) {
+  TrajectorySet set = MakeSmallSet();
+  LengthIndexedGrids lig(set, SmallOptions());
+  EXPECT_EQ(lig.num_indexed(), 4u);
+}
+
+TEST(LigTest, ExcludesSelf) {
+  TrajectorySet set = MakeSmallSet();
+  LengthIndexedGrids lig(set, SmallOptions());
+  for (TrajIndex k = 0; k < set.size(); ++k) {
+    EXPECT_EQ(Candidates(lig, k).count(k), 0u);
+  }
+}
+
+TEST(LigTest, TimeWindowExcludesFarFutureTrajectory) {
+  TrajectorySet set = MakeSmallSet();
+  LengthIndexedGrids lig(set, SmallOptions());
+  // t4 starts at 5000, far outside every other trajectory's η-window.
+  auto idx = set.BuildIdIndex();
+  TrajIndex t1 = idx.at("t1");
+  TrajIndex t4 = idx.at("t4");
+  EXPECT_EQ(Candidates(lig, t1).count(t4), 0u);
+  EXPECT_EQ(Candidates(lig, t4).count(t1), 0u);
+}
+
+TEST(LigTest, LengthCriterionFiltersCandidates) {
+  TrajectorySet set = MakeSmallSet();
+  auto idx = set.BuildIdIndex();
+  LengthIndexedGrids::Options o = SmallOptions();
+  o.theta = 4;
+  LengthIndexedGrids lig(set, o);
+  // Probe t1 (len 3): only candidates of length <= 1 qualify.
+  auto c = Candidates(lig, idx.at("t1"));
+  EXPECT_EQ(c.count(idx.at("t3")), 0u);  // len 2: 3+2 > θ
+  EXPECT_EQ(c.count(idx.at("t2")), 1u);  // len 1, inside window
+}
+
+TEST(LigTest, ProbeAtThetaHasNoCandidates) {
+  TrajectorySet set = MakeSmallSet();
+  auto idx = set.BuildIdIndex();
+  LengthIndexedGrids::Options o = SmallOptions();
+  o.theta = 3;
+  LengthIndexedGrids lig(set, o);
+  EXPECT_TRUE(Candidates(lig, idx.at("t1")).empty());  // len 3 == θ
+}
+
+TEST(LigTest, OverlongSpanTrajectoriesAreNotIndexed) {
+  std::vector<TrackingRecord> records = {
+      {"slow", 0, 0}, {"slow", 1, 10000},  // span 10000 > η
+      {"ok", 0, 100},
+  };
+  TrajectorySet set = TrajectorySet::FromRecords(records);
+  LengthIndexedGrids lig(set, SmallOptions());
+  EXPECT_EQ(lig.num_indexed(), 1u);
+}
+
+// The key correctness property (what makes Fig 14(a) a fair comparison):
+// the index never loses a pair that the exhaustive method would test
+// successfully.
+TEST(LigTest, NeverMissesAFeasiblePair) {
+  auto ds = MakeScaledRealLikeDataset(300);
+  ASSERT_TRUE(ds.ok());
+  TrajectorySet set = ds->BuildObservedTrajectories();
+  LengthIndexedGrids::Options o;
+  o.theta = 4;
+  o.eta = 600;
+  o.time_bin = 60;
+  LengthIndexedGrids lig(set, o);
+  for (TrajIndex i = 0; i < set.size(); ++i) {
+    auto candidates = Candidates(lig, i);
+    for (TrajIndex j = 0; j < set.size(); ++j) {
+      if (i == j) continue;
+      const Trajectory& a = set.at(i);
+      const Trajectory& b = set.at(j);
+      // The exact §5.1 criteria.
+      bool feasible =
+          a.size() + b.size() <= o.theta && b.TimeSpan() <= o.eta &&
+          b.start_time() >= a.end_time() - o.eta &&
+          b.start_time() <= a.start_time() + o.eta &&
+          b.end_time() >= a.end_time() - o.eta &&
+          b.end_time() <= a.start_time() + o.eta;
+      if (feasible) {
+        EXPECT_EQ(candidates.count(j), 1u)
+            << "missed pair " << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(LigTest, CandidateCountIsMuchSmallerThanAllPairs) {
+  auto ds = MakeScaledRealLikeDataset(2000);
+  ASSERT_TRUE(ds.ok());
+  TrajectorySet set = ds->BuildObservedTrajectories();
+  LengthIndexedGrids::Options o;
+  o.theta = 4;
+  o.eta = 600;
+  o.time_bin = 60;
+  LengthIndexedGrids lig(set, o);
+  size_t total = 0;
+  std::vector<TrajIndex> out;
+  for (TrajIndex i = 0; i < set.size(); ++i) {
+    out.clear();
+    lig.CollectCandidates(i, &out);
+    total += out.size();
+  }
+  size_t all_pairs = set.size() * (set.size() - 1);
+  EXPECT_LT(total, all_pairs / 4) << "index prunes too little";
+}
+
+TEST(LigTest, EmptyOutputForSingletonSet) {
+  std::vector<TrackingRecord> records = {{"only", 0, 10}};
+  TrajectorySet set = TrajectorySet::FromRecords(records);
+  LengthIndexedGrids lig(set, SmallOptions());
+  EXPECT_TRUE(Candidates(lig, 0).empty());
+}
+
+}  // namespace
+}  // namespace idrepair

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "gen/real_like.h"
+#include "gen/synthetic.h"
+#include "graph/generators.h"
+#include "repair/partitioned.h"
+#include "test_util.h"
+
+namespace idrepair {
+namespace {
+
+RepairOptions RealOptions() {
+  RepairOptions o;
+  o.theta = 4;
+  o.eta = 600;
+  return o;
+}
+
+TEST(PartitionTest, SplitsAtGapsLargerThanEta) {
+  std::vector<TrackingRecord> records = {
+      {"a", 0, 0},     {"a", 1, 100},  // starts at 0
+      {"b", 2, 200},                    // starts at 200 (gap 200 <= η)
+      {"c", 0, 2000},                   // starts at 2000 (gap 1800 > η)
+      {"d", 2, 2100},
+  };
+  TrajectorySet set = TrajectorySet::FromRecords(records);
+  PartitionedRepairer repairer(MakeRealLikeGraph(), RealOptions());
+  auto partitions = repairer.Partition(set);
+  ASSERT_EQ(partitions.size(), 2u);
+  EXPECT_EQ(partitions[0].size(), 2u);
+  EXPECT_EQ(partitions[1].size(), 2u);
+}
+
+TEST(PartitionTest, DenseSetIsOnePartition) {
+  auto ds = MakeRealLikeDataset();
+  ASSERT_TRUE(ds.ok());
+  TrajectorySet set = ds->BuildObservedTrajectories();
+  PartitionedRepairer repairer(ds->graph, RealOptions());
+  auto partitions = repairer.Partition(set);
+  // Rush-hour traffic every few seconds: the chain never breaks.
+  EXPECT_EQ(partitions.size(), 1u);
+}
+
+TEST(PartitionTest, EveryTrajectoryInExactlyOnePartition) {
+  TransitionGraph graph = MakeRealLikeGraph();
+  SyntheticConfig config;
+  config.num_trajectories = 150;
+  config.max_path_len = 4;
+  config.window_seconds = 40000;  // sparse: gaps occur
+  config.seed = 5;
+  auto ds = GenerateSyntheticDataset(graph, config);
+  ASSERT_TRUE(ds.ok());
+  TrajectorySet set = ds->BuildObservedTrajectories();
+  PartitionedRepairer repairer(graph, RealOptions());
+  auto partitions = repairer.Partition(set);
+  EXPECT_GT(partitions.size(), 1u);
+  std::vector<bool> seen(set.size(), false);
+  for (const auto& p : partitions) {
+    for (TrajIndex t : p) {
+      EXPECT_FALSE(seen[t]);
+      seen[t] = true;
+    }
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+// The headline property: partitioned repair gives exactly the whole-batch
+// answer (no cross-partition joinable subsets exist by the η bound).
+TEST(PartitionedRepairTest, MatchesWholeBatchExactly) {
+  TransitionGraph graph = MakeRealLikeGraph();
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    SyntheticConfig config;
+    config.num_trajectories = 200;
+    config.max_path_len = 4;
+    config.window_seconds = 60000;  // sparse enough to partition
+    config.seed = seed;
+    auto ds = GenerateSyntheticDataset(graph, config);
+    ASSERT_TRUE(ds.ok());
+    TrajectorySet set = ds->BuildObservedTrajectories();
+
+    IdRepairer whole(graph, RealOptions());
+    auto batch = whole.Repair(set);
+    ASSERT_TRUE(batch.ok());
+
+    PartitionedRepairer partitioned(graph, RealOptions());
+    PartitionedRepairer::PartitionStats stats;
+    auto chunked = partitioned.Repair(set, &stats);
+    ASSERT_TRUE(chunked.ok());
+
+    EXPECT_GT(stats.num_partitions, 1u) << "seed " << seed;
+    EXPECT_EQ(chunked->rewrites, batch->rewrites) << "seed " << seed;
+    EXPECT_EQ(chunked->candidates.size(), batch->candidates.size());
+    EXPECT_NEAR(chunked->total_effectiveness, batch->total_effectiveness,
+                1e-9);
+    EXPECT_EQ(chunked->repaired.total_records(), set.total_records());
+  }
+}
+
+TEST(PartitionedRepairTest, SelectedCandidatesUseGlobalIndices) {
+  TransitionGraph graph = MakeRealLikeGraph();
+  SyntheticConfig config;
+  config.num_trajectories = 120;
+  config.max_path_len = 4;
+  config.window_seconds = 50000;
+  config.seed = 9;
+  auto ds = GenerateSyntheticDataset(graph, config);
+  ASSERT_TRUE(ds.ok());
+  TrajectorySet set = ds->BuildObservedTrajectories();
+  PartitionedRepairer repairer(graph, RealOptions());
+  auto result = repairer.Repair(set);
+  ASSERT_TRUE(result.ok());
+  for (RepairIndex r : result->selected) {
+    ASSERT_LT(r, result->candidates.size());
+    for (TrajIndex m : result->candidates[r].members) {
+      ASSERT_LT(m, set.size());
+    }
+  }
+  // Rewrites reference global trajectories whose observed ID differs.
+  for (const auto& [traj, id] : result->rewrites) {
+    EXPECT_NE(set.at(traj).id(), id);
+  }
+}
+
+TEST(PartitionedRepairTest, EmptySet) {
+  PartitionedRepairer repairer(MakeRealLikeGraph(), RealOptions());
+  PartitionedRepairer::PartitionStats stats;
+  auto result = repairer.Repair(TrajectorySet{}, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(stats.num_partitions, 0u);
+  EXPECT_TRUE(result->rewrites.empty());
+}
+
+TEST(PartitionedRepairTest, RunningExampleSinglePartition) {
+  TransitionGraph graph = MakePaperExampleGraph();
+  TrajectorySet set = testutil::MakeTable2Trajectories();
+  PartitionedRepairer repairer(graph, testutil::RunningExampleOptions());
+  auto result = repairer.Repair(set);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rewrites.size(), 1u);
+  EXPECT_EQ(result->rewrites.at(1), "GL83248");
+}
+
+}  // namespace
+}  // namespace idrepair

@@ -1,0 +1,224 @@
+// Cross-module property tests: the paper's theorems and the invariants
+// linking the predicates, index and enumeration, exercised over randomized
+// workloads.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "gen/synthetic.h"
+#include "graph/generators.h"
+#include "graph/paths.h"
+#include "graph/reachability.h"
+#include "lig/length_indexed_grids.h"
+#include "repair/predicates.h"
+#include "stream/streaming_repairer.h"
+#include "traj/merge.h"
+
+namespace idrepair {
+namespace {
+
+class SeededPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Theorem 3.2 direction: cex is necessary for pairwise joinability — every
+// jnb pair must be a cex pair.
+TEST_P(SeededPropertyTest, CexIsNecessaryForPairwiseJnb) {
+  TransitionGraph graph = MakeRealLikeGraph();
+  SyntheticConfig config;
+  config.num_trajectories = 60;
+  config.max_path_len = 4;
+  config.seed = GetParam();
+  auto ds = GenerateSyntheticDataset(graph, config);
+  ASSERT_TRUE(ds.ok());
+  TrajectorySet set = ds->BuildObservedTrajectories();
+  PredicateEvaluator pred(graph, 4, 600);
+  for (TrajIndex i = 0; i < set.size(); ++i) {
+    if (!pred.InternallyFeasible(set.at(i))) continue;
+    for (TrajIndex j = i + 1; j < set.size(); ++j) {
+      if (!pred.InternallyFeasible(set.at(j))) continue;
+      const Trajectory* pair[] = {&set.at(i), &set.at(j)};
+      if (pred.Jnb(pair)) {
+        EXPECT_TRUE(pred.Cex(set.at(i), set.at(j)))
+            << "jnb pair without cex: " << i << "," << j;
+      }
+    }
+  }
+}
+
+// Theorem 5.3 direction: pck is necessary for jnb on start-time-sorted
+// pairs.
+TEST_P(SeededPropertyTest, PckIsNecessaryForJnb) {
+  TransitionGraph graph = MakeRealLikeGraph();
+  SyntheticConfig config;
+  config.num_trajectories = 60;
+  config.max_path_len = 4;
+  config.seed = GetParam() ^ 0xf00d;
+  auto ds = GenerateSyntheticDataset(graph, config);
+  ASSERT_TRUE(ds.ok());
+  TrajectorySet set = ds->BuildObservedTrajectories();
+  PredicateEvaluator pred(graph, 4, 600);
+  for (TrajIndex i = 0; i < set.size(); ++i) {
+    for (TrajIndex j = i + 1; j < set.size(); ++j) {
+      // TrajectorySet order is start-time order, so (i, j) is sorted.
+      const Trajectory* pair[] = {&set.at(i), &set.at(j)};
+      if (pred.Jnb(pair)) {
+        EXPECT_TRUE(pred.Pck(pair)) << i << "," << j;
+      }
+    }
+  }
+}
+
+// The LIG grid criteria are necessary for cex: no cex-positive pair may be
+// filtered out by the index.
+TEST_P(SeededPropertyTest, LigIsNecessaryForCex) {
+  TransitionGraph graph = MakeRealLikeGraph();
+  SyntheticConfig config;
+  config.num_trajectories = 80;
+  config.max_path_len = 4;
+  config.seed = GetParam() ^ 0xbeef;
+  auto ds = GenerateSyntheticDataset(graph, config);
+  ASSERT_TRUE(ds.ok());
+  TrajectorySet set = ds->BuildObservedTrajectories();
+  PredicateEvaluator pred(graph, 4, 600);
+  LengthIndexedGrids::Options lig_opts{4, 600, 60};
+  LengthIndexedGrids lig(set, lig_opts);
+  std::vector<TrajIndex> out;
+  for (TrajIndex i = 0; i < set.size(); ++i) {
+    out.clear();
+    lig.CollectCandidates(i, &out);
+    std::set<TrajIndex> candidates(out.begin(), out.end());
+    for (TrajIndex j = 0; j < set.size(); ++j) {
+      if (i == j) continue;
+      if (!pred.InternallyFeasible(set.at(i)) ||
+          !pred.InternallyFeasible(set.at(j))) {
+        continue;
+      }
+      if (pred.Cex(set.at(i), set.at(j))) {
+        EXPECT_TRUE(candidates.count(j) > 0)
+            << "LIG dropped cex pair " << i << "," << j;
+      }
+    }
+  }
+}
+
+// Merging is order-insensitive: any permutation of the group produces the
+// same (loc, ts) sequence.
+TEST_P(SeededPropertyTest, MergeIsOrderInsensitive) {
+  Rng rng(GetParam() ^ 0xcafe);
+  std::vector<Trajectory> trajs;
+  for (int t = 0; t < 4; ++t) {
+    std::vector<TrajectoryPoint> points;
+    size_t len = 1 + rng.UniformIndex(3);
+    Timestamp ts = static_cast<Timestamp>(rng.UniformIndex(100));
+    for (size_t i = 0; i < len; ++i) {
+      ts += 1 + static_cast<Timestamp>(rng.UniformIndex(50));
+      points.push_back(
+          TrajectoryPoint{static_cast<LocationId>(rng.UniformIndex(4)), ts});
+    }
+    std::string name = "t";
+    name += std::to_string(t);
+    trajs.emplace_back(std::move(name), std::move(points));
+  }
+  std::vector<const Trajectory*> order = {&trajs[0], &trajs[1], &trajs[2],
+                                          &trajs[3]};
+  auto reference = MergeChronological(order);
+  for (int perm = 0; perm < 5; ++perm) {
+    rng.Shuffle(order.begin(), order.end());
+    auto merged = MergeChronological(order);
+    ASSERT_EQ(merged.size(), reference.size());
+    for (size_t i = 0; i < merged.size(); ++i) {
+      EXPECT_EQ(merged[i].loc, reference[i].loc);
+      EXPECT_EQ(merged[i].ts, reference[i].ts);
+    }
+  }
+}
+
+// Reachability on graphs WITH cycles: hop counts still match BFS, and the
+// diagonal equals the shortest cycle through each vertex.
+TEST_P(SeededPropertyTest, ReachabilityHandlesCycles) {
+  Rng rng(GetParam() ^ 0x51de);
+  TransitionGraph g = MakeChainGraph(7);
+  AddRandomEdges(g, 5, rng);  // may add backward edges -> cycles
+  auto m = ReachabilityMatrix::Build(g);
+  size_t n = g.num_locations();
+  for (LocationId s = 0; s < n; ++s) {
+    std::vector<uint32_t> dist(n, ReachabilityMatrix::kUnreachable);
+    std::vector<LocationId> frontier = {s};
+    uint32_t depth = 0;
+    while (!frontier.empty() && depth <= n + 1) {
+      ++depth;
+      std::vector<LocationId> next;
+      for (LocationId u : frontier) {
+        for (LocationId v : g.OutNeighbors(u)) {
+          if (dist[v] == ReachabilityMatrix::kUnreachable) {
+            dist[v] = depth;
+            next.push_back(v);
+          }
+        }
+      }
+      frontier = std::move(next);
+    }
+    for (LocationId t = 0; t < n; ++t) {
+      if (s == t) {
+        EXPECT_EQ(m.Hops(s, s), dist[s]) << "cycle through " << s;
+      } else {
+        EXPECT_EQ(m.Hops(s, t), dist[t]) << s << "->" << t;
+      }
+    }
+  }
+}
+
+// Streaming: the multiset of emitted records is the input multiset no
+// matter how often the stream is polled.
+TEST_P(SeededPropertyTest, StreamingConservesRecordsAtAnyPollCadence) {
+  TransitionGraph graph = MakeRealLikeGraph();
+  SyntheticConfig config;
+  config.num_trajectories = 60;
+  config.max_path_len = 4;
+  config.seed = GetParam() ^ 0x1234;
+  auto ds = GenerateSyntheticDataset(graph, config);
+  ASSERT_TRUE(ds.ok());
+  auto records = ds->ObservedRecords();
+  std::sort(records.begin(), records.end(), RecordChronoLess);
+
+  RepairOptions options;
+  options.theta = 4;
+  options.eta = 600;
+  for (size_t cadence : {1u, 7u, 50u, 10000u}) {
+    StreamingRepairer stream(graph, options);
+    size_t emitted_records = 0;
+    size_t count = 0;
+    for (const auto& r : records) {
+      ASSERT_TRUE(stream.Append(r).ok());
+      if (++count % cadence == 0) {
+        for (const auto& t : stream.Poll()) emitted_records += t.size();
+      }
+    }
+    for (const auto& t : stream.Finish()) emitted_records += t.size();
+    EXPECT_EQ(emitted_records, records.size()) << "cadence " << cadence;
+  }
+}
+
+// Valid paths sampled by the generator always satisfy IsValidPath, and
+// their prefixes satisfy IsValidPathPrefix.
+TEST_P(SeededPropertyTest, SampledPathPrefixesAreValidPrefixes) {
+  TransitionGraph g = MakeGridNetwork(3, 4);
+  auto sampler = ValidPathSampler::Create(g, 7);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(GetParam() ^ 0x7777);
+  for (int i = 0; i < 30; ++i) {
+    const auto& path = sampler->Sample(rng);
+    EXPECT_TRUE(g.IsValidPath(path));
+    for (size_t len = 1; len <= path.size(); ++len) {
+      EXPECT_TRUE(g.IsValidPathPrefix(
+          std::span<const LocationId>(path.data(), len)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededPropertyTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace idrepair

@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "repair/selectors.h"
+
+namespace idrepair {
+namespace {
+
+// Builds a synthetic candidate set + repair graph from (members, ω) specs.
+// Member lists induce the incompatibility edges exactly as in production.
+struct Spec {
+  std::vector<TrajIndex> members;
+  double omega;
+};
+
+std::vector<CandidateRepair> MakeCandidates(const std::vector<Spec>& specs) {
+  std::vector<CandidateRepair> out;
+  for (const auto& s : specs) {
+    CandidateRepair r;
+    r.members = s.members;
+    r.invalid_members = s.members;  // immaterial for selection
+    r.effectiveness = s.omega;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+size_t MaxTraj(const std::vector<Spec>& specs) {
+  size_t n = 0;
+  for (const auto& s : specs) {
+    for (TrajIndex m : s.members) n = std::max<size_t>(n, m + 1);
+  }
+  return n;
+}
+
+bool IsIndependent(const RepairGraph& gr,
+                   const std::vector<RepairIndex>& selected) {
+  for (size_t a = 0; a < selected.size(); ++a) {
+    for (size_t b = a + 1; b < selected.size(); ++b) {
+      const auto& nbrs = gr.Neighbors(selected[a]);
+      if (std::binary_search(nbrs.begin(), nbrs.end(), selected[b])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// Exhaustive optimum for cross-checking (specs must stay small).
+double BruteForceOptimum(const RepairGraph& gr,
+                         const std::vector<CandidateRepair>& candidates) {
+  size_t n = candidates.size();
+  double best = 0.0;
+  for (size_t mask = 0; mask < (size_t{1} << n); ++mask) {
+    std::vector<RepairIndex> sel;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (size_t{1} << i)) sel.push_back(static_cast<RepairIndex>(i));
+    }
+    if (!IsIndependent(gr, sel)) continue;
+    best = std::max(best, TotalEffectiveness(candidates, sel));
+  }
+  return best;
+}
+
+// --------------------------------------------------------- RepairGraph
+
+TEST(RepairGraphTest, EdgesFollowSharedTrajectories) {
+  // The running example's Gr: R1-R2 share T1, R2-R3 share T2 (Figure 4(b)).
+  auto candidates =
+      MakeCandidates({{{0}, 0.0}, {{0, 1}, 0.428}, {{1, 2}, 1.029}});
+  RepairGraph gr(candidates, 3);
+  EXPECT_EQ(gr.num_vertices(), 3u);
+  EXPECT_EQ(gr.num_edges(), 2u);
+  EXPECT_EQ(gr.Neighbors(0), (std::vector<RepairIndex>{1}));
+  EXPECT_EQ(gr.Neighbors(1), (std::vector<RepairIndex>{0, 2}));
+  EXPECT_EQ(gr.Neighbors(2), (std::vector<RepairIndex>{1}));
+}
+
+TEST(RepairGraphTest, NoDuplicateEdgesWhenSharingMultipleTrajectories) {
+  auto candidates = MakeCandidates({{{0, 1}, 1.0}, {{0, 1}, 1.0}});
+  RepairGraph gr(candidates, 2);
+  EXPECT_EQ(gr.num_edges(), 1u);
+  EXPECT_EQ(gr.Degree(0), 1u);
+}
+
+TEST(RepairGraphTest, EmptyCandidateSet) {
+  RepairGraph gr({}, 5);
+  EXPECT_EQ(gr.num_vertices(), 0u);
+  EXPECT_EQ(gr.num_edges(), 0u);
+}
+
+// ---------------------------------------------------------------- EMAX
+
+TEST(EmaxTest, ReproducesExample42) {
+  auto candidates =
+      MakeCandidates({{{0}, 0.0}, {{0, 1}, 0.428}, {{1, 2}, 1.029}});
+  RepairGraph gr(candidates, 3);
+  EmaxSelector emax;
+  // R3 selected; R2 discarded as a neighbor; R1 skipped (ω = 0).
+  EXPECT_EQ(emax.Select(gr, candidates), (std::vector<RepairIndex>{2}));
+}
+
+TEST(EmaxTest, PicksGreedyNotOptimal) {
+  // A center vertex with weight 3 conflicting with two weight-2 leaves:
+  // EMAX takes the center (3), the optimum is the leaves (4).
+  auto candidates =
+      MakeCandidates({{{0, 1}, 3.0}, {{0}, 2.0}, {{1}, 2.0}});
+  RepairGraph gr(candidates, 2);
+  EmaxSelector emax;
+  EXPECT_EQ(emax.Select(gr, candidates), (std::vector<RepairIndex>{0}));
+  ExactSelector exact;
+  EXPECT_EQ(exact.Select(gr, candidates), (std::vector<RepairIndex>{1, 2}));
+}
+
+TEST(EmaxTest, SelectionIsIndependentSet) {
+  Rng rng(61);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Spec> specs;
+    for (int i = 0; i < 12; ++i) {
+      std::vector<TrajIndex> members;
+      size_t sz = 1 + rng.UniformIndex(3);
+      for (size_t j = 0; j < sz; ++j) {
+        members.push_back(static_cast<TrajIndex>(rng.UniformIndex(8)));
+      }
+      std::sort(members.begin(), members.end());
+      members.erase(std::unique(members.begin(), members.end()),
+                    members.end());
+      specs.push_back({members, rng.UniformReal(0.1, 2.0)});
+    }
+    auto candidates = MakeCandidates(specs);
+    RepairGraph gr(candidates, MaxTraj(specs));
+    EmaxSelector emax;
+    EXPECT_TRUE(IsIndependent(gr, emax.Select(gr, candidates)));
+  }
+}
+
+// ----------------------------------------------------------- DMIN / DMAX
+
+TEST(DegreeSelectorsTest, DminPrefersLowDegreeVertices) {
+  // Star: center (repair over {0,1,2}) conflicts with three leaves.
+  auto candidates = MakeCandidates(
+      {{{0, 1, 2}, 1.0}, {{0}, 1.0}, {{1}, 1.0}, {{2}, 1.0}});
+  RepairGraph gr(candidates, 3);
+  DminSelector dmin;
+  EXPECT_EQ(dmin.Select(gr, candidates),
+            (std::vector<RepairIndex>{1, 2, 3}));
+  DmaxSelector dmax;
+  EXPECT_EQ(dmax.Select(gr, candidates), (std::vector<RepairIndex>{0}));
+}
+
+TEST(DegreeSelectorsTest, SelectionsAreIndependentSets) {
+  Rng rng(67);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Spec> specs;
+    for (int i = 0; i < 12; ++i) {
+      std::vector<TrajIndex> members;
+      size_t sz = 1 + rng.UniformIndex(3);
+      for (size_t j = 0; j < sz; ++j) {
+        members.push_back(static_cast<TrajIndex>(rng.UniformIndex(6)));
+      }
+      std::sort(members.begin(), members.end());
+      members.erase(std::unique(members.begin(), members.end()),
+                    members.end());
+      specs.push_back({members, rng.UniformReal(0.1, 2.0)});
+    }
+    auto candidates = MakeCandidates(specs);
+    RepairGraph gr(candidates, MaxTraj(specs));
+    DminSelector dmin;
+    DmaxSelector dmax;
+    EXPECT_TRUE(IsIndependent(gr, dmin.Select(gr, candidates)));
+    EXPECT_TRUE(IsIndependent(gr, dmax.Select(gr, candidates)));
+  }
+}
+
+TEST(DegreeSelectorsTest, IsolatedVerticesAllSelected) {
+  auto candidates =
+      MakeCandidates({{{0}, 1.0}, {{1}, 1.0}, {{2}, 1.0}});
+  RepairGraph gr(candidates, 3);
+  DminSelector dmin;
+  DmaxSelector dmax;
+  EXPECT_EQ(dmin.Select(gr, candidates).size(), 3u);
+  EXPECT_EQ(dmax.Select(gr, candidates).size(), 3u);
+}
+
+// ------------------------------------------------------------------ exact
+
+TEST(ExactSelectorTest, MatchesBruteForceOnRandomInstances) {
+  Rng rng(71);
+  ExactSelector exact;
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<Spec> specs;
+    size_t n = 4 + rng.UniformIndex(9);  // up to 12 repairs
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<TrajIndex> members;
+      size_t sz = 1 + rng.UniformIndex(3);
+      for (size_t j = 0; j < sz; ++j) {
+        members.push_back(static_cast<TrajIndex>(rng.UniformIndex(7)));
+      }
+      std::sort(members.begin(), members.end());
+      members.erase(std::unique(members.begin(), members.end()),
+                    members.end());
+      specs.push_back({members, rng.UniformReal(0.01, 2.0)});
+    }
+    auto candidates = MakeCandidates(specs);
+    RepairGraph gr(candidates, MaxTraj(specs));
+    auto selected = exact.Select(gr, candidates);
+    ASSERT_TRUE(IsIndependent(gr, selected));
+    double got = TotalEffectiveness(candidates, selected);
+    double want = BruteForceOptimum(gr, candidates);
+    EXPECT_NEAR(got, want, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(ExactSelectorTest, HandlesDisconnectedComponents) {
+  auto candidates = MakeCandidates(
+      {{{0}, 1.0}, {{0}, 2.0},    // component 1: pick the 2.0
+       {{5}, 0.5}, {{5, 6}, 0.4},  // component 2: pick the 0.5
+       {{9}, 3.0}});               // isolated
+  RepairGraph gr(candidates, 10);
+  ExactSelector exact;
+  auto selected = exact.Select(gr, candidates);
+  EXPECT_EQ(selected, (std::vector<RepairIndex>{1, 2, 4}));
+}
+
+TEST(ExactSelectorTest, EmptyInput) {
+  RepairGraph gr({}, 0);
+  ExactSelector exact;
+  EXPECT_TRUE(exact.Select(gr, {}).empty());
+}
+
+// ----------------------------------------------------------------- oracle
+
+TEST(OracleSelectorTest, SelectsExactlyCorrectRepairs) {
+  // Trajectories 0,1 belong to entity "aaa" (fragments of one trajectory);
+  // trajectory 2 is entity "bbb" on its own.
+  std::vector<std::string> truth = {"aaa", "aaa", "bbb"};
+  std::vector<CandidateRepair> candidates(3);
+  candidates[0].members = {0, 1};
+  candidates[0].target_id = "aaa";  // correct
+  candidates[1].members = {0, 1};
+  candidates[1].target_id = "zzz";  // wrong target
+  candidates[2].members = {1, 2};
+  candidates[2].target_id = "aaa";  // mixes entities
+  for (auto& c : candidates) c.invalid_members = c.members;
+  RepairGraph gr(candidates, 3);
+  OracleSelector oracle(truth);
+  EXPECT_EQ(oracle.Select(gr, candidates), (std::vector<RepairIndex>{0}));
+}
+
+TEST(OracleSelectorTest, RequiresFullFragmentCoverage) {
+  // Entity "aaa" has fragments {0, 1, 2}; a repair over {0, 1} with the
+  // right target is still not the full true trajectory.
+  std::vector<std::string> truth = {"aaa", "aaa", "aaa"};
+  std::vector<CandidateRepair> candidates(2);
+  candidates[0].members = {0, 1};
+  candidates[0].target_id = "aaa";
+  candidates[1].members = {0, 1, 2};
+  candidates[1].target_id = "aaa";
+  for (auto& c : candidates) c.invalid_members = c.members;
+  RepairGraph gr(candidates, 3);
+  OracleSelector oracle(truth);
+  EXPECT_EQ(oracle.Select(gr, candidates), (std::vector<RepairIndex>{1}));
+}
+
+// ---------------------------------------------------------------- factory
+
+TEST(MakeSelectorTest, CoversAllAlgorithms) {
+  EXPECT_EQ(MakeSelector(SelectionAlgorithm::kEmax)->name(), "EMAX");
+  EXPECT_EQ(MakeSelector(SelectionAlgorithm::kDmin)->name(), "DMIN");
+  EXPECT_EQ(MakeSelector(SelectionAlgorithm::kDmax)->name(), "DMAX");
+  EXPECT_EQ(MakeSelector(SelectionAlgorithm::kExact)->name(), "exact");
+}
+
+TEST(SelectEmaxByCoverTest, MatchesGraphBasedEmaxOnRandomInstances) {
+  Rng rng(83);
+  EmaxSelector emax;
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<Spec> specs;
+    size_t n = 3 + rng.UniformIndex(15);
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<TrajIndex> members;
+      size_t sz = 1 + rng.UniformIndex(3);
+      for (size_t j = 0; j < sz; ++j) {
+        members.push_back(static_cast<TrajIndex>(rng.UniformIndex(8)));
+      }
+      std::sort(members.begin(), members.end());
+      members.erase(std::unique(members.begin(), members.end()),
+                    members.end());
+      // Include occasional zero and tied weights to exercise ordering.
+      double w = rng.Bernoulli(0.2) ? 0.0 : rng.UniformReal(0.1, 1.0);
+      if (rng.Bernoulli(0.3)) w = 0.5;
+      specs.push_back({members, w});
+    }
+    auto candidates = MakeCandidates(specs);
+    RepairGraph gr(candidates, MaxTraj(specs));
+    EXPECT_EQ(SelectEmaxByCover(candidates, MaxTraj(specs)),
+              emax.Select(gr, candidates))
+        << "trial " << trial;
+  }
+}
+
+TEST(TotalEffectivenessTest, SumsSelectedOmegas) {
+  auto candidates = MakeCandidates({{{0}, 1.5}, {{1}, 2.5}, {{2}, 4.0}});
+  EXPECT_DOUBLE_EQ(TotalEffectiveness(candidates, {0, 2}), 5.5);
+  EXPECT_DOUBLE_EQ(TotalEffectiveness(candidates, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace idrepair

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.h"
+#include "graph/serialization.h"
+
+namespace idrepair {
+namespace {
+
+TEST(GraphSerializationTest, RoundTripsPaperGraph) {
+  TransitionGraph g = MakePaperExampleGraph();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteTransitionGraph(out, g).ok());
+  std::istringstream in(out.str());
+  auto read = ReadTransitionGraph(in);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->num_locations(), g.num_locations());
+  EXPECT_EQ(read->num_edges(), g.num_edges());
+  EXPECT_EQ(read->entrances(), g.entrances());
+  EXPECT_EQ(read->exits(), g.exits());
+  for (LocationId u = 0; u < g.num_locations(); ++u) {
+    EXPECT_EQ(read->LocationName(u), g.LocationName(u));
+    for (LocationId v = 0; v < g.num_locations(); ++v) {
+      EXPECT_EQ(read->HasEdge(u, v), g.HasEdge(u, v));
+    }
+  }
+}
+
+TEST(GraphSerializationTest, RoundTripsGridNetwork) {
+  TransitionGraph g = MakeGridNetwork(3, 4);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteTransitionGraph(out, g).ok());
+  std::istringstream in(out.str());
+  auto read = ReadTransitionGraph(in);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->num_edges(), g.num_edges());
+  EXPECT_EQ(read->entrances(), g.entrances());
+}
+
+TEST(GraphSerializationTest, SkipsCommentsAndBlankLines) {
+  std::istringstream in(
+      "# a road network\n"
+      "\n"
+      "location A\n"
+      "location B\n"
+      "  # indented comment\n"
+      "edge A B\n"
+      "entrance A\n"
+      "exit B\n");
+  auto g = ReadTransitionGraph(in);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_locations(), 2u);
+  EXPECT_TRUE(g->HasEdge(0, 1));
+}
+
+TEST(GraphSerializationTest, RejectsUnknownDirective) {
+  std::istringstream in("vertex A\n");
+  auto g = ReadTransitionGraph(in);
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kCorruption);
+}
+
+TEST(GraphSerializationTest, RejectsUndeclaredLocations) {
+  std::istringstream in("location A\nedge A B\n");
+  EXPECT_FALSE(ReadTransitionGraph(in).ok());
+  std::istringstream in2("location A\nentrance B\n");
+  EXPECT_FALSE(ReadTransitionGraph(in2).ok());
+}
+
+TEST(GraphSerializationTest, RejectsWrongTokenCounts) {
+  for (const char* text :
+       {"location\n", "location A B\n", "edge A\n", "entrance\n"}) {
+    std::istringstream in(text);
+    EXPECT_FALSE(ReadTransitionGraph(in).ok()) << text;
+  }
+}
+
+TEST(GraphSerializationTest, RejectsGraphWithoutEntranceOrExit) {
+  std::istringstream in("location A\nlocation B\nedge A B\nentrance A\n");
+  auto g = ReadTransitionGraph(in);
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphSerializationTest, MissingFileIsIoError) {
+  auto g = ReadTransitionGraphFile("/nonexistent/graph.txt");
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kIoError);
+}
+
+TEST(GraphSerializationTest, FileRoundTrip) {
+  TransitionGraph g = MakeRealLikeGraph();
+  std::string path = ::testing::TempDir() + "/idrepair_graph_test.txt";
+  ASSERT_TRUE(WriteTransitionGraphFile(path, g).ok());
+  auto read = ReadTransitionGraphFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->num_edges(), g.num_edges());
+}
+
+TEST(GraphSerializationTest, DotContainsAllVerticesAndEdges) {
+  TransitionGraph g = MakePaperExampleGraph();
+  std::string dot = ToDot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"A\" [shape=doublecircle]"), std::string::npos);
+  EXPECT_NE(dot.find("\"E\" [shape=doubleoctagon]"), std::string::npos);
+  EXPECT_NE(dot.find("\"B\" [shape=circle]"), std::string::npos);
+  EXPECT_NE(dot.find("\"A\" -> \"B\""), std::string::npos);
+  EXPECT_NE(dot.find("\"D\" -> \"E\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace idrepair

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/edit_distance.h"
+#include "sim/similarity.h"
+
+namespace idrepair {
+namespace {
+
+// ------------------------------------------------------------ EditDistance
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(EditDistance("", ""), 0u);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_EQ(EditDistance("", "abc"), 3u);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(EditDistance("abc", "abd"), 1u);
+  EXPECT_EQ(EditDistance("abc", "acb"), 2u);
+}
+
+TEST(EditDistanceTest, PaperRunningExampleDistances) {
+  // These drive the ω values of Example 3.4 / Figure 4(b).
+  EXPECT_EQ(EditDistance("GL03245", "GL21348"), 4u);
+  EXPECT_EQ(EditDistance("GL03245", "GL83248"), 2u);
+}
+
+TEST(EditDistanceTest, Symmetry) {
+  Rng rng(31);
+  for (int i = 0; i < 200; ++i) {
+    std::string a(rng.UniformIndex(9), 'a');
+    std::string b(rng.UniformIndex(9), 'a');
+    for (char& c : a) c = rng.LowercaseLetter();
+    for (char& c : b) c = rng.LowercaseLetter();
+    EXPECT_EQ(EditDistance(a, b), EditDistance(b, a));
+  }
+}
+
+TEST(EditDistanceTest, TriangleInequality) {
+  Rng rng(37);
+  for (int i = 0; i < 200; ++i) {
+    std::string s[3];
+    for (auto& str : s) {
+      str.assign(1 + rng.UniformIndex(8), 'a');
+      for (char& c : str) c = rng.LowercaseLetter();
+    }
+    size_t ab = EditDistance(s[0], s[1]);
+    size_t bc = EditDistance(s[1], s[2]);
+    size_t ac = EditDistance(s[0], s[2]);
+    EXPECT_LE(ac, ab + bc);
+  }
+}
+
+TEST(EditDistanceTest, BoundedByLengthDifferenceAndMaxLength) {
+  Rng rng(41);
+  for (int i = 0; i < 200; ++i) {
+    std::string a(1 + rng.UniformIndex(9), 'a');
+    std::string b(1 + rng.UniformIndex(9), 'a');
+    for (char& c : a) c = rng.LowercaseLetter();
+    for (char& c : b) c = rng.LowercaseLetter();
+    size_t d = EditDistance(a, b);
+    size_t diff = a.size() > b.size() ? a.size() - b.size()
+                                      : b.size() - a.size();
+    EXPECT_GE(d, diff);
+    EXPECT_LE(d, std::max(a.size(), b.size()));
+  }
+}
+
+TEST(EditDistanceBoundedTest, ExactWithinLimit) {
+  Rng rng(43);
+  for (int i = 0; i < 300; ++i) {
+    std::string a(1 + rng.UniformIndex(9), 'a');
+    std::string b(1 + rng.UniformIndex(9), 'a');
+    for (char& c : a) c = rng.LowercaseLetter();
+    for (char& c : b) c = rng.LowercaseLetter();
+    size_t exact = EditDistance(a, b);
+    for (size_t limit : {0u, 1u, 2u, 3u, 5u, 9u}) {
+      size_t bounded = EditDistanceBounded(a, b, limit);
+      if (exact <= limit) {
+        EXPECT_EQ(bounded, exact) << a << " vs " << b << " limit " << limit;
+      } else {
+        EXPECT_GT(bounded, limit) << a << " vs " << b << " limit " << limit;
+      }
+    }
+  }
+}
+
+TEST(EditDistanceBoundedTest, ShortCircuitsOnLengthGap) {
+  EXPECT_GT(EditDistanceBounded("a", "abcdefgh", 3), 3u);
+  EXPECT_EQ(EditDistanceBounded("abcd", "abcd", 0), 0u);
+}
+
+// ------------------------------------------------------- similarity metrics
+
+class SimilarityMetricTest
+    : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<IdSimilarity> metric() const {
+    auto m = MakeSimilarity(GetParam());
+    EXPECT_TRUE(m.ok());
+    return std::move(*m);
+  }
+};
+
+TEST_P(SimilarityMetricTest, IdenticalStringsScoreOne) {
+  auto m = metric();
+  EXPECT_DOUBLE_EQ(m->Similarity("gl21348", "gl21348"), 1.0);
+  EXPECT_DOUBLE_EQ(m->Similarity("", ""), 1.0);
+}
+
+TEST_P(SimilarityMetricTest, RangeIsZeroToOne) {
+  auto m = metric();
+  Rng rng(51);
+  for (int i = 0; i < 200; ++i) {
+    std::string a(1 + rng.UniformIndex(9), 'a');
+    std::string b(1 + rng.UniformIndex(9), 'a');
+    for (char& c : a) c = rng.LowercaseLetter();
+    for (char& c : b) c = rng.LowercaseLetter();
+    double s = m->Similarity(a, b);
+    EXPECT_GE(s, 0.0) << a << " " << b;
+    EXPECT_LE(s, 1.0) << a << " " << b;
+  }
+}
+
+TEST_P(SimilarityMetricTest, Symmetric) {
+  auto m = metric();
+  Rng rng(53);
+  for (int i = 0; i < 200; ++i) {
+    std::string a(1 + rng.UniformIndex(9), 'a');
+    std::string b(1 + rng.UniformIndex(9), 'a');
+    for (char& c : a) c = rng.LowercaseLetter();
+    for (char& c : b) c = rng.LowercaseLetter();
+    EXPECT_DOUBLE_EQ(m->Similarity(a, b), m->Similarity(b, a));
+  }
+}
+
+TEST_P(SimilarityMetricTest, SmallPerturbationScoresHigherThanRandom) {
+  auto m = metric();
+  // A one-character typo should look more similar than an unrelated string.
+  EXPECT_GT(m->Similarity("abcdefg", "abcdefh"),
+            m->Similarity("abcdefg", "zyxwvut"));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, SimilarityMetricTest,
+                         ::testing::Values("edit", "jaro_winkler",
+                                           "bigram_cosine", "overlap"));
+
+TEST(NormalizedEditSimilarityTest, MatchesEquationOne) {
+  NormalizedEditSimilarity sim;
+  // Eq. (1): 1 - dist / max(|a|, |b|).
+  EXPECT_NEAR(sim.Similarity("GL03245", "GL21348"), 1.0 - 4.0 / 7.0, 1e-12);
+  EXPECT_NEAR(sim.Similarity("GL03245", "GL83248"), 1.0 - 2.0 / 7.0, 1e-12);
+  EXPECT_NEAR(sim.Similarity("abc", "abcdef"), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(sim.Similarity("abc", "xyz"), 0.0);
+}
+
+TEST(JaroWinklerTest, KnownBehaviors) {
+  JaroWinklerSimilarity sim;
+  EXPECT_DOUBLE_EQ(sim.Similarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(sim.Similarity("abc", ""), 0.0);
+  EXPECT_DOUBLE_EQ(sim.Similarity("", ""), 1.0);
+  // Completely disjoint alphabets.
+  EXPECT_DOUBLE_EQ(sim.Similarity("aaaa", "bbbb"), 0.0);
+  // Common prefix boosts similarity relative to a suffix typo.
+  EXPECT_GT(sim.Similarity("martha", "marhta"), 0.9);
+}
+
+TEST(BigramCosineTest, DisjointBigramsScoreZero) {
+  BigramCosineSimilarity sim;
+  EXPECT_DOUBLE_EQ(sim.Similarity("aaa", "bbb"), 0.0);
+  EXPECT_GT(sim.Similarity("abcd", "abce"), 0.3);
+}
+
+TEST(BigramCosineTest, SingleCharStringsFallBackToZeroUnlessEqual) {
+  BigramCosineSimilarity sim;
+  EXPECT_DOUBLE_EQ(sim.Similarity("a", "b"), 0.0);  // no bigrams
+  EXPECT_DOUBLE_EQ(sim.Similarity("a", "a"), 1.0);  // equality short-circuit
+}
+
+TEST(OverlapCoefficientTest, SubsetScoresOne) {
+  OverlapCoefficientSimilarity sim;
+  // Bigrams of "abc" ⊂ bigrams of "abcd".
+  EXPECT_DOUBLE_EQ(sim.Similarity("abc", "abcd"), 1.0);
+  EXPECT_DOUBLE_EQ(sim.Similarity("ab", "cd"), 0.0);
+}
+
+TEST(MakeSimilarityTest, UnknownNameFails) {
+  auto m = MakeSimilarity("nope");
+  EXPECT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kNotFound);
+}
+
+TEST(MakeSimilarityTest, NamesRoundTrip) {
+  for (const char* name :
+       {"edit", "jaro_winkler", "bigram_cosine", "overlap"}) {
+    auto m = MakeSimilarity(name);
+    ASSERT_TRUE(m.ok()) << name;
+    EXPECT_EQ((*m)->name(), name);
+  }
+}
+
+}  // namespace
+}  // namespace idrepair

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "gen/real_like.h"
+#include "graph/generators.h"
+#include "test_util.h"
+#include "traj/stats.h"
+
+namespace idrepair {
+namespace {
+
+TEST(StatsTest, RunningExampleStats) {
+  TransitionGraph g = MakePaperExampleGraph();
+  TrajectorySet set = testutil::MakeTable2Trajectories();
+  auto stats = ComputeStats(set, g);
+  EXPECT_EQ(stats.num_trajectories, 3u);
+  EXPECT_EQ(stats.num_records, 7u);
+  EXPECT_EQ(stats.num_valid, 1u);
+  EXPECT_EQ(stats.num_invalid, 2u);
+  EXPECT_EQ(stats.min_length, 1u);
+  EXPECT_EQ(stats.max_length, 4u);
+  EXPECT_NEAR(stats.mean_length, 7.0 / 3.0, 1e-12);
+  EXPECT_EQ(stats.min_span, 0);
+  EXPECT_EQ(stats.max_span, 739);  // GL21348: 08:09:10 -> 08:21:29
+  EXPECT_EQ(stats.length_histogram.at(1), 1u);
+  EXPECT_EQ(stats.length_histogram.at(2), 1u);
+  EXPECT_EQ(stats.length_histogram.at(4), 1u);
+}
+
+TEST(StatsTest, EmptySet) {
+  TransitionGraph g = MakePaperExampleGraph();
+  auto stats = ComputeStats(TrajectorySet{}, g);
+  EXPECT_EQ(stats.num_trajectories, 0u);
+  EXPECT_EQ(stats.num_records, 0u);
+  // Describe must not crash on the empty case.
+  EXPECT_FALSE(DescribeStats(stats).empty());
+}
+
+TEST(StatsTest, SuggestedBoundsCoverTheQuantile) {
+  auto ds = MakeRealLikeDataset();
+  ASSERT_TRUE(ds.ok());
+  TrajectorySet set = ds->BuildObservedTrajectories();
+  auto stats = ComputeStats(set, ds->graph, /*quantile=*/1.0);
+  EXPECT_EQ(stats.suggested_theta, stats.max_length);
+  EXPECT_EQ(stats.suggested_eta, stats.max_span);
+
+  auto median = ComputeStats(set, ds->graph, /*quantile=*/0.5);
+  EXPECT_LE(median.suggested_theta, stats.suggested_theta);
+  EXPECT_LE(median.suggested_eta, stats.suggested_eta);
+  EXPECT_GE(median.suggested_theta, stats.min_length);
+}
+
+TEST(StatsTest, SpanHistogramUsesBuckets) {
+  std::vector<TrackingRecord> records = {
+      {"a", 0, 0},  {"a", 1, 65},   // span 65  -> bucket 60
+      {"b", 0, 10}, {"b", 1, 40},   // span 30  -> bucket 0
+      {"c", 0, 20},                 // span 0   -> bucket 0
+  };
+  TransitionGraph g = MakeRealLikeGraph();
+  TrajectorySet set = TrajectorySet::FromRecords(records);
+  auto stats = ComputeStats(set, g, 0.99, /*span_bucket=*/60);
+  EXPECT_EQ(stats.span_histogram.at(0), 2u);
+  EXPECT_EQ(stats.span_histogram.at(60), 1u);
+}
+
+TEST(StatsTest, DescribeMentionsKeyNumbers) {
+  TransitionGraph g = MakePaperExampleGraph();
+  TrajectorySet set = testutil::MakeTable2Trajectories();
+  std::string text = DescribeStats(ComputeStats(set, g));
+  EXPECT_NE(text.find("trajectories: 3"), std::string::npos);
+  EXPECT_NE(text.find("records: 7"), std::string::npos);
+  EXPECT_NE(text.find("1 valid"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace idrepair

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "gen/real_like.h"
+#include "graph/generators.h"
+#include "repair/repairer.h"
+#include "stream/streaming_repairer.h"
+#include "test_util.h"
+
+namespace idrepair {
+namespace {
+
+using testutil::MakeTable1Records;
+using testutil::RunningExampleOptions;
+
+std::vector<TrackingRecord> SortedRecords(const Dataset& ds) {
+  auto records = ds.ObservedRecords();
+  std::sort(records.begin(), records.end(), RecordChronoLess);
+  return records;
+}
+
+std::map<std::string, std::vector<LocationId>> AsMap(
+    const std::vector<Trajectory>& trajs) {
+  std::map<std::string, std::vector<LocationId>> out;
+  for (const auto& t : trajs) {
+    auto& seq = out[t.id()];
+    for (const auto& p : t.points()) seq.push_back(p.loc);
+  }
+  return out;
+}
+
+TEST(StreamingRepairerTest, RejectsOutOfOrderRecords) {
+  TransitionGraph graph = MakePaperExampleGraph();
+  StreamingRepairer stream(graph, RunningExampleOptions());
+  ASSERT_TRUE(stream.Append({"a", 0, 100}).ok());
+  Status s = stream.Append({"b", 1, 50});
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(stream.pending_records(), 1u);
+}
+
+TEST(StreamingRepairerTest, RunningExampleThroughFinish) {
+  TransitionGraph graph = MakePaperExampleGraph();
+  StreamingRepairer stream(graph, RunningExampleOptions());
+  auto records = MakeTable1Records();
+  std::sort(records.begin(), records.end(), RecordChronoLess);
+  for (const auto& r : records) ASSERT_TRUE(stream.Append(r).ok());
+  auto emitted = stream.Finish();
+  auto by_id = AsMap(emitted);
+  ASSERT_EQ(by_id.size(), 2u);
+  EXPECT_EQ(by_id.at("GL83248"), (std::vector<LocationId>{2, 3, 4}));
+  EXPECT_EQ(by_id.at("GL21348"), (std::vector<LocationId>{0, 1, 3, 4}));
+  EXPECT_EQ(stream.pending_records(), 0u);
+}
+
+TEST(StreamingRepairerTest, PollWithholdsOpenChains) {
+  TransitionGraph graph = MakePaperExampleGraph();
+  StreamingRepairer stream(graph, RunningExampleOptions());
+  ASSERT_TRUE(stream.Append({"a", 0, 0}).ok());
+  ASSERT_TRUE(stream.Append({"a", 1, 100}).ok());
+  // Watermark is only 100: the fragment could still grow.
+  EXPECT_TRUE(stream.Poll().empty());
+  EXPECT_EQ(stream.pending_records(), 2u);
+}
+
+TEST(StreamingRepairerTest, PollFlushesAfterQuietGap) {
+  TransitionGraph graph = MakePaperExampleGraph();
+  RepairOptions options = RunningExampleOptions();  // η = 1200
+  StreamingRepairer stream(graph, options);
+  // A complete valid trajectory, then a long gap before new traffic.
+  ASSERT_TRUE(stream.Append({"veh", 2, 0}).ok());
+  ASSERT_TRUE(stream.Append({"veh", 3, 100}).ok());
+  ASSERT_TRUE(stream.Append({"veh", 4, 200}).ok());
+  ASSERT_TRUE(stream.Append({"next", 0, 10000}).ok());
+  auto emitted = stream.Poll();
+  ASSERT_EQ(emitted.size(), 1u);
+  EXPECT_EQ(emitted[0].id(), "veh");
+  EXPECT_EQ(stream.pending_records(), 1u);  // "next" still open
+}
+
+TEST(StreamingRepairerTest, ChainedFragmentsFlushTogether) {
+  TransitionGraph graph = MakePaperExampleGraph();
+  StreamingRepairer stream(graph, RunningExampleOptions());
+  // The running example arrives, then silence long past η.
+  auto records = MakeTable1Records();
+  std::sort(records.begin(), records.end(), RecordChronoLess);
+  for (const auto& r : records) ASSERT_TRUE(stream.Append(r).ok());
+  ASSERT_TRUE(
+      stream.Append({"later", 0, records.back().ts + 100000}).ok());
+  auto emitted = stream.Poll();
+  // All three fragments repaired together, exactly like the batch.
+  auto by_id = AsMap(emitted);
+  ASSERT_EQ(by_id.size(), 2u);
+  EXPECT_EQ(by_id.at("GL83248"), (std::vector<LocationId>{2, 3, 4}));
+}
+
+TEST(StreamingRepairerTest, MatchesBatchOnRealLikeDataset) {
+  auto ds = MakeScaledRealLikeDataset(400, 0.2, /*seed=*/9);
+  ASSERT_TRUE(ds.ok());
+  RepairOptions options;
+  options.theta = 4;
+  options.eta = 600;
+
+  // Batch reference.
+  TrajectorySet set = ds->BuildObservedTrajectories();
+  IdRepairer repairer(ds->graph, options);
+  auto batch = repairer.Repair(set);
+  ASSERT_TRUE(batch.ok());
+
+  // Stream with a generous horizon.
+  StreamingRepairer stream(ds->graph, options, /*flush_horizon=*/4.0);
+  std::vector<Trajectory> emitted;
+  size_t count = 0;
+  for (const auto& r : SortedRecords(*ds)) {
+    ASSERT_TRUE(stream.Append(r).ok());
+    if (++count % 50 == 0) {
+      auto polled = stream.Poll();
+      emitted.insert(emitted.end(), polled.begin(), polled.end());
+    }
+  }
+  auto rest = stream.Finish();
+  emitted.insert(emitted.end(), rest.begin(), rest.end());
+
+  // Record conservation.
+  size_t total = 0;
+  for (const auto& t : emitted) total += t.size();
+  EXPECT_EQ(total, ds->records.size());
+
+  // Agreement with batch: compare the full multiset of (id, loc-seq).
+  auto batch_map = AsMap(batch->repaired.trajectories());
+  auto stream_map = AsMap(emitted);
+  size_t agree = 0;
+  for (const auto& [id, seq] : stream_map) {
+    auto it = batch_map.find(id);
+    if (it != batch_map.end() && it->second == seq) ++agree;
+  }
+  double agreement =
+      static_cast<double>(agree) / static_cast<double>(batch_map.size());
+  EXPECT_GT(agreement, 0.95) << "stream diverges from batch too much";
+}
+
+TEST(StreamingRepairerTest, EmittedCountAccumulates) {
+  TransitionGraph graph = MakePaperExampleGraph();
+  StreamingRepairer stream(graph, RunningExampleOptions());
+  ASSERT_TRUE(stream.Append({"x", 2, 0}).ok());
+  EXPECT_EQ(stream.emitted_trajectories(), 0u);
+  stream.Finish();
+  EXPECT_EQ(stream.emitted_trajectories(), 1u);
+}
+
+TEST(StreamingRepairerTest, FinishOnEmptyStream) {
+  TransitionGraph graph = MakePaperExampleGraph();
+  StreamingRepairer stream(graph, RunningExampleOptions());
+  EXPECT_TRUE(stream.Finish().empty());
+  EXPECT_TRUE(stream.Poll().empty());
+}
+
+}  // namespace
+}  // namespace idrepair

@@ -1,0 +1,247 @@
+// idrepair command-line tool: repair, generate, inspect and export.
+//
+//   idrepair_cli repair   --graph g.txt --records in.csv --out fixed.csv
+//                         [--truth truth.csv] [--theta N] [--eta SECONDS]
+//                         [--zeta N] [--lambda F] [--selection emax|dmin|
+//                         dmax|exact] [--similarity edit|jaro_winkler|
+//                         bigram_cosine|overlap] [--no-lig] [--no-prune]
+//                         [--explain]
+//   idrepair_cli generate --graph g.txt --out records.csv
+//                         [--truth truth.csv] [--trajectories N]
+//                         [--error-rate F] [--missing-rate F] [--seed N]
+//                         [--window SECONDS] [--max-path-len N]
+//   idrepair_cli stats    --graph g.txt --records in.csv
+//   idrepair_cli dot      --graph g.txt
+//
+// Graph files use the text format of graph/serialization.h; record files
+// are `id,loc,ts` CSV.
+
+#include <iostream>
+#include <memory>
+
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "eval/metrics.h"
+#include "gen/dataset.h"
+#include "gen/synthetic.h"
+#include "graph/serialization.h"
+#include "repair/explain.h"
+#include "repair/repairer.h"
+#include "sim/similarity.h"
+#include "traj/csv.h"
+#include "traj/stats.h"
+
+namespace idrepair {
+namespace {
+
+constexpr char kUsage[] =
+    "usage: idrepair_cli <repair|generate|stats|dot> [flags]\n"
+    "run with a command and no flags for that command's requirements\n";
+
+Status RequireFlag(const FlagParser& flags, const std::string& key) {
+  if (!flags.Has(key)) {
+    return Status::InvalidArgument("missing required flag --" + key);
+  }
+  return Status::OK();
+}
+
+Result<RepairOptions> OptionsFromFlags(const FlagParser& flags,
+                                       const IdSimilarity** similarity_out) {
+  RepairOptions options;
+  options.theta = 4;
+  options.eta = 600;
+  auto theta = flags.GetInt("theta", static_cast<int64_t>(options.theta));
+  if (!theta.ok()) return theta.status();
+  options.theta = static_cast<size_t>(*theta);
+  auto eta = flags.GetInt("eta", options.eta);
+  if (!eta.ok()) return eta.status();
+  options.eta = *eta;
+  auto zeta = flags.GetInt("zeta", static_cast<int64_t>(options.zeta));
+  if (!zeta.ok()) return zeta.status();
+  options.zeta = static_cast<size_t>(*zeta);
+  auto lambda = flags.GetDouble("lambda", options.lambda);
+  if (!lambda.ok()) return lambda.status();
+  options.lambda = *lambda;
+  options.use_lig = !flags.GetBool("no-lig");
+  options.use_mcp_pruning = !flags.GetBool("no-prune");
+
+  std::string selection = flags.GetString("selection", "emax");
+  if (selection == "emax") {
+    options.selection = SelectionAlgorithm::kEmax;
+  } else if (selection == "dmin") {
+    options.selection = SelectionAlgorithm::kDmin;
+  } else if (selection == "dmax") {
+    options.selection = SelectionAlgorithm::kDmax;
+  } else if (selection == "exact") {
+    options.selection = SelectionAlgorithm::kExact;
+  } else {
+    return Status::InvalidArgument("unknown --selection '" + selection +
+                                   "'");
+  }
+
+  static std::unique_ptr<IdSimilarity> owned_similarity;
+  std::string metric = flags.GetString("similarity", "edit");
+  auto sim = MakeSimilarity(metric);
+  if (!sim.ok()) return sim.status();
+  owned_similarity = std::move(*sim);
+  options.similarity = owned_similarity.get();
+  *similarity_out = owned_similarity.get();
+
+  IDREPAIR_RETURN_NOT_OK(options.Validate());
+  return options;
+}
+
+int FailWith(const Status& status) {
+  std::cerr << "error: " << status << "\n";
+  return 1;
+}
+
+int RunRepair(const FlagParser& flags) {
+  for (const char* key : {"graph", "records", "out"}) {
+    if (Status s = RequireFlag(flags, key); !s.ok()) return FailWith(s);
+  }
+  auto graph = ReadTransitionGraphFile(flags.GetString("graph"));
+  if (!graph.ok()) return FailWith(graph.status());
+  auto records = ReadRecordsCsvFile(flags.GetString("records"), *graph);
+  if (!records.ok()) return FailWith(records.status());
+
+  const IdSimilarity* similarity = nullptr;
+  auto options = OptionsFromFlags(flags, &similarity);
+  if (!options.ok()) return FailWith(options.status());
+
+  TrajectorySet set = TrajectorySet::FromRecords(*records);
+  IdRepairer repairer(*graph, *options);
+  auto result = repairer.Repair(set);
+  if (!result.ok()) return FailWith(result.status());
+
+  std::cout << "trajectories: " << set.size() << " ("
+            << result->stats.num_invalid << " invalid), candidates: "
+            << result->stats.num_candidates << ", selected: "
+            << result->stats.num_selected << ", rewrites: "
+            << result->rewrites.size() << ", time: "
+            << ToFixed(result->stats.seconds_total * 1e3, 1) << " ms\n";
+
+  if (flags.GetBool("explain")) {
+    std::cout << ExplainRepair(set, *graph, *result, *options);
+  }
+
+  if (flags.Has("truth")) {
+    auto truth_records = ReadRecordsCsvFile(flags.GetString("truth"), *graph);
+    if (!truth_records.ok()) return FailWith(truth_records.status());
+    auto dataset = MakeLabeledDataset(*graph, *records, *truth_records);
+    if (!dataset.ok()) return FailWith(dataset.status());
+    auto truth = ComputeFragmentTruth(*dataset, set);
+    auto metrics = EvaluateRewrites(truth, set, result->rewrites);
+    std::cout << "precision=" << ToFixed(metrics.precision, 3)
+              << " recall=" << ToFixed(metrics.recall, 3)
+              << " f-measure=" << ToFixed(metrics.f_measure, 3) << "\n";
+  }
+
+  std::vector<TrackingRecord> repaired;
+  repaired.reserve(set.total_records());
+  for (const auto& t : result->repaired.trajectories()) {
+    for (const auto& p : t.points()) {
+      repaired.push_back(TrackingRecord{t.id(), p.loc, p.ts});
+    }
+  }
+  if (Status s = WriteRecordsCsvFile(flags.GetString("out"), *graph,
+                                     repaired);
+      !s.ok()) {
+    return FailWith(s);
+  }
+  std::cout << "wrote " << repaired.size() << " records to "
+            << flags.GetString("out") << "\n";
+  return 0;
+}
+
+int RunGenerate(const FlagParser& flags) {
+  for (const char* key : {"graph", "out"}) {
+    if (Status s = RequireFlag(flags, key); !s.ok()) return FailWith(s);
+  }
+  auto graph = ReadTransitionGraphFile(flags.GetString("graph"));
+  if (!graph.ok()) return FailWith(graph.status());
+
+  SyntheticConfig config;
+  auto n = flags.GetInt("trajectories", 500);
+  auto error_rate = flags.GetDouble("error-rate", 0.2);
+  auto missing_rate = flags.GetDouble("missing-rate", 0.0);
+  auto seed = flags.GetInt("seed", 42);
+  auto window = flags.GetInt("window", 3600);
+  auto max_len = flags.GetInt("max-path-len", 8);
+  for (const Status& s :
+       {n.status(), error_rate.status(), missing_rate.status(),
+        seed.status(), window.status(), max_len.status()}) {
+    if (!s.ok()) return FailWith(s);
+  }
+  config.num_trajectories = static_cast<size_t>(*n);
+  config.record_error_rate = *error_rate;
+  config.record_missing_rate = *missing_rate;
+  config.seed = static_cast<uint64_t>(*seed);
+  config.window_seconds = *window;
+  config.max_path_len = static_cast<size_t>(*max_len);
+
+  auto dataset = GenerateSyntheticDataset(*graph, config);
+  if (!dataset.ok()) return FailWith(dataset.status());
+  if (Status s = WriteRecordsCsvFile(flags.GetString("out"), *graph,
+                                     dataset->ObservedRecords());
+      !s.ok()) {
+    return FailWith(s);
+  }
+  std::cout << "wrote " << dataset->records.size() << " records ("
+            << dataset->NumEntities() << " entities, error rate "
+            << ToFixed(dataset->RecordErrorRate(), 3) << ") to "
+            << flags.GetString("out") << "\n";
+  if (flags.Has("truth")) {
+    if (Status s = WriteRecordsCsvFile(flags.GetString("truth"), *graph,
+                                       dataset->TrueRecords());
+        !s.ok()) {
+      return FailWith(s);
+    }
+    std::cout << "wrote ground truth to " << flags.GetString("truth")
+              << "\n";
+  }
+  return 0;
+}
+
+int RunStats(const FlagParser& flags) {
+  for (const char* key : {"graph", "records"}) {
+    if (Status s = RequireFlag(flags, key); !s.ok()) return FailWith(s);
+  }
+  auto graph = ReadTransitionGraphFile(flags.GetString("graph"));
+  if (!graph.ok()) return FailWith(graph.status());
+  auto records = ReadRecordsCsvFile(flags.GetString("records"), *graph);
+  if (!records.ok()) return FailWith(records.status());
+  TrajectorySet set = TrajectorySet::FromRecords(*records);
+  std::cout << DescribeStats(ComputeStats(set, *graph));
+  return 0;
+}
+
+int RunDot(const FlagParser& flags) {
+  if (Status s = RequireFlag(flags, "graph"); !s.ok()) return FailWith(s);
+  auto graph = ReadTransitionGraphFile(flags.GetString("graph"));
+  if (!graph.ok()) return FailWith(graph.status());
+  std::cout << ToDot(*graph);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << kUsage;
+    return 2;
+  }
+  std::string command = argv[1];
+  auto flags = FlagParser::Parse(argc - 2, argv + 2,
+                                 {"no-lig", "no-prune", "explain"});
+  if (!flags.ok()) return FailWith(flags.status());
+  if (command == "repair") return RunRepair(*flags);
+  if (command == "generate") return RunGenerate(*flags);
+  if (command == "stats") return RunStats(*flags);
+  if (command == "dot") return RunDot(*flags);
+  std::cerr << "unknown command '" << command << "'\n" << kUsage;
+  return 2;
+}
+
+}  // namespace
+}  // namespace idrepair
+
+int main(int argc, char** argv) { return idrepair::Main(argc, argv); }
