@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_partitioned.dir/bench_ext_partitioned.cc.o"
+  "CMakeFiles/bench_ext_partitioned.dir/bench_ext_partitioned.cc.o.d"
+  "bench_ext_partitioned"
+  "bench_ext_partitioned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_partitioned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

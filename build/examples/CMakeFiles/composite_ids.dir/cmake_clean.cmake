@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composite_ids.dir/composite_ids.cpp.o"
+  "CMakeFiles/composite_ids.dir/composite_ids.cpp.o.d"
+  "composite_ids"
+  "composite_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composite_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

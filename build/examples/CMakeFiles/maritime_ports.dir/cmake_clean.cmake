@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maritime_ports.dir/maritime_ports.cpp.o"
+  "CMakeFiles/maritime_ports.dir/maritime_ports.cpp.o.d"
+  "maritime_ports"
+  "maritime_ports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maritime_ports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/idrepair_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/idrepair_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/idrepair_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/idrepair_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/idrepair_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/lig/CMakeFiles/idrepair_lig.dir/DependInfo.cmake"
+  "/root/repo/build/src/repair/CMakeFiles/idrepair_repair.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/idrepair_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/idrepair_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/idrepair_stream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

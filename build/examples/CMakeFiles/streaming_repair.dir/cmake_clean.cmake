@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_repair.dir/streaming_repair.cpp.o"
+  "CMakeFiles/streaming_repair.dir/streaming_repair.cpp.o.d"
+  "streaming_repair"
+  "streaming_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_surveillance.dir/traffic_surveillance.cpp.o"
+  "CMakeFiles/traffic_surveillance.dir/traffic_surveillance.cpp.o.d"
+  "traffic_surveillance"
+  "traffic_surveillance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_surveillance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

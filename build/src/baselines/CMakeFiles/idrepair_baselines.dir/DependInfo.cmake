@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/id_similarity_repairer.cc" "src/baselines/CMakeFiles/idrepair_baselines.dir/id_similarity_repairer.cc.o" "gcc" "src/baselines/CMakeFiles/idrepair_baselines.dir/id_similarity_repairer.cc.o.d"
+  "/root/repo/src/baselines/neighborhood_repairer.cc" "src/baselines/CMakeFiles/idrepair_baselines.dir/neighborhood_repairer.cc.o" "gcc" "src/baselines/CMakeFiles/idrepair_baselines.dir/neighborhood_repairer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/idrepair_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/idrepair_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/repair/CMakeFiles/idrepair_repair.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/idrepair_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lig/CMakeFiles/idrepair_lig.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/idrepair_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

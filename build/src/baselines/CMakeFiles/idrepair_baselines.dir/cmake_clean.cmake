@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idrepair_baselines.dir/id_similarity_repairer.cc.o"
+  "CMakeFiles/idrepair_baselines.dir/id_similarity_repairer.cc.o.d"
+  "CMakeFiles/idrepair_baselines.dir/neighborhood_repairer.cc.o"
+  "CMakeFiles/idrepair_baselines.dir/neighborhood_repairer.cc.o.d"
+  "libidrepair_baselines.a"
+  "libidrepair_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idrepair_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idrepair_common.dir/flags.cc.o"
+  "CMakeFiles/idrepair_common.dir/flags.cc.o.d"
+  "CMakeFiles/idrepair_common.dir/status.cc.o"
+  "CMakeFiles/idrepair_common.dir/status.cc.o.d"
+  "CMakeFiles/idrepair_common.dir/string_util.cc.o"
+  "CMakeFiles/idrepair_common.dir/string_util.cc.o.d"
+  "libidrepair_common.a"
+  "libidrepair_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idrepair_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idrepair_eval.dir/diagnostics.cc.o"
+  "CMakeFiles/idrepair_eval.dir/diagnostics.cc.o.d"
+  "CMakeFiles/idrepair_eval.dir/metrics.cc.o"
+  "CMakeFiles/idrepair_eval.dir/metrics.cc.o.d"
+  "libidrepair_eval.a"
+  "libidrepair_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idrepair_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

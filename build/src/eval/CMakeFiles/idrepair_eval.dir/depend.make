@@ -1,0 +1,2 @@
+# Empty dependencies file for idrepair_eval.
+# This may be replaced when dependencies are built.

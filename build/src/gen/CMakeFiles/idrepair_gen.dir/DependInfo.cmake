@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/dataset.cc" "src/gen/CMakeFiles/idrepair_gen.dir/dataset.cc.o" "gcc" "src/gen/CMakeFiles/idrepair_gen.dir/dataset.cc.o.d"
+  "/root/repo/src/gen/error_model.cc" "src/gen/CMakeFiles/idrepair_gen.dir/error_model.cc.o" "gcc" "src/gen/CMakeFiles/idrepair_gen.dir/error_model.cc.o.d"
+  "/root/repo/src/gen/id_generator.cc" "src/gen/CMakeFiles/idrepair_gen.dir/id_generator.cc.o" "gcc" "src/gen/CMakeFiles/idrepair_gen.dir/id_generator.cc.o.d"
+  "/root/repo/src/gen/real_like.cc" "src/gen/CMakeFiles/idrepair_gen.dir/real_like.cc.o" "gcc" "src/gen/CMakeFiles/idrepair_gen.dir/real_like.cc.o.d"
+  "/root/repo/src/gen/synthetic.cc" "src/gen/CMakeFiles/idrepair_gen.dir/synthetic.cc.o" "gcc" "src/gen/CMakeFiles/idrepair_gen.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/idrepair_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/idrepair_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/idrepair_traj.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idrepair_gen.dir/dataset.cc.o"
+  "CMakeFiles/idrepair_gen.dir/dataset.cc.o.d"
+  "CMakeFiles/idrepair_gen.dir/error_model.cc.o"
+  "CMakeFiles/idrepair_gen.dir/error_model.cc.o.d"
+  "CMakeFiles/idrepair_gen.dir/id_generator.cc.o"
+  "CMakeFiles/idrepair_gen.dir/id_generator.cc.o.d"
+  "CMakeFiles/idrepair_gen.dir/real_like.cc.o"
+  "CMakeFiles/idrepair_gen.dir/real_like.cc.o.d"
+  "CMakeFiles/idrepair_gen.dir/synthetic.cc.o"
+  "CMakeFiles/idrepair_gen.dir/synthetic.cc.o.d"
+  "libidrepair_gen.a"
+  "libidrepair_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idrepair_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idrepair_graph.dir/generators.cc.o"
+  "CMakeFiles/idrepair_graph.dir/generators.cc.o.d"
+  "CMakeFiles/idrepair_graph.dir/paths.cc.o"
+  "CMakeFiles/idrepair_graph.dir/paths.cc.o.d"
+  "CMakeFiles/idrepair_graph.dir/reachability.cc.o"
+  "CMakeFiles/idrepair_graph.dir/reachability.cc.o.d"
+  "CMakeFiles/idrepair_graph.dir/serialization.cc.o"
+  "CMakeFiles/idrepair_graph.dir/serialization.cc.o.d"
+  "CMakeFiles/idrepair_graph.dir/transition_graph.cc.o"
+  "CMakeFiles/idrepair_graph.dir/transition_graph.cc.o.d"
+  "libidrepair_graph.a"
+  "libidrepair_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idrepair_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

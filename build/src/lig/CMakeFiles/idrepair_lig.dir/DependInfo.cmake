@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lig/length_indexed_grids.cc" "src/lig/CMakeFiles/idrepair_lig.dir/length_indexed_grids.cc.o" "gcc" "src/lig/CMakeFiles/idrepair_lig.dir/length_indexed_grids.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/idrepair_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/idrepair_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/idrepair_traj.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

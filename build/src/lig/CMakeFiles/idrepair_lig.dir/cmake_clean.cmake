@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idrepair_lig.dir/length_indexed_grids.cc.o"
+  "CMakeFiles/idrepair_lig.dir/length_indexed_grids.cc.o.d"
+  "libidrepair_lig.a"
+  "libidrepair_lig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idrepair_lig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/repair/candidates.cc" "src/repair/CMakeFiles/idrepair_repair.dir/candidates.cc.o" "gcc" "src/repair/CMakeFiles/idrepair_repair.dir/candidates.cc.o.d"
+  "/root/repo/src/repair/cliques.cc" "src/repair/CMakeFiles/idrepair_repair.dir/cliques.cc.o" "gcc" "src/repair/CMakeFiles/idrepair_repair.dir/cliques.cc.o.d"
+  "/root/repo/src/repair/explain.cc" "src/repair/CMakeFiles/idrepair_repair.dir/explain.cc.o" "gcc" "src/repair/CMakeFiles/idrepair_repair.dir/explain.cc.o.d"
+  "/root/repo/src/repair/partitioned.cc" "src/repair/CMakeFiles/idrepair_repair.dir/partitioned.cc.o" "gcc" "src/repair/CMakeFiles/idrepair_repair.dir/partitioned.cc.o.d"
+  "/root/repo/src/repair/predicates.cc" "src/repair/CMakeFiles/idrepair_repair.dir/predicates.cc.o" "gcc" "src/repair/CMakeFiles/idrepair_repair.dir/predicates.cc.o.d"
+  "/root/repo/src/repair/repair_graph.cc" "src/repair/CMakeFiles/idrepair_repair.dir/repair_graph.cc.o" "gcc" "src/repair/CMakeFiles/idrepair_repair.dir/repair_graph.cc.o.d"
+  "/root/repo/src/repair/repairer.cc" "src/repair/CMakeFiles/idrepair_repair.dir/repairer.cc.o" "gcc" "src/repair/CMakeFiles/idrepair_repair.dir/repairer.cc.o.d"
+  "/root/repo/src/repair/selectors.cc" "src/repair/CMakeFiles/idrepair_repair.dir/selectors.cc.o" "gcc" "src/repair/CMakeFiles/idrepair_repair.dir/selectors.cc.o.d"
+  "/root/repo/src/repair/trajectory_graph.cc" "src/repair/CMakeFiles/idrepair_repair.dir/trajectory_graph.cc.o" "gcc" "src/repair/CMakeFiles/idrepair_repair.dir/trajectory_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/idrepair_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/idrepair_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/idrepair_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/idrepair_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lig/CMakeFiles/idrepair_lig.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idrepair_repair.dir/candidates.cc.o"
+  "CMakeFiles/idrepair_repair.dir/candidates.cc.o.d"
+  "CMakeFiles/idrepair_repair.dir/cliques.cc.o"
+  "CMakeFiles/idrepair_repair.dir/cliques.cc.o.d"
+  "CMakeFiles/idrepair_repair.dir/explain.cc.o"
+  "CMakeFiles/idrepair_repair.dir/explain.cc.o.d"
+  "CMakeFiles/idrepair_repair.dir/partitioned.cc.o"
+  "CMakeFiles/idrepair_repair.dir/partitioned.cc.o.d"
+  "CMakeFiles/idrepair_repair.dir/predicates.cc.o"
+  "CMakeFiles/idrepair_repair.dir/predicates.cc.o.d"
+  "CMakeFiles/idrepair_repair.dir/repair_graph.cc.o"
+  "CMakeFiles/idrepair_repair.dir/repair_graph.cc.o.d"
+  "CMakeFiles/idrepair_repair.dir/repairer.cc.o"
+  "CMakeFiles/idrepair_repair.dir/repairer.cc.o.d"
+  "CMakeFiles/idrepair_repair.dir/selectors.cc.o"
+  "CMakeFiles/idrepair_repair.dir/selectors.cc.o.d"
+  "CMakeFiles/idrepair_repair.dir/trajectory_graph.cc.o"
+  "CMakeFiles/idrepair_repair.dir/trajectory_graph.cc.o.d"
+  "libidrepair_repair.a"
+  "libidrepair_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idrepair_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idrepair_sim.dir/composite_id.cc.o"
+  "CMakeFiles/idrepair_sim.dir/composite_id.cc.o.d"
+  "CMakeFiles/idrepair_sim.dir/edit_distance.cc.o"
+  "CMakeFiles/idrepair_sim.dir/edit_distance.cc.o.d"
+  "CMakeFiles/idrepair_sim.dir/similarity.cc.o"
+  "CMakeFiles/idrepair_sim.dir/similarity.cc.o.d"
+  "libidrepair_sim.a"
+  "libidrepair_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idrepair_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libidrepair_sim.a"
+)

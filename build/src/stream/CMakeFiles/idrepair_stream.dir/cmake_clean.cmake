@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idrepair_stream.dir/streaming_repairer.cc.o"
+  "CMakeFiles/idrepair_stream.dir/streaming_repairer.cc.o.d"
+  "libidrepair_stream.a"
+  "libidrepair_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idrepair_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

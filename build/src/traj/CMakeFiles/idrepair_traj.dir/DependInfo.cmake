@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traj/csv.cc" "src/traj/CMakeFiles/idrepair_traj.dir/csv.cc.o" "gcc" "src/traj/CMakeFiles/idrepair_traj.dir/csv.cc.o.d"
+  "/root/repo/src/traj/merge.cc" "src/traj/CMakeFiles/idrepair_traj.dir/merge.cc.o" "gcc" "src/traj/CMakeFiles/idrepair_traj.dir/merge.cc.o.d"
+  "/root/repo/src/traj/stats.cc" "src/traj/CMakeFiles/idrepair_traj.dir/stats.cc.o" "gcc" "src/traj/CMakeFiles/idrepair_traj.dir/stats.cc.o.d"
+  "/root/repo/src/traj/trajectory.cc" "src/traj/CMakeFiles/idrepair_traj.dir/trajectory.cc.o" "gcc" "src/traj/CMakeFiles/idrepair_traj.dir/trajectory.cc.o.d"
+  "/root/repo/src/traj/trajectory_set.cc" "src/traj/CMakeFiles/idrepair_traj.dir/trajectory_set.cc.o" "gcc" "src/traj/CMakeFiles/idrepair_traj.dir/trajectory_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/idrepair_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/idrepair_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

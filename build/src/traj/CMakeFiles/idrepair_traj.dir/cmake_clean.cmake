@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idrepair_traj.dir/csv.cc.o"
+  "CMakeFiles/idrepair_traj.dir/csv.cc.o.d"
+  "CMakeFiles/idrepair_traj.dir/merge.cc.o"
+  "CMakeFiles/idrepair_traj.dir/merge.cc.o.d"
+  "CMakeFiles/idrepair_traj.dir/stats.cc.o"
+  "CMakeFiles/idrepair_traj.dir/stats.cc.o.d"
+  "CMakeFiles/idrepair_traj.dir/trajectory.cc.o"
+  "CMakeFiles/idrepair_traj.dir/trajectory.cc.o.d"
+  "CMakeFiles/idrepair_traj.dir/trajectory_set.cc.o"
+  "CMakeFiles/idrepair_traj.dir/trajectory_set.cc.o.d"
+  "libidrepair_traj.a"
+  "libidrepair_traj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idrepair_traj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

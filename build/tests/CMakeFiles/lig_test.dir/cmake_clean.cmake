@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lig_test.dir/lig_test.cc.o"
+  "CMakeFiles/lig_test.dir/lig_test.cc.o.d"
+  "lig_test"
+  "lig_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repairer_test.dir/repairer_test.cc.o"
+  "CMakeFiles/repairer_test.dir/repairer_test.cc.o.d"
+  "repairer_test"
+  "repairer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repairer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idrepair_cli.dir/idrepair_cli.cc.o"
+  "CMakeFiles/idrepair_cli.dir/idrepair_cli.cc.o.d"
+  "idrepair_cli"
+  "idrepair_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idrepair_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
