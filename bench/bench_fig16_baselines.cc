@@ -47,10 +47,20 @@ int main() {
     auto m1 = EvaluateRewrites(truth, set, core->rewrites);
 
     IdSimilarityRepairer sim_baseline(/*max_edit_distance=*/3);
-    auto m2 = EvaluateRewrites(truth, set, sim_baseline.Repair(set).rewrites);
+    auto sim = sim_baseline.Repair(set);
+    if (!sim.ok()) {
+      std::cerr << "sim baseline failed: " << sim.status() << "\n";
+      return 1;
+    }
+    auto m2 = EvaluateRewrites(truth, set, sim->rewrites);
 
     NeighborhoodRepairer nbr_baseline(ds->graph, options);
-    auto m3 = EvaluateRewrites(truth, set, nbr_baseline.Repair(set).rewrites);
+    auto nbr = nbr_baseline.Repair(set);
+    if (!nbr.ok()) {
+      std::cerr << "neighborhood baseline failed: " << nbr.status() << "\n";
+      return 1;
+    }
+    auto m3 = EvaluateRewrites(truth, set, nbr->rewrites);
 
     PrintRow({std::to_string(set.size()), "transition graph",
               Fmt(m1.recall), Fmt(m1.precision), Fmt(m1.f_measure)});

@@ -43,6 +43,10 @@ inline std::string Fmt(double v, int digits = 3) {
 
 inline std::string FmtMs(double seconds) { return ToFixed(seconds * 1e3, 1); }
 
+inline std::string FmtRatio(double ratio) {
+  return ToFixed(ratio, 2) + "x";
+}
+
 }  // namespace benchutil
 }  // namespace idrepair
 

@@ -33,9 +33,11 @@ class UnionFind {
 
 }  // namespace
 
-BaselineResult IdSimilarityRepairer::Repair(const TrajectorySet& set) const {
+Result<RepairResult> IdSimilarityRepairer::Repair(
+    const TrajectorySet& set) const {
   Stopwatch watch;
-  BaselineResult result;
+  RepairResult result;
+  result.stats.num_trajectories = set.size();
   size_t n = set.size();
   UnionFind uf(n);
   for (TrajIndex i = 0; i < n; ++i) {
@@ -64,7 +66,7 @@ BaselineResult IdSimilarityRepairer::Repair(const TrajectorySet& set) const {
     }
   }
   result.repaired = ApplyRewrites(set, result.rewrites);
-  result.seconds = watch.ElapsedSeconds();
+  result.stats.seconds_total = watch.ElapsedSeconds();
   return result;
 }
 

@@ -2,8 +2,9 @@
 #define IDREPAIR_BASELINES_ID_SIMILARITY_REPAIRER_H_
 
 #include <cstddef>
+#include <string_view>
 
-#include "baselines/baseline_result.h"
+#include "repair/repairer.h"
 #include "traj/trajectory_set.h"
 
 namespace idrepair {
@@ -14,12 +15,17 @@ namespace idrepair {
 /// qualifying pairs); each cluster's target ID is chosen by the same
 /// length-weighted rule as the core pipeline (Eq. 5). No movement
 /// constraints are consulted — that is the point of the comparison.
-class IdSimilarityRepairer {
+///
+/// As a Repairer it fills rewrites/repaired/timing only (no candidate
+/// list — the baseline has no notion of one).
+class IdSimilarityRepairer : public Repairer {
  public:
   explicit IdSimilarityRepairer(size_t max_edit_distance = 3)
       : max_edit_distance_(max_edit_distance) {}
 
-  BaselineResult Repair(const TrajectorySet& set) const;
+  Result<RepairResult> Repair(const TrajectorySet& set) const override;
+
+  std::string_view name() const override { return "idsim"; }
 
  private:
   size_t max_edit_distance_;

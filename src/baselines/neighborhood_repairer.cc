@@ -12,9 +12,12 @@
 
 namespace idrepair {
 
-BaselineResult NeighborhoodRepairer::Repair(const TrajectorySet& set) const {
+Result<RepairResult> NeighborhoodRepairer::Repair(
+    const TrajectorySet& set) const {
+  IDREPAIR_RETURN_NOT_OK(options_.Validate());
   Stopwatch watch;
-  BaselineResult result;
+  RepairResult result;
+  result.stats.num_trajectories = set.size();
 
   PredicateEvaluator pred(*graph_, options_.theta, options_.eta);
   TrajectoryGraph gm(set, pred, options_);
@@ -53,7 +56,7 @@ BaselineResult NeighborhoodRepairer::Repair(const TrajectorySet& set) const {
     if (set.at(c.vertex).id() != label) result.rewrites[c.vertex] = label;
   }
   result.repaired = ApplyRewrites(set, result.rewrites);
-  result.seconds = watch.ElapsedSeconds();
+  result.stats.seconds_total = watch.ElapsedSeconds();
   return result;
 }
 

@@ -1,9 +1,12 @@
 #ifndef IDREPAIR_BASELINES_NEIGHBORHOOD_REPAIRER_H_
 #define IDREPAIR_BASELINES_NEIGHBORHOOD_REPAIRER_H_
 
-#include "baselines/baseline_result.h"
+#include <string_view>
+#include <utility>
+
 #include "graph/transition_graph.h"
 #include "repair/options.h"
+#include "repair/repairer.h"
 #include "traj/trajectory_set.h"
 
 namespace idrepair {
@@ -31,14 +34,19 @@ namespace idrepair {
 ///      trajectories is never considered jointly;
 ///  (3) minimum change can prefer a cheap wrong donor over the right
 ///      repair that a global view would pick.
-class NeighborhoodRepairer {
+///
+/// As a Repairer it fills rewrites/repaired/timing only (no candidate
+/// list — the baseline has no notion of one).
+class NeighborhoodRepairer : public Repairer {
  public:
   /// `options` supplies the θ/η bounds used to build the instance graph
   /// (same bounds as the core pipeline, for a fair comparison).
   NeighborhoodRepairer(const TransitionGraph& graph, RepairOptions options)
       : graph_(&graph), options_(std::move(options)) {}
 
-  BaselineResult Repair(const TrajectorySet& set) const;
+  Result<RepairResult> Repair(const TrajectorySet& set) const override;
+
+  std::string_view name() const override { return "neighborhood"; }
 
  private:
   const TransitionGraph* graph_;

@@ -2,6 +2,7 @@
 #define IDREPAIR_COMMON_STOPWATCH_H_
 
 #include <chrono>
+#include <ctime>
 
 namespace idrepair {
 
@@ -25,6 +26,33 @@ class Stopwatch {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// Process-CPU-time stopwatch: the sum of CPU seconds burned by *all*
+/// threads of the process since construction or the last Restart(). The
+/// wall/CPU pair in RepairStats makes parallel speedup visible: wall time
+/// drops with more threads while CPU time stays roughly flat.
+class CpuStopwatch {
+ public:
+  CpuStopwatch() : start_(Now()) {}
+
+  void Restart() { start_ = Now(); }
+
+  double ElapsedSeconds() const { return Now() - start_; }
+
+ private:
+  static double Now() {
+#if defined(__linux__) || defined(__APPLE__)
+    timespec ts{};
+    if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+      return static_cast<double>(ts.tv_sec) +
+             static_cast<double>(ts.tv_nsec) * 1e-9;
+    }
+#endif
+    return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+  }
+
+  double start_;
 };
 
 }  // namespace idrepair

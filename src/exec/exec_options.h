@@ -1,0 +1,47 @@
+#ifndef IDREPAIR_EXEC_EXEC_OPTIONS_H_
+#define IDREPAIR_EXEC_EXEC_OPTIONS_H_
+
+#include <cstddef>
+#include <thread>
+
+#include "common/status.h"
+
+namespace idrepair {
+
+/// Execution knobs shared by every parallel phase of the pipeline. Embedded
+/// in RepairOptions so thread count flows through all engines (batch,
+/// partitioned, streaming) without separate plumbing.
+struct ExecOptions {
+  /// Maximum worker parallelism. 0 selects std::thread::hardware_concurrency.
+  /// 1 forces fully sequential execution (no pool dispatch at all), which is
+  /// the reference behavior every multi-threaded run must reproduce
+  /// bit-identically.
+  int num_threads = 0;
+
+  /// Minimum number of work items (trajectories, vertices) per parallel
+  /// task. Shards smaller than this are merged with their neighbor so tiny
+  /// inputs never pay dispatch overhead.
+  size_t min_partition_grain = 64;
+
+  /// `num_threads` with the 0 default resolved against the hardware.
+  int ResolvedThreads() const {
+    if (num_threads > 0) return num_threads;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+  }
+
+  Status Validate() const {
+    if (num_threads < 0) {
+      return Status::InvalidArgument("exec.num_threads must be >= 0");
+    }
+    if (min_partition_grain == 0) {
+      return Status::InvalidArgument(
+          "exec.min_partition_grain must be >= 1");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_EXEC_EXEC_OPTIONS_H_

@@ -1,0 +1,42 @@
+#ifndef IDREPAIR_EXEC_PARALLEL_FOR_H_
+#define IDREPAIR_EXEC_PARALLEL_FOR_H_
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/task_group.h"
+#include "exec/thread_pool.h"
+
+namespace idrepair {
+
+/// Splits [0, n) into at most `num_threads` contiguous shards of at least
+/// `grain` items each (the last shard absorbs the remainder). Pure function
+/// of its arguments, so callers can pre-size per-shard result storage and
+/// rely on the same decomposition inside ParallelFor. Returns an empty
+/// vector for n == 0.
+std::vector<std::pair<size_t, size_t>> SplitRange(size_t n, int num_threads,
+                                                  size_t grain);
+
+/// Runs body(shard, begin, end) over the given shards. A single shard runs
+/// inline on the calling thread (no pool dispatch); multiple shards are
+/// dispatched through a TaskGroup, so the first error cancels unstarted
+/// shards and is returned. Shard results must be merged by the caller in
+/// shard order for deterministic output (see exec/README.md).
+Status ParallelFor(
+    ThreadPool* pool,
+    const std::vector<std::pair<size_t, size_t>>& shards,
+    const std::function<Status(size_t shard, size_t begin, size_t end)>&
+        body);
+
+/// Convenience overload: shards [0, n) itself via SplitRange.
+Status ParallelFor(
+    ThreadPool* pool, size_t n, int num_threads, size_t grain,
+    const std::function<Status(size_t shard, size_t begin, size_t end)>&
+        body);
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_EXEC_PARALLEL_FOR_H_

@@ -1,0 +1,52 @@
+#include "exec/task_group.h"
+
+#include <chrono>
+#include <utility>
+
+namespace idrepair {
+
+TaskGroup::TaskGroup(ThreadPool* pool)
+    : pool_(pool != nullptr ? pool : &ThreadPool::Default()),
+      state_(std::make_shared<State>()) {}
+
+TaskGroup::~TaskGroup() { Wait(); }
+
+void TaskGroup::Spawn(std::function<Status()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    ++state_->spawned;
+  }
+  pool_->Submit([state = state_, fn = std::move(fn)]() {
+    Status status;  // OK
+    if (!state->cancelled.load(std::memory_order_relaxed)) {
+      status = fn();
+    }
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (!status.ok() && state->first_error.ok()) {
+        state->first_error = status;
+        state->cancelled.store(true, std::memory_order_relaxed);
+      }
+      ++state->finished;
+    }
+    state->cv.notify_all();
+  });
+}
+
+Status TaskGroup::Wait() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(state_->mu);
+      if (state_->finished == state_->spawned) return state_->first_error;
+    }
+    // Help drain the pool rather than parking; when nothing is runnable
+    // our remaining tasks are executing on other threads — sleep until one
+    // finishes (or a new task becomes stealable).
+    if (pool_->TryRunOneTask()) continue;
+    std::unique_lock<std::mutex> lock(state_->mu);
+    if (state_->finished == state_->spawned) return state_->first_error;
+    state_->cv.wait_for(lock, std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace idrepair

@@ -1,0 +1,71 @@
+#ifndef IDREPAIR_EXEC_TASK_GROUP_H_
+#define IDREPAIR_EXEC_TASK_GROUP_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "common/status.h"
+#include "exec/thread_pool.h"
+
+namespace idrepair {
+
+/// A set of fallible tasks dispatched to a ThreadPool. The first task to
+/// return a non-OK Status cancels the group: tasks that have not started
+/// yet are skipped (marked finished without running), and Wait() returns
+/// that first error. Wait() helps execute pending pool tasks instead of
+/// blocking, which keeps nested groups deadlock-free on any pool size.
+///
+/// Typical use:
+///   TaskGroup group(&pool);
+///   for (auto& unit : units) group.Spawn([&] { return Work(unit); });
+///   IDREPAIR_RETURN_NOT_OK(group.Wait());
+class TaskGroup {
+ public:
+  /// nullptr selects ThreadPool::Default().
+  explicit TaskGroup(ThreadPool* pool = nullptr);
+
+  /// Waits for completion if the caller forgot to; errors are dropped in
+  /// that case, so call Wait() explicitly.
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueues `fn` on the pool. Must not be called concurrently with
+  /// Wait() on the same group.
+  void Spawn(std::function<Status()> fn);
+
+  /// Blocks (helping) until every spawned task has finished or been
+  /// skipped, then returns the first error, or OK.
+  Status Wait();
+
+  /// Marks the group cancelled: tasks that have not started are skipped.
+  /// Tasks already running may poll IsCancelled() to bail out early.
+  void Cancel() { state_->cancelled.store(true, std::memory_order_relaxed); }
+
+  bool IsCancelled() const {
+    return state_->cancelled.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    Status first_error;
+    size_t spawned = 0;
+    size_t finished = 0;
+    std::atomic<bool> cancelled{false};
+  };
+
+  ThreadPool* pool_;
+  // Shared with the task closures so a group destroyed without Wait()
+  // cannot leave tasks with dangling state.
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_EXEC_TASK_GROUP_H_

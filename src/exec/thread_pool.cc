@@ -1,0 +1,103 @@
+#include "exec/thread_pool.h"
+
+#include <utility>
+
+namespace idrepair {
+
+namespace {
+
+/// Identifies the pool (and worker slot) the current thread belongs to, so
+/// Submit can route worker-spawned tasks to the worker's own deque.
+struct WorkerIdentity {
+  ThreadPool* pool = nullptr;
+  int index = -1;
+};
+thread_local WorkerIdentity tls_worker;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    num_threads = hw > 0 ? static_cast<int>(hw) : 1;
+  }
+  queues_.resize(static_cast<size_t>(num_threads) + 1);  // +1: injection
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t queue = tls_worker.pool == this
+                       ? static_cast<size_t>(tls_worker.index)
+                       : queues_.size() - 1;
+    queues_[queue].push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::PopAnyTask(int self, std::function<void()>* out) {
+  // Own deque back first (LIFO — the task most recently spawned here),
+  // then steal oldest-first from the injection queue and the other
+  // workers, scanning from the slot after ours so steals spread out.
+  size_t n = queues_.size();
+  if (self >= 0 && !queues_[static_cast<size_t>(self)].empty()) {
+    *out = std::move(queues_[static_cast<size_t>(self)].back());
+    queues_[static_cast<size_t>(self)].pop_back();
+    return true;
+  }
+  size_t start = self >= 0 ? static_cast<size_t>(self) + 1 : n - 1;
+  for (size_t k = 0; k < n; ++k) {
+    size_t q = (start + k) % n;
+    if (queues_[q].empty()) continue;
+    *out = std::move(queues_[q].front());
+    queues_[q].pop_front();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(int self) {
+  tls_worker = WorkerIdentity{this, self};
+  std::function<void()> task;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // Pop before consulting shutdown_ so teardown drains pending tasks.
+      cv_.wait(lock, [&] { return PopAnyTask(self, &task) || shutdown_; });
+      if (!task) return;  // shutdown with all queues drained
+    }
+    task();
+    task = nullptr;
+  }
+}
+
+bool ThreadPool::TryRunOneTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    int self = tls_worker.pool == this ? tls_worker.index : -1;
+    if (!PopAnyTask(self, &task)) return false;
+  }
+  task();
+  return true;
+}
+
+ThreadPool& ThreadPool::Default() {
+  static ThreadPool* pool = new ThreadPool();  // leaked: lives until exit
+  return *pool;
+}
+
+}  // namespace idrepair

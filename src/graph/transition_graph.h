@@ -91,6 +91,14 @@ class TransitionGraph {
   /// non-empty.
   Status Validate() const;
 
+  /// Materializes the lazily rebuilt caches now. Must be called before the
+  /// graph is shared across threads (the parallel engines do this before
+  /// dispatch): concurrent const readers are only safe once no lazy
+  /// rebuild can trigger.
+  void PrepareForConcurrentUse() const {
+    if (num_locations() > 0) CanReachExit(0);
+  }
+
  private:
   void RecomputeExitReachability() const;
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "common/status.h"
+#include "exec/exec_options.h"
 #include "sim/similarity.h"
 #include "traj/tracking_record.h"
 
@@ -29,6 +30,22 @@ enum class RarityAggregation {
 /// Tuning knobs of the two-phase repair paradigm. Defaults are the paper's
 /// synthetic-dataset defaults (§6.3); the real-dataset experiments use
 /// θ=4, η=600, ζ=4, λ=0.5 (§6.1.1).
+///
+/// Construction: either fill fields directly, or chain the With* setters
+/// and finish with Validated(), which surfaces configuration errors at
+/// construction time instead of inside the first Repair() call:
+///
+///   auto options = RepairOptions()
+///                      .WithTheta(4).WithEta(600).WithThreads(8)
+///                      .Validated();
+///   if (!options.ok()) { ... }
+///
+/// ### Ownership contract
+/// RepairOptions never owns pointed-to collaborators. In particular,
+/// `similarity` (when non-null) must outlive every repairer constructed
+/// from these options — repairers keep the pointer, not a copy. This is
+/// the single authoritative statement of that contract; call sites that
+/// allocate a metric (e.g. the CLI) keep it alive for the whole run.
 struct RepairOptions {
   /// θ — maximum records in a valid trajectory (§2.3).
   size_t theta = 8;
@@ -55,9 +72,49 @@ struct RepairOptions {
   /// Repair-selection heuristic.
   SelectionAlgorithm selection = SelectionAlgorithm::kEmax;
 
-  /// ID similarity metric for Eq. (1)/(5). Not owned; nullptr selects the
-  /// paper's normalized edit similarity.
+  /// ID similarity metric for Eq. (1)/(5). Not owned (see the ownership
+  /// contract above); nullptr selects the paper's normalized edit
+  /// similarity. Implementations must return values in [0, 1]; debug
+  /// builds verify this at every use.
   const IdSimilarity* similarity = nullptr;
+
+  /// Parallel-execution knobs (thread count, task granularity), consumed
+  /// by every engine: trajectory-graph sharding, partitioned dispatch,
+  /// streaming flushes.
+  ExecOptions exec;
+
+  // ---- Fluent construction -----------------------------------------
+  RepairOptions& WithTheta(size_t v) { theta = v; return *this; }
+  RepairOptions& WithEta(Timestamp v) { eta = v; return *this; }
+  RepairOptions& WithZeta(size_t v) { zeta = v; return *this; }
+  RepairOptions& WithLambda(double v) { lambda = v; return *this; }
+  RepairOptions& WithTimeBin(Timestamp v) { time_bin = v; return *this; }
+  RepairOptions& WithLig(bool v) { use_lig = v; return *this; }
+  RepairOptions& WithMcpPruning(bool v) { use_mcp_pruning = v; return *this; }
+  RepairOptions& WithRarityBaseOffset(uint32_t v) {
+    rarity_base_offset = v;
+    return *this;
+  }
+  RepairOptions& WithRarityAggregation(RarityAggregation v) {
+    rarity_aggregation = v;
+    return *this;
+  }
+  RepairOptions& WithSelection(SelectionAlgorithm v) {
+    selection = v;
+    return *this;
+  }
+  RepairOptions& WithSimilarity(const IdSimilarity* v) {
+    similarity = v;
+    return *this;
+  }
+  RepairOptions& WithThreads(int v) {
+    exec.num_threads = v;
+    return *this;
+  }
+  RepairOptions& WithMinPartitionGrain(size_t v) {
+    exec.min_partition_grain = v;
+    return *this;
+  }
 
   /// Rejects nonsensical parameter combinations.
   Status Validate() const {
@@ -74,7 +131,15 @@ struct RepairOptions {
       return Status::InvalidArgument(
           "rarity_base_offset must be >= 1 (log base must exceed 1)");
     }
+    IDREPAIR_RETURN_NOT_OK(exec.Validate());
     return Status::OK();
+  }
+
+  /// Validate() as a terminal step of a With* chain: returns the finished
+  /// options by value, or the validation error.
+  Result<RepairOptions> Validated() const {
+    IDREPAIR_RETURN_NOT_OK(Validate());
+    return *this;
   }
 };
 

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#include "common/stopwatch.h"
+#include "exec/task_group.h"
+#include "exec/thread_pool.h"
+
 namespace idrepair {
 
 std::vector<std::vector<TrajIndex>> PartitionedRepairer::Partition(
@@ -29,22 +33,68 @@ std::vector<std::vector<TrajIndex>> PartitionedRepairer::Partition(
   return partitions;
 }
 
+namespace {
+
+/// Groups consecutive partitions into at most `num_tasks` contiguous task
+/// ranges balanced by trajectory count (each task repairs its partitions
+/// sequentially). Pure function of the sizes, so the decomposition — and
+/// therefore the merged output — never depends on timing.
+std::vector<std::pair<size_t, size_t>> GroupPartitions(
+    const std::vector<std::vector<TrajIndex>>& partitions, size_t total,
+    int num_threads, size_t grain) {
+  std::vector<std::pair<size_t, size_t>> tasks;
+  if (partitions.empty()) return tasks;
+  size_t max_tasks = num_threads > 0 ? static_cast<size_t>(num_threads) : 1;
+  if (grain > 0) {
+    max_tasks = std::min(max_tasks, std::max<size_t>(1, total / grain));
+  }
+  max_tasks = std::min(max_tasks, partitions.size());
+  // Close a task once it holds its share of trajectories. Every task but
+  // the last then carries >= target items, which bounds the task count by
+  // max_tasks without a second pass.
+  size_t target = (total + max_tasks - 1) / max_tasks;
+  size_t begin = 0, acc = 0;
+  for (size_t p = 0; p < partitions.size(); ++p) {
+    acc += partitions[p].size();
+    if (acc >= target || p + 1 == partitions.size()) {
+      tasks.emplace_back(begin, p + 1);
+      begin = p + 1;
+      acc = 0;
+    }
+  }
+  return tasks;
+}
+
+}  // namespace
+
 Result<RepairResult> PartitionedRepairer::Repair(
-    const TrajectorySet& set, PartitionStats* stats) const {
+    const TrajectorySet& set) const {
   IDREPAIR_RETURN_NOT_OK(repairer_.options().Validate());
+  Stopwatch total;
+  CpuStopwatch total_cpu;
   auto partitions = Partition(set);
 
-  RepairResult combined;
-  PartitionStats local;
-  local.num_partitions = partitions.size();
-  combined.stats.num_trajectories = set.size();
+  const ExecOptions& exec = repairer_.options().exec;
+  int threads = exec.ResolvedThreads();
+  auto tasks = GroupPartitions(partitions, set.size(), threads,
+                               exec.min_partition_grain);
 
-  std::vector<TrackingRecord> repaired_records;
-  repaired_records.reserve(set.total_records());
+  // The parallel unit is the chain component: inner repairs run their own
+  // phases sequentially unless this whole batch is a single component, in
+  // which case the component repair inherits the full thread budget for
+  // its trajectory-graph build.
+  RepairOptions inner_options = repairer_.options();
+  if (tasks.size() > 1) inner_options.exec.num_threads = 1;
+  IdRepairer inner(repairer_.graph(), inner_options);
 
-  for (const auto& partition : partitions) {
-    local.largest_partition =
-        std::max(local.largest_partition, partition.size());
+  // Per-partition result slots: each task writes only its own partitions;
+  // the merge below walks slots in partition order, so output is
+  // bit-identical to the sequential run regardless of thread count.
+  std::vector<Result<RepairResult>> slots(
+      partitions.size(), Status::Internal("partition repair never ran"));
+
+  auto repair_partition = [&](size_t p) -> Status {
+    const auto& partition = partitions[p];
     // Build the partition's own TrajectorySet; its internal order matches
     // the global order restricted to the partition (both start-time
     // sorted), so results map back through `partition`.
@@ -52,28 +102,64 @@ Result<RepairResult> PartitionedRepairer::Repair(
     trajs.reserve(partition.size());
     for (TrajIndex t : partition) trajs.push_back(set.at(t));
     TrajectorySet chunk(std::move(trajs));
+    slots[p] = inner.Repair(chunk);
+    return slots[p].ok() ? Status::OK() : slots[p].status();
+  };
 
-    auto result = repairer_.Repair(chunk);
-    if (!result.ok()) return result.status();
+  if (tasks.size() <= 1) {
+    for (size_t p = 0; p < partitions.size(); ++p) {
+      IDREPAIR_RETURN_NOT_OK(repair_partition(p));
+    }
+  } else {
+    // Lazy graph caches must be materialized before tasks share the graph
+    // across threads.
+    repairer_.graph().PrepareForConcurrentUse();
+    TaskGroup group(&ThreadPool::Default());
+    for (const auto& [task_begin, task_end] : tasks) {
+      group.Spawn([&, task_begin = task_begin, task_end = task_end] {
+        for (size_t p = task_begin; p < task_end; ++p) {
+          if (group.IsCancelled()) return Status::OK();  // superseded
+          IDREPAIR_RETURN_NOT_OK(repair_partition(p));
+        }
+        return Status::OK();
+      });
+    }
+    IDREPAIR_RETURN_NOT_OK(group.Wait());
+  }
+
+  RepairResult combined;
+  combined.stats.num_trajectories = set.size();
+  combined.stats.num_partitions = partitions.size();
+  combined.stats.threads_used =
+      static_cast<int>(std::min<size_t>(tasks.empty() ? 1 : tasks.size(),
+                                        static_cast<size_t>(threads)));
+
+  for (size_t p = 0; p < partitions.size(); ++p) {
+    const auto& partition = partitions[p];
+    combined.stats.largest_partition =
+        std::max(combined.stats.largest_partition, partition.size());
+    RepairResult& result = *slots[p];
 
     // Re-index candidates and selections into global trajectory indices.
     RepairIndex base = static_cast<RepairIndex>(combined.candidates.size());
-    for (auto& cand : result->candidates) {
+    for (auto& cand : result.candidates) {
       for (TrajIndex& m : cand.members) m = partition[m];
       for (TrajIndex& m : cand.invalid_members) m = partition[m];
       combined.candidates.push_back(std::move(cand));
     }
-    for (RepairIndex r : result->selected) {
+    for (RepairIndex r : result.selected) {
       combined.selected.push_back(base + r);
     }
-    for (const auto& [traj, id] : result->rewrites) {
+    for (const auto& [traj, id] : result.rewrites) {
       combined.rewrites.emplace(partition[traj], id);
     }
-    combined.total_effectiveness += result->total_effectiveness;
+    combined.total_effectiveness += result.total_effectiveness;
 
-    // Aggregate stats: counters add, phase times add (sequential execution;
-    // a distributed deployment would take the max instead).
-    const RepairStats& s = result->stats;
+    // Aggregate stats: counters add; per-phase wall times add too (they
+    // approximate total work — a distributed deployment would take the
+    // max instead), while seconds_total below is the true wall time of
+    // this call, so the wall/CPU split reflects the parallel run.
+    const RepairStats& s = result.stats;
     combined.stats.num_invalid += s.num_invalid;
     combined.stats.gm_edges += s.gm_edges;
     combined.stats.cex_evaluations += s.cex_evaluations;
@@ -87,11 +173,10 @@ Result<RepairResult> PartitionedRepairer::Repair(
     combined.stats.seconds_gm += s.seconds_gm;
     combined.stats.seconds_generation += s.seconds_generation;
     combined.stats.seconds_selection += s.seconds_selection;
-    combined.stats.seconds_total += s.seconds_total;
   }
   combined.repaired = ApplyRewrites(set, combined.rewrites);
-  local.combined = combined.stats;
-  if (stats != nullptr) *stats = local;
+  combined.stats.seconds_total = total.ElapsedSeconds();
+  combined.stats.cpu_seconds_total = total_cpu.ElapsedSeconds();
   return combined;
 }
 

@@ -2,6 +2,7 @@
 #define IDREPAIR_REPAIR_PARTITIONED_H_
 
 #include <cstddef>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -21,27 +22,30 @@ namespace idrepair {
 /// cross-component edges, candidate sets and rarity degrees are identical
 /// per component, and EMAX decomposes — the result is *exactly* the
 /// whole-batch result, partition by partition (verified by tests).
-class PartitionedRepairer {
+///
+/// Components are repaired in parallel on the exec thread pool
+/// (RepairOptions::exec caps the width); per-component results land in
+/// per-partition slots and are merged in partition order, so the output is
+/// bit-identical to a sequential run for every thread count. Partition
+/// shape lands in RepairStats::num_partitions / largest_partition.
+class PartitionedRepairer : public Repairer {
  public:
-  struct PartitionStats {
-    size_t num_partitions = 0;
-    size_t largest_partition = 0;  // trajectories
-    RepairStats combined;          // summed counters, max of phase times
-  };
-
   PartitionedRepairer(const TransitionGraph& graph, RepairOptions options)
       : repairer_(graph, std::move(options)) {}
 
   /// Repairs `set` partition by partition. The returned RepairResult's
   /// candidate list and selected indices are concatenated across
   /// partitions (re-indexed); rewrites and the repaired set are global.
-  Result<RepairResult> Repair(const TrajectorySet& set,
-                              PartitionStats* stats = nullptr) const;
+  Result<RepairResult> Repair(const TrajectorySet& set) const override;
+
+  std::string_view name() const override { return "partitioned"; }
 
   /// The partition boundaries for `set` under the configured η: each entry
   /// is the list of TrajectorySet indices in one chain component, ascending.
   std::vector<std::vector<TrajIndex>> Partition(
       const TrajectorySet& set) const;
+
+  const RepairOptions& options() const { return repairer_.options(); }
 
  private:
   IdRepairer repairer_;

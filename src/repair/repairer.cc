@@ -13,13 +13,23 @@ Result<RepairResult> IdRepairer::Repair(const TrajectorySet& set,
                                         const RepairSelector* selector) const {
   IDREPAIR_RETURN_NOT_OK(options_.Validate());
   IDREPAIR_RETURN_NOT_OK(graph_->Validate());
-  const IdSimilarity& similarity = options_.similarity != nullptr
-                                       ? *options_.similarity
-                                       : default_similarity_;
+  const IdSimilarity& base_similarity = options_.similarity != nullptr
+                                            ? *options_.similarity
+                                            : default_similarity_;
+#ifndef NDEBUG
+  // Debug builds verify the [0, 1] contract at every metric call; see
+  // RangeCheckedSimilarity.
+  RangeCheckedSimilarity checked_similarity(base_similarity);
+  const IdSimilarity& similarity = checked_similarity;
+#else
+  const IdSimilarity& similarity = base_similarity;
+#endif
 
   RepairResult result;
   Stopwatch total;
+  CpuStopwatch total_cpu;
   result.stats.num_trajectories = set.size();
+  result.stats.threads_used = options_.exec.ResolvedThreads();
 
   std::vector<bool> is_valid(set.size(), false);
   for (TrajIndex i = 0; i < set.size(); ++i) {
@@ -30,8 +40,10 @@ Result<RepairResult> IdRepairer::Repair(const TrajectorySet& set,
   // ---- Phase 1: candidate repair generation (§3.2) ----
   PredicateEvaluator pred(*graph_, options_.theta, options_.eta);
   Stopwatch phase;
+  CpuStopwatch phase_cpu;
   TrajectoryGraph gm(set, pred, options_);
   result.stats.seconds_gm = phase.ElapsedSeconds();
+  result.stats.cpu_seconds_gm = phase_cpu.ElapsedSeconds();
   result.stats.gm_edges = gm.num_edges();
   result.stats.cex_evaluations = gm.stats().cex_evaluations;
 
@@ -84,6 +96,7 @@ Result<RepairResult> IdRepairer::Repair(const TrajectorySet& set,
   }
   result.repaired = ApplyRewrites(set, result.rewrites);
   result.stats.seconds_total = total.ElapsedSeconds();
+  result.stats.cpu_seconds_total = total_cpu.ElapsedSeconds();
   return result;
 }
 

@@ -2,6 +2,7 @@
 #define IDREPAIR_REPAIR_REPAIRER_H_
 
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -31,6 +32,19 @@ struct RepairStats {
   double seconds_generation = 0.0;  // cliques + jnb + target assignment
   double seconds_selection = 0.0;   // Gr + selection
   double seconds_total = 0.0;
+  // Wall/CPU split of the run: cpu_* sums the CPU seconds of every thread
+  // that worked on the phase, so cpu ≈ wall when sequential and
+  // cpu ≈ wall × threads when the phase scales. The per-phase cpu entries
+  // are only filled by engines that own the phase (IdRepairer).
+  double cpu_seconds_gm = 0.0;
+  double cpu_seconds_total = 0.0;
+  // Parallel-execution footprint: the decomposition width this run was
+  // allowed (ExecOptions::ResolvedThreads, >= 1).
+  int threads_used = 1;
+  // Chain-component decomposition (PartitionedRepairer; 0 / 0 when the
+  // engine does not partition).
+  size_t num_partitions = 0;
+  size_t largest_partition = 0;     // trajectories in the biggest component
 };
 
 /// The outcome of one repair run.
@@ -51,6 +65,28 @@ struct RepairResult {
   RepairStats stats;
 };
 
+/// Abstract repair engine: anything that turns a TrajectorySet into a
+/// RepairResult. Implemented by the core two-phase pipeline (IdRepairer),
+/// its chain-component decomposition (PartitionedRepairer), the streaming
+/// adapter (StreamingRepairer), and both §6.5.2 baselines, so benches, the
+/// CLI, and tests can swap engines polymorphically.
+///
+/// Engines differ in how much of RepairResult they fill: all of them
+/// produce `rewrites`, `repaired`, and timing stats; only the candidate-
+/// based engines (IdRepairer, PartitionedRepairer) expose `candidates`,
+/// `selected`, and `total_effectiveness`.
+class Repairer {
+ public:
+  virtual ~Repairer() = default;
+
+  /// Repairs `set`. Implementations are const — one engine may serve many
+  /// concurrent Repair calls.
+  virtual Result<RepairResult> Repair(const TrajectorySet& set) const = 0;
+
+  /// Stable engine name for logs and the CLI's --engine flag.
+  virtual std::string_view name() const = 0;
+};
+
 /// Facade over the two-phase repair paradigm (§3): candidate repair
 /// generation followed by compatible repair selection, with the LIG index
 /// and MCP pruning optimizations applied per RepairOptions.
@@ -58,7 +94,7 @@ struct RepairResult {
 /// Typical use:
 ///   IdRepairer repairer(graph, options);
 ///   auto result = repairer.Repair(trajectories);
-class IdRepairer {
+class IdRepairer : public Repairer {
  public:
   /// The graph must outlive the repairer. Options are validated at Repair
   /// time.
@@ -68,7 +104,13 @@ class IdRepairer {
   /// overrides options.selection (used by the Fig 15 harness to plug in the
   /// oracle).
   Result<RepairResult> Repair(const TrajectorySet& set,
-                              const RepairSelector* selector = nullptr) const;
+                              const RepairSelector* selector) const;
+
+  Result<RepairResult> Repair(const TrajectorySet& set) const override {
+    return Repair(set, nullptr);
+  }
+
+  std::string_view name() const override { return "core"; }
 
   const RepairOptions& options() const { return options_; }
   const TransitionGraph& graph() const { return *graph_; }

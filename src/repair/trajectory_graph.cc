@@ -1,8 +1,26 @@
 #include "repair/trajectory_graph.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "exec/parallel_for.h"
+#include "exec/thread_pool.h"
 
 namespace idrepair {
+
+namespace {
+
+/// Per-shard scratch of the parallel build. Each shard owns one slot, so
+/// tasks never share mutable state; the constructor merges slots in shard
+/// order, which makes the finished graph bit-identical to a sequential
+/// build for every thread count.
+struct ShardScratch {
+  std::vector<std::pair<TrajIndex, TrajIndex>> edges;
+  size_t candidate_pairs = 0;
+  size_t cex_evaluations = 0;
+};
+
+}  // namespace
 
 TrajectoryGraph::TrajectoryGraph(const TrajectorySet& set,
                                  const PredicateEvaluator& pred,
@@ -15,34 +33,59 @@ TrajectoryGraph::TrajectoryGraph(const TrajectorySet& set,
   }
   stats_.used_lig = options.use_lig;
 
+  // Shard the pairwise/LIG cex-evaluation loop over the probe vertex i.
+  // Shard boundaries depend only on (n, threads, grain), never on timing.
+  auto shards = SplitRange(n, options.exec.ResolvedThreads(),
+                           options.exec.min_partition_grain);
+  std::vector<ShardScratch> scratch(shards.size());
+
   if (options.use_lig) {
     LengthIndexedGrids::Options lig_opts;
     lig_opts.theta = options.theta;
     lig_opts.eta = options.eta;
     lig_opts.time_bin = options.time_bin;
     LengthIndexedGrids index(set, lig_opts);
-    std::vector<TrajIndex> candidates;
-    for (TrajIndex i = 0; i < n; ++i) {
-      if (!feasible_[i]) continue;
-      candidates.clear();
-      index.CollectCandidates(i, &candidates);
-      for (TrajIndex j : candidates) {
-        if (j <= i || !feasible_[j]) continue;  // each pair tested once
-        ++stats_.candidate_pairs;
-        ++stats_.cex_evaluations;
-        if (pred.Cex(set.at(i), set.at(j))) AddEdge(i, j);
-      }
-    }
+    (void)ParallelFor(
+        &ThreadPool::Default(), shards,
+        [&](size_t shard, size_t begin, size_t end) {
+          ShardScratch& out = scratch[shard];
+          std::vector<TrajIndex> candidates;
+          for (TrajIndex i = static_cast<TrajIndex>(begin); i < end; ++i) {
+            if (!feasible_[i]) continue;
+            candidates.clear();
+            index.CollectCandidates(i, &candidates);
+            for (TrajIndex j : candidates) {
+              if (j <= i || !feasible_[j]) continue;  // each pair once
+              ++out.candidate_pairs;
+              ++out.cex_evaluations;
+              if (pred.Cex(set.at(i), set.at(j))) out.edges.emplace_back(i, j);
+            }
+          }
+          return Status::OK();
+        });
   } else {
-    for (TrajIndex i = 0; i < n; ++i) {
-      if (!feasible_[i]) continue;
-      for (TrajIndex j = i + 1; j < n; ++j) {
-        if (!feasible_[j]) continue;
-        ++stats_.candidate_pairs;
-        ++stats_.cex_evaluations;
-        if (pred.Cex(set.at(i), set.at(j))) AddEdge(i, j);
-      }
-    }
+    (void)ParallelFor(
+        &ThreadPool::Default(), shards,
+        [&](size_t shard, size_t begin, size_t end) {
+          ShardScratch& out = scratch[shard];
+          for (TrajIndex i = static_cast<TrajIndex>(begin); i < end; ++i) {
+            if (!feasible_[i]) continue;
+            for (TrajIndex j = i + 1; j < n; ++j) {
+              if (!feasible_[j]) continue;
+              ++out.candidate_pairs;
+              ++out.cex_evaluations;
+              if (pred.Cex(set.at(i), set.at(j))) out.edges.emplace_back(i, j);
+            }
+          }
+          return Status::OK();
+        });
+  }
+
+  // Deterministic merge: shard order, then the usual neighbor sort.
+  for (const ShardScratch& out : scratch) {
+    stats_.candidate_pairs += out.candidate_pairs;
+    stats_.cex_evaluations += out.cex_evaluations;
+    for (const auto& [i, j] : out.edges) AddEdge(i, j);
   }
   for (auto& nbrs : adj_) std::sort(nbrs.begin(), nbrs.end());
 }

@@ -1,6 +1,7 @@
 #ifndef IDREPAIR_SIM_SIMILARITY_H_
 #define IDREPAIR_SIM_SIMILARITY_H_
 
+#include <cassert>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -62,6 +63,30 @@ class OverlapCoefficientSimilarity final : public IdSimilarity {
  public:
   double Similarity(std::string_view a, std::string_view b) const override;
   std::string_view name() const override { return "overlap"; }
+};
+
+/// Debug-mode guard enforcing the IdSimilarity contract: forwards to the
+/// wrapped metric and asserts every returned value lies in [0, 1]. The
+/// repair pipeline wraps user-supplied metrics with this in debug builds,
+/// so an out-of-range metric fails loudly at its first use instead of
+/// silently corrupting effectiveness scores. The wrapped metric is not
+/// owned and must outlive the wrapper.
+class RangeCheckedSimilarity final : public IdSimilarity {
+ public:
+  explicit RangeCheckedSimilarity(const IdSimilarity& inner)
+      : inner_(&inner) {}
+
+  double Similarity(std::string_view a, std::string_view b) const override {
+    double v = inner_->Similarity(a, b);
+    assert(v >= 0.0 && v <= 1.0 &&
+           "IdSimilarity implementations must return values in [0, 1]");
+    return v;
+  }
+
+  std::string_view name() const override { return inner_->name(); }
+
+ private:
+  const IdSimilarity* inner_;
 };
 
 /// Creates a similarity metric by its stable name ("edit", "jaro_winkler",

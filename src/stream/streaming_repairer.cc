@@ -1,16 +1,21 @@
 #include "stream/streaming_repairer.h"
 
 #include <algorithm>
+#include <deque>
 #include <map>
 #include <tuple>
 #include <unordered_set>
+
+#include "common/stopwatch.h"
 
 namespace idrepair {
 
 StreamingRepairer::StreamingRepairer(const TransitionGraph& graph,
                                      RepairOptions options,
                                      double flush_horizon_multiplier)
-    : graph_(&graph), options_(std::move(options)) {
+    : graph_(&graph),
+      options_(std::move(options)),
+      flush_horizon_multiplier_(flush_horizon_multiplier) {
   // Emitted fragments must at least be inert (no future record can join a
   // fragment whose start is more than η behind the watermark), so the
   // horizon is clamped to one η.
@@ -160,6 +165,90 @@ std::vector<Trajectory> StreamingRepairer::Poll() {
   }
   emitted_ += emitted.size();
   return emitted;
+}
+
+Result<RepairResult> StreamingRepairer::Repair(
+    const TrajectorySet& set) const {
+  IDREPAIR_RETURN_NOT_OK(options_.Validate());
+  IDREPAIR_RETURN_NOT_OK(graph_->Validate());
+  Stopwatch total;
+  CpuStopwatch total_cpu;
+
+  // Flatten and order by time so the scratch stream accepts every record.
+  std::vector<TrackingRecord> records;
+  records.reserve(set.total_records());
+  for (TrajIndex i = 0; i < set.size(); ++i) {
+    for (const auto& p : set.at(i).points()) {
+      records.push_back(TrackingRecord{set.at(i).id(), p.loc, p.ts});
+    }
+  }
+  std::stable_sort(records.begin(), records.end(),
+                   [](const TrackingRecord& a, const TrackingRecord& b) {
+                     return std::tie(a.ts, a.id, a.loc) <
+                            std::tie(b.ts, b.id, b.loc);
+                   });
+
+  // Replay with a Poll() every η of stream time — the cadence a live
+  // consumer would use — then drain the tail.
+  StreamingRepairer scratch(*graph_, options_, flush_horizon_multiplier_);
+  std::vector<Trajectory> emitted;
+  Timestamp last_poll = records.empty() ? 0 : records.front().ts;
+  for (const auto& r : records) {
+    IDREPAIR_RETURN_NOT_OK(scratch.Append(r));
+    if (scratch.watermark() - last_poll > options_.eta) {
+      auto got = scratch.Poll();
+      emitted.insert(emitted.end(), got.begin(), got.end());
+      last_poll = scratch.watermark();
+    }
+  }
+  auto tail = scratch.Finish();
+  emitted.insert(emitted.end(), tail.begin(), tail.end());
+
+  RepairResult result;
+  result.stats.num_trajectories = set.size();
+  result.stats.threads_used = options_.exec.ResolvedThreads();
+  for (TrajIndex i = 0; i < set.size(); ++i) {
+    if (!set.at(i).IsValid(*graph_)) ++result.stats.num_invalid;
+  }
+
+  // Recover the per-trajectory rewrite map: repair only relabels records,
+  // so each input point (loc, ts) reappears verbatim in some emitted
+  // trajectory. Bucket emitted IDs by point and let each input trajectory
+  // claim one per point, majority-voting its new ID (points of one input
+  // always travel together, so the vote is unanimous short of point-level
+  // (loc, ts) collisions between distinct inputs).
+  std::map<std::pair<LocationId, Timestamp>, std::deque<std::string>> by_point;
+  std::vector<TrackingRecord> emitted_records;
+  for (const auto& t : emitted) {
+    for (const auto& p : t.points()) {
+      by_point[{p.loc, p.ts}].push_back(t.id());
+      emitted_records.push_back(TrackingRecord{t.id(), p.loc, p.ts});
+    }
+  }
+  for (TrajIndex i = 0; i < set.size(); ++i) {
+    const Trajectory& t = set.at(i);
+    std::map<std::string, size_t> votes;
+    for (const auto& p : t.points()) {
+      auto it = by_point.find({p.loc, p.ts});
+      if (it == by_point.end() || it->second.empty()) continue;
+      ++votes[it->second.front()];
+      it->second.pop_front();
+    }
+    const std::string* winner = nullptr;
+    size_t best = 0;
+    for (const auto& [id, n] : votes) {
+      if (n > best || (n == best && id == t.id())) {
+        winner = &id;
+        best = n;
+      }
+    }
+    if (winner != nullptr && *winner != t.id()) result.rewrites[i] = *winner;
+  }
+
+  result.repaired = TrajectorySet::FromRecords(emitted_records);
+  result.stats.seconds_total = total.ElapsedSeconds();
+  result.stats.cpu_seconds_total = total_cpu.ElapsedSeconds();
+  return result;
 }
 
 std::vector<Trajectory> StreamingRepairer::Finish() {

@@ -39,7 +39,14 @@ namespace idrepair {
 /// behind the cut are applied; mixed decisions stay buffered and re-enter
 /// the next poll, so quality stays close to batch even under frequent
 /// polling.
-class StreamingRepairer {
+///
+/// As a batch Repairer (the polymorphic engine interface), a streaming
+/// instance replays the whole set through a scratch stream in timestamp
+/// order with a Poll() every η of stream time — so the batch call
+/// exercises the genuine incremental path, flushes included, rather than
+/// degenerating to one big Finish(). Flush batches run on the shared exec
+/// pool via the inner IdRepairer (RepairOptions::exec).
+class StreamingRepairer : public Repairer {
  public:
   StreamingRepairer(const TransitionGraph& graph, RepairOptions options,
                     double flush_horizon_multiplier = 2.0);
@@ -55,6 +62,16 @@ class StreamingRepairer {
 
   /// Flushes everything still buffered, repairing one final batch.
   std::vector<Trajectory> Finish();
+
+  /// Batch adapter (Repairer interface): replays `set` through a scratch
+  /// streaming instance (this one is untouched) and reassembles the
+  /// emitted trajectories into a RepairResult. Candidate-level fields
+  /// (`candidates`, `selected`, `total_effectiveness`) stay empty — the
+  /// streaming path applies its decisions incrementally and does not keep
+  /// a global candidate list.
+  Result<RepairResult> Repair(const TrajectorySet& set) const override;
+
+  std::string_view name() const override { return "streaming"; }
 
   /// Largest timestamp observed so far.
   Timestamp watermark() const { return watermark_; }
@@ -74,6 +91,7 @@ class StreamingRepairer {
 
   const TransitionGraph* graph_;
   RepairOptions options_;
+  double flush_horizon_multiplier_;
   Timestamp flush_horizon_;
   Timestamp watermark_ = 0;
   bool saw_any_ = false;

@@ -1,11 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "baselines/id_similarity_repairer.h"
 #include "baselines/neighborhood_repairer.h"
 #include "eval/metrics.h"
 #include "gen/real_like.h"
 #include "graph/generators.h"
+#include "repair/partitioned.h"
 #include "repair/repairer.h"
+#include "stream/streaming_repairer.h"
 #include "test_util.h"
 
 namespace idrepair {
@@ -20,39 +25,43 @@ TEST(IdSimilarityRepairerTest, MergesCloseIdsOnRunningExample) {
   TrajectorySet set = MakeTable2Trajectories();
   IdSimilarityRepairer baseline(/*max_edit_distance=*/3);
   auto result = baseline.Repair(set);
+  ASSERT_TRUE(result.ok());
   // dist(GL03245, GL83248) = 2 and dist(GL21348, GL83248) = 3, so the
   // transitive clustering folds ALL THREE trajectories into one entity —
   // the baseline's characteristic false merge (it never consults the
   // transition graph). Eq. 5 targets the longest trajectory, GL21348.
-  ASSERT_EQ(result.rewrites.size(), 2u);
-  EXPECT_EQ(result.rewrites.at(1), "GL21348");
-  EXPECT_EQ(result.rewrites.at(2), "GL21348");
-  EXPECT_EQ(result.repaired.size(), 1u);
+  ASSERT_EQ(result->rewrites.size(), 2u);
+  EXPECT_EQ(result->rewrites.at(1), "GL21348");
+  EXPECT_EQ(result->rewrites.at(2), "GL21348");
+  EXPECT_EQ(result->repaired.size(), 1u);
 }
 
 TEST(IdSimilarityRepairerTest, TightThresholdMergesOnlyTheClosePair) {
   TrajectorySet set = MakeTable2Trajectories();
   IdSimilarityRepairer baseline(/*max_edit_distance=*/2);
   auto result = baseline.Repair(set);
+  ASSERT_TRUE(result.ok());
   // Only GL03245 <-> GL83248 (distance 2) qualify now.
-  ASSERT_EQ(result.rewrites.size(), 1u);
+  ASSERT_EQ(result->rewrites.size(), 1u);
   // Eq. 5 target for {GL03245<C>, GL83248<D,E>} is GL83248 (longer).
-  EXPECT_EQ(result.rewrites.at(1), "GL83248");
-  EXPECT_EQ(result.repaired.size(), 2u);
+  EXPECT_EQ(result->rewrites.at(1), "GL83248");
+  EXPECT_EQ(result->repaired.size(), 2u);
 }
 
 TEST(IdSimilarityRepairerTest, ThresholdZeroDoesNothing) {
   TrajectorySet set = MakeTable2Trajectories();
   IdSimilarityRepairer baseline(0);
   auto result = baseline.Repair(set);
-  EXPECT_TRUE(result.rewrites.empty());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->rewrites.empty());
 }
 
 TEST(IdSimilarityRepairerTest, LargeThresholdMergesEverything) {
   TrajectorySet set = MakeTable2Trajectories();
   IdSimilarityRepairer baseline(10);
   auto result = baseline.Repair(set);
-  EXPECT_EQ(result.repaired.size(), 1u);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->repaired.size(), 1u);
 }
 
 TEST(IdSimilarityRepairerTest, IgnoresMovementConstraints) {
@@ -65,8 +74,9 @@ TEST(IdSimilarityRepairerTest, IgnoresMovementConstraints) {
   TrajectorySet set = TrajectorySet::FromRecords(records);
   IdSimilarityRepairer baseline(3);
   auto result = baseline.Repair(set);
-  EXPECT_EQ(result.rewrites.size(), 1u);
-  EXPECT_EQ(result.repaired.size(), 1u);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rewrites.size(), 1u);
+  EXPECT_EQ(result->repaired.size(), 1u);
 }
 
 // ------------------------------------------------------- Neighborhood
@@ -76,12 +86,13 @@ TEST(NeighborhoodRepairerTest, AppliesCheapestResolvingRewrite) {
   TrajectorySet set = MakeTable2Trajectories();
   NeighborhoodRepairer baseline(graph, RunningExampleOptions());
   auto result = baseline.Repair(set);
+  ASSERT_TRUE(result.ok());
   // GL03245<C> pairs validly with both neighbors; GL83248<D,E> is the
   // cheaper donor (distance 2 vs 4). Settling then blocks the symmetric
   // GL83248 -> GL03245 rewrite, so exactly one label changes.
-  ASSERT_EQ(result.rewrites.size(), 1u);
-  ASSERT_EQ(result.rewrites.count(1), 1u);
-  EXPECT_EQ(result.rewrites.at(1), "GL83248");
+  ASSERT_EQ(result->rewrites.size(), 1u);
+  ASSERT_EQ(result->rewrites.count(1), 1u);
+  EXPECT_EQ(result->rewrites.at(1), "GL83248");
 }
 
 TEST(NeighborhoodRepairerTest, CannotReassembleThreeFragments) {
@@ -102,7 +113,8 @@ TEST(NeighborhoodRepairerTest, CannotReassembleThreeFragments) {
   RepairOptions options = RunningExampleOptions();
   NeighborhoodRepairer baseline(graph, options);
   auto nbr = baseline.Repair(set);
-  EXPECT_TRUE(nbr.rewrites.empty());
+  ASSERT_TRUE(nbr.ok());
+  EXPECT_TRUE(nbr->rewrites.empty());
 
   IdRepairer core(graph, options);
   auto result = core.Repair(set);
@@ -117,7 +129,8 @@ TEST(NeighborhoodRepairerTest, PerformsIsolatedRewritesOnly) {
   TrajectorySet set = MakeTable2Trajectories();
   NeighborhoodRepairer baseline(graph, RunningExampleOptions());
   auto result = baseline.Repair(set);
-  for (const auto& [traj, id] : result.rewrites) {
+  ASSERT_TRUE(result.ok());
+  for (const auto& [traj, id] : result->rewrites) {
     EXPECT_NE(set.at(traj).id(), id);
   }
 }
@@ -127,7 +140,8 @@ TEST(NeighborhoodRepairerTest, ValidTrajectoriesAreNeverRelabeled) {
   TrajectorySet set = MakeTable2Trajectories();
   NeighborhoodRepairer baseline(graph, RunningExampleOptions());
   auto result = baseline.Repair(set);
-  EXPECT_EQ(result.rewrites.count(0), 0u);  // T1 is valid
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rewrites.count(0), 0u);  // T1 is valid
 }
 
 // --------------------------------------------- Fig 16 dominance property
@@ -148,11 +162,11 @@ TEST(BaselineComparisonTest, TransitionGraphApproachWinsOnRecall) {
 
   IdSimilarityRepairer sim_baseline(3);
   auto sim_metrics =
-      EvaluateRewrites(truth, set, sim_baseline.Repair(set).rewrites);
+      EvaluateRewrites(truth, set, sim_baseline.Repair(set)->rewrites);
 
   NeighborhoodRepairer nbr_baseline(ds->graph, options);
   auto nbr_metrics =
-      EvaluateRewrites(truth, set, nbr_baseline.Repair(set).rewrites);
+      EvaluateRewrites(truth, set, nbr_baseline.Repair(set)->rewrites);
 
   // Fig 16: the transition-graph approach beats both baselines on recall
   // and f-measure.
@@ -168,9 +182,52 @@ TEST(BaselineComparisonTest, BaselinesStillRepairSomething) {
   TrajectorySet set = ds->BuildObservedTrajectories();
   auto truth = ComputeFragmentTruth(*ds, set);
   IdSimilarityRepairer sim_baseline(3);
-  auto m = EvaluateRewrites(truth, set, sim_baseline.Repair(set).rewrites);
+  auto m = EvaluateRewrites(truth, set, sim_baseline.Repair(set)->rewrites);
   EXPECT_GT(m.recall, 0.2);
   EXPECT_GT(m.precision, 0.3);
+}
+
+// ------------------------------------------ Unified Repairer interface
+
+TEST(RepairerInterfaceTest, AllEnginesAreSwappablePolymorphically) {
+  TransitionGraph graph = MakePaperExampleGraph();
+  TrajectorySet set = MakeTable2Trajectories();
+  RepairOptions options = RunningExampleOptions();
+
+  std::vector<std::unique_ptr<Repairer>> engines;
+  engines.push_back(std::make_unique<IdRepairer>(graph, options));
+  engines.push_back(std::make_unique<PartitionedRepairer>(graph, options));
+  engines.push_back(std::make_unique<StreamingRepairer>(graph, options));
+  engines.push_back(std::make_unique<IdSimilarityRepairer>(3));
+  engines.push_back(std::make_unique<NeighborhoodRepairer>(graph, options));
+
+  for (const auto& engine : engines) {
+    auto result = engine->Repair(set);
+    ASSERT_TRUE(result.ok()) << engine->name();
+    // Every engine reassembles the full record multiset and reports how
+    // many trajectories it saw; candidate-level fields are engine-specific.
+    EXPECT_EQ(result->repaired.total_records(), set.total_records())
+        << engine->name();
+    EXPECT_EQ(result->stats.num_trajectories, set.size()) << engine->name();
+    for (const auto& [traj, id] : result->rewrites) {
+      EXPECT_NE(set.at(traj).id(), id) << engine->name();
+    }
+  }
+}
+
+TEST(RepairerInterfaceTest, CandidateEnginesAgreeOnTheRunningExample) {
+  TransitionGraph graph = MakePaperExampleGraph();
+  TrajectorySet set = MakeTable2Trajectories();
+  RepairOptions options = RunningExampleOptions();
+  IdRepairer core(graph, options);
+  PartitionedRepairer partitioned(graph, options);
+  const Repairer* engines[] = {&core, &partitioned};
+  for (const Repairer* engine : engines) {
+    auto result = engine->Repair(set);
+    ASSERT_TRUE(result.ok()) << engine->name();
+    ASSERT_EQ(result->rewrites.size(), 1u) << engine->name();
+    EXPECT_EQ(result->rewrites.at(1), "GL83248") << engine->name();
+  }
 }
 
 }  // namespace

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "exec/exec_options.h"
+#include "exec/parallel_for.h"
+#include "exec/task_group.h"
+#include "exec/thread_pool.h"
+
+namespace idrepair {
+namespace {
+
+TEST(ExecOptionsTest, ResolvesAndValidates) {
+  ExecOptions exec;
+  EXPECT_GE(exec.ResolvedThreads(), 1);
+  EXPECT_TRUE(exec.Validate().ok());
+  exec.num_threads = 4;
+  EXPECT_EQ(exec.ResolvedThreads(), 4);
+  exec.num_threads = -1;
+  EXPECT_FALSE(exec.Validate().ok());
+  exec.num_threads = 0;
+  exec.min_partition_grain = 0;
+  EXPECT_FALSE(exec.Validate().ok());
+}
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3);
+  std::atomic<int> counter{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 100; ++i) {
+    group.Spawn([&counter] {
+      counter.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    });
+  }
+  EXPECT_TRUE(group.Wait().ok());
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, NestedGroupsDoNotDeadlockOnSingleWorker) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  TaskGroup outer(&pool);
+  for (int i = 0; i < 4; ++i) {
+    outer.Spawn([&pool, &counter] {
+      TaskGroup inner(&pool);
+      for (int j = 0; j < 4; ++j) {
+        inner.Spawn([&counter] {
+          counter.fetch_add(1, std::memory_order_relaxed);
+          return Status::OK();
+        });
+      }
+      return inner.Wait();
+    });
+  }
+  EXPECT_TRUE(outer.Wait().ok());
+  EXPECT_EQ(counter.load(), 16);
+}
+
+TEST(TaskGroupTest, PropagatesFirstError) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  for (int i = 0; i < 8; ++i) {
+    group.Spawn([i] {
+      if (i == 3) return Status::InvalidArgument("task 3 failed");
+      return Status::OK();
+    });
+  }
+  Status status = group.Wait();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "task 3 failed");
+  EXPECT_TRUE(group.IsCancelled());
+}
+
+TEST(TaskGroupTest, ErrorCancelsUnstartedTasks) {
+  // One worker, and the first task fails: by the time the worker (or the
+  // helping waiter) reaches later tasks the group is cancelled, so they
+  // are skipped without running.
+  ThreadPool pool(1);
+  std::atomic<int> executed{0};
+  TaskGroup group(&pool);
+  group.Spawn([] { return Status::Internal("fail fast"); });
+  for (int i = 0; i < 200; ++i) {
+    group.Spawn([&executed] {
+      executed.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    });
+  }
+  Status status = group.Wait();
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  // The failing task is submitted first; at most the handful of tasks
+  // already claimed before the error landed can have run.
+  EXPECT_LT(executed.load(), 200);
+}
+
+TEST(TaskGroupTest, ManualCancelSkipsTasksAndWaitReturnsOk) {
+  ThreadPool pool(1);
+  std::atomic<int> executed{0};
+  TaskGroup group(&pool);
+  group.Cancel();  // cancel before anything is spawned
+  for (int i = 0; i < 50; ++i) {
+    group.Spawn([&executed] {
+      executed.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    });
+  }
+  EXPECT_TRUE(group.Wait().ok());  // cancellation is not an error
+  EXPECT_EQ(executed.load(), 0);
+}
+
+TEST(SplitRangeTest, RespectsGrainAndThreadCap) {
+  EXPECT_TRUE(SplitRange(0, 4, 16).empty());
+
+  // Tiny input collapses to one shard.
+  auto one = SplitRange(10, 8, 64);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], (std::pair<size_t, size_t>{0, 10}));
+
+  // Large input: at most num_threads shards, contiguous and exhaustive.
+  auto shards = SplitRange(1000, 4, 64);
+  ASSERT_EQ(shards.size(), 4u);
+  size_t expect_begin = 0;
+  for (const auto& [begin, end] : shards) {
+    EXPECT_EQ(begin, expect_begin);
+    EXPECT_GE(end - begin, 64u);
+    expect_begin = end;
+  }
+  EXPECT_EQ(expect_begin, 1000u);
+
+  // Grain caps the shard count before the thread cap does.
+  EXPECT_EQ(SplitRange(100, 8, 50).size(), 2u);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  Status status = ParallelFor(
+      &pool, kN, /*num_threads=*/4, /*grain=*/16,
+      [&hits](size_t, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+        return Status::OK();
+      });
+  EXPECT_TRUE(status.ok());
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, PropagatesShardError) {
+  ThreadPool pool(2);
+  Status status = ParallelFor(
+      &pool, 1000, /*num_threads=*/4, /*grain=*/1,
+      [](size_t shard, size_t, size_t) {
+        if (shard == 2) return Status::Corruption("shard 2 broke");
+        return Status::OK();
+      });
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace idrepair

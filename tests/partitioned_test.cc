@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "gen/real_like.h"
 #include "gen/synthetic.h"
 #include "graph/generators.h"
@@ -83,11 +85,10 @@ TEST(PartitionedRepairTest, MatchesWholeBatchExactly) {
     ASSERT_TRUE(batch.ok());
 
     PartitionedRepairer partitioned(graph, RealOptions());
-    PartitionedRepairer::PartitionStats stats;
-    auto chunked = partitioned.Repair(set, &stats);
+    auto chunked = partitioned.Repair(set);
     ASSERT_TRUE(chunked.ok());
 
-    EXPECT_GT(stats.num_partitions, 1u) << "seed " << seed;
+    EXPECT_GT(chunked->stats.num_partitions, 1u) << "seed " << seed;
     EXPECT_EQ(chunked->rewrites, batch->rewrites) << "seed " << seed;
     EXPECT_EQ(chunked->candidates.size(), batch->candidates.size());
     EXPECT_NEAR(chunked->total_effectiveness, batch->total_effectiveness,
@@ -123,11 +124,78 @@ TEST(PartitionedRepairTest, SelectedCandidatesUseGlobalIndices) {
 
 TEST(PartitionedRepairTest, EmptySet) {
   PartitionedRepairer repairer(MakeRealLikeGraph(), RealOptions());
-  PartitionedRepairer::PartitionStats stats;
-  auto result = repairer.Repair(TrajectorySet{}, &stats);
+  auto result = repairer.Repair(TrajectorySet{});
   ASSERT_TRUE(result.ok());
-  EXPECT_EQ(stats.num_partitions, 0u);
+  EXPECT_EQ(result->stats.num_partitions, 0u);
   EXPECT_TRUE(result->rewrites.empty());
+}
+
+TEST(PartitionedRepairTest, StatsReportPartitionShape) {
+  TransitionGraph graph = MakeRealLikeGraph();
+  SyntheticConfig config;
+  config.num_trajectories = 150;
+  config.max_path_len = 4;
+  config.window_seconds = 40000;
+  config.seed = 5;
+  auto ds = GenerateSyntheticDataset(graph, config);
+  ASSERT_TRUE(ds.ok());
+  TrajectorySet set = ds->BuildObservedTrajectories();
+  PartitionedRepairer repairer(graph, RealOptions());
+  auto partitions = repairer.Partition(set);
+  auto result = repairer.Repair(set);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.num_partitions, partitions.size());
+  size_t largest = 0;
+  for (const auto& p : partitions) largest = std::max(largest, p.size());
+  EXPECT_EQ(result->stats.largest_partition, largest);
+  EXPECT_GE(result->stats.threads_used, 1);
+}
+
+// The parallel engine's headline guarantee: the merged result is
+// byte-identical for every thread count, including the sequential run.
+TEST(PartitionedRepairTest, DeterminismAcrossThreadCounts) {
+  TransitionGraph graph = MakeRealLikeGraph();
+  SyntheticConfig config;
+  config.num_trajectories = 240;
+  config.max_path_len = 4;
+  config.window_seconds = 60000;  // sparse: multiple chain components
+  config.seed = 77;
+  auto ds = GenerateSyntheticDataset(graph, config);
+  ASSERT_TRUE(ds.ok());
+  TrajectorySet set = ds->BuildObservedTrajectories();
+
+  RepairOptions options = RealOptions();
+  options.exec.min_partition_grain = 1;  // force real parallel dispatch
+
+  options.exec.num_threads = 1;
+  PartitionedRepairer sequential(graph, options);
+  auto reference = sequential.Repair(set);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_GT(reference->stats.num_partitions, 1u);
+
+  for (int threads : {2, 8}) {
+    options.exec.num_threads = threads;
+    PartitionedRepairer parallel(graph, options);
+    auto result = parallel.Repair(set);
+    ASSERT_TRUE(result.ok()) << threads << " threads";
+    EXPECT_EQ(result->rewrites, reference->rewrites) << threads;
+    EXPECT_EQ(result->selected, reference->selected) << threads;
+    EXPECT_EQ(result->total_effectiveness, reference->total_effectiveness)
+        << threads;  // bit-identical, not just approximately equal
+    ASSERT_EQ(result->candidates.size(), reference->candidates.size());
+    for (size_t c = 0; c < result->candidates.size(); ++c) {
+      EXPECT_EQ(result->candidates[c].members,
+                reference->candidates[c].members);
+      EXPECT_EQ(result->candidates[c].target_id,
+                reference->candidates[c].target_id);
+      EXPECT_EQ(result->candidates[c].effectiveness,
+                reference->candidates[c].effectiveness);
+    }
+    EXPECT_EQ(result->stats.num_partitions, reference->stats.num_partitions);
+    EXPECT_EQ(result->stats.cex_evaluations,
+              reference->stats.cex_evaluations);
+    EXPECT_EQ(result->stats.gm_edges, reference->stats.gm_edges);
+  }
 }
 
 TEST(PartitionedRepairTest, RunningExampleSinglePartition) {

@@ -5,7 +5,9 @@
 //                         [--zeta N] [--lambda F] [--selection emax|dmin|
 //                         dmax|exact] [--similarity edit|jaro_winkler|
 //                         bigram_cosine|overlap] [--no-lig] [--no-prune]
-//                         [--explain]
+//                         [--explain] [--threads N]
+//                         [--engine core|partitioned|streaming|idsim|
+//                         neighborhood] [--max-edit-distance N]
 //   idrepair_cli generate --graph g.txt --out records.csv
 //                         [--truth truth.csv] [--trajectories N]
 //                         [--error-rate F] [--missing-rate F] [--seed N]
@@ -19,6 +21,8 @@
 #include <iostream>
 #include <memory>
 
+#include "baselines/id_similarity_repairer.h"
+#include "baselines/neighborhood_repairer.h"
 #include "common/flags.h"
 #include "common/string_util.h"
 #include "eval/metrics.h"
@@ -26,8 +30,10 @@
 #include "gen/synthetic.h"
 #include "graph/serialization.h"
 #include "repair/explain.h"
+#include "repair/partitioned.h"
 #include "repair/repairer.h"
 #include "sim/similarity.h"
+#include "stream/streaming_repairer.h"
 #include "traj/csv.h"
 #include "traj/stats.h"
 
@@ -45,50 +51,74 @@ Status RequireFlag(const FlagParser& flags, const std::string& key) {
   return Status::OK();
 }
 
+Result<SelectionAlgorithm> ParseSelection(const std::string& selection) {
+  if (selection == "emax") return SelectionAlgorithm::kEmax;
+  if (selection == "dmin") return SelectionAlgorithm::kDmin;
+  if (selection == "dmax") return SelectionAlgorithm::kDmax;
+  if (selection == "exact") return SelectionAlgorithm::kExact;
+  return Status::InvalidArgument("unknown --selection '" + selection + "'");
+}
+
 Result<RepairOptions> OptionsFromFlags(const FlagParser& flags,
                                        const IdSimilarity** similarity_out) {
-  RepairOptions options;
-  options.theta = 4;
-  options.eta = 600;
-  auto theta = flags.GetInt("theta", static_cast<int64_t>(options.theta));
+  auto theta = flags.GetInt("theta", 4);
   if (!theta.ok()) return theta.status();
-  options.theta = static_cast<size_t>(*theta);
-  auto eta = flags.GetInt("eta", options.eta);
+  auto eta = flags.GetInt("eta", 600);
   if (!eta.ok()) return eta.status();
-  options.eta = *eta;
-  auto zeta = flags.GetInt("zeta", static_cast<int64_t>(options.zeta));
+  auto zeta = flags.GetInt("zeta", 4);
   if (!zeta.ok()) return zeta.status();
-  options.zeta = static_cast<size_t>(*zeta);
-  auto lambda = flags.GetDouble("lambda", options.lambda);
+  auto lambda = flags.GetDouble("lambda", 0.5);
   if (!lambda.ok()) return lambda.status();
-  options.lambda = *lambda;
-  options.use_lig = !flags.GetBool("no-lig");
-  options.use_mcp_pruning = !flags.GetBool("no-prune");
+  auto threads = flags.GetInt("threads", 0);
+  if (!threads.ok()) return threads.status();
+  auto selection = ParseSelection(flags.GetString("selection", "emax"));
+  if (!selection.ok()) return selection.status();
 
-  std::string selection = flags.GetString("selection", "emax");
-  if (selection == "emax") {
-    options.selection = SelectionAlgorithm::kEmax;
-  } else if (selection == "dmin") {
-    options.selection = SelectionAlgorithm::kDmin;
-  } else if (selection == "dmax") {
-    options.selection = SelectionAlgorithm::kDmax;
-  } else if (selection == "exact") {
-    options.selection = SelectionAlgorithm::kExact;
-  } else {
-    return Status::InvalidArgument("unknown --selection '" + selection +
-                                   "'");
-  }
-
+  // The CLI owns the metric for the lifetime of the process; RepairOptions
+  // only borrows it (see the ownership contract in repair/options.h).
   static std::unique_ptr<IdSimilarity> owned_similarity;
-  std::string metric = flags.GetString("similarity", "edit");
-  auto sim = MakeSimilarity(metric);
+  auto sim = MakeSimilarity(flags.GetString("similarity", "edit"));
   if (!sim.ok()) return sim.status();
   owned_similarity = std::move(*sim);
-  options.similarity = owned_similarity.get();
   *similarity_out = owned_similarity.get();
 
-  IDREPAIR_RETURN_NOT_OK(options.Validate());
-  return options;
+  return RepairOptions()
+      .WithTheta(static_cast<size_t>(*theta))
+      .WithEta(*eta)
+      .WithZeta(static_cast<size_t>(*zeta))
+      .WithLambda(*lambda)
+      .WithLig(!flags.GetBool("no-lig"))
+      .WithMcpPruning(!flags.GetBool("no-prune"))
+      .WithSelection(*selection)
+      .WithSimilarity(owned_similarity.get())
+      .WithThreads(static_cast<int>(*threads))
+      .Validated();
+}
+
+Result<std::unique_ptr<Repairer>> MakeEngine(const FlagParser& flags,
+                                             const TransitionGraph& graph,
+                                             const RepairOptions& options) {
+  std::string engine = flags.GetString("engine", "core");
+  if (engine == "core") {
+    return std::unique_ptr<Repairer>(new IdRepairer(graph, options));
+  }
+  if (engine == "partitioned") {
+    return std::unique_ptr<Repairer>(new PartitionedRepairer(graph, options));
+  }
+  if (engine == "streaming") {
+    return std::unique_ptr<Repairer>(new StreamingRepairer(graph, options));
+  }
+  if (engine == "idsim") {
+    auto dist = flags.GetInt("max-edit-distance", 3);
+    if (!dist.ok()) return dist.status();
+    return std::unique_ptr<Repairer>(
+        new IdSimilarityRepairer(static_cast<size_t>(*dist)));
+  }
+  if (engine == "neighborhood") {
+    return std::unique_ptr<Repairer>(
+        new NeighborhoodRepairer(graph, options));
+  }
+  return Status::InvalidArgument("unknown --engine '" + engine + "'");
 }
 
 int FailWith(const Status& status) {
@@ -110,15 +140,17 @@ int RunRepair(const FlagParser& flags) {
   if (!options.ok()) return FailWith(options.status());
 
   TrajectorySet set = TrajectorySet::FromRecords(*records);
-  IdRepairer repairer(*graph, *options);
-  auto result = repairer.Repair(set);
+  auto engine = MakeEngine(flags, *graph, *options);
+  if (!engine.ok()) return FailWith(engine.status());
+  auto result = (*engine)->Repair(set);
   if (!result.ok()) return FailWith(result.status());
 
-  std::cout << "trajectories: " << set.size() << " ("
-            << result->stats.num_invalid << " invalid), candidates: "
-            << result->stats.num_candidates << ", selected: "
-            << result->stats.num_selected << ", rewrites: "
-            << result->rewrites.size() << ", time: "
+  std::cout << "engine: " << (*engine)->name() << ", trajectories: "
+            << set.size() << " (" << result->stats.num_invalid
+            << " invalid), candidates: " << result->stats.num_candidates
+            << ", selected: " << result->stats.num_selected
+            << ", rewrites: " << result->rewrites.size() << ", threads: "
+            << result->stats.threads_used << ", time: "
             << ToFixed(result->stats.seconds_total * 1e3, 1) << " ms\n";
 
   if (flags.GetBool("explain")) {
