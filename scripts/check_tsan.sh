@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Builds the concurrency-sensitive targets with ThreadSanitizer and runs the
 # tests that exercise the parallel execution engine. Any data race in the
-# thread pool, task groups, sharded Gm construction, or parallel partitioned
-# repair fails the script.
+# thread pool, task groups, sharded Gm construction, sharded candidate
+# generation, or parallel partitioned repair fails the script.
 #
 # Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -16,10 +16,12 @@ cmake -S . -B "$BUILD_DIR" \
   >/dev/null
 
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target exec_test partitioned_test stream_test
+  --target exec_test partitioned_test stream_test candidates_test \
+           differential_test fuzz_test
 
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
-  ctest --test-dir "$BUILD_DIR" -R 'exec_test|partitioned_test|stream_test' \
+  ctest --test-dir "$BUILD_DIR" \
+  -R 'exec_test|partitioned_test|stream_test|candidates_test|differential_test|fuzz_test' \
   --output-on-failure
 
 echo "check_tsan: OK"

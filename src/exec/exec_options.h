@@ -23,6 +23,13 @@ struct ExecOptions {
   /// inputs never pay dispatch overhead.
   size_t min_partition_grain = 64;
 
+  /// Minimum number of clique-enumeration seed vertices (and, for the
+  /// rarity pass, candidate repairs) per shard of intra-component candidate
+  /// generation. Seeds root whole search subtrees, so they are coarser work
+  /// items than trajectories; a smaller grain keeps one hot component from
+  /// serializing the batch while small components still run inline.
+  size_t min_candidate_grain = 32;
+
   /// `num_threads` with the 0 default resolved against the hardware.
   int ResolvedThreads() const {
     if (num_threads > 0) return num_threads;
@@ -37,6 +44,10 @@ struct ExecOptions {
     if (min_partition_grain == 0) {
       return Status::InvalidArgument(
           "exec.min_partition_grain must be >= 1");
+    }
+    if (min_candidate_grain == 0) {
+      return Status::InvalidArgument(
+          "exec.min_candidate_grain must be >= 1");
     }
     return Status::OK();
   }

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+
+#include "exec/parallel_for.h"
+#include "exec/thread_pool.h"
 
 namespace idrepair {
 
@@ -27,71 +31,150 @@ TrajIndex AssignTargetId(const TrajectorySet& set,
   return best;
 }
 
+namespace {
+
+/// One shard's private slice of the generation: the candidates rooted at
+/// its seed range, in emission order, plus its stats. Shards never share
+/// mutable state; the merge walks slots in shard order.
+struct GenerationShard {
+  std::vector<CandidateRepair> candidates;
+  GenerationStats stats;
+};
+
+}  // namespace
+
 std::vector<CandidateRepair> GenerateCandidates(
     const TrajectorySet& set, const TrajectoryGraph& gm,
     const PredicateEvaluator& pred, const RepairOptions& options,
     const IdSimilarity& similarity, const std::vector<bool>& is_valid,
     GenerationStats* stats) {
-  std::vector<CandidateRepair> out;
-  GenerationStats local;
   CliqueEnumerator enumerator(set, gm, pred, options);
-  local.clique_stats = enumerator.Enumerate([&](const std::vector<TrajIndex>&
-                                                    clique,
-                                                const std::vector<
-                                                    MergedPoint>& merged) {
-    ++local.jnb_checks;
-    if (!pred.JnbMerged(merged)) return;
-    ++local.joinable_subsets;
+  std::vector<TrajIndex> seeds = enumerator.SeedVertices();
 
-    CandidateRepair repair;
-    repair.members = clique;
-    for (TrajIndex m : clique) {
-      if (!is_valid[m]) repair.invalid_members.push_back(m);
-    }
-    if (repair.invalid_members.empty()) return;  // ω would be 0 (Eq. 3)
+  // Shard boundaries are a pure function of (|seeds|, threads, grain), so
+  // the decomposition — and therefore the merged output — never depends on
+  // timing. One seed owns the whole subtree of cliques it roots, which is
+  // exactly the intra-component unit of work.
+  auto shards = SplitRange(seeds.size(), options.exec.ResolvedThreads(),
+                           options.exec.min_candidate_grain);
+  std::vector<GenerationShard> slots(shards.size());
 
-    TrajIndex target = AssignTargetId(set, clique, similarity);
-    repair.target_id = set.at(target).id();
-    double min_sim = 1.0;
-    for (TrajIndex m : clique) {
-      min_sim = std::min(
-          min_sim, similarity.Similarity(repair.target_id, set.at(m).id()));
-    }
-    repair.similarity = min_sim;
-    out.push_back(std::move(repair));
-  });
-  if (stats != nullptr) *stats = local;
+  if (shards.size() > 1) {
+    // pck consults the transition graph's lazy exit-reachability cache;
+    // materialize it before the shards share the graph across threads.
+    pred.graph().PrepareForConcurrentUse();
+  }
+  (void)ParallelFor(
+      &ThreadPool::Default(), shards,
+      [&](size_t shard, size_t begin, size_t end) {
+        GenerationShard& slot = slots[shard];
+        slot.stats.clique_stats = enumerator.EnumerateSeedRange(
+            seeds, begin, end,
+            [&](const std::vector<TrajIndex>& clique,
+                const std::vector<MergedPoint>& merged) {
+              ++slot.stats.jnb_checks;
+              if (!pred.JnbMerged(merged)) return;
+              ++slot.stats.joinable_subsets;
+
+              CandidateRepair repair;
+              repair.members = clique;
+              for (TrajIndex m : clique) {
+                if (!is_valid[m]) repair.invalid_members.push_back(m);
+              }
+              // ω would be 0 (Eq. 3).
+              if (repair.invalid_members.empty()) return;
+
+              TrajIndex target = AssignTargetId(set, clique, similarity);
+              repair.target_id = set.at(target).id();
+              double min_sim = 1.0;
+              for (TrajIndex m : clique) {
+                min_sim = std::min(min_sim,
+                                   similarity.Similarity(repair.target_id,
+                                                         set.at(m).id()));
+              }
+              repair.similarity = min_sim;
+              slot.candidates.push_back(std::move(repair));
+            });
+        return Status::OK();
+      });
+
+  // Deterministic reduction: concatenate emissions and fold counters in
+  // shard order, reproducing the sequential enumeration exactly.
+  std::vector<CandidateRepair> out;
+  GenerationStats merged_stats;
+  size_t total = 0;
+  for (const GenerationShard& slot : slots) total += slot.candidates.size();
+  out.reserve(total);
+  for (GenerationShard& slot : slots) {
+    merged_stats.MergeFrom(slot.stats);
+    for (CandidateRepair& c : slot.candidates) out.push_back(std::move(c));
+  }
+  if (stats != nullptr) *stats = merged_stats;
   return out;
 }
 
 void ComputeEffectiveness(std::vector<CandidateRepair>& candidates,
                           const RepairOptions& options, size_t num_trajs) {
-  // d(T): how many candidate repairs cover each invalid trajectory.
+  auto shards = SplitRange(candidates.size(),
+                           options.exec.ResolvedThreads(),
+                           options.exec.min_candidate_grain);
+
+  // d(T): how many candidate repairs cover each invalid trajectory. Each
+  // shard counts its candidate range into a private array; the reduction
+  // adds the arrays in index order (integer sums, so any order would give
+  // the same totals — fixed order keeps the invariant self-evident).
   std::vector<uint32_t> degree(num_trajs, 0);
-  for (const auto& r : candidates) {
-    for (TrajIndex t : r.invalid_members) ++degree[t];
-  }
-  for (auto& r : candidates) {
-    uint32_t ra = 0;
-    bool first = true;
-    for (TrajIndex t : r.invalid_members) {
-      uint32_t d = degree[t];
-      if (first) {
-        ra = d;
-        first = false;
-      } else if (options.rarity_aggregation == RarityAggregation::kMin) {
-        ra = std::min(ra, d);
-      } else {
-        ra = std::max(ra, d);
-      }
+  if (shards.size() <= 1) {
+    for (const auto& r : candidates) {
+      for (TrajIndex t : r.invalid_members) ++degree[t];
     }
-    r.rarity = ra;
-    double ivt = static_cast<double>(r.invalid_members.size());
-    double base = static_cast<double>(ra + options.rarity_base_offset);
-    // ω(R) = sim(R) + λ · log_base(|ivt(R)|); |ivt| >= 1 by construction.
-    r.effectiveness =
-        r.similarity + options.lambda * (std::log(ivt) / std::log(base));
+  } else {
+    std::vector<std::vector<uint32_t>> shard_degree(shards.size());
+    (void)ParallelFor(
+        &ThreadPool::Default(), shards,
+        [&](size_t shard, size_t begin, size_t end) {
+          std::vector<uint32_t>& d = shard_degree[shard];
+          d.assign(num_trajs, 0);
+          for (size_t i = begin; i < end; ++i) {
+            for (TrajIndex t : candidates[i].invalid_members) ++d[t];
+          }
+          return Status::OK();
+        });
+    for (const std::vector<uint32_t>& d : shard_degree) {
+      for (size_t t = 0; t < num_trajs; ++t) degree[t] += d[t];
+    }
   }
+
+  // Scoring touches only the candidate's own fields plus the finished
+  // degree array, so the same shards run it without any reduction.
+  (void)ParallelFor(
+      &ThreadPool::Default(), shards,
+      [&](size_t /*shard*/, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          CandidateRepair& r = candidates[i];
+          uint32_t ra = 0;
+          bool first = true;
+          for (TrajIndex t : r.invalid_members) {
+            uint32_t d = degree[t];
+            if (first) {
+              ra = d;
+              first = false;
+            } else if (options.rarity_aggregation == RarityAggregation::kMin) {
+              ra = std::min(ra, d);
+            } else {
+              ra = std::max(ra, d);
+            }
+          }
+          r.rarity = ra;
+          double ivt = static_cast<double>(r.invalid_members.size());
+          double base = static_cast<double>(ra + options.rarity_base_offset);
+          // ω(R) = sim(R) + λ · log_base(|ivt(R)|); |ivt| >= 1 by
+          // construction.
+          r.effectiveness =
+              r.similarity + options.lambda * (std::log(ivt) / std::log(base));
+        }
+        return Status::OK();
+      });
 }
 
 }  // namespace idrepair

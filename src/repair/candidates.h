@@ -47,6 +47,16 @@ struct GenerationStats {
   CliqueEnumerator::Stats clique_stats;
   size_t jnb_checks = 0;
   size_t joinable_subsets = 0;
+
+  /// Deterministic reduction of per-shard stats: every counter adds, so the
+  /// merged totals are identical for any shard decomposition — the sharded
+  /// generator folds shards in fixed shard order and 1/2/8-thread runs
+  /// report the same numbers.
+  void MergeFrom(const GenerationStats& other) {
+    clique_stats.MergeFrom(other.clique_stats);
+    jnb_checks += other.jnb_checks;
+    joinable_subsets += other.joinable_subsets;
+  }
 };
 
 /// Phase 1 — candidate repair generation (§3.2): enumerates qualified
@@ -55,6 +65,14 @@ struct GenerationStats {
 /// trajectory (|ivt| = 0, e.g. the identity repair of a valid trajectory)
 /// are dropped: their effectiveness is 0 by Eq. (3) and they are never
 /// selected (Example 4.2).
+///
+/// Runs sharded over the clique-enumeration seed vertices on the shared
+/// exec pool (`options.exec`: num_threads width, min_candidate_grain seeds
+/// per shard), so one giant chain component no longer serializes. Each
+/// shard enumerates, jnb-checks, and scores its subtrees sequentially
+/// (AssignTargetId tie-breaks and the sim(R) minimum are per-clique, so no
+/// cross-shard float order exists); shard outputs and stats are merged in
+/// fixed shard order. Output is bit-identical at every thread count.
 ///
 /// Rarity and effectiveness are *not* filled here — they depend on the full
 /// candidate set; call ComputeEffectiveness next.
@@ -69,6 +87,13 @@ std::vector<CandidateRepair> GenerateCandidates(
 /// trajectory T, rarity aggregates member degrees per
 /// `options.rarity_aggregation`, and
 /// ω = sim + λ · log_{rarity + rarity_base_offset}(|ivt|).
+///
+/// Shares the generator's sharding (`options.exec`, min_candidate_grain,
+/// here over candidates): the degree pass accumulates into per-shard count
+/// arrays reduced in index order, and the scoring pass writes each
+/// candidate's own fields — both bit-identical at every thread count
+/// (degree sums are integers; ω is computed per candidate from its shard-
+/// independent inputs).
 void ComputeEffectiveness(std::vector<CandidateRepair>& candidates,
                           const RepairOptions& options, size_t num_trajs);
 

@@ -40,8 +40,7 @@ std::vector<MergedPoint> MergeInto(const std::vector<MergedPoint>& merged,
 
 }  // namespace
 
-CliqueEnumerator::Stats CliqueEnumerator::Enumerate(const Callback& cb) const {
-  Stats stats;
+std::vector<TrajIndex> CliqueEnumerator::SeedVertices() const {
   std::vector<TrajIndex> all;
   all.reserve(graph_->num_vertices());
   for (TrajIndex v = 0; v < graph_->num_vertices(); ++v) {
@@ -49,8 +48,23 @@ CliqueEnumerator::Stats CliqueEnumerator::Enumerate(const Callback& cb) const {
     // filtered by jnb, but skipping them here avoids useless singletons.
     if (graph_->IsFeasible(v)) all.push_back(v);
   }
+  return all;
+}
+
+CliqueEnumerator::Stats CliqueEnumerator::Enumerate(const Callback& cb) const {
+  std::vector<TrajIndex> seeds = SeedVertices();
+  return EnumerateSeedRange(seeds, 0, seeds.size(), cb);
+}
+
+CliqueEnumerator::Stats CliqueEnumerator::EnumerateSeedRange(
+    const std::vector<TrajIndex>& seeds, size_t begin, size_t end,
+    const Callback& cb) const {
+  Stats stats;
   std::vector<TrajIndex> clique;
-  Extend(clique, {}, all, cb, &stats);
+  const std::vector<MergedPoint> empty;
+  for (size_t idx = begin; idx < end && idx < seeds.size(); ++idx) {
+    VisitNode(seeds, idx, clique, empty, cb, &stats);
+  }
   return stats;
 }
 
@@ -59,41 +73,48 @@ void CliqueEnumerator::Extend(std::vector<TrajIndex>& clique,
                               const std::vector<TrajIndex>& candidates,
                               const Callback& cb, Stats* stats) const {
   for (size_t idx = 0; idx < candidates.size(); ++idx) {
-    TrajIndex v = candidates[idx];
-    const Trajectory& tv = set_->at(v);
-    if (merged.size() + tv.size() > options_->theta) continue;
-    ++stats->nodes_visited;
-    clique.push_back(v);
-    std::vector<MergedPoint> next_merged =
-        MergeInto(merged, tv, static_cast<uint32_t>(clique.size() - 1));
+    VisitNode(candidates, idx, clique, merged, cb, stats);
+  }
+}
 
-    bool keep = true;
-    if (options_->use_mcp_pruning) {
-      // Members are in start-time order, so the MCP condition of
-      // Theorem 5.3 applies to the current prefix set.
-      keep = pred_->PckMerged(next_merged,
-                              static_cast<uint32_t>(clique.size()));
-      if (!keep) ++stats->pck_pruned;
-    }
+void CliqueEnumerator::VisitNode(const std::vector<TrajIndex>& candidates,
+                                 size_t idx, std::vector<TrajIndex>& clique,
+                                 const std::vector<MergedPoint>& merged,
+                                 const Callback& cb, Stats* stats) const {
+  TrajIndex v = candidates[idx];
+  const Trajectory& tv = set_->at(v);
+  if (merged.size() + tv.size() > options_->theta) return;
+  ++stats->nodes_visited;
+  clique.push_back(v);
+  std::vector<MergedPoint> next_merged =
+      MergeInto(merged, tv, static_cast<uint32_t>(clique.size() - 1));
 
-    if (keep) {
-      ++stats->cliques_emitted;
-      cb(clique, next_merged);
-      if (clique.size() < options_->zeta) {
-        // Candidates after v that are adjacent to v (and, inductively, to
-        // every earlier member).
-        std::vector<TrajIndex> next;
-        for (size_t j = idx + 1; j < candidates.size(); ++j) {
-          TrajIndex w = candidates[j];
-          if (graph_->HasEdge(v, w)) next.push_back(w);
-        }
-        if (!next.empty()) {
-          Extend(clique, next_merged, next, cb, stats);
-        }
+  bool keep = true;
+  if (options_->use_mcp_pruning) {
+    // Members are in start-time order, so the MCP condition of
+    // Theorem 5.3 applies to the current prefix set.
+    keep = pred_->PckMerged(next_merged,
+                            static_cast<uint32_t>(clique.size()));
+    if (!keep) ++stats->pck_pruned;
+  }
+
+  if (keep) {
+    ++stats->cliques_emitted;
+    cb(clique, next_merged);
+    if (clique.size() < options_->zeta) {
+      // Candidates after v that are adjacent to v (and, inductively, to
+      // every earlier member).
+      std::vector<TrajIndex> next;
+      for (size_t j = idx + 1; j < candidates.size(); ++j) {
+        TrajIndex w = candidates[j];
+        if (graph_->HasEdge(v, w)) next.push_back(w);
+      }
+      if (!next.empty()) {
+        Extend(clique, next_merged, next, cb, stats);
       }
     }
-    clique.pop_back();
   }
+  clique.pop_back();
 }
 
 }  // namespace idrepair

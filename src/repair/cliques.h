@@ -33,6 +33,13 @@ class CliqueEnumerator {
     size_t cliques_emitted = 0;
     size_t nodes_visited = 0;  // search-tree nodes, including pruned ones
     size_t pck_pruned = 0;     // subtrees cut by the MCP condition
+
+    /// Deterministic reduction for sharded enumeration: counters add.
+    void MergeFrom(const Stats& other) {
+      cliques_emitted += other.cliques_emitted;
+      nodes_visited += other.nodes_visited;
+      pck_pruned += other.pck_pruned;
+    }
   };
 
   CliqueEnumerator(const TrajectorySet& set, const TrajectoryGraph& graph,
@@ -43,11 +50,32 @@ class CliqueEnumerator {
   /// Runs the enumeration, invoking `cb` per clique. Returns statistics.
   Stats Enumerate(const Callback& cb) const;
 
+  /// The top-level search roots: every feasible vertex, ascending. Each
+  /// seed owns the subtree of cliques whose smallest member it is, so the
+  /// full enumeration is exactly the concatenation of the per-seed
+  /// subtrees in seed order — the unit the parallel generator shards over.
+  std::vector<TrajIndex> SeedVertices() const;
+
+  /// Enumerates only the cliques rooted at seeds[begin, end) (subtrees may
+  /// extend to later vertices of `seeds`; they never reach earlier ones).
+  /// Running disjoint contiguous ranges and concatenating the emissions in
+  /// range order reproduces Enumerate() exactly, callbacks and stats both.
+  Stats EnumerateSeedRange(const std::vector<TrajIndex>& seeds, size_t begin,
+                           size_t end, const Callback& cb) const;
+
  private:
   void Extend(std::vector<TrajIndex>& clique,
               const std::vector<MergedPoint>& merged,
               const std::vector<TrajIndex>& candidates, const Callback& cb,
               Stats* stats) const;
+
+  /// One search-tree node: adds candidates[idx] to the clique, emits, and
+  /// recurses. Factored out of Extend so the seed-range entry point shares
+  /// the exact traversal.
+  void VisitNode(const std::vector<TrajIndex>& candidates, size_t idx,
+                 std::vector<TrajIndex>& clique,
+                 const std::vector<MergedPoint>& merged, const Callback& cb,
+                 Stats* stats) const;
 
   const TrajectorySet* set_;
   const TrajectoryGraph* graph_;

@@ -115,6 +115,10 @@ struct RepairOptions {
     exec.min_partition_grain = v;
     return *this;
   }
+  RepairOptions& WithMinCandidateGrain(size_t v) {
+    exec.min_candidate_grain = v;
+    return *this;
+  }
 
   /// Rejects nonsensical parameter combinations.
   Status Validate() const {

@@ -80,9 +80,11 @@ Result<RepairResult> PartitionedRepairer::Repair(
                                exec.min_partition_grain);
 
   // The parallel unit is the chain component: inner repairs run their own
-  // phases sequentially unless this whole batch is a single component, in
-  // which case the component repair inherits the full thread budget for
-  // its trajectory-graph build.
+  // phases sequentially unless this whole batch is (close to) a single
+  // component, in which case the component repair inherits the full thread
+  // budget and parallelizes *inside* the component instead — sharded
+  // trajectory-graph build plus sharded candidate generation — so a giant
+  // hot component no longer serializes the batch.
   RepairOptions inner_options = repairer_.options();
   if (tasks.size() > 1) inner_options.exec.num_threads = 1;
   IdRepairer inner(repairer_.graph(), inner_options);
@@ -153,11 +155,10 @@ Result<RepairResult> PartitionedRepairer::Repair(
     for (const auto& [traj, id] : result.rewrites) {
       combined.rewrites.emplace(partition[traj], id);
     }
-    combined.total_effectiveness += result.total_effectiveness;
 
-    // Aggregate stats: counters add; per-phase wall times add too (they
-    // approximate total work — a distributed deployment would take the
-    // max instead), while seconds_total below is the true wall time of
+    // Aggregate stats: counters add; per-phase wall and CPU times add too
+    // (they approximate total work — a distributed deployment would take
+    // the max instead), while seconds_total below is the true wall time of
     // this call, so the wall/CPU split reflects the parallel run.
     const RepairStats& s = result.stats;
     combined.stats.num_invalid += s.num_invalid;
@@ -173,7 +174,15 @@ Result<RepairResult> PartitionedRepairer::Repair(
     combined.stats.seconds_gm += s.seconds_gm;
     combined.stats.seconds_generation += s.seconds_generation;
     combined.stats.seconds_selection += s.seconds_selection;
+    combined.stats.cpu_seconds_gm += s.cpu_seconds_gm;
+    combined.stats.cpu_seconds_generation += s.cpu_seconds_generation;
   }
+  // Recompute Ω over the merged selection instead of adding per-partition
+  // sums: the global candidate order equals the whole-batch order, so this
+  // reproduces IdRepairer's float summation order exactly — Ω is
+  // byte-identical across engines, not merely equal up to reassociation.
+  combined.total_effectiveness =
+      TotalEffectiveness(combined.candidates, combined.selected);
   combined.repaired = ApplyRewrites(set, combined.rewrites);
   combined.stats.seconds_total = total.ElapsedSeconds();
   combined.stats.cpu_seconds_total = total_cpu.ElapsedSeconds();

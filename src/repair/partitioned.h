@@ -26,8 +26,12 @@ namespace idrepair {
 /// Components are repaired in parallel on the exec thread pool
 /// (RepairOptions::exec caps the width); per-component results land in
 /// per-partition slots and are merged in partition order, so the output is
-/// bit-identical to a sequential run for every thread count. Partition
-/// shape lands in RepairStats::num_partitions / largest_partition.
+/// bit-identical to a sequential run for every thread count. When the batch
+/// collapses to a single task (one giant chain component — the worst case
+/// for component-level parallelism), the inner repair inherits the full
+/// thread budget and scales *inside* the component instead, via the sharded
+/// Gm build and sharded candidate generation. Partition shape lands in
+/// RepairStats::num_partitions / largest_partition.
 class PartitionedRepairer : public Repairer {
  public:
   PartitionedRepairer(const TransitionGraph& graph, RepairOptions options)

@@ -48,11 +48,13 @@ Result<RepairResult> IdRepairer::Repair(const TrajectorySet& set,
   result.stats.cex_evaluations = gm.stats().cex_evaluations;
 
   phase.Restart();
+  phase_cpu.Restart();
   GenerationStats gen_stats;
   result.candidates = GenerateCandidates(set, gm, pred, options_, similarity,
                                          is_valid, &gen_stats);
   ComputeEffectiveness(result.candidates, options_, set.size());
   result.stats.seconds_generation = phase.ElapsedSeconds();
+  result.stats.cpu_seconds_generation = phase_cpu.ElapsedSeconds();
   result.stats.cliques_enumerated = gen_stats.clique_stats.cliques_emitted;
   result.stats.pck_pruned = gen_stats.clique_stats.pck_pruned;
   result.stats.jnb_checks = gen_stats.jnb_checks;

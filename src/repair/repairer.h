@@ -37,6 +37,7 @@ struct RepairStats {
   // cpu ≈ wall × threads when the phase scales. The per-phase cpu entries
   // are only filled by engines that own the phase (IdRepairer).
   double cpu_seconds_gm = 0.0;
+  double cpu_seconds_generation = 0.0;  // cliques + jnb + scoring
   double cpu_seconds_total = 0.0;
   // Parallel-execution footprint: the decomposition width this run was
   // allowed (ExecOptions::ResolvedThreads, >= 1).

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <vector>
 
+#include "gen/synthetic.h"
 #include "graph/generators.h"
 #include "repair/candidates.h"
 #include "test_util.h"
@@ -130,6 +132,111 @@ TEST_F(CandidatesFixture, GenerationStatsAreConsistent) {
   EXPECT_EQ(stats_.joinable_subsets, 3u);  // {T1}, {T1,T2}, {T2,T3}
   EXPECT_EQ(candidates.size(), 2u);        // minus the |ivt|=0 repair
   EXPECT_GE(stats_.jnb_checks, stats_.joinable_subsets);
+}
+
+TEST_F(CandidatesFixture, GenerationStatsSumIdenticallyAcrossThreadCounts) {
+  // Pins the phase-1 counters of the paper's running example and checks the
+  // sharded generator's deterministic reduction reports the same numbers at
+  // every thread count. The qualified cliques are {T1}, {T1,T2}, {T2} and
+  // {T2,T3} (4 jnb checks — {T3} is pck-pruned: D is no entrance); the
+  // singleton {T2} fails jnb (C alone is no valid path), leaving 3 joinable
+  // subsets.
+  GenerationStats reference;
+  for (int threads : {1, 2, 8}) {
+    options_.exec.num_threads = threads;
+    options_.exec.min_candidate_grain = 1;  // every seed its own shard
+    Generate();
+    EXPECT_EQ(stats_.jnb_checks, 4u) << threads << " threads";
+    EXPECT_EQ(stats_.joinable_subsets, 3u) << threads << " threads";
+    if (threads == 1) {
+      reference = stats_;
+    } else {
+      EXPECT_EQ(stats_.jnb_checks, reference.jnb_checks);
+      EXPECT_EQ(stats_.joinable_subsets, reference.joinable_subsets);
+      EXPECT_EQ(stats_.clique_stats.cliques_emitted,
+                reference.clique_stats.cliques_emitted);
+      EXPECT_EQ(stats_.clique_stats.nodes_visited,
+                reference.clique_stats.nodes_visited);
+      EXPECT_EQ(stats_.clique_stats.pck_pruned,
+                reference.clique_stats.pck_pruned);
+    }
+  }
+}
+
+// ------------------------------------------------- parallel determinism
+
+// A single 200+-trajectory chain component — the workload where component-
+// level parallelism degenerates to one task and only intra-component
+// sharding can help. GenerateCandidates must produce bit-identical
+// candidate vectors and identical merged stats at 1, 2 and 8 threads.
+TEST(ParallelGenerationTest, SingleGiantComponentIsBitIdenticalAcrossThreads) {
+  TransitionGraph graph = MakeRealLikeGraph();
+  SyntheticConfig config;
+  config.num_trajectories = 210;
+  config.window_seconds = 2400;  // dense: every start-time gap is far below η
+  config.max_path_len = 4;
+  config.seed = 4242;
+  auto ds = GenerateSyntheticDataset(graph, config);
+  ASSERT_TRUE(ds.ok()) << ds.status();
+  TrajectorySet set = ds->BuildObservedTrajectories();
+  ASSERT_GE(set.size(), 200u);
+
+  RepairOptions options;
+  options.theta = 4;
+  options.eta = 600;
+  // One chain component: consecutive start times all within η.
+  for (TrajIndex i = 1; i < set.size(); ++i) {
+    ASSERT_LE(set.at(i).start_time() - set.at(i - 1).start_time(),
+              options.eta);
+  }
+
+  PredicateEvaluator pred(graph, options.theta, options.eta);
+  NormalizedEditSimilarity similarity;
+  std::vector<bool> is_valid(set.size());
+  for (TrajIndex i = 0; i < set.size(); ++i) {
+    is_valid[i] = set.at(i).IsValid(graph);
+  }
+
+  std::vector<CandidateRepair> reference;
+  GenerationStats reference_stats;
+  for (int threads : {1, 2, 8}) {
+    RepairOptions o = options;
+    o.exec.num_threads = threads;
+    o.exec.min_candidate_grain = 4;  // many shards even at 2 threads
+    TrajectoryGraph gm(set, pred, o);
+    GenerationStats stats;
+    auto candidates =
+        GenerateCandidates(set, gm, pred, o, similarity, is_valid, &stats);
+    ComputeEffectiveness(candidates, o, set.size());
+    if (threads == 1) {
+      ASSERT_GT(candidates.size(), 100u) << "workload too easy to be a test";
+      reference = std::move(candidates);
+      reference_stats = stats;
+      continue;
+    }
+    SCOPED_TRACE(threads);
+    ASSERT_EQ(candidates.size(), reference.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const CandidateRepair& a = reference[i];
+      const CandidateRepair& b = candidates[i];
+      EXPECT_EQ(b.members, a.members) << "candidate " << i;
+      EXPECT_EQ(b.target_id, a.target_id) << "candidate " << i;
+      EXPECT_EQ(b.invalid_members, a.invalid_members) << "candidate " << i;
+      // Bit-identical floats, not approximately equal: scoring happens
+      // inside a shard in sequential order, so no summation is reordered.
+      EXPECT_EQ(b.similarity, a.similarity) << "candidate " << i;
+      EXPECT_EQ(b.rarity, a.rarity) << "candidate " << i;
+      EXPECT_EQ(b.effectiveness, a.effectiveness) << "candidate " << i;
+    }
+    EXPECT_EQ(stats.jnb_checks, reference_stats.jnb_checks);
+    EXPECT_EQ(stats.joinable_subsets, reference_stats.joinable_subsets);
+    EXPECT_EQ(stats.clique_stats.cliques_emitted,
+              reference_stats.clique_stats.cliques_emitted);
+    EXPECT_EQ(stats.clique_stats.nodes_visited,
+              reference_stats.clique_stats.nodes_visited);
+    EXPECT_EQ(stats.clique_stats.pck_pruned,
+              reference_stats.clique_stats.pck_pruned);
+  }
 }
 
 TEST_F(CandidatesFixture, LambdaScalesThePotencyTerm) {

@@ -1,0 +1,234 @@
+// Cross-engine differential suite: seeded synthetic datasets over several
+// transition-graph shapes and error rates, run through all five engines via
+// the unified Repairer interface. The core and partitioned engines must
+// agree byte-for-byte (candidates, selection, rewrites, Ω); every engine
+// must conserve records; the transition-graph engines must only ever apply
+// joins that produce valid trajectories; and the streaming engine's
+// incremental path must emit valid merges.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "gen/synthetic.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace idrepair {
+namespace {
+
+using testutil::AllEngineNames;
+using testutil::MakeEngineByName;
+
+struct Scenario {
+  std::string name;
+  TransitionGraph graph;
+  TrajectorySet set;
+  RepairOptions options;
+};
+
+std::vector<Scenario> MakeScenarios() {
+  struct Shape {
+    const char* name;
+    TransitionGraph graph;
+    size_t theta;
+    int64_t travel_lo, travel_hi;
+  };
+  std::vector<Shape> shapes;
+  shapes.push_back({"paper", MakePaperExampleGraph(), 5, 60, 180});
+  shapes.push_back({"real_like", MakeRealLikeGraph(), 4, 60, 180});
+  // Shorter legs so full chain traversals fit the η bound (see bench/fig11).
+  shapes.push_back({"chain8", MakeChainGraph(8), 8, 30, 60});
+  shapes.push_back({"grid", MakeGridNetwork(3, 4), 6, 30, 90});
+
+  std::vector<Scenario> scenarios;
+  uint64_t seed = 1000;
+  for (auto& shape : shapes) {
+    for (double error_rate : {0.05, 0.2}) {
+      SyntheticConfig config;
+      config.num_trajectories = 120;
+      config.record_error_rate = error_rate;
+      config.max_path_len = shape.theta;
+      config.window_seconds = 3600;
+      config.travel_median_lo = shape.travel_lo;
+      config.travel_median_hi = shape.travel_hi;
+      config.seed = ++seed;
+      auto ds = GenerateSyntheticDataset(shape.graph, config);
+      if (!ds.ok()) {
+        ADD_FAILURE() << shape.name << ": " << ds.status();
+        continue;
+      }
+      Scenario s;
+      s.name = std::string(shape.name) + "_err" +
+               std::to_string(static_cast<int>(error_rate * 100));
+      s.graph = shape.graph;
+      s.set = ds->BuildObservedTrajectories();
+      s.options.theta = shape.theta;
+      s.options.eta = 600;
+      scenarios.push_back(std::move(s));
+    }
+  }
+  return scenarios;
+}
+
+// The partitioned engine must reproduce the core engine exactly — same
+// candidates in the same order, same selection, same rewrites, and the
+// same Ω down to the last bit (it recomputes the sum in global selection
+// order, so even float association matches).
+TEST(DifferentialTest, PartitionedIsByteIdenticalToCore) {
+  for (const Scenario& s : MakeScenarios()) {
+    SCOPED_TRACE(s.name);
+    auto core = MakeEngineByName("core", s.graph, s.options)->Repair(s.set);
+    auto part =
+        MakeEngineByName("partitioned", s.graph, s.options)->Repair(s.set);
+    ASSERT_TRUE(core.ok()) << core.status();
+    ASSERT_TRUE(part.ok()) << part.status();
+
+    ASSERT_EQ(part->candidates.size(), core->candidates.size());
+    for (size_t i = 0; i < core->candidates.size(); ++i) {
+      const CandidateRepair& a = core->candidates[i];
+      const CandidateRepair& b = part->candidates[i];
+      EXPECT_EQ(b.members, a.members) << "candidate " << i;
+      EXPECT_EQ(b.target_id, a.target_id) << "candidate " << i;
+      EXPECT_EQ(b.invalid_members, a.invalid_members) << "candidate " << i;
+      EXPECT_EQ(b.similarity, a.similarity) << "candidate " << i;
+      EXPECT_EQ(b.rarity, a.rarity) << "candidate " << i;
+      EXPECT_EQ(b.effectiveness, a.effectiveness) << "candidate " << i;
+    }
+    EXPECT_EQ(part->selected, core->selected);
+    EXPECT_EQ(part->rewrites, core->rewrites);
+    EXPECT_EQ(part->total_effectiveness, core->total_effectiveness);
+
+    // Phase-1 counters decompose exactly over chain components.
+    EXPECT_EQ(part->stats.jnb_checks, core->stats.jnb_checks);
+    EXPECT_EQ(part->stats.joinable_subsets, core->stats.joinable_subsets);
+    EXPECT_EQ(part->stats.cliques_enumerated, core->stats.cliques_enumerated);
+    EXPECT_EQ(part->stats.gm_edges, core->stats.gm_edges);
+    EXPECT_EQ(part->stats.num_candidates, core->stats.num_candidates);
+    EXPECT_EQ(part->stats.num_selected, core->stats.num_selected);
+  }
+}
+
+// Every engine, behind the same interface: must succeed and conserve
+// records (repair only relabels, never drops or invents data).
+TEST(DifferentialTest, AllEnginesConserveRecords) {
+  for (const Scenario& s : MakeScenarios()) {
+    for (std::string_view engine_name : AllEngineNames()) {
+      SCOPED_TRACE(s.name + " / " + std::string(engine_name));
+      auto engine = MakeEngineByName(engine_name, s.graph, s.options);
+      ASSERT_NE(engine, nullptr);
+      EXPECT_EQ(engine->name(), engine_name);
+      auto result = engine->Repair(s.set);
+      ASSERT_TRUE(result.ok()) << result.status();
+      EXPECT_EQ(result->repaired.total_records(), s.set.total_records());
+    }
+  }
+}
+
+// The candidate-based transition-graph engines only ever apply joins whose
+// merged trajectory is valid, and their selections are compatible
+// (pairwise disjoint members).
+TEST(DifferentialTest, CandidateEnginesApplyOnlyValidCompatibleJoins) {
+  for (const Scenario& s : MakeScenarios()) {
+    for (std::string_view engine_name : {"core", "partitioned"}) {
+      SCOPED_TRACE(s.name + " / " + std::string(engine_name));
+      auto result =
+          MakeEngineByName(engine_name, s.graph, s.options)->Repair(s.set);
+      ASSERT_TRUE(result.ok()) << result.status();
+      std::set<TrajIndex> used;
+      for (RepairIndex r : result->selected) {
+        for (TrajIndex m : result->candidates[r].members) {
+          EXPECT_TRUE(used.insert(m).second) << "overlapping selection";
+        }
+      }
+      auto idx = result->repaired.BuildIdIndex();
+      for (RepairIndex r : result->selected) {
+        const auto& cand = result->candidates[r];
+        if (cand.members.size() < 2) continue;
+        auto it = idx.find(cand.target_id);
+        ASSERT_NE(it, idx.end()) << cand.target_id;
+        EXPECT_TRUE(result->repaired.at(it->second).IsValid(s.graph))
+            << "invalid join applied to " << cand.target_id;
+      }
+    }
+  }
+}
+
+// The streaming engine's genuine incremental path (Append/Poll/Finish):
+// emitted trajectories carry every input record exactly once, and any
+// emission that merged fragments of two or more observed IDs is a valid
+// trajectory — streaming never applies a join batch repair would reject.
+TEST(DifferentialTest, StreamingEmitsOnlyValidMerges) {
+  for (const Scenario& s : MakeScenarios()) {
+    SCOPED_TRACE(s.name);
+
+    // Flatten to a time-ordered stream, remembering each point's observed
+    // ID (a deque per (loc, ts) absorbs point collisions).
+    std::vector<TrackingRecord> records;
+    std::map<std::pair<LocationId, Timestamp>, std::deque<std::string>>
+        source_ids;
+    for (TrajIndex i = 0; i < s.set.size(); ++i) {
+      for (const auto& p : s.set.at(i).points()) {
+        records.push_back(TrackingRecord{s.set.at(i).id(), p.loc, p.ts});
+      }
+    }
+    std::stable_sort(records.begin(), records.end(),
+                     [](const TrackingRecord& a, const TrackingRecord& b) {
+                       return std::tie(a.ts, a.id, a.loc) <
+                              std::tie(b.ts, b.id, b.loc);
+                     });
+    for (const auto& r : records) {
+      source_ids[{r.loc, r.ts}].push_back(r.id);
+    }
+
+    StreamingRepairer stream(s.graph, s.options);
+    std::vector<Trajectory> emitted;
+    Timestamp last_poll = records.empty() ? 0 : records.front().ts;
+    for (const auto& r : records) {
+      ASSERT_TRUE(stream.Append(r).ok());
+      if (stream.watermark() - last_poll > s.options.eta) {
+        auto got = stream.Poll();
+        emitted.insert(emitted.end(), got.begin(), got.end());
+        last_poll = stream.watermark();
+      }
+    }
+    auto tail = stream.Finish();
+    emitted.insert(emitted.end(), tail.begin(), tail.end());
+
+    size_t emitted_records = 0;
+    for (const Trajectory& t : emitted) {
+      emitted_records += t.size();
+      std::set<std::string> sources;
+      for (const auto& p : t.points()) {
+        auto it = source_ids.find({p.loc, p.ts});
+        ASSERT_NE(it, source_ids.end()) << "emitted a point never appended";
+        ASSERT_FALSE(it->second.empty()) << "emitted a point twice";
+        sources.insert(it->second.front());
+        it->second.pop_front();
+      }
+      if (sources.size() >= 2) {
+        EXPECT_TRUE(t.IsValid(s.graph))
+            << "invalid merge of " << sources.size() << " fragments under "
+            << t.id();
+      }
+    }
+    EXPECT_EQ(emitted_records, records.size());
+    EXPECT_EQ(stream.pending_records(), 0u);
+
+    // The batch adapter over the same input conserves records too.
+    auto batch = StreamingRepairer(s.graph, s.options).Repair(s.set);
+    ASSERT_TRUE(batch.ok()) << batch.status();
+    EXPECT_EQ(batch->repaired.total_records(), s.set.total_records());
+  }
+}
+
+}  // namespace
+}  // namespace idrepair

@@ -6,11 +6,16 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
 
 #include "common/rng.h"
 #include "gen/synthetic.h"
 #include "graph/generators.h"
 #include "repair/repairer.h"
+#include "test_util.h"
 
 namespace idrepair {
 namespace {
@@ -119,6 +124,56 @@ TEST_P(ChaosFuzzTest, SelectorsAlwaysReturnCompatibleSets) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosFuzzTest,
                          ::testing::Range<uint64_t>(1, 21));
+
+// Chaos input through every engine at every thread count: no crash, record
+// conservation, and — the parallel-engine contract — output independent of
+// the thread count. Tiny grains force real sharding even on small inputs.
+class EngineChaosTest
+    : public ::testing::TestWithParam<std::tuple<std::string, uint64_t>> {};
+
+TEST_P(EngineChaosTest, ThreadCountNeverChangesTheAnswer) {
+  const auto& [engine_name, seed] = GetParam();
+  Rng rng(seed ^ 0xfeed);
+  TransitionGraph graph = MakeRealLikeGraph();
+  auto records = RandomChaosRecords(rng, 100, graph.num_locations());
+  TrajectorySet set = TrajectorySet::FromRecords(records);
+
+  std::vector<std::unordered_map<TrajIndex, std::string>> rewrites;
+  std::vector<size_t> selected_counts;
+  for (int threads : {1, 2, 8}) {
+    RepairOptions options;
+    options.theta = 5;
+    options.eta = 300;
+    options.exec.num_threads = threads;
+    options.exec.min_partition_grain = 8;
+    options.exec.min_candidate_grain = 2;
+    auto engine = testutil::MakeEngineByName(engine_name, graph, options);
+    ASSERT_NE(engine, nullptr) << engine_name;
+    auto result = engine->Repair(set);
+    ASSERT_TRUE(result.ok()) << engine_name << " @" << threads << " threads: "
+                             << result.status();
+    EXPECT_EQ(result->repaired.total_records(), set.total_records())
+        << engine_name << " @" << threads << " threads";
+    rewrites.push_back(result->rewrites);
+    selected_counts.push_back(result->selected.size());
+  }
+  for (size_t i = 1; i < rewrites.size(); ++i) {
+    EXPECT_EQ(rewrites[i], rewrites[0])
+        << engine_name << ": thread count changed the rewrites";
+    EXPECT_EQ(selected_counts[i], selected_counts[0])
+        << engine_name << ": thread count changed the selection";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EnginesAndSeeds, EngineChaosTest,
+    ::testing::Combine(::testing::Values("core", "partitioned", "streaming",
+                                         "idsim", "neighborhood"),
+                       ::testing::Range<uint64_t>(1, 6)),
+    [](const ::testing::TestParamInfo<EngineChaosTest::ParamType>& info) {
+      return std::get<0>(info.param) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
 
 // Structured-but-degenerate datasets: extreme parameter corners.
 struct Corner {

@@ -1,17 +1,52 @@
 #ifndef IDREPAIR_TESTS_TEST_UTIL_H_
 #define IDREPAIR_TESTS_TEST_UTIL_H_
 
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "baselines/id_similarity_repairer.h"
+#include "baselines/neighborhood_repairer.h"
 #include "graph/generators.h"
 #include "graph/transition_graph.h"
 #include "repair/options.h"
+#include "repair/partitioned.h"
+#include "repair/repairer.h"
+#include "stream/streaming_repairer.h"
 #include "traj/tracking_record.h"
 #include "traj/trajectory_set.h"
 
 namespace idrepair {
 namespace testutil {
+
+/// The stable names of every registered repair engine, in a fixed order the
+/// differential and fuzz suites iterate over.
+inline const std::vector<std::string_view>& AllEngineNames() {
+  static const std::vector<std::string_view> kNames = {
+      "core", "partitioned", "streaming", "idsim", "neighborhood"};
+  return kNames;
+}
+
+/// Builds a repair engine by its stable name (the CLI's --engine values),
+/// behind the unified Repairer interface. The graph must outlive the
+/// engine; `options` is copied.
+inline std::unique_ptr<Repairer> MakeEngineByName(
+    std::string_view name, const TransitionGraph& graph,
+    const RepairOptions& options) {
+  if (name == "core") return std::make_unique<IdRepairer>(graph, options);
+  if (name == "partitioned") {
+    return std::make_unique<PartitionedRepairer>(graph, options);
+  }
+  if (name == "streaming") {
+    return std::make_unique<StreamingRepairer>(graph, options);
+  }
+  if (name == "idsim") return std::make_unique<IdSimilarityRepairer>();
+  if (name == "neighborhood") {
+    return std::make_unique<NeighborhoodRepairer>(graph, options);
+  }
+  return nullptr;
+}
 
 /// Seconds since midnight for an HH:MM:SS clock reading.
 constexpr Timestamp HMS(int h, int m, int s) {

@@ -5,7 +5,7 @@
 //                         [--zeta N] [--lambda F] [--selection emax|dmin|
 //                         dmax|exact] [--similarity edit|jaro_winkler|
 //                         bigram_cosine|overlap] [--no-lig] [--no-prune]
-//                         [--explain] [--threads N]
+//                         [--explain] [--threads N] [--candidate-grain N]
 //                         [--engine core|partitioned|streaming|idsim|
 //                         neighborhood] [--max-edit-distance N]
 //   idrepair_cli generate --graph g.txt --out records.csv
@@ -71,6 +71,11 @@ Result<RepairOptions> OptionsFromFlags(const FlagParser& flags,
   if (!lambda.ok()) return lambda.status();
   auto threads = flags.GetInt("threads", 0);
   if (!threads.ok()) return threads.status();
+  auto grain = flags.GetInt("candidate-grain", 32);
+  if (!grain.ok()) return grain.status();
+  if (*grain <= 0) {
+    return Status::InvalidArgument("--candidate-grain must be >= 1");
+  }
   auto selection = ParseSelection(flags.GetString("selection", "emax"));
   if (!selection.ok()) return selection.status();
 
@@ -92,6 +97,7 @@ Result<RepairOptions> OptionsFromFlags(const FlagParser& flags,
       .WithSelection(*selection)
       .WithSimilarity(owned_similarity.get())
       .WithThreads(static_cast<int>(*threads))
+      .WithMinCandidateGrain(static_cast<size_t>(*grain))
       .Validated();
 }
 
