@@ -20,13 +20,14 @@ using namespace idrepair;
 using namespace idrepair::benchutil;
 
 int main() {
+  BenchReport report("ext_partitioned");
   TransitionGraph graph = MakeRealLikeGraph();
   RepairOptions options;
   options.theta = 4;
   options.eta = 600;
 
-  PrintTitle("Partitioned repair vs whole batch (sparser => more chunks)");
-  PrintHeader({"window_h", "trajs", "partitions", "largest", "batch_ms",
+  report.Title("Partitioned repair vs whole batch (sparser => more chunks)");
+  report.Header({"window_h", "trajs", "partitions", "largest", "batch_ms",
                "chunked_ms", "identical"});
   for (int window_hours : {1, 4, 16, 48}) {
     SyntheticConfig config;
@@ -56,7 +57,7 @@ int main() {
     }
 
     bool identical = chunked->rewrites == batch->rewrites;
-    PrintRow({std::to_string(window_hours), std::to_string(set.size()),
+    report.Row({std::to_string(window_hours), std::to_string(set.size()),
               std::to_string(chunked->stats.num_partitions),
               std::to_string(chunked->stats.largest_partition),
               FmtMs(batch->stats.seconds_total),
@@ -71,7 +72,7 @@ int main() {
   // Fixed sparse workload, varying exec.num_threads. Speedup is relative
   // to the 1-thread run of the SAME engine, so it isolates the execution
   // engine from the partitioning benefit measured above.
-  PrintTitle("Parallel partitioned repair: thread scaling");
+  report.Title("Parallel partitioned repair: thread scaling");
   {
     SyntheticConfig config;
     config.num_trajectories = 4000;
@@ -87,7 +88,7 @@ int main() {
     }
     TrajectorySet set = ds->BuildObservedTrajectories();
 
-    PrintHeader({"threads", "partitions", "wall_ms", "cpu_ms", "speedup",
+    report.Header({"threads", "partitions", "wall_ms", "cpu_ms", "speedup",
                  "identical"});
     double base_seconds = 0.0;
     RepairResult reference;
@@ -119,7 +120,7 @@ int main() {
                        result->selected == reference.selected &&
                        result->total_effectiveness ==
                            reference.total_effectiveness;
-      PrintRow({std::to_string(result->stats.threads_used),
+      report.Row({std::to_string(result->stats.threads_used),
                 std::to_string(result->stats.num_partitions), FmtMs(best),
                 FmtMs(result->stats.cpu_seconds_total),
                 FmtRatio(base_seconds / std::max(best, 1e-9)),
@@ -138,7 +139,7 @@ int main() {
   // spread. Intra-component sharding (seed-sharded candidate generation +
   // sharded Gm build) is the only parallel surface — before it existed,
   // this table was flat at 1.0x by construction.
-  PrintTitle("Single giant chain component: intra-component sharding");
+  report.Title("Single giant chain component: intra-component sharding");
   {
     SyntheticConfig config;
     config.num_trajectories = 1500;
@@ -152,7 +153,7 @@ int main() {
     }
     TrajectorySet set = ds->BuildObservedTrajectories();
 
-    PrintHeader({"threads", "partitions", "gen_ms", "wall_ms", "speedup",
+    report.Header({"threads", "partitions", "gen_ms", "wall_ms", "speedup",
                  "identical"});
     double base_seconds = 0.0;
     RepairResult reference;
@@ -187,7 +188,7 @@ int main() {
                        result->selected == reference.selected &&
                        result->total_effectiveness ==
                            reference.total_effectiveness;
-      PrintRow({std::to_string(threads),
+      report.Row({std::to_string(threads),
                 std::to_string(result->stats.num_partitions),
                 FmtMs(result->stats.seconds_generation), FmtMs(best),
                 FmtRatio(base_seconds / std::max(best, 1e-9)),

@@ -38,10 +38,11 @@ RepairOptions Defaults() {
 }  // namespace
 
 int main() {
+  BenchReport report("fig14_optimizations");
   const std::vector<size_t> sizes = {2000, 3000, 4000, 5000, 6000};
 
-  PrintTitle("Fig 14(a): Gm construction time, LIG index on/off");
-  PrintHeader({"trajectories", "records", "with_idx_ms", "no_idx_ms",
+  report.Title("Fig 14(a): Gm construction time, LIG index on/off");
+  report.Header({"trajectories", "records", "with_idx_ms", "no_idx_ms",
                "gm_edges"});
   for (size_t n : sizes) {
     auto ds = MakeScaledRealLikeDataset(n);
@@ -70,13 +71,13 @@ int main() {
         return 1;
       }
     }
-    PrintRow({std::to_string(set.size()),
+    report.Row({std::to_string(set.size()),
               std::to_string(set.total_records()), FmtMs(with_idx),
               FmtMs(no_idx), std::to_string(edges)});
   }
 
-  PrintTitle("Fig 14(b): whole repair time, MCP pruning on/off");
-  PrintHeader({"trajectories", "pruned_ms", "unpruned_ms", "saving",
+  report.Title("Fig 14(b): whole repair time, MCP pruning on/off");
+  report.Header({"trajectories", "pruned_ms", "unpruned_ms", "saving",
                "cliques_cut"});
   for (size_t n : sizes) {
     auto ds = MakeScaledRealLikeDataset(n);
@@ -111,11 +112,11 @@ int main() {
                      ? 1.0 - static_cast<double>(cliques_with) /
                                  static_cast<double>(cliques_without)
                      : 0.0;
-    PrintRow({std::to_string(set.size()), FmtMs(pruned), FmtMs(unpruned),
+    report.Row({std::to_string(set.size()), FmtMs(pruned), FmtMs(unpruned),
               Fmt(saving * 100, 1) + "%", Fmt(cut * 100, 1) + "%"});
   }
 
-  PrintTitle("Fig 14(c, ext): candidate generation thread scaling, "
+  report.Title("Fig 14(c, ext): candidate generation thread scaling, "
              "single giant component");
   {
     auto ds = MakeScaledRealLikeDataset(4000);
@@ -124,7 +125,7 @@ int main() {
       return 1;
     }
     TrajectorySet set = ds->BuildObservedTrajectories();
-    PrintHeader({"threads", "gen_ms", "gen_cpu_ms", "gen_speedup", "total_ms",
+    report.Header({"threads", "gen_ms", "gen_cpu_ms", "gen_speedup", "total_ms",
                  "identical"});
     double base_gen = 0.0;
     RepairResult reference;
@@ -154,7 +155,7 @@ int main() {
                        result->selected == reference.selected &&
                        result->total_effectiveness ==
                            reference.total_effectiveness;
-      PrintRow({std::to_string(threads), FmtMs(best_gen),
+      report.Row({std::to_string(threads), FmtMs(best_gen),
                 FmtMs(result->stats.cpu_seconds_generation),
                 FmtRatio(base_gen / std::max(best_gen, 1e-9)),
                 FmtMs(result->stats.seconds_total),

@@ -1,11 +1,14 @@
 #ifndef IDREPAIR_BENCH_BENCH_UTIL_H_
 #define IDREPAIR_BENCH_BENCH_UTIL_H_
 
+#include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "common/string_util.h"
 
 namespace idrepair {
@@ -46,6 +49,103 @@ inline std::string FmtMs(double seconds) { return ToFixed(seconds * 1e3, 1); }
 inline std::string FmtRatio(double ratio) {
   return ToFixed(ratio, 2) + "x";
 }
+
+/// Drop-in replacement for the Print* free functions that mirrors every
+/// printed table into `BENCH_<name>.json` — same rows, machine-readable —
+/// so runs can be diffed and plotted without scraping stdout. The file is
+/// written by the destructor into $IDREPAIR_BENCH_JSON_DIR (default: the
+/// working directory). Numeric-looking cells ("12.5", "3e4") become JSON
+/// numbers; everything else ("2.13x", "on") stays a string.
+///
+///   BenchReport report("fig14_optimizations");
+///   report.Title("Fig 14 — ...");
+///   report.Header({"dataset", "time"});
+///   report.Row({"syn-1k", FmtMs(t)});
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  ~BenchReport() { WriteJson(); }
+
+  /// Starts a new table (Print Title + a fresh JSON "tables" entry).
+  void Title(const std::string& title) {
+    PrintTitle(title);
+    tables_.push_back(Table{title, {}, {}});
+  }
+
+  /// Column names for the current table.
+  void Header(const std::vector<std::string>& cols) {
+    PrintHeader(cols);
+    if (tables_.empty()) tables_.push_back(Table{});
+    tables_.back().columns = cols;
+  }
+
+  /// One data row; cells align positionally with the header.
+  void Row(const std::vector<std::string>& cells) {
+    PrintRow(cells);
+    if (tables_.empty()) tables_.push_back(Table{});
+    tables_.back().rows.push_back(cells);
+  }
+
+ private:
+  struct Table {
+    std::string title;
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  void WriteJson() const {
+    const char* dir = std::getenv("IDREPAIR_BENCH_JSON_DIR");
+    std::string path = (dir != nullptr && *dir != '\0')
+                           ? std::string(dir) + "/BENCH_" + name_ + ".json"
+                           : "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "warning: cannot write " << path << "\n";
+      return;
+    }
+    JsonWriter w(&out);
+    w.BeginObject();
+    w.Key("bench");
+    w.String(name_);
+    w.Key("repetitions");
+    w.Int(kRepetitions);
+    w.Key("tables");
+    w.BeginArray();
+    for (const Table& t : tables_) {
+      w.BeginObject();
+      w.Key("title");
+      w.String(t.title);
+      w.Key("columns");
+      w.BeginArray();
+      for (const auto& c : t.columns) w.String(c);
+      w.EndArray();
+      w.Key("rows");
+      w.BeginArray();
+      for (const auto& row : t.rows) {
+        w.BeginObject();
+        for (size_t i = 0; i < row.size(); ++i) {
+          w.Key(i < t.columns.size() ? t.columns[i]
+                                     : "col" + std::to_string(i));
+          w.NumberOrString(row[i]);
+        }
+        w.EndObject();
+      }
+      w.EndArray();
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    out << "\n";
+    std::cout << "\n[bench] wrote " << path << "\n";
+  }
+
+  std::string name_;
+  std::vector<Table> tables_;
+};
 
 }  // namespace benchutil
 }  // namespace idrepair

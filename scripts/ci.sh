@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full local CI gate: the tier-1 build + test suite, then the sanitizer
+# sweeps (ASan with leak detection, then TSan). Stops at the first failing
+# stage so the earliest, cheapest signal is the one reported.
+#
+# Usage: scripts/ci.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+echo "==> tier-1: configure + build"
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+echo "==> tier-1: ctest"
+ctest --test-dir "$BUILD_DIR" --output-on-failure
+
+echo "==> sanitizer: address"
+scripts/check_asan.sh
+
+echo "==> sanitizer: thread"
+scripts/check_tsan.sh
+
+echo "ci: OK"

@@ -1,0 +1,135 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace idrepair {
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    // The comma (if any) was written with the key.
+    pending_key_ = false;
+    return;
+  }
+  if (!has_element_.empty()) {
+    if (has_element_.back()) Raw(",");
+    has_element_.back() = true;
+  }
+}
+
+void JsonWriter::Escaped(std::string_view text) {
+  Raw("\"");
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        Raw("\\\"");
+        break;
+      case '\\':
+        Raw("\\\\");
+        break;
+      case '\n':
+        Raw("\\n");
+        break;
+      case '\r':
+        Raw("\\r");
+        break;
+      case '\t':
+        Raw("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          Raw(buf);
+        } else {
+          out_->put(c);
+        }
+    }
+  }
+  Raw("\"");
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  Raw("{");
+  has_element_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  has_element_.pop_back();
+  Raw("}");
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  Raw("[");
+  has_element_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  has_element_.pop_back();
+  Raw("]");
+}
+
+void JsonWriter::Key(std::string_view key) {
+  if (!has_element_.empty()) {
+    if (has_element_.back()) Raw(",");
+    has_element_.back() = true;
+  }
+  Escaped(key);
+  Raw(":");
+  pending_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  Escaped(value);
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  *out_ << value;
+}
+
+void JsonWriter::Uint(uint64_t value) {
+  BeforeValue();
+  *out_ << value;
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    Raw("null");
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  Raw(buf);
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  Raw(value ? "true" : "false");
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  Raw("null");
+}
+
+void JsonWriter::NumberOrString(std::string_view cell) {
+  if (!cell.empty()) {
+    std::string copy(cell);
+    char* end = nullptr;
+    double parsed = std::strtod(copy.c_str(), &end);
+    if (end == copy.c_str() + copy.size() && std::isfinite(parsed)) {
+      Double(parsed);
+      return;
+    }
+  }
+  String(cell);
+}
+
+}  // namespace idrepair

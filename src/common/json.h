@@ -1,0 +1,65 @@
+#ifndef IDREPAIR_COMMON_JSON_H_
+#define IDREPAIR_COMMON_JSON_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace idrepair {
+
+/// Minimal streaming JSON writer (no dependency, no DOM). Used by the
+/// observability exporters (Chrome trace, metrics snapshots), the CLI's
+/// --stats-json dump, and the bench harness's BENCH_*.json mirror.
+///
+/// The writer tracks the container stack and inserts commas automatically;
+/// the caller is responsible for well-formedness beyond that (a Key must be
+/// followed by exactly one value, arrays contain values only).
+///
+///   JsonWriter w(&out);
+///   w.BeginObject();
+///   w.Key("name"); w.String("fig14");
+///   w.Key("rows"); w.BeginArray(); w.Int(1); w.Int(2); w.EndArray();
+///   w.EndObject();
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream* out) : out_(out) {}
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Object member key; escapes like String.
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void Uint(uint64_t value);
+  /// Finite doubles render with up to 17 significant digits (round-trip
+  /// exact); NaN and infinities render as null (JSON has no spelling for
+  /// them).
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  /// Writes the cell as a number when it parses fully as one ("12.5",
+  /// "3e4"), else as a string ("yes", "2.13x"). The bench mirror uses this
+  /// so numeric table cells stay machine-readable.
+  void NumberOrString(std::string_view cell);
+
+ private:
+  void BeforeValue();
+  void Raw(std::string_view text) { *out_ << text; }
+  void Escaped(std::string_view text);
+
+  std::ostream* out_;
+  // One frame per open container: true once the first element was written
+  // (so the next one needs a comma).
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_COMMON_JSON_H_

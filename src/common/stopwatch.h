@@ -40,13 +40,38 @@ class CpuStopwatch {
 
   double ElapsedSeconds() const { return Now() - start_; }
 
+  /// Stable name of the clock backing this stopwatch, detected once per
+  /// process: "process_cputime" (POSIX CLOCK_PROCESS_CPUTIME_ID, sums all
+  /// threads) or "std_clock" (the portable std::clock() fallback, whose
+  /// meaning varies by platform). Recorded in RepairStats so CPU-second
+  /// numbers from different builds are never compared unknowingly.
+  static const char* SourceName() {
+    return UsesProcessCpuTime() ? "process_cputime" : "std_clock";
+  }
+
  private:
+  /// Probes the preferred clock once; the result never changes within a
+  /// process, so Now() and SourceName() stay consistent with each other.
+  static bool UsesProcessCpuTime() {
+#if defined(__linux__) || defined(__APPLE__)
+    static const bool available = [] {
+      timespec ts{};
+      return clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0;
+    }();
+    return available;
+#else
+    return false;
+#endif
+  }
+
   static double Now() {
 #if defined(__linux__) || defined(__APPLE__)
-    timespec ts{};
-    if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
-      return static_cast<double>(ts.tv_sec) +
-             static_cast<double>(ts.tv_nsec) * 1e-9;
+    if (UsesProcessCpuTime()) {
+      timespec ts{};
+      if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+        return static_cast<double>(ts.tv_sec) +
+               static_cast<double>(ts.tv_nsec) * 1e-9;
+      }
     }
 #endif
     return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;

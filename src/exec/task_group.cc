@@ -3,7 +3,20 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace idrepair {
+
+namespace {
+
+obs::Counter* SkippedCounter() {
+  static obs::Counter* skipped = obs::MetricsRegistry::Global().GetCounter(
+      "idrepair_exec_tasks_skipped_total", obs::Stability::kRuntime,
+      "Tasks skipped because their group was cancelled before they ran");
+  return skipped;
+}
+
+}  // namespace
 
 TaskGroup::TaskGroup(ThreadPool* pool)
     : pool_(pool != nullptr ? pool : &ThreadPool::Default()),
@@ -20,6 +33,8 @@ void TaskGroup::Spawn(std::function<Status()> fn) {
     Status status;  // OK
     if (!state->cancelled.load(std::memory_order_relaxed)) {
       status = fn();
+    } else if (obs::Enabled()) {
+      SkippedCounter()->Increment();
     }
     {
       std::lock_guard<std::mutex> lock(state->mu);

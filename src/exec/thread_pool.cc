@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace idrepair {
 
 namespace {
@@ -13,6 +16,43 @@ struct WorkerIdentity {
   int index = -1;
 };
 thread_local WorkerIdentity tls_worker;
+
+/// Pool instrumentation, resolved once against the global registry so the
+/// hot path never touches the registry lock. Sites guard on obs::Enabled().
+struct PoolMetrics {
+  obs::Counter* submitted;
+  obs::Counter* executed;
+  obs::Counter* stolen;
+  obs::Gauge* queue_depth;
+  obs::Histogram* task_seconds;
+
+  static PoolMetrics& Get() {
+    static PoolMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      auto* pm = new PoolMetrics();
+      // Task counts depend on the decomposition width (SplitRange consults
+      // the thread budget), so they are runtime metrics even though each
+      // width reproduces them exactly.
+      pm->submitted = reg.GetCounter(
+          "idrepair_exec_tasks_submitted_total", obs::Stability::kRuntime,
+          "Tasks enqueued on any thread pool");
+      pm->executed = reg.GetCounter(
+          "idrepair_exec_tasks_executed_total", obs::Stability::kRuntime,
+          "Tasks run to completion by workers or helping waiters");
+      pm->stolen = reg.GetCounter(
+          "idrepair_exec_tasks_stolen_total", obs::Stability::kRuntime,
+          "Tasks taken from another worker's deque");
+      pm->queue_depth = reg.GetGauge(
+          "idrepair_exec_queue_depth", obs::Stability::kRuntime,
+          "Tasks currently enqueued and not yet started");
+      pm->task_seconds = reg.GetHistogram(
+          "idrepair_exec_task_seconds", obs::Stability::kRuntime,
+          obs::DefaultLatencyBuckets(), "Task execution wall time");
+      return pm;
+    }();
+    return *m;
+  }
+};
 
 }  // namespace
 
@@ -45,10 +85,17 @@ void ThreadPool::Submit(std::function<void()> task) {
                        : queues_.size() - 1;
     queues_[queue].push_back(std::move(task));
   }
+  if (obs::Enabled()) {
+    PoolMetrics& m = PoolMetrics::Get();
+    m.submitted->Increment();
+    m.queue_depth->Add(1);
+  }
   cv_.notify_one();
 }
 
-bool ThreadPool::PopAnyTask(int self, std::function<void()>* out) {
+bool ThreadPool::PopAnyTask(int self, std::function<void()>* out,
+                            bool* stolen) {
+  if (stolen != nullptr) *stolen = false;
   // Own deque back first (LIFO — the task most recently spawned here),
   // then steal oldest-first from the injection queue and the other
   // workers, scanning from the slot after ours so steals spread out.
@@ -64,34 +111,58 @@ bool ThreadPool::PopAnyTask(int self, std::function<void()>* out) {
     if (queues_[q].empty()) continue;
     *out = std::move(queues_[q].front());
     queues_[q].pop_front();
+    // Popping the shared injection queue (index n - 1) is plain dispatch;
+    // only raiding another worker's deque counts as a steal.
+    if (stolen != nullptr) *stolen = q != n - 1;
     return true;
   }
   return false;
 }
 
+void ThreadPool::RunTask(std::function<void()>& task, bool stolen) {
+  if (!obs::Enabled()) {
+    task();
+    return;
+  }
+  PoolMetrics& m = PoolMetrics::Get();
+  m.queue_depth->Add(-1);
+  if (stolen) m.stolen->Increment();
+  uint64_t start_us = obs::TraceNowMicros();
+  {
+    obs::TraceSpan span("exec.task");
+    task();
+  }
+  m.executed->Increment();
+  m.task_seconds->Observe(
+      static_cast<double>(obs::TraceNowMicros() - start_us) * 1e-6);
+}
+
 void ThreadPool::WorkerLoop(int self) {
   tls_worker = WorkerIdentity{this, self};
   std::function<void()> task;
+  bool stolen = false;
   while (true) {
     {
       std::unique_lock<std::mutex> lock(mu_);
       // Pop before consulting shutdown_ so teardown drains pending tasks.
-      cv_.wait(lock, [&] { return PopAnyTask(self, &task) || shutdown_; });
+      cv_.wait(lock,
+               [&] { return PopAnyTask(self, &task, &stolen) || shutdown_; });
       if (!task) return;  // shutdown with all queues drained
     }
-    task();
+    RunTask(task, stolen);
     task = nullptr;
   }
 }
 
 bool ThreadPool::TryRunOneTask() {
   std::function<void()> task;
+  bool stolen = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     int self = tls_worker.pool == this ? tls_worker.index : -1;
-    if (!PopAnyTask(self, &task)) return false;
+    if (!PopAnyTask(self, &task, &stolen)) return false;
   }
-  task();
+  RunTask(task, stolen);
   return true;
 }
 

@@ -50,7 +50,12 @@ class ThreadPool {
 
  private:
   void WorkerLoop(int self);
-  bool PopAnyTask(int self, std::function<void()>* out);
+  /// Pops one task. `stolen`, when non-null, reports whether the task came
+  /// from another worker's deque (a genuine steal — injection-queue pops
+  /// are ordinary dispatch, not theft).
+  bool PopAnyTask(int self, std::function<void()>* out,
+                  bool* stolen = nullptr);
+  void RunTask(std::function<void()>& task, bool stolen);
 
   // One deque per worker plus the injection queue at index workers_.size().
   // A single mutex guards all queues: tasks here are coarse (a shard of

@@ -1,0 +1,260 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace idrepair {
+namespace obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  size_t n = bounds_.size() + 1;  // +Inf bucket
+  for (Shard& s : shards_) {
+    s.counts = std::make_unique<std::atomic<uint64_t>[]>(n);
+    for (size_t b = 0; b < n; ++b) {
+      s.counts[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Histogram::Observe(double value) {
+  // lower_bound: first bound >= value, i.e. bounds are *inclusive* upper
+  // bounds (Prometheus `le` semantics — a value equal to a bound belongs
+  // to that bound's bucket).
+  size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  Shard& s = shards_[ThreadShard()];
+  s.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  s.sum_ticks.fetch_add(static_cast<int64_t>(std::llround(value *
+                                                          kTicksPerUnit)),
+                        std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> merged(bounds_.size() + 1, 0);
+  for (const Shard& s : shards_) {
+    for (size_t b = 0; b < merged.size(); ++b) {
+      merged[b] += s.counts[b].load(std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
+uint64_t Histogram::TotalCount() const {
+  uint64_t total = 0;
+  for (uint64_t c : BucketCounts()) total += c;
+  return total;
+}
+
+double Histogram::Sum() const {
+  int64_t ticks = 0;
+  for (const Shard& s : shards_) {
+    ticks += s.sum_ticks.load(std::memory_order_relaxed);
+  }
+  return static_cast<double>(ticks) / kTicksPerUnit;
+}
+
+void Histogram::Reset() {
+  for (Shard& s : shards_) {
+    for (size_t b = 0; b < bounds_.size() + 1; ++b) {
+      s.counts[b].store(0, std::memory_order_relaxed);
+    }
+    s.sum_ticks.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       int count) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  double bound = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> DefaultLatencyBuckets() {
+  // 10 µs … ~84 s in ×2 steps: 24 buckets cover everything from a stolen
+  // micro-task to a whole-dataset repair.
+  return ExponentialBuckets(1e-5, 2.0, 24);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never freed
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     Stability stability,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.type = MetricSnapshot::Type::kCounter;
+    entry.stability = stability;
+    entry.help = help;
+    entry.counter = std::make_unique<Counter>();
+    it = entries_.emplace(name, std::move(entry)).first;
+  }
+  if (it->second.type != MetricSnapshot::Type::kCounter) {
+    assert(false && "metric re-registered as a different type");
+    orphan_counters_.push_back(std::make_unique<Counter>());
+    return orphan_counters_.back().get();
+  }
+  return it->second.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, Stability stability,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.type = MetricSnapshot::Type::kGauge;
+    entry.stability = stability;
+    entry.help = help;
+    entry.gauge = std::make_unique<Gauge>();
+    it = entries_.emplace(name, std::move(entry)).first;
+  }
+  if (it->second.type != MetricSnapshot::Type::kGauge) {
+    assert(false && "metric re-registered as a different type");
+    orphan_gauges_.push_back(std::make_unique<Gauge>());
+    return orphan_gauges_.back().get();
+  }
+  return it->second.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         Stability stability,
+                                         std::vector<double> bounds,
+                                         const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.type = MetricSnapshot::Type::kHistogram;
+    entry.stability = stability;
+    entry.help = help;
+    entry.histogram = std::make_unique<Histogram>(std::move(bounds));
+    it = entries_.emplace(name, std::move(entry)).first;
+  }
+  if (it->second.type != MetricSnapshot::Type::kHistogram) {
+    assert(false && "metric re-registered as a different type");
+    orphan_histograms_.push_back(
+        std::make_unique<Histogram>(std::move(bounds)));
+    return orphan_histograms_.back().get();
+  }
+  return it->second.histogram.get();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : entries_) {
+    switch (entry.type) {
+      case MetricSnapshot::Type::kCounter:
+        entry.counter->Reset();
+        break;
+      case MetricSnapshot::Type::kGauge:
+        entry.gauge->Reset();
+        break;
+      case MetricSnapshot::Type::kHistogram:
+        entry.histogram->Reset();
+        break;
+    }
+  }
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Collect(
+    bool include_runtime) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    if (!include_runtime && entry.stability == Stability::kRuntime) continue;
+    MetricSnapshot snap;
+    snap.name = name;
+    snap.help = entry.help;
+    snap.type = entry.type;
+    snap.stability = entry.stability;
+    switch (entry.type) {
+      case MetricSnapshot::Type::kCounter:
+        snap.counter_value = entry.counter->Value();
+        break;
+      case MetricSnapshot::Type::kGauge:
+        snap.gauge_value = entry.gauge->Value();
+        break;
+      case MetricSnapshot::Type::kHistogram:
+        snap.bounds = entry.histogram->bounds();
+        snap.bucket_counts = entry.histogram->BucketCounts();
+        for (uint64_t c : snap.bucket_counts) snap.total_count += c;
+        snap.sum = entry.histogram->Sum();
+        break;
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+namespace {
+
+/// Renders a histogram bound for a `le` label: fixed 9-decimal, trailing
+/// zeros trimmed ("0.00016384" not "1.6384e-04"), so the output is
+/// platform-independent and stable.
+std::string FormatBound(double bound) {
+  std::string s = ToFixed(bound, 9);
+  size_t last = s.find_last_not_of('0');
+  if (last != std::string::npos && s[last] == '.') --last;
+  return s.substr(0, last + 1);
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderPrometheus(bool include_runtime) const {
+  std::ostringstream out;
+  for (const MetricSnapshot& m : Collect(include_runtime)) {
+    if (!m.help.empty()) {
+      out << "# HELP " << m.name << " " << m.help << "\n";
+    }
+    switch (m.type) {
+      case MetricSnapshot::Type::kCounter:
+        out << "# TYPE " << m.name << " counter\n";
+        out << m.name << " " << m.counter_value << "\n";
+        break;
+      case MetricSnapshot::Type::kGauge:
+        out << "# TYPE " << m.name << " gauge\n";
+        out << m.name << " " << m.gauge_value << "\n";
+        break;
+      case MetricSnapshot::Type::kHistogram: {
+        out << "# TYPE " << m.name << " histogram\n";
+        uint64_t cumulative = 0;
+        for (size_t b = 0; b < m.bucket_counts.size(); ++b) {
+          cumulative += m.bucket_counts[b];
+          std::string le =
+              b < m.bounds.size() ? FormatBound(m.bounds[b]) : "+Inf";
+          out << m.name << "_bucket{le=\"" << le << "\"} " << cumulative
+              << "\n";
+        }
+        out << m.name << "_sum " << FormatBound(m.sum) << "\n";
+        out << m.name << "_count " << cumulative << "\n";
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+size_t MetricsRegistry::NumMetrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace obs
+}  // namespace idrepair

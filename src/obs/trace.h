@@ -1,0 +1,127 @@
+#ifndef IDREPAIR_OBS_TRACE_H_
+#define IDREPAIR_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/obs.h"
+
+namespace idrepair {
+namespace obs {
+
+/// One completed span. `name` must be a string with static storage duration
+/// (a literal at the instrumentation site) — events store the pointer, not
+/// a copy, so recording stays allocation-free.
+struct TraceEvent {
+  const char* name = nullptr;
+  uint64_t start_us = 0;  // microseconds since the process trace epoch
+  uint64_t dur_us = 0;
+  uint32_t tid = 0;       // obs::ThreadId() of the recording thread
+  uint32_t depth = 0;     // span nesting depth on that thread (0 = root)
+  uint64_t arg = 0;       // optional site-specific payload (shard index…)
+  bool has_arg = false;
+};
+
+/// Collects TraceEvents into per-thread ring buffers and exports them as
+/// Chrome Trace Event JSON (load the file in chrome://tracing or Perfetto).
+///
+/// Each thread records into its own fixed-capacity ring, guarded by a
+/// per-ring mutex that only that thread and an exporting reader ever touch,
+/// so recording is an uncontended lock plus a slot write — bounded overhead
+/// while enabled, race-free by construction. A full ring overwrites its
+/// oldest events; memory never grows with trace length.
+class TraceSink {
+ public:
+  explicit TraceSink(size_t capacity_per_thread = 8192);
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Process-wide sink used by all built-in instrumentation (TraceSpan's
+  /// implicit target).
+  static TraceSink& Global();
+
+  /// Capacity for ring buffers created *after* this call; existing threads
+  /// keep their rings. Call before the instrumented run starts.
+  void SetCapacity(size_t capacity_per_thread);
+
+  /// Appends one event to the calling thread's ring.
+  void Record(const TraceEvent& event);
+
+  /// Merged copy of every buffered event, ordered by (start, tid). Rings
+  /// that wrapped contribute only their newest `capacity` events.
+  std::vector<TraceEvent> Events() const;
+
+  /// Total events overwritten by ring wraparound since the last Clear().
+  uint64_t dropped_events() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Chrome Trace Event JSON ("X" complete events, one pid, tid =
+  /// obs::ThreadId).
+  void WriteJson(std::ostream& out) const;
+  Status WriteJsonFile(const std::string& path) const;
+
+  /// Discards all buffered events (rings stay allocated).
+  void Clear();
+
+ private:
+  struct ThreadBuffer {
+    std::mutex mu;
+    std::thread::id owner;
+    uint32_t tid = 0;
+    uint64_t next = 0;  // monotonically increasing write index
+    std::vector<TraceEvent> ring;
+  };
+
+  ThreadBuffer* BufferForThisThread();
+
+  const uint64_t sink_id_;  // process-unique, for the thread-local cache
+  std::atomic<size_t> capacity_;
+  std::atomic<uint64_t> dropped_{0};
+  mutable std::mutex mu_;  // guards buffers_ (registration + export walk)
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII trace scope. The two-argument constructors target the global sink
+/// and are no-ops unless obs::Enabled() — the disabled cost is one relaxed
+/// load. The explicit-sink constructor records unconditionally (tests).
+///
+///   { TraceSpan span("repair.gm"); BuildGm(); }   // one "X" event
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  TraceSpan(const char* name, uint64_t arg);
+  TraceSpan(TraceSink* sink, const char* name);
+  TraceSpan(TraceSink* sink, const char* name, uint64_t arg);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceSpan(TraceSink* sink, const char* name, uint64_t arg, bool has_arg);
+
+  TraceSink* sink_;  // nullptr when the span is inactive
+  const char* name_;
+  uint64_t arg_;
+  bool has_arg_;
+  uint64_t start_us_;
+  uint32_t depth_;
+};
+
+/// Microseconds since the process-wide trace epoch (steady clock; the
+/// epoch is captured on first use).
+uint64_t TraceNowMicros();
+
+}  // namespace obs
+}  // namespace idrepair
+
+#endif  // IDREPAIR_OBS_TRACE_H_

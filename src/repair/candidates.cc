@@ -6,6 +6,7 @@
 
 #include "exec/parallel_for.h"
 #include "exec/thread_pool.h"
+#include "obs/trace.h"
 
 namespace idrepair {
 
@@ -67,6 +68,7 @@ std::vector<CandidateRepair> GenerateCandidates(
   (void)ParallelFor(
       &ThreadPool::Default(), shards,
       [&](size_t shard, size_t begin, size_t end) {
+        obs::TraceSpan span("generation.shard", shard);
         GenerationShard& slot = slots[shard];
         slot.stats.clique_stats = enumerator.EnumerateSeedRange(
             seeds, begin, end,
@@ -115,6 +117,7 @@ std::vector<CandidateRepair> GenerateCandidates(
 
 void ComputeEffectiveness(std::vector<CandidateRepair>& candidates,
                           const RepairOptions& options, size_t num_trajs) {
+  obs::TraceSpan span("generation.effectiveness");
   auto shards = SplitRange(candidates.size(),
                            options.exec.ResolvedThreads(),
                            options.exec.min_candidate_grain);

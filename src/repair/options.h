@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "exec/exec_options.h"
+#include "obs/obs.h"
 #include "sim/similarity.h"
 #include "traj/tracking_record.h"
 
@@ -83,6 +84,10 @@ struct RepairOptions {
   /// streaming flushes.
   ExecOptions exec;
 
+  /// Runtime-observability knobs (metrics + trace spans), consumed by every
+  /// engine via obs::ApplyOptions at Repair entry. Never affects results.
+  ObsOptions obs;
+
   // ---- Fluent construction -----------------------------------------
   RepairOptions& WithTheta(size_t v) { theta = v; return *this; }
   RepairOptions& WithEta(Timestamp v) { eta = v; return *this; }
@@ -119,6 +124,14 @@ struct RepairOptions {
     exec.min_candidate_grain = v;
     return *this;
   }
+  RepairOptions& WithObsEnabled(bool v) {
+    obs.enabled = v;
+    return *this;
+  }
+  RepairOptions& WithTraceCapacity(size_t v) {
+    obs.trace_capacity = v;
+    return *this;
+  }
 
   /// Rejects nonsensical parameter combinations.
   Status Validate() const {
@@ -136,6 +149,7 @@ struct RepairOptions {
           "rarity_base_offset must be >= 1 (log base must exceed 1)");
     }
     IDREPAIR_RETURN_NOT_OK(exec.Validate());
+    IDREPAIR_RETURN_NOT_OK(obs.Validate());
     return Status::OK();
   }
 

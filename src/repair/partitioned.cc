@@ -5,8 +5,38 @@
 #include "common/stopwatch.h"
 #include "exec/task_group.h"
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace idrepair {
+
+namespace {
+
+/// Partition-engine instrumentation. Both metrics are pure functions of the
+/// input and η (the chain-component decomposition), so they are kStable —
+/// byte-identical across thread counts.
+struct PartitionInstruments {
+  obs::Counter* repairs;
+  obs::Histogram* partition_size;
+
+  static PartitionInstruments& Get() {
+    static PartitionInstruments* m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      auto* pi = new PartitionInstruments();
+      pi->repairs = reg.GetCounter(
+          "idrepair_partition_repairs_total", obs::Stability::kStable,
+          "Chain-component partitions repaired");
+      pi->partition_size = reg.GetHistogram(
+          "idrepair_partition_size", obs::Stability::kStable,
+          obs::ExponentialBuckets(1, 2, 20),
+          "Trajectories per chain-component partition");
+      return pi;
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
 
 std::vector<std::vector<TrajIndex>> PartitionedRepairer::Partition(
     const TrajectorySet& set) const {
@@ -70,6 +100,7 @@ std::vector<std::pair<size_t, size_t>> GroupPartitions(
 Result<RepairResult> PartitionedRepairer::Repair(
     const TrajectorySet& set) const {
   IDREPAIR_RETURN_NOT_OK(repairer_.options().Validate());
+  obs::ApplyOptions(repairer_.options().obs);
   Stopwatch total;
   CpuStopwatch total_cpu;
   auto partitions = Partition(set);
@@ -96,7 +127,13 @@ Result<RepairResult> PartitionedRepairer::Repair(
       partitions.size(), Status::Internal("partition repair never ran"));
 
   auto repair_partition = [&](size_t p) -> Status {
+    obs::TraceSpan span("partition.repair", p);
     const auto& partition = partitions[p];
+    if (obs::Enabled()) {
+      PartitionInstruments& inst = PartitionInstruments::Get();
+      inst.repairs->Increment();
+      inst.partition_size->Observe(static_cast<double>(partition.size()));
+    }
     // Build the partition's own TrajectorySet; its internal order matches
     // the global order restricted to the partition (both start-time
     // sorted), so results map back through `partition`.
@@ -129,6 +166,7 @@ Result<RepairResult> PartitionedRepairer::Repair(
     IDREPAIR_RETURN_NOT_OK(group.Wait());
   }
 
+  obs::TraceSpan merge_span("partition.merge");
   RepairResult combined;
   combined.stats.num_trajectories = set.size();
   combined.stats.num_partitions = partitions.size();

@@ -1,10 +1,74 @@
 #include "repair/repairer.h"
 
+#include <optional>
+
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/phase.h"
+#include "obs/trace.h"
 #include "repair/repair_graph.h"
 #include "repair/trajectory_graph.h"
 
 namespace idrepair {
+
+namespace {
+
+/// Core-pipeline instrumentation, resolved once against the global registry
+/// so Repair() never takes the registry lock. The work counters are pure
+/// functions of the input and options (Stability::kStable) — the obs tests
+/// assert they are byte-identical across thread counts; the phase-latency
+/// histograms are wall-clock and therefore kRuntime.
+struct RepairInstruments {
+  obs::Counter* runs;
+  obs::Counter* candidates;
+  obs::Counter* cliques;
+  obs::Counter* selected;
+  obs::Counter* rewrites;
+  obs::Histogram* gm_seconds;
+  obs::Histogram* generation_seconds;
+  obs::Histogram* selection_seconds;
+  obs::Histogram* total_seconds;
+
+  static RepairInstruments& Get() {
+    static RepairInstruments* m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      auto* ri = new RepairInstruments();
+      ri->runs = reg.GetCounter("idrepair_repair_runs_total",
+                                obs::Stability::kStable,
+                                "Core-pipeline Repair() invocations");
+      ri->candidates = reg.GetCounter(
+          "idrepair_repair_candidates_total", obs::Stability::kStable,
+          "Candidate repairs generated (|R| summed over runs)");
+      ri->cliques = reg.GetCounter("idrepair_repair_cliques_total",
+                                   obs::Stability::kStable,
+                                   "Cliques enumerated during generation");
+      ri->selected = reg.GetCounter(
+          "idrepair_repair_selected_total", obs::Stability::kStable,
+          "Compatible repairs selected (|R'| summed over runs)");
+      ri->rewrites = reg.GetCounter("idrepair_repair_rewrites_total",
+                                    obs::Stability::kStable,
+                                    "Trajectory ID rewrites applied");
+      ri->gm_seconds = reg.GetHistogram(
+          "idrepair_repair_gm_seconds", obs::Stability::kRuntime,
+          obs::DefaultLatencyBuckets(),
+          "Trajectory-graph construction wall time");
+      ri->generation_seconds = reg.GetHistogram(
+          "idrepair_repair_generation_seconds", obs::Stability::kRuntime,
+          obs::DefaultLatencyBuckets(),
+          "Candidate-generation phase wall time");
+      ri->selection_seconds = reg.GetHistogram(
+          "idrepair_repair_selection_seconds", obs::Stability::kRuntime,
+          obs::DefaultLatencyBuckets(), "Selection phase wall time");
+      ri->total_seconds = reg.GetHistogram(
+          "idrepair_repair_total_seconds", obs::Stability::kRuntime,
+          obs::DefaultLatencyBuckets(), "End-to-end Repair() wall time");
+      return ri;
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
 
 IdRepairer::IdRepairer(const TransitionGraph& graph, RepairOptions options)
     : graph_(&graph), options_(std::move(options)) {}
@@ -13,6 +77,9 @@ Result<RepairResult> IdRepairer::Repair(const TrajectorySet& set,
                                         const RepairSelector* selector) const {
   IDREPAIR_RETURN_NOT_OK(options_.Validate());
   IDREPAIR_RETURN_NOT_OK(graph_->Validate());
+  obs::ApplyOptions(options_.obs);
+  RepairInstruments& inst = RepairInstruments::Get();
+  obs::TraceSpan run_span("repair.run");
   const IdSimilarity& base_similarity = options_.similarity != nullptr
                                             ? *options_.similarity
                                             : default_similarity_;
@@ -39,22 +106,26 @@ Result<RepairResult> IdRepairer::Repair(const TrajectorySet& set,
 
   // ---- Phase 1: candidate repair generation (§3.2) ----
   PredicateEvaluator pred(*graph_, options_.theta, options_.eta);
-  Stopwatch phase;
-  CpuStopwatch phase_cpu;
-  TrajectoryGraph gm(set, pred, options_);
-  result.stats.seconds_gm = phase.ElapsedSeconds();
-  result.stats.cpu_seconds_gm = phase_cpu.ElapsedSeconds();
+  std::optional<TrajectoryGraph> gm_storage;
+  {
+    obs::PhaseScope phase("repair.gm", &result.stats.seconds_gm,
+                          &result.stats.cpu_seconds_gm, inst.gm_seconds);
+    gm_storage.emplace(set, pred, options_);
+  }
+  const TrajectoryGraph& gm = *gm_storage;
   result.stats.gm_edges = gm.num_edges();
   result.stats.cex_evaluations = gm.stats().cex_evaluations;
 
-  phase.Restart();
-  phase_cpu.Restart();
   GenerationStats gen_stats;
-  result.candidates = GenerateCandidates(set, gm, pred, options_, similarity,
-                                         is_valid, &gen_stats);
-  ComputeEffectiveness(result.candidates, options_, set.size());
-  result.stats.seconds_generation = phase.ElapsedSeconds();
-  result.stats.cpu_seconds_generation = phase_cpu.ElapsedSeconds();
+  {
+    obs::PhaseScope phase("repair.generation",
+                          &result.stats.seconds_generation,
+                          &result.stats.cpu_seconds_generation,
+                          inst.generation_seconds);
+    result.candidates = GenerateCandidates(set, gm, pred, options_,
+                                           similarity, is_valid, &gen_stats);
+    ComputeEffectiveness(result.candidates, options_, set.size());
+  }
   result.stats.cliques_enumerated = gen_stats.clique_stats.cliques_emitted;
   result.stats.pck_pruned = gen_stats.clique_stats.pck_pruned;
   result.stats.jnb_checks = gen_stats.jnb_checks;
@@ -62,27 +133,29 @@ Result<RepairResult> IdRepairer::Repair(const TrajectorySet& set,
   result.stats.num_candidates = result.candidates.size();
 
   // ---- Phase 2: compatible repair selection (§3.3) ----
-  phase.Restart();
-  if (selector == nullptr &&
-      options_.selection == SelectionAlgorithm::kEmax) {
-    // EMAX fast path: greedily taking the highest-ω repair and discarding
-    // everything that shares a trajectory never needs the repair graph
-    // materialized — incompatibility is checked through a per-trajectory
-    // "used" mask, which is exactly "discard all Gr neighbors". On dense
-    // datasets Gr can hold hundreds of millions of edges, so this path
-    // turns the selection phase from the bottleneck into a linear pass.
-    result.selected = SelectEmaxByCover(result.candidates, set.size());
-  } else {
-    RepairGraph gr(result.candidates, set.size());
-    result.stats.gr_edges = gr.num_edges();
-    std::unique_ptr<RepairSelector> owned;
-    if (selector == nullptr) {
-      owned = MakeSelector(options_.selection);
-      selector = owned.get();
+  {
+    obs::PhaseScope phase("repair.selection", &result.stats.seconds_selection,
+                          nullptr, inst.selection_seconds);
+    if (selector == nullptr &&
+        options_.selection == SelectionAlgorithm::kEmax) {
+      // EMAX fast path: greedily taking the highest-ω repair and discarding
+      // everything that shares a trajectory never needs the repair graph
+      // materialized — incompatibility is checked through a per-trajectory
+      // "used" mask, which is exactly "discard all Gr neighbors". On dense
+      // datasets Gr can hold hundreds of millions of edges, so this path
+      // turns the selection phase from the bottleneck into a linear pass.
+      result.selected = SelectEmaxByCover(result.candidates, set.size());
+    } else {
+      RepairGraph gr(result.candidates, set.size());
+      result.stats.gr_edges = gr.num_edges();
+      std::unique_ptr<RepairSelector> owned;
+      if (selector == nullptr) {
+        owned = MakeSelector(options_.selection);
+        selector = owned.get();
+      }
+      result.selected = selector->Select(gr, result.candidates);
     }
-    result.selected = selector->Select(gr, result.candidates);
   }
-  result.stats.seconds_selection = phase.ElapsedSeconds();
   result.stats.num_selected = result.selected.size();
   result.total_effectiveness =
       TotalEffectiveness(result.candidates, result.selected);
@@ -99,6 +172,14 @@ Result<RepairResult> IdRepairer::Repair(const TrajectorySet& set,
   result.repaired = ApplyRewrites(set, result.rewrites);
   result.stats.seconds_total = total.ElapsedSeconds();
   result.stats.cpu_seconds_total = total_cpu.ElapsedSeconds();
+  if (obs::Enabled()) {
+    inst.runs->Increment();
+    inst.candidates->Increment(result.stats.num_candidates);
+    inst.cliques->Increment(result.stats.cliques_enumerated);
+    inst.selected->Increment(result.stats.num_selected);
+    inst.rewrites->Increment(result.rewrites.size());
+    inst.total_seconds->Observe(result.stats.seconds_total);
+  }
   return result;
 }
 

@@ -5,6 +5,7 @@
 
 #include "exec/parallel_for.h"
 #include "exec/thread_pool.h"
+#include "obs/trace.h"
 
 namespace idrepair {
 
@@ -48,6 +49,7 @@ TrajectoryGraph::TrajectoryGraph(const TrajectorySet& set,
     (void)ParallelFor(
         &ThreadPool::Default(), shards,
         [&](size_t shard, size_t begin, size_t end) {
+          obs::TraceSpan span("gm.shard", shard);
           ShardScratch& out = scratch[shard];
           std::vector<TrajIndex> candidates;
           for (TrajIndex i = static_cast<TrajIndex>(begin); i < end; ++i) {
@@ -67,6 +69,7 @@ TrajectoryGraph::TrajectoryGraph(const TrajectorySet& set,
     (void)ParallelFor(
         &ThreadPool::Default(), shards,
         [&](size_t shard, size_t begin, size_t end) {
+          obs::TraceSpan span("gm.shard", shard);
           ShardScratch& out = scratch[shard];
           for (TrajIndex i = static_cast<TrajIndex>(begin); i < end; ++i) {
             if (!feasible_[i]) continue;

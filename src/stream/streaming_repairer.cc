@@ -7,8 +7,46 @@
 #include <unordered_set>
 
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace idrepair {
+
+namespace {
+
+/// Streaming-engine instrumentation. The stream itself is single-threaded
+/// and deterministic, so the work counters are kStable; poll latency is
+/// wall-clock and therefore kRuntime.
+struct StreamInstruments {
+  obs::Counter* appends;
+  obs::Counter* polls;
+  obs::Counter* emitted;
+  obs::Histogram* poll_seconds;
+
+  static StreamInstruments& Get() {
+    static StreamInstruments* m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      auto* si = new StreamInstruments();
+      si->appends = reg.GetCounter("idrepair_stream_appends_total",
+                                   obs::Stability::kStable,
+                                   "Records accepted by Append()");
+      si->polls = reg.GetCounter("idrepair_stream_polls_total",
+                                 obs::Stability::kStable,
+                                 "Poll() invocations");
+      si->emitted = reg.GetCounter(
+          "idrepair_stream_emitted_trajectories_total",
+          obs::Stability::kStable,
+          "Repaired trajectories emitted by Poll() and Finish()");
+      si->poll_seconds = reg.GetHistogram(
+          "idrepair_stream_poll_seconds", obs::Stability::kRuntime,
+          obs::DefaultLatencyBuckets(), "Poll() wall time");
+      return si;
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
 
 StreamingRepairer::StreamingRepairer(const TransitionGraph& graph,
                                      RepairOptions options,
@@ -16,6 +54,7 @@ StreamingRepairer::StreamingRepairer(const TransitionGraph& graph,
     : graph_(&graph),
       options_(std::move(options)),
       flush_horizon_multiplier_(flush_horizon_multiplier) {
+  obs::ApplyOptions(options_.obs);
   // Emitted fragments must at least be inert (no future record can join a
   // fragment whose start is more than η behind the watermark), so the
   // horizon is clamped to one η.
@@ -33,10 +72,23 @@ Status StreamingRepairer::Append(const TrackingRecord& record) {
   saw_any_ = true;
   watermark_ = record.ts;
   buffer_.push_back(record);
+  if (obs::Enabled()) StreamInstruments::Get().appends->Increment();
   return Status::OK();
 }
 
 std::vector<Trajectory> StreamingRepairer::Poll() {
+  if (!obs::Enabled()) return PollImpl();
+  StreamInstruments& inst = StreamInstruments::Get();
+  inst.polls->Increment();
+  obs::TraceSpan span("stream.poll");
+  Stopwatch watch;
+  std::vector<Trajectory> out = PollImpl();
+  inst.poll_seconds->Observe(watch.ElapsedSeconds());
+  inst.emitted->Increment(out.size());
+  return out;
+}
+
+std::vector<Trajectory> StreamingRepairer::PollImpl() {
   if (buffer_.empty()) return {};
   // Fragment start times, grouped by observed ID (deterministic order).
   std::map<std::string, Timestamp> fragment_start;
@@ -171,6 +223,7 @@ Result<RepairResult> StreamingRepairer::Repair(
     const TrajectorySet& set) const {
   IDREPAIR_RETURN_NOT_OK(options_.Validate());
   IDREPAIR_RETURN_NOT_OK(graph_->Validate());
+  obs::ApplyOptions(options_.obs);
   Stopwatch total;
   CpuStopwatch total_cpu;
 
@@ -252,11 +305,13 @@ Result<RepairResult> StreamingRepairer::Repair(
 }
 
 std::vector<Trajectory> StreamingRepairer::Finish() {
+  obs::TraceSpan span("stream.finish");
   std::vector<TrackingRecord> batch = std::move(buffer_);
   buffer_.clear();
   if (batch.empty()) return {};
   auto out = RepairBatch(std::move(batch));
   emitted_ += out.size();
+  if (obs::Enabled()) StreamInstruments::Get().emitted->Increment(out.size());
   return out;
 }
 

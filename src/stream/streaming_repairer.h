@@ -83,6 +83,10 @@ class StreamingRepairer : public Repairer {
   size_t emitted_trajectories() const { return emitted_; }
 
  private:
+  /// Poll() minus instrumentation (Poll wraps this in a trace span and the
+  /// poll-latency histogram when obs is enabled).
+  std::vector<Trajectory> PollImpl();
+
   /// Moves all records whose ID is in `ids` out of the buffer into `out`.
   void ExtractRecords(const std::unordered_set<std::string>& ids,
                       std::vector<TrackingRecord>* out);

@@ -7,6 +7,8 @@
 #include "exec/parallel_for.h"
 #include "exec/task_group.h"
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 
 namespace idrepair {
 namespace {
@@ -150,6 +152,51 @@ TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
   for (size_t i = 0; i < kN; ++i) {
     ASSERT_EQ(hits[i].load(), 1) << "index " << i;
   }
+}
+
+TEST(ThreadPoolTest, ObsCountsEveryTaskExactlyOnce) {
+  obs::MetricsRegistry::Global().Reset();
+  obs::SetEnabled(true);
+  {
+    // Scoped so the pool joins its workers before the counters are read —
+    // a worker bumps "executed" only after the task body returns.
+    ThreadPool pool(4);
+    TaskGroup group(&pool);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 100; ++i) {
+      group.Spawn([&ran] {
+        ran.fetch_add(1, std::memory_order_relaxed);
+        return Status::OK();
+      });
+    }
+    ASSERT_TRUE(group.Wait().ok());
+    EXPECT_EQ(ran.load(), 100);
+  }
+  obs::SetEnabled(false);
+
+  uint64_t submitted = 0;
+  uint64_t executed = 0;
+  uint64_t stolen = 0;
+  int64_t depth = -1;
+  bool saw_latency = false;
+  for (const auto& m : obs::MetricsRegistry::Global().Collect()) {
+    if (m.name == "idrepair_exec_tasks_submitted_total") {
+      submitted = m.counter_value;
+    } else if (m.name == "idrepair_exec_tasks_executed_total") {
+      executed = m.counter_value;
+    } else if (m.name == "idrepair_exec_tasks_stolen_total") {
+      stolen = m.counter_value;
+    } else if (m.name == "idrepair_exec_queue_depth") {
+      depth = m.gauge_value;
+    } else if (m.name == "idrepair_exec_task_seconds") {
+      saw_latency = m.total_count == 100;
+    }
+  }
+  EXPECT_EQ(submitted, 100u);
+  EXPECT_EQ(executed, submitted);
+  EXPECT_LE(stolen, executed);
+  EXPECT_EQ(depth, 0);  // everything enqueued was drained
+  EXPECT_TRUE(saw_latency);
 }
 
 TEST(ParallelForTest, PropagatesShardError) {

@@ -5,6 +5,8 @@
 
 #include "gen/real_like.h"
 #include "graph/generators.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 #include "repair/repairer.h"
 #include "stream/streaming_repairer.h"
 #include "test_util.h"
@@ -147,6 +149,38 @@ TEST(StreamingRepairerTest, EmittedCountAccumulates) {
   EXPECT_EQ(stream.emitted_trajectories(), 0u);
   stream.Finish();
   EXPECT_EQ(stream.emitted_trajectories(), 1u);
+}
+
+TEST(StreamingRepairerTest, ObsRecordsPollsAndLatency) {
+  obs::MetricsRegistry::Global().Reset();
+  obs::SetEnabled(true);
+  TransitionGraph graph = MakePaperExampleGraph();
+  StreamingRepairer stream(graph, RunningExampleOptions());
+  ASSERT_TRUE(stream.Append({"veh", 2, 0}).ok());
+  ASSERT_TRUE(stream.Append({"veh", 3, 100}).ok());
+  ASSERT_TRUE(stream.Append({"next", 0, 100000}).ok());
+  auto emitted = stream.Poll();
+  obs::SetEnabled(false);
+
+  uint64_t appends = 0;
+  uint64_t polls = 0;
+  uint64_t emitted_total = 0;
+  uint64_t poll_latencies = 0;
+  for (const auto& m : obs::MetricsRegistry::Global().Collect()) {
+    if (m.name == "idrepair_stream_appends_total") {
+      appends = m.counter_value;
+    } else if (m.name == "idrepair_stream_polls_total") {
+      polls = m.counter_value;
+    } else if (m.name == "idrepair_stream_emitted_trajectories_total") {
+      emitted_total = m.counter_value;
+    } else if (m.name == "idrepair_stream_poll_seconds") {
+      poll_latencies = m.total_count;
+    }
+  }
+  EXPECT_EQ(appends, 3u);
+  EXPECT_EQ(polls, 1u);
+  EXPECT_EQ(poll_latencies, 1u);  // every poll observes its latency
+  EXPECT_EQ(emitted_total, emitted.size());
 }
 
 TEST(StreamingRepairerTest, FinishOnEmptyStream) {
