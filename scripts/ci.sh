@@ -22,4 +22,16 @@ scripts/check_asan.sh
 echo "==> sanitizer: thread"
 scripts/check_tsan.sh
 
+# Short seeded chaos stage under both sanitizers: the fault-injection
+# matrix (chaos_test) at the thread counts the engines branch on. The
+# sanitizer builds above already compiled chaos_test; this re-runs it with
+# rotated seeds so CI doesn't always test the same fault schedule. The
+# overnight version of this sweep is scripts/soak.sh.
+echo "==> chaos: seeded fault-injection sweep (asan + tsan)"
+CHAOS_SEED="$(date +%j)"  # rotate daily, stay reproducible within a day
+for dir in build-asan build-tsan; do
+  IDREPAIR_CHAOS_SEED_BASE="$CHAOS_SEED" IDREPAIR_CHAOS_ROUNDS=2 \
+    ctest --test-dir "$dir" -R 'chaos_test' --output-on-failure
+done
+
 echo "ci: OK"

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
 #include "repair/predicates.h"
 #include "repair/repairer.h"
 #include "repair/trajectory_graph.h"
@@ -12,9 +13,51 @@
 
 namespace idrepair {
 
+namespace {
+
+/// Baseline instrumentation, the same attempted/completed/work scheme the
+/// candidate-based engines emit so chaos runs can compare them uniformly.
+/// All counters are pure functions of the input (kStable).
+struct NeighborhoodInstruments {
+  obs::Counter* attempts;
+  obs::Counter* completed;
+  obs::Counter* candidates;
+  obs::Counter* rewrites;
+
+  static NeighborhoodInstruments& Get() {
+    static NeighborhoodInstruments* m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      auto* bi = new NeighborhoodInstruments();
+      bi->attempts = reg.GetCounter(
+          "idrepair_baseline_neighborhood_attempts_total",
+          obs::Stability::kStable,
+          "NeighborhoodRepairer Repair() entries (attempted)");
+      bi->completed = reg.GetCounter(
+          "idrepair_baseline_neighborhood_runs_total",
+          obs::Stability::kStable,
+          "NeighborhoodRepairer Repair() runs completed");
+      bi->candidates = reg.GetCounter(
+          "idrepair_baseline_neighborhood_candidates_total",
+          obs::Stability::kStable,
+          "Isolated-rewrite candidates passing the binary neighborhood "
+          "constraint");
+      bi->rewrites = reg.GetCounter(
+          "idrepair_baseline_neighborhood_rewrites_total",
+          obs::Stability::kStable,
+          "Trajectory ID rewrites applied by NeighborhoodRepairer");
+      return bi;
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
+
 Result<RepairResult> NeighborhoodRepairer::Repair(
     const TrajectorySet& set) const {
   IDREPAIR_RETURN_NOT_OK(options_.Validate());
+  obs::ApplyOptions(options_.obs);
+  if (obs::Enabled()) NeighborhoodInstruments::Get().attempts->Increment();
   Stopwatch watch;
   RepairResult result;
   result.stats.num_trajectories = set.size();
@@ -57,6 +100,12 @@ Result<RepairResult> NeighborhoodRepairer::Repair(
   }
   result.repaired = ApplyRewrites(set, result.rewrites);
   result.stats.seconds_total = watch.ElapsedSeconds();
+  if (obs::Enabled()) {
+    NeighborhoodInstruments& inst = NeighborhoodInstruments::Get();
+    inst.candidates->Increment(rewrites.size());
+    inst.rewrites->Increment(result.rewrites.size());
+    inst.completed->Increment();
+  }
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "fault/failpoint.h"
 #include "obs/metrics.h"
 
 namespace idrepair {
@@ -25,21 +26,28 @@ TaskGroup::TaskGroup(ThreadPool* pool)
 TaskGroup::~TaskGroup() { Wait(); }
 
 void TaskGroup::Spawn(std::function<Status()> fn) {
+  size_t index;
   {
     std::lock_guard<std::mutex> lock(state_->mu);
-    ++state_->spawned;
+    index = state_->spawned++;
   }
-  pool_->Submit([state = state_, fn = std::move(fn)]() {
+  pool_->Submit([state = state_, fn = std::move(fn), index]() {
     Status status;  // OK
     if (!state->cancelled.load(std::memory_order_relaxed)) {
-      status = fn();
+      if (fault::Armed()) {
+        status = fault::Inject("exec.task_group.run");
+      }
+      if (status.ok()) status = fn();
     } else if (obs::Enabled()) {
       SkippedCounter()->Increment();
     }
     {
       std::lock_guard<std::mutex> lock(state->mu);
-      if (!status.ok() && state->first_error.ok()) {
+      // Lowest spawn index wins so the surfaced error does not depend on
+      // which failed task finished first.
+      if (!status.ok() && index < state->first_error_index) {
         state->first_error = status;
+        state->first_error_index = index;
         state->cancelled.store(true, std::memory_order_relaxed);
       }
       ++state->finished;

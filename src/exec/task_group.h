@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -15,7 +16,10 @@ namespace idrepair {
 /// A set of fallible tasks dispatched to a ThreadPool. The first task to
 /// return a non-OK Status cancels the group: tasks that have not started
 /// yet are skipped (marked finished without running), and Wait() returns
-/// that first error. Wait() helps execute pending pool tasks instead of
+/// the first error. "First" means lowest spawn index among the tasks that
+/// failed, not completion order — so when exactly one task can fail (the
+/// common case: one bad shard), Wait() surfaces the same error at every
+/// thread count. Wait() helps execute pending pool tasks instead of
 /// blocking, which keeps nested groups deadlock-free on any pool size.
 ///
 /// Typical use:
@@ -55,6 +59,9 @@ class TaskGroup {
     std::mutex mu;
     std::condition_variable cv;
     Status first_error;
+    // Spawn index of the task that produced first_error; lower indices win
+    // so the surfaced error is deterministic across thread counts.
+    size_t first_error_index = SIZE_MAX;
     size_t spawned = 0;
     size_t finished = 0;
     std::atomic<bool> cancelled{false};

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "fault/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -120,6 +121,12 @@ bool ThreadPool::PopAnyTask(int self, std::function<void()>* out,
 }
 
 void ThreadPool::RunTask(std::function<void()>& task, bool stolen) {
+  // Scheduling chaos only: a dispatch path has no Status channel, so armed
+  // error actions are counted but swallowed and delays stretch the race
+  // window between workers.
+  if (fault::Armed()) {
+    fault::MaybePerturb(stolen ? "exec.pool.steal" : "exec.pool.dispatch");
+  }
   if (!obs::Enabled()) {
     task();
     return;

@@ -1,0 +1,272 @@
+#include "fault/failpoint.h"
+
+#include <charconv>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace idrepair {
+namespace fault {
+
+namespace {
+
+/// SplitMix64 finalizer: a pure, well-mixed function of its input, so the
+/// probabilistic trigger's decision for hit index h is a deterministic
+/// function of (seed, h) — independent of which thread took the hit.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+const char* ActionName(FaultAction action) {
+  switch (action) {
+    case FaultAction::kError: return "error";
+    case FaultAction::kAllocFail: return "alloc-failure";
+    case FaultAction::kDelay: return "delay";
+    case FaultAction::kCancel: return "cancellation";
+  }
+  return "fault";
+}
+
+}  // namespace
+
+Status FaultSpec::Validate() const {
+  if ((fire_on_hit == 0) == (one_in == 0)) {
+    return Status::InvalidArgument(
+        "fault spec must set exactly one trigger: fire_on_hit or one_in");
+  }
+  if (action == FaultAction::kError && code == StatusCode::kOk) {
+    return Status::InvalidArgument("fault spec error code must not be OK");
+  }
+  if (max_fires == 0) {
+    return Status::InvalidArgument("fault spec max_fires must be >= 1");
+  }
+  return Status::OK();
+}
+
+Status FailPoint::Evaluate() {
+  if (!armed_.load(std::memory_order_acquire)) return Status::OK();
+  // 1-based hit index: the first evaluation after arming is hit 1.
+  uint64_t hit = hits_.fetch_add(1, std::memory_order_relaxed) + 1;
+  FaultSpec spec;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    spec = spec_;
+  }
+  bool fire = false;
+  if (spec.fire_on_hit > 0) {
+    fire = hit == spec.fire_on_hit;
+  } else if (spec.one_in == 1) {
+    fire = true;
+  } else if (spec.one_in > 1) {
+    fire = Mix64(spec.seed ^ hit) % spec.one_in == 0;
+  }
+  if (!fire) return Status::OK();
+  // Claim one of the max_fires slots; once exhausted the site goes quiet
+  // but keeps counting hits.
+  uint64_t f = fires_.load(std::memory_order_relaxed);
+  do {
+    if (f >= spec.max_fires) return Status::OK();
+  } while (!fires_.compare_exchange_weak(f, f + 1,
+                                         std::memory_order_relaxed));
+  std::string message = spec.message.empty()
+                            ? std::string(ActionName(spec.action)) +
+                                  " injected at " + name_
+                            : spec.message;
+  switch (spec.action) {
+    case FaultAction::kError:
+      return Status(spec.code, std::move(message));
+    case FaultAction::kAllocFail:
+      return Status::ResourceExhausted(std::move(message));
+    case FaultAction::kDelay:
+      std::this_thread::sleep_for(std::chrono::microseconds(spec.delay_micros));
+      return Status::OK();
+    case FaultAction::kCancel:
+      return Status::Cancelled(std::move(message));
+  }
+  return Status::OK();
+}
+
+Status FailPoint::Arm(FaultSpec spec) {
+  IDREPAIR_RETURN_NOT_OK(spec.Validate());
+  std::lock_guard<std::mutex> lock(mu_);
+  spec_ = std::move(spec);
+  hits_.store(0, std::memory_order_relaxed);
+  fires_.store(0, std::memory_order_relaxed);
+  // Release so an evaluator that observes armed_ sees the spec it gates;
+  // bump the process gate only on the disarmed -> armed transition.
+  if (!armed_.exchange(true, std::memory_order_release)) {
+    internal::g_armed_sites.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+void FailPoint::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (armed_.exchange(false, std::memory_order_release)) {
+    internal::g_armed_sites.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+FailPointRegistry& FailPointRegistry::Global() {
+  static FailPointRegistry* registry = new FailPointRegistry();  // leaked
+  return *registry;
+}
+
+FailPoint* FailPointRegistry::GetPoint(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end()) {
+    it = points_.emplace(name, std::make_unique<FailPoint>(name)).first;
+  }
+  return it->second.get();
+}
+
+Status FailPointRegistry::Arm(const std::string& name, FaultSpec spec) {
+  return GetPoint(name)->Arm(std::move(spec));
+}
+
+void FailPointRegistry::Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it != points_.end()) it->second->Disarm();
+}
+
+void FailPointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, point] : points_) point->Disarm();
+}
+
+std::vector<FailPointInfo> FailPointRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FailPointInfo> out;
+  out.reserve(points_.size());
+  for (const auto& [name, point] : points_) {
+    out.push_back(FailPointInfo{name, point->armed(), point->hits(),
+                                point->fires()});
+  }
+  return out;
+}
+
+size_t FailPointRegistry::NumArmed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [name, point] : points_) {
+    if (point->armed()) ++n;
+  }
+  return n;
+}
+
+uint64_t FailPointRegistry::TotalFires() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const auto& [name, point] : points_) n += point->fires();
+  return n;
+}
+
+Status Inject(const char* site) {
+  return FailPointRegistry::Global().GetPoint(site)->Evaluate();
+}
+
+void MaybePerturb(const char* site) {
+  if (!Armed()) return;
+  // Error-like fires are counted (chaos assertions see them) but swallowed:
+  // the pool's dispatch path has no Status channel.
+  (void)FailPointRegistry::Global().GetPoint(site)->Evaluate();
+}
+
+namespace {
+
+Result<uint64_t> ParseUint64(std::string_view s) {
+  uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size() || s.empty()) {
+    // Built up incrementally: GCC 12's -Wrestrict misfires on the nested
+    // operator+ chain when it inlines this under -O3.
+    std::string message = "'";
+    message.append(s);
+    message += "' is not an unsigned integer";
+    return Status::InvalidArgument(std::move(message));
+  }
+  return value;
+}
+
+Status ParseOneSpec(std::string_view entry) {
+  size_t eq = entry.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    return Status::InvalidArgument("failpoint entry '" + std::string(entry) +
+                                   "' is not site=action[,key=value...]");
+  }
+  std::string name(Trim(entry.substr(0, eq)));
+  auto fields = Split(entry.substr(eq + 1), ',');
+  if (fields.empty()) {
+    return Status::InvalidArgument("failpoint '" + name + "' has no action");
+  }
+  FaultSpec spec;
+  std::string_view action = Trim(fields[0]);
+  if (action == "error") {
+    spec.action = FaultAction::kError;
+  } else if (action == "alloc") {
+    spec.action = FaultAction::kAllocFail;
+  } else if (action == "delay") {
+    spec.action = FaultAction::kDelay;
+  } else if (action == "cancel") {
+    spec.action = FaultAction::kCancel;
+  } else {
+    return Status::InvalidArgument(
+        "failpoint '" + name + "': unknown action '" + std::string(action) +
+        "' (want error|alloc|delay|cancel)");
+  }
+  for (size_t i = 1; i < fields.size(); ++i) {
+    std::string_view field = Trim(fields[i]);
+    size_t kv = field.find('=');
+    if (kv == std::string_view::npos) {
+      return Status::InvalidArgument("failpoint '" + name +
+                                     "': malformed option '" +
+                                     std::string(field) + "'");
+    }
+    std::string_view key = Trim(field.substr(0, kv));
+    auto value = ParseUint64(Trim(field.substr(kv + 1)));
+    if (!value.ok()) {
+      return Status::InvalidArgument("failpoint '" + name + "': option '" +
+                                     std::string(field) +
+                                     "' needs an unsigned integer value");
+    }
+    if (key == "on_hit") {
+      spec.fire_on_hit = *value;
+    } else if (key == "one_in") {
+      spec.one_in = *value;
+    } else if (key == "seed") {
+      spec.seed = *value;
+    } else if (key == "max_fires") {
+      spec.max_fires = *value;
+    } else if (key == "delay_us") {
+      spec.delay_micros = static_cast<uint32_t>(*value);
+    } else {
+      return Status::InvalidArgument(
+          "failpoint '" + name + "': unknown option '" + std::string(key) +
+          "' (want on_hit|one_in|seed|max_fires|delay_us)");
+    }
+  }
+  // A bare action defaults to firing on the first hit, the common
+  // "fail here once" case.
+  if (spec.fire_on_hit == 0 && spec.one_in == 0) spec.fire_on_hit = 1;
+  return FailPointRegistry::Global().Arm(name, std::move(spec));
+}
+
+}  // namespace
+
+Status ArmFromString(const std::string& spec) {
+  for (std::string_view entry : Split(spec, ';')) {
+    if (Trim(entry).empty()) continue;
+    IDREPAIR_RETURN_NOT_OK(ParseOneSpec(Trim(entry)));
+  }
+  return Status::OK();
+}
+
+}  // namespace fault
+}  // namespace idrepair

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/string_util.h"
+#include "fault/failpoint.h"
 
 namespace idrepair {
 
@@ -28,6 +29,7 @@ Status LineError(size_t line_no, const std::string& message) {
 }  // namespace
 
 Result<TransitionGraph> ReadTransitionGraph(std::istream& in) {
+  IDREPAIR_FAULT_INJECT("io.graph.load");
   TransitionGraph graph;
   std::string line;
   size_t line_no = 0;
@@ -74,6 +76,7 @@ Result<TransitionGraph> ReadTransitionGraphFile(const std::string& path) {
 }
 
 Status WriteTransitionGraph(std::ostream& out, const TransitionGraph& graph) {
+  IDREPAIR_FAULT_INJECT("io.graph.save");
   out << "# transition graph: " << graph.num_locations() << " locations, "
       << graph.num_edges() << " edges\n";
   for (LocationId v = 0; v < graph.num_locations(); ++v) {

@@ -6,6 +6,7 @@
 
 #include "exec/parallel_for.h"
 #include "exec/thread_pool.h"
+#include "fault/failpoint.h"
 #include "obs/trace.h"
 
 namespace idrepair {
@@ -44,7 +45,7 @@ struct GenerationShard {
 
 }  // namespace
 
-std::vector<CandidateRepair> GenerateCandidates(
+Result<std::vector<CandidateRepair>> GenerateCandidates(
     const TrajectorySet& set, const TrajectoryGraph& gm,
     const PredicateEvaluator& pred, const RepairOptions& options,
     const IdSimilarity& similarity, const std::vector<bool>& is_valid,
@@ -65,9 +66,10 @@ std::vector<CandidateRepair> GenerateCandidates(
     // materialize it before the shards share the graph across threads.
     pred.graph().PrepareForConcurrentUse();
   }
-  (void)ParallelFor(
+  IDREPAIR_RETURN_NOT_OK(ParallelFor(
       &ThreadPool::Default(), shards,
       [&](size_t shard, size_t begin, size_t end) {
+        IDREPAIR_FAULT_INJECT("repair.generation.shard");
         obs::TraceSpan span("generation.shard", shard);
         GenerationShard& slot = slots[shard];
         slot.stats.clique_stats = enumerator.EnumerateSeedRange(
@@ -98,7 +100,7 @@ std::vector<CandidateRepair> GenerateCandidates(
               slot.candidates.push_back(std::move(repair));
             });
         return Status::OK();
-      });
+      }));
 
   // Deterministic reduction: concatenate emissions and fold counters in
   // shard order, reproducing the sequential enumeration exactly.
@@ -115,8 +117,8 @@ std::vector<CandidateRepair> GenerateCandidates(
   return out;
 }
 
-void ComputeEffectiveness(std::vector<CandidateRepair>& candidates,
-                          const RepairOptions& options, size_t num_trajs) {
+Status ComputeEffectiveness(std::vector<CandidateRepair>& candidates,
+                            const RepairOptions& options, size_t num_trajs) {
   obs::TraceSpan span("generation.effectiveness");
   auto shards = SplitRange(candidates.size(),
                            options.exec.ResolvedThreads(),
@@ -133,7 +135,7 @@ void ComputeEffectiveness(std::vector<CandidateRepair>& candidates,
     }
   } else {
     std::vector<std::vector<uint32_t>> shard_degree(shards.size());
-    (void)ParallelFor(
+    IDREPAIR_RETURN_NOT_OK(ParallelFor(
         &ThreadPool::Default(), shards,
         [&](size_t shard, size_t begin, size_t end) {
           std::vector<uint32_t>& d = shard_degree[shard];
@@ -142,7 +144,7 @@ void ComputeEffectiveness(std::vector<CandidateRepair>& candidates,
             for (TrajIndex t : candidates[i].invalid_members) ++d[t];
           }
           return Status::OK();
-        });
+        }));
     for (const std::vector<uint32_t>& d : shard_degree) {
       for (size_t t = 0; t < num_trajs; ++t) degree[t] += d[t];
     }
@@ -150,7 +152,7 @@ void ComputeEffectiveness(std::vector<CandidateRepair>& candidates,
 
   // Scoring touches only the candidate's own fields plus the finished
   // degree array, so the same shards run it without any reduction.
-  (void)ParallelFor(
+  return ParallelFor(
       &ThreadPool::Default(), shards,
       [&](size_t /*shard*/, size_t begin, size_t end) {
         for (size_t i = begin; i < end; ++i) {

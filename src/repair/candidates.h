@@ -76,7 +76,12 @@ struct GenerationStats {
 ///
 /// Rarity and effectiveness are *not* filled here — they depend on the full
 /// candidate set; call ComputeEffectiveness next.
-std::vector<CandidateRepair> GenerateCandidates(
+///
+/// Errors: a shard that fails (today only via the `repair.generation.shard`
+/// failpoint) propagates through the TaskGroup's deterministic first-error
+/// rule and surfaces here as a non-OK Result; no partial candidate set is
+/// returned.
+Result<std::vector<CandidateRepair>> GenerateCandidates(
     const TrajectorySet& set, const TrajectoryGraph& gm,
     const PredicateEvaluator& pred, const RepairOptions& options,
     const IdSimilarity& similarity, const std::vector<bool>& is_valid,
@@ -93,9 +98,11 @@ std::vector<CandidateRepair> GenerateCandidates(
 /// arrays reduced in index order, and the scoring pass writes each
 /// candidate's own fields — both bit-identical at every thread count
 /// (degree sums are integers; ω is computed per candidate from its shard-
-/// independent inputs).
-void ComputeEffectiveness(std::vector<CandidateRepair>& candidates,
-                          const RepairOptions& options, size_t num_trajs);
+/// independent inputs). A propagated shard error leaves `candidates` with
+/// possibly part-filled rarity/effectiveness fields; callers must discard
+/// the set on error.
+Status ComputeEffectiveness(std::vector<CandidateRepair>& candidates,
+                            const RepairOptions& options, size_t num_trajs);
 
 }  // namespace idrepair
 

@@ -88,6 +88,14 @@ struct RepairOptions {
   /// engine via obs::ApplyOptions at Repair entry. Never affects results.
   ObsOptions obs;
 
+  /// Wall-clock budget for one Repair() call, milliseconds; 0 disables.
+  /// When the budget runs out mid-run the engine degrades gracefully: it
+  /// stops starting new work at the next safe boundary (phase, partition,
+  /// or replay batch), passes the unprocessed remainder through
+  /// unrepaired, and returns a well-formed partial RepairResult whose
+  /// `completion` Status is DeadlineExceeded (see repairer.h).
+  int64_t deadline_ms = 0;
+
   // ---- Fluent construction -----------------------------------------
   RepairOptions& WithTheta(size_t v) { theta = v; return *this; }
   RepairOptions& WithEta(Timestamp v) { eta = v; return *this; }
@@ -132,6 +140,10 @@ struct RepairOptions {
     obs.trace_capacity = v;
     return *this;
   }
+  RepairOptions& WithDeadlineMs(int64_t v) {
+    deadline_ms = v;
+    return *this;
+  }
 
   /// Rejects nonsensical parameter combinations.
   Status Validate() const {
@@ -147,6 +159,9 @@ struct RepairOptions {
     if (rarity_base_offset == 0) {
       return Status::InvalidArgument(
           "rarity_base_offset must be >= 1 (log base must exceed 1)");
+    }
+    if (deadline_ms < 0) {
+      return Status::InvalidArgument("deadline_ms must be >= 0");
     }
     IDREPAIR_RETURN_NOT_OK(exec.Validate());
     IDREPAIR_RETURN_NOT_OK(obs.Validate());

@@ -5,6 +5,8 @@
 #include "common/stopwatch.h"
 #include "exec/task_group.h"
 #include "exec/thread_pool.h"
+#include "fault/deadline.h"
+#include "fault/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -16,6 +18,8 @@ namespace {
 /// input and η (the chain-component decomposition), so they are kStable —
 /// byte-identical across thread counts.
 struct PartitionInstruments {
+  obs::Counter* attempts;
+  obs::Counter* completed;
   obs::Counter* repairs;
   obs::Histogram* partition_size;
 
@@ -23,6 +27,12 @@ struct PartitionInstruments {
     static PartitionInstruments* m = [] {
       auto& reg = obs::MetricsRegistry::Global();
       auto* pi = new PartitionInstruments();
+      pi->attempts = reg.GetCounter(
+          "idrepair_partition_attempts_total", obs::Stability::kStable,
+          "Partitioned Repair() entries (attempted)");
+      pi->completed = reg.GetCounter(
+          "idrepair_partition_runs_total", obs::Stability::kStable,
+          "Partitioned Repair() runs merged to completion");
       pi->repairs = reg.GetCounter(
           "idrepair_partition_repairs_total", obs::Stability::kStable,
           "Chain-component partitions repaired");
@@ -101,6 +111,9 @@ Result<RepairResult> PartitionedRepairer::Repair(
     const TrajectorySet& set) const {
   IDREPAIR_RETURN_NOT_OK(repairer_.options().Validate());
   obs::ApplyOptions(repairer_.options().obs);
+  if (obs::Enabled()) PartitionInstruments::Get().attempts->Increment();
+  fault::Deadline deadline =
+      fault::Deadline::FromMillis(repairer_.options().deadline_ms);
   Stopwatch total;
   CpuStopwatch total_cpu;
   auto partitions = Partition(set);
@@ -118,6 +131,10 @@ Result<RepairResult> PartitionedRepairer::Repair(
   // hot component no longer serializes the batch.
   RepairOptions inner_options = repairer_.options();
   if (tasks.size() > 1) inner_options.exec.num_threads = 1;
+  // The budget is enforced here, at partition granularity: a partition
+  // either repairs completely or passes through untouched, so the partial
+  // result is a clean prefix-of-partitions — never a half-repaired one.
+  inner_options.deadline_ms = 0;
   IdRepairer inner(repairer_.graph(), inner_options);
 
   // Per-partition result slots: each task writes only its own partitions;
@@ -127,6 +144,14 @@ Result<RepairResult> PartitionedRepairer::Repair(
       partitions.size(), Status::Internal("partition repair never ran"));
 
   auto repair_partition = [&](size_t p) -> Status {
+    IDREPAIR_FAULT_INJECT("repair.partition.repair");
+    if (deadline.Expired()) {
+      // Graceful: leave a deadline marker in the slot; the merge passes
+      // this partition through unrepaired. Not an error — siblings keep
+      // running (each takes this same cheap branch once expired).
+      slots[p] = Status::DeadlineExceeded("partition skipped: budget ran out");
+      return Status::OK();
+    }
     obs::TraceSpan span("partition.repair", p);
     const auto& partition = partitions[p];
     if (obs::Enabled()) {
@@ -166,6 +191,7 @@ Result<RepairResult> PartitionedRepairer::Repair(
     IDREPAIR_RETURN_NOT_OK(group.Wait());
   }
 
+  IDREPAIR_FAULT_INJECT("repair.partition.merge");
   obs::TraceSpan merge_span("partition.merge");
   RepairResult combined;
   combined.stats.num_trajectories = set.size();
@@ -174,10 +200,17 @@ Result<RepairResult> PartitionedRepairer::Repair(
       static_cast<int>(std::min<size_t>(tasks.empty() ? 1 : tasks.size(),
                                         static_cast<size_t>(threads)));
 
+  size_t skipped = 0;
   for (size_t p = 0; p < partitions.size(); ++p) {
     const auto& partition = partitions[p];
     combined.stats.largest_partition =
         std::max(combined.stats.largest_partition, partition.size());
+    if (!slots[p].ok()) {
+      // Only deadline markers reach the merge (real errors returned above);
+      // the partition's trajectories pass through unrepaired.
+      ++skipped;
+      continue;
+    }
     RepairResult& result = *slots[p];
 
     // Re-index candidates and selections into global trajectory indices.
@@ -224,6 +257,13 @@ Result<RepairResult> PartitionedRepairer::Repair(
   combined.repaired = ApplyRewrites(set, combined.rewrites);
   combined.stats.seconds_total = total.ElapsedSeconds();
   combined.stats.cpu_seconds_total = total_cpu.ElapsedSeconds();
+  if (skipped > 0) {
+    combined.completion = Status::DeadlineExceeded(
+        std::to_string(skipped) + " of " + std::to_string(partitions.size()) +
+        " partitions passed through unrepaired: budget ran out");
+  } else if (obs::Enabled()) {
+    PartitionInstruments::Get().completed->Increment();
+  }
   return combined;
 }
 

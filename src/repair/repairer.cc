@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "common/stopwatch.h"
+#include "fault/deadline.h"
 #include "obs/metrics.h"
 #include "obs/phase.h"
 #include "obs/trace.h"
@@ -19,6 +20,7 @@ namespace {
 /// assert they are byte-identical across thread counts; the phase-latency
 /// histograms are wall-clock and therefore kRuntime.
 struct RepairInstruments {
+  obs::Counter* attempts;
   obs::Counter* runs;
   obs::Counter* candidates;
   obs::Counter* cliques;
@@ -33,6 +35,10 @@ struct RepairInstruments {
     static RepairInstruments* m = [] {
       auto& reg = obs::MetricsRegistry::Global();
       auto* ri = new RepairInstruments();
+      ri->attempts = reg.GetCounter(
+          "idrepair_repair_attempts_total", obs::Stability::kStable,
+          "Core-pipeline Repair() entries (attempted, whether or not the "
+          "run completed)");
       ri->runs = reg.GetCounter("idrepair_repair_runs_total",
                                 obs::Stability::kStable,
                                 "Core-pipeline Repair() invocations");
@@ -92,11 +98,34 @@ Result<RepairResult> IdRepairer::Repair(const TrajectorySet& set,
   const IdSimilarity& similarity = base_similarity;
 #endif
 
+  if (obs::Enabled()) inst.attempts->Increment();
+  fault::Deadline deadline = fault::Deadline::FromMillis(options_.deadline_ms);
+
   RepairResult result;
   Stopwatch total;
   CpuStopwatch total_cpu;
   result.stats.num_trajectories = set.size();
   result.stats.threads_used = options_.exec.ResolvedThreads();
+
+  // Graceful degradation: seal whatever phases completed into a well-formed
+  // partial result (phase granularity — rewrites found so far applied, the
+  // rest passed through) with `why` as the completion marker.
+  auto finish_degraded = [&](Status why) -> RepairResult {
+    result.completion = std::move(why);
+    for (RepairIndex r : result.selected) {
+      const CandidateRepair& repair = result.candidates[r];
+      for (TrajIndex m : repair.members) {
+        if (set.at(m).id() != repair.target_id) {
+          result.rewrites[m] = repair.target_id;
+        }
+      }
+    }
+    result.repaired = ApplyRewrites(set, result.rewrites);
+    result.stats.num_selected = result.selected.size();
+    result.stats.seconds_total = total.ElapsedSeconds();
+    result.stats.cpu_seconds_total = total_cpu.ElapsedSeconds();
+    return std::move(result);
+  };
 
   std::vector<bool> is_valid(set.size(), false);
   for (TrajIndex i = 0; i < set.size(); ++i) {
@@ -116,21 +145,34 @@ Result<RepairResult> IdRepairer::Repair(const TrajectorySet& set,
   result.stats.gm_edges = gm.num_edges();
   result.stats.cex_evaluations = gm.stats().cex_evaluations;
 
+  if (deadline.Expired()) {
+    return finish_degraded(deadline.Check("candidate generation"));
+  }
+
   GenerationStats gen_stats;
   {
     obs::PhaseScope phase("repair.generation",
                           &result.stats.seconds_generation,
                           &result.stats.cpu_seconds_generation,
                           inst.generation_seconds);
-    result.candidates = GenerateCandidates(set, gm, pred, options_,
-                                           similarity, is_valid, &gen_stats);
-    ComputeEffectiveness(result.candidates, options_, set.size());
+    auto candidates = GenerateCandidates(set, gm, pred, options_,
+                                         similarity, is_valid, &gen_stats);
+    IDREPAIR_RETURN_NOT_OK(candidates.status());
+    result.candidates = std::move(candidates).value();
+    IDREPAIR_RETURN_NOT_OK(
+        ComputeEffectiveness(result.candidates, options_, set.size()));
   }
   result.stats.cliques_enumerated = gen_stats.clique_stats.cliques_emitted;
   result.stats.pck_pruned = gen_stats.clique_stats.pck_pruned;
   result.stats.jnb_checks = gen_stats.jnb_checks;
   result.stats.joinable_subsets = gen_stats.joinable_subsets;
   result.stats.num_candidates = result.candidates.size();
+
+  if (deadline.Expired()) {
+    // Candidates exist but none were selected: the partial result repairs
+    // nothing, which trivially preserves every input record.
+    return finish_degraded(deadline.Check("selection"));
+  }
 
   // ---- Phase 2: compatible repair selection (§3.3) ----
   {

@@ -54,6 +54,24 @@ struct RepairStats {
 };
 
 /// The outcome of one repair run.
+///
+/// ### Partial-result semantics
+/// A Repair() call can end three ways:
+///  1. Complete: `completion` is OK and every field is fully populated.
+///  2. Degraded (deadline): the RepairOptions::deadline_ms budget ran out
+///     mid-run. The engine stopped starting new work at a safe boundary —
+///     phase (IdRepairer), partition (PartitionedRepairer), or replay batch
+///     (StreamingRepairer's batch adapter) — and passed the unprocessed
+///     remainder through unrepaired. `completion` carries
+///     StatusCode::kDeadlineExceeded; everything populated is still
+///     internally consistent (record conservation holds, every emitted
+///     repair is a valid merge, `selected` indexes `candidates`,
+///     `rewrites` matches `repaired`).
+///  3. Error: the Result itself is non-OK (an injected fault, I/O failure,
+///     ...). No RepairResult is produced and no caller-visible state was
+///     mutated.
+/// Consumers that must distinguish 1 from 2 check `completion`; consumers
+/// that only need a usable trajectory set can ignore it.
 struct RepairResult {
   /// Phase-1 output: every candidate repair with |ivt| >= 1, with rarity and
   /// effectiveness filled in.
@@ -68,6 +86,9 @@ struct RepairResult {
   TrajectorySet repaired;
   /// Ω(R') — the objective value of Eq. (4) attained by `selected`.
   double total_effectiveness = 0.0;
+  /// OK for a complete run; kDeadlineExceeded for a graceful partial result
+  /// (see the partial-result semantics above).
+  Status completion = Status::OK();
   RepairStats stats;
 };
 

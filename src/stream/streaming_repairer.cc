@@ -1,12 +1,15 @@
 #include "stream/streaming_repairer.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <deque>
 #include <map>
 #include <tuple>
 #include <unordered_set>
 
 #include "common/stopwatch.h"
+#include "fault/deadline.h"
+#include "fault/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -21,6 +24,8 @@ struct StreamInstruments {
   obs::Counter* appends;
   obs::Counter* polls;
   obs::Counter* emitted;
+  obs::Counter* batch_attempts;
+  obs::Counter* batch_completed;
   obs::Histogram* poll_seconds;
 
   static StreamInstruments& Get() {
@@ -30,6 +35,12 @@ struct StreamInstruments {
       si->appends = reg.GetCounter("idrepair_stream_appends_total",
                                    obs::Stability::kStable,
                                    "Records accepted by Append()");
+      si->batch_attempts = reg.GetCounter(
+          "idrepair_stream_attempts_total", obs::Stability::kStable,
+          "Batch-adapter Repair() entries (attempted)");
+      si->batch_completed = reg.GetCounter(
+          "idrepair_stream_runs_total", obs::Stability::kStable,
+          "Batch-adapter Repair() replays run to completion");
       si->polls = reg.GetCounter("idrepair_stream_polls_total",
                                  obs::Stability::kStable,
                                  "Poll() invocations");
@@ -65,6 +76,9 @@ StreamingRepairer::StreamingRepairer(const TransitionGraph& graph,
 }
 
 Status StreamingRepairer::Append(const TrackingRecord& record) {
+  // Before any state mutation: an injected Append fault drops nothing from
+  // the buffer and moves no watermark — the caller may retry the record.
+  IDREPAIR_FAULT_INJECT("stream.append");
   if (saw_any_ && record.ts < watermark_) {
     return Status::OutOfRange(
         "stream records must arrive in non-decreasing timestamp order");
@@ -77,6 +91,10 @@ Status StreamingRepairer::Append(const TrackingRecord& record) {
 }
 
 std::vector<Trajectory> StreamingRepairer::Poll() {
+  // A fired Poll fault yields an empty poll with the buffer untouched;
+  // every record re-enters the next poll, so nothing is lost or repaired
+  // twice.
+  if (fault::Armed() && !fault::Inject("stream.poll").ok()) return {};
   if (!obs::Enabled()) return PollImpl();
   StreamInstruments& inst = StreamInstruments::Get();
   inst.polls->Increment();
@@ -224,6 +242,8 @@ Result<RepairResult> StreamingRepairer::Repair(
   IDREPAIR_RETURN_NOT_OK(options_.Validate());
   IDREPAIR_RETURN_NOT_OK(graph_->Validate());
   obs::ApplyOptions(options_.obs);
+  if (obs::Enabled()) StreamInstruments::Get().batch_attempts->Increment();
+  fault::Deadline deadline = fault::Deadline::FromMillis(options_.deadline_ms);
   Stopwatch total;
   CpuStopwatch total_cpu;
 
@@ -242,22 +262,44 @@ Result<RepairResult> StreamingRepairer::Repair(
                    });
 
   // Replay with a Poll() every η of stream time — the cadence a live
-  // consumer would use — then drain the tail.
-  StreamingRepairer scratch(*graph_, options_, flush_horizon_multiplier_);
+  // consumer would use — then drain the tail. The deadline is probed at
+  // those same replay boundaries: once it expires, replay stops and the
+  // unprocessed remainder (buffered + never-appended records) passes
+  // through unrepaired, grouped by observed ID.
+  RepairOptions replay_options = options_;
+  replay_options.deadline_ms = 0;  // budget enforced here, per replay batch
+  StreamingRepairer scratch(*graph_, replay_options,
+                            flush_horizon_multiplier_);
   std::vector<Trajectory> emitted;
+  Status degraded = Status::OK();
   Timestamp last_poll = records.empty() ? 0 : records.front().ts;
-  for (const auto& r : records) {
-    IDREPAIR_RETURN_NOT_OK(scratch.Append(r));
+  size_t next = 0;
+  for (; next < records.size(); ++next) {
+    IDREPAIR_RETURN_NOT_OK(scratch.Append(records[next]));
     if (scratch.watermark() - last_poll > options_.eta) {
+      if (deadline.Expired()) {
+        degraded = deadline.Check("stream replay");
+        ++next;  // this record was appended; it drains with the buffer
+        break;
+      }
       auto got = scratch.Poll();
       emitted.insert(emitted.end(), got.begin(), got.end());
       last_poll = scratch.watermark();
     }
   }
-  auto tail = scratch.Finish();
-  emitted.insert(emitted.end(), tail.begin(), tail.end());
+  if (degraded.ok()) {
+    auto tail = scratch.Finish();
+    emitted.insert(emitted.end(), tail.begin(), tail.end());
+  } else {
+    std::vector<TrackingRecord> rest = std::move(scratch.buffer_);
+    rest.insert(rest.end(), records.begin() + static_cast<ptrdiff_t>(next),
+                records.end());
+    auto passthrough = TrajectorySet::FromRecords(rest).trajectories();
+    emitted.insert(emitted.end(), passthrough.begin(), passthrough.end());
+  }
 
   RepairResult result;
+  result.completion = degraded;
   result.stats.num_trajectories = set.size();
   result.stats.threads_used = options_.exec.ResolvedThreads();
   for (TrajIndex i = 0; i < set.size(); ++i) {
@@ -301,6 +343,9 @@ Result<RepairResult> StreamingRepairer::Repair(
   result.repaired = TrajectorySet::FromRecords(emitted_records);
   result.stats.seconds_total = total.ElapsedSeconds();
   result.stats.cpu_seconds_total = total_cpu.ElapsedSeconds();
+  if (result.completion.ok() && obs::Enabled()) {
+    StreamInstruments::Get().batch_completed->Increment();
+  }
   return result;
 }
 
@@ -309,6 +354,16 @@ std::vector<Trajectory> StreamingRepairer::Finish() {
   std::vector<TrackingRecord> batch = std::move(buffer_);
   buffer_.clear();
   if (batch.empty()) return {};
+  if (fault::Armed() && !fault::Inject("stream.finish").ok()) {
+    // Degrade instead of dropping data: the final batch passes through
+    // unrepaired, preserving every record.
+    auto out = TrajectorySet::FromRecords(batch).trajectories();
+    emitted_ += out.size();
+    if (obs::Enabled()) {
+      StreamInstruments::Get().emitted->Increment(out.size());
+    }
+    return out;
+  }
   auto out = RepairBatch(std::move(batch));
   emitted_ += out.size();
   if (obs::Enabled()) StreamInstruments::Get().emitted->Increment(out.size());

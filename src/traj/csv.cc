@@ -7,11 +7,13 @@
 #include <sstream>
 
 #include "common/string_util.h"
+#include "fault/failpoint.h"
 
 namespace idrepair {
 
 Result<std::vector<TrackingRecord>> ReadRecordsCsv(
     std::istream& in, const TransitionGraph& graph) {
+  IDREPAIR_FAULT_INJECT("io.csv.read");
   std::vector<TrackingRecord> records;
   std::string line;
   size_t line_no = 0;
@@ -59,6 +61,7 @@ Result<std::vector<TrackingRecord>> ReadRecordsCsvFile(
 
 Status WriteRecordsCsv(std::ostream& out, const TransitionGraph& graph,
                        const std::vector<TrackingRecord>& records) {
+  IDREPAIR_FAULT_INJECT("io.csv.write");
   out << "id,loc,ts\n";
   for (const auto& r : records) {
     if (r.loc >= graph.num_locations()) {

@@ -30,9 +30,12 @@ class CandidatesFixture : public ::testing::Test {
     for (TrajIndex i = 0; i < set_.size(); ++i) {
       is_valid[i] = set_.at(i).IsValid(graph_);
     }
-    auto candidates = GenerateCandidates(set_, gm, pred_, options_,
-                                         similarity_, is_valid, &stats_);
-    ComputeEffectiveness(candidates, options_, set_.size());
+    auto generated = GenerateCandidates(set_, gm, pred_, options_,
+                                        similarity_, is_valid, &stats_);
+    EXPECT_TRUE(generated.ok()) << generated.status();
+    std::vector<CandidateRepair> candidates = std::move(generated).value();
+    EXPECT_TRUE(
+        ComputeEffectiveness(candidates, options_, set_.size()).ok());
     // Deterministic order for assertions.
     std::sort(candidates.begin(), candidates.end(),
               [](const CandidateRepair& a, const CandidateRepair& b) {
@@ -205,9 +208,11 @@ TEST(ParallelGenerationTest, SingleGiantComponentIsBitIdenticalAcrossThreads) {
     o.exec.min_candidate_grain = 4;  // many shards even at 2 threads
     TrajectoryGraph gm(set, pred, o);
     GenerationStats stats;
-    auto candidates =
+    auto generated =
         GenerateCandidates(set, gm, pred, o, similarity, is_valid, &stats);
-    ComputeEffectiveness(candidates, o, set.size());
+    ASSERT_TRUE(generated.ok()) << generated.status();
+    std::vector<CandidateRepair> candidates = std::move(generated).value();
+    ASSERT_TRUE(ComputeEffectiveness(candidates, o, set.size()).ok());
     if (threads == 1) {
       ASSERT_GT(candidates.size(), 100u) << "workload too easy to be a test";
       reference = std::move(candidates);

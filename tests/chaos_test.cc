@@ -1,0 +1,555 @@
+// Chaos/soak correctness harness (the fault-injection counterpart of
+// differential_test.cc): seeded synthetic datasets run through all five
+// engines across a fault × thread-count × graph-shape matrix. Invariants:
+//
+//  * armed-but-silent failpoints and delay-only chaos leave every engine's
+//    output byte-identical to the never-armed run;
+//  * an injected error surfaces as a clean non-OK Result (with the injected
+//    code) and leaves no residue — the rerun after disarming is again
+//    byte-identical;
+//  * deadline expiry (forced via fault.deadline.expire) degrades to a
+//    well-formed partial RepairResult that conserves records and carries
+//    the DeadlineExceeded completion marker;
+//  * the attempted-vs-completed obs counters account for every run.
+//
+// The soak sweep at the bottom reads IDREPAIR_CHAOS_SEED_BASE /
+// IDREPAIR_CHAOS_ROUNDS so scripts/soak.sh can stretch it overnight under
+// ASan/TSan without code changes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "fault/deadline.h"
+#include "fault/failpoint.h"
+#include "gen/synthetic.h"
+#include "graph/generators.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "test_util.h"
+
+namespace idrepair {
+namespace {
+
+using testutil::AllEngineNames;
+using testutil::MakeEngineByName;
+
+// Sites injected on each engine's Repair() path, used to drive the
+// error/alloc/cancel matrix. The baselines are deliberately absent: they
+// carry obs counters but no failpoints, and the byte-identity tests verify
+// chaos armed elsewhere never perturbs them.
+const std::map<std::string, std::vector<std::string>>& ErrorSitesByEngine() {
+  static const std::map<std::string, std::vector<std::string>> kSites = {
+      {"core", {"repair.generation.shard"}},
+      {"partitioned",
+       {"repair.partition.repair", "repair.partition.merge",
+        "repair.generation.shard"}},
+      {"streaming", {"stream.append"}},
+  };
+  return kSites;
+}
+
+// Every failpoint the production code evaluates (src/fault/README.md).
+const std::vector<std::string>& AllSites() {
+  static const std::vector<std::string> kSites = {
+      "exec.pool.dispatch",      "exec.pool.steal",
+      "exec.task_group.run",     "repair.generation.shard",
+      "repair.partition.repair", "repair.partition.merge",
+      "stream.append",           "stream.poll",
+      "stream.finish",           "io.csv.read",
+      "io.csv.write",            "io.graph.load",
+      "io.graph.save",           fault::kDeadlineExpireSite,
+  };
+  return kSites;
+}
+
+struct Scenario {
+  std::string name;
+  TransitionGraph graph;
+  TrajectorySet set;
+  RepairOptions options;
+};
+
+// Two graph shapes × one error rate keeps the full matrix (scenario ×
+// engine × threads × fault) inside a tier-1 time budget; the soak sweep
+// rotates seeds on top.
+std::vector<Scenario> MakeScenarios(uint64_t seed_base = 9000) {
+  struct Shape {
+    const char* name;
+    TransitionGraph graph;
+    size_t theta;
+    int64_t travel_lo, travel_hi;
+  };
+  std::vector<Shape> shapes;
+  shapes.push_back({"paper", MakePaperExampleGraph(), 5, 60, 180});
+  shapes.push_back({"grid", MakeGridNetwork(3, 4), 6, 30, 90});
+
+  std::vector<Scenario> scenarios;
+  uint64_t seed = seed_base;
+  for (auto& shape : shapes) {
+    SyntheticConfig config;
+    config.num_trajectories = 100;
+    config.record_error_rate = 0.2;
+    config.max_path_len = shape.theta;
+    config.window_seconds = 3600;
+    config.travel_median_lo = shape.travel_lo;
+    config.travel_median_hi = shape.travel_hi;
+    config.seed = ++seed;
+    auto ds = GenerateSyntheticDataset(shape.graph, config);
+    if (!ds.ok()) {
+      ADD_FAILURE() << shape.name << ": " << ds.status();
+      continue;
+    }
+    Scenario s;
+    s.name = shape.name;
+    s.graph = shape.graph;
+    s.set = ds->BuildObservedTrajectories();
+    s.options.theta = shape.theta;
+    s.options.eta = 600;
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
+const std::vector<int>& ThreadCounts() {
+  static const std::vector<int> kThreads = {1, 2, 8};
+  return kThreads;
+}
+
+// Full byte-level digest of a RepairResult: the repaired set point by
+// point, the (sorted) rewrite map, the selection, and Ω to full precision.
+// Two runs with equal fingerprints produced indistinguishable output.
+std::string Fingerprint(const RepairResult& result) {
+  std::ostringstream out;
+  out.precision(17);
+  for (TrajIndex i = 0; i < result.repaired.size(); ++i) {
+    const Trajectory& t = result.repaired.at(i);
+    out << t.id() << ":";
+    for (const auto& p : t.points()) out << p.loc << "@" << p.ts << ",";
+    out << ";";
+  }
+  std::map<TrajIndex, std::string> rewrites(result.rewrites.begin(),
+                                            result.rewrites.end());
+  out << "|rw:";
+  for (const auto& [idx, id] : rewrites) out << idx << "->" << id << ",";
+  out << "|sel:";
+  for (RepairIndex r : result.selected) out << r << ",";
+  out << "|omega:" << result.total_effectiveness;
+  out << "|cands:" << result.candidates.size();
+  return std::move(out).str();
+}
+
+Result<RepairResult> RunEngine(std::string_view engine, const Scenario& s,
+                               int threads, int64_t deadline_ms = 0) {
+  RepairOptions options = s.options;
+  options.exec.num_threads = threads;
+  options.deadline_ms = deadline_ms;
+  auto repairer = MakeEngineByName(engine, s.graph, options);
+  if (repairer == nullptr) {
+    return Status::InvalidArgument("unknown engine " + std::string(engine));
+  }
+  return repairer->Repair(s.set);
+}
+
+// Never-armed reference fingerprints, computed once per binary run.
+const std::map<std::string, std::string>& BaselineFingerprints() {
+  static const std::map<std::string, std::string>* kBaselines = [] {
+    auto* baselines = new std::map<std::string, std::string>();
+    for (const Scenario& s : MakeScenarios()) {
+      for (std::string_view engine : AllEngineNames()) {
+        for (int threads : ThreadCounts()) {
+          auto result = RunEngine(engine, s, threads);
+          std::string key =
+              s.name + "/" + std::string(engine) + "/" + std::to_string(threads);
+          (*baselines)[key] =
+              result.ok() ? Fingerprint(*result) : "error:" + key;
+        }
+      }
+    }
+    return baselines;
+  }();
+  return *kBaselines;
+}
+
+std::string BaselineFor(const Scenario& s, std::string_view engine,
+                        int threads) {
+  return BaselineFingerprints().at(s.name + "/" + std::string(engine) + "/" +
+                                   std::to_string(threads));
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::FailPointRegistry::Global().DisarmAll(); }
+  void TearDown() override {
+    fault::FailPointRegistry::Global().DisarmAll();
+    ASSERT_FALSE(fault::Armed()) << "chaos leaked out of a test";
+  }
+};
+
+// Arming every site with a trigger that never fires must not change a
+// single byte of any engine's output at any thread count — the subsystem's
+// "observation does not disturb" contract.
+TEST_F(ChaosTest, ArmedButSilentSitesAreByteInvisible) {
+  fault::FaultSpec silent;
+  silent.fire_on_hit = 1000000000;  // far beyond any hit count here
+  for (const std::string& site : AllSites()) {
+    ASSERT_TRUE(fault::FailPointRegistry::Global().Arm(site, silent).ok());
+  }
+  ASSERT_TRUE(fault::Armed());
+
+  for (const Scenario& s : MakeScenarios()) {
+    for (std::string_view engine : AllEngineNames()) {
+      for (int threads : ThreadCounts()) {
+        SCOPED_TRACE(s.name + "/" + std::string(engine) + "/t" +
+                     std::to_string(threads));
+        auto result = RunEngine(engine, s, threads);
+        ASSERT_TRUE(result.ok()) << result.status();
+        EXPECT_TRUE(result->completion.ok());
+        EXPECT_EQ(Fingerprint(*result), BaselineFor(s, engine, threads));
+      }
+    }
+  }
+}
+
+// Delay fires perturb scheduling but never results: seeded delays on the
+// pool and shard sites leave output byte-identical while genuinely firing.
+TEST_F(ChaosTest, DelayChaosNeverChangesResults) {
+  for (const char* site :
+       {"exec.pool.dispatch", "exec.pool.steal", "exec.task_group.run",
+        "repair.generation.shard"}) {
+    fault::FaultSpec delay;
+    delay.action = fault::FaultAction::kDelay;
+    delay.one_in = 3;
+    delay.seed = 11;
+    delay.delay_micros = 200;
+    ASSERT_TRUE(fault::FailPointRegistry::Global().Arm(site, delay).ok());
+  }
+
+  for (const Scenario& s : MakeScenarios()) {
+    for (std::string_view engine : {"core", "partitioned", "streaming"}) {
+      for (int threads : ThreadCounts()) {
+        SCOPED_TRACE(s.name + "/" + std::string(engine) + "/t" +
+                     std::to_string(threads));
+        auto result = RunEngine(engine, s, threads);
+        ASSERT_TRUE(result.ok()) << result.status();
+        EXPECT_EQ(Fingerprint(*result), BaselineFor(s, engine, threads));
+      }
+    }
+  }
+  EXPECT_GT(fault::FailPointRegistry::Global().TotalFires(), 0u)
+      << "the delay chaos never actually fired";
+}
+
+// An injected error must surface as a clean non-OK Result carrying the
+// injected code, and must leave no residue: after DisarmAll the rerun is
+// byte-identical to the never-armed baseline.
+TEST_F(ChaosTest, ErrorInjectionPropagatesCleanlyAndLeavesNoResidue) {
+  for (const Scenario& s : MakeScenarios()) {
+    for (const auto& [engine, sites] : ErrorSitesByEngine()) {
+      for (const std::string& site : sites) {
+        for (int threads : ThreadCounts()) {
+          SCOPED_TRACE(s.name + "/" + engine + "/" + site + "/t" +
+                       std::to_string(threads));
+          fault::FaultSpec spec;
+          spec.fire_on_hit = 1;
+          spec.code = StatusCode::kIoError;
+          spec.message = "injected by chaos_test";
+          ASSERT_TRUE(
+              fault::FailPointRegistry::Global().Arm(site, spec).ok());
+
+          auto result = RunEngine(engine, s, threads);
+          ASSERT_FALSE(result.ok())
+              << "armed " << site << " but the run succeeded";
+          EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+          EXPECT_NE(result.status().message().find("injected by chaos_test"),
+                    std::string::npos)
+              << result.status();
+          EXPECT_GE(
+              fault::FailPointRegistry::Global().GetPoint(site)->fires(), 1u);
+
+          fault::FailPointRegistry::Global().DisarmAll();
+          auto rerun = RunEngine(engine, s, threads);
+          ASSERT_TRUE(rerun.ok()) << rerun.status();
+          EXPECT_EQ(Fingerprint(*rerun), BaselineFor(s, engine, threads));
+        }
+      }
+    }
+  }
+}
+
+// The alloc-failure and cancellation actions map onto their dedicated
+// status codes through a full engine run.
+TEST_F(ChaosTest, AllocFailureAndCancellationCarryTheirCodes) {
+  const Scenario s = MakeScenarios().front();
+  const std::pair<fault::FaultAction, StatusCode> kActions[] = {
+      {fault::FaultAction::kAllocFail, StatusCode::kResourceExhausted},
+      {fault::FaultAction::kCancel, StatusCode::kCancelled},
+  };
+  for (const auto& [action, code] : kActions) {
+    for (std::string_view engine : {"core", "partitioned"}) {
+      SCOPED_TRACE(std::string(engine) + "/" +
+                   StatusCodeToString(code));
+      fault::FaultSpec spec;
+      spec.action = action;
+      spec.fire_on_hit = 1;
+      ASSERT_TRUE(fault::FailPointRegistry::Global()
+                      .Arm("repair.generation.shard", spec)
+                      .ok());
+      auto result = RunEngine(engine, s, 2);
+      ASSERT_FALSE(result.ok());
+      EXPECT_EQ(result.status().code(), code) << result.status();
+      fault::FailPointRegistry::Global().DisarmAll();
+    }
+  }
+}
+
+// Forced deadline expiry (the fault.deadline.expire failpoint) degrades
+// every deadline-aware engine to a well-formed partial result: OK status,
+// DeadlineExceeded completion marker, full record conservation. Single
+// thread keeps which-boundary-expired deterministic.
+TEST_F(ChaosTest, ForcedDeadlineExpiryDegradesToWellFormedPartial) {
+  for (const Scenario& s : MakeScenarios()) {
+    for (std::string_view engine : {"core", "partitioned", "streaming"}) {
+      SCOPED_TRACE(s.name + "/" + std::string(engine));
+      fault::FaultSpec expire;
+      expire.one_in = 1;  // every deadline check reports expiry
+      ASSERT_TRUE(fault::FailPointRegistry::Global()
+                      .Arm(fault::kDeadlineExpireSite, expire)
+                      .ok());
+
+      auto result = RunEngine(engine, s, 1, /*deadline_ms=*/600000);
+      ASSERT_TRUE(result.ok()) << result.status();
+      EXPECT_EQ(result->completion.code(), StatusCode::kDeadlineExceeded)
+          << result->completion;
+      EXPECT_EQ(result->repaired.total_records(), s.set.total_records());
+
+      // Same options, failpoint disarmed: the (far-future) deadline never
+      // actually expires, so output is byte-identical to no deadline at
+      // all — deadline_ms alone must not perturb results.
+      fault::FailPointRegistry::Global().DisarmAll();
+      auto clean = RunEngine(engine, s, 1, /*deadline_ms=*/600000);
+      ASSERT_TRUE(clean.ok()) << clean.status();
+      EXPECT_TRUE(clean->completion.ok()) << clean->completion;
+      EXPECT_EQ(Fingerprint(*clean), BaselineFor(s, engine, 1));
+    }
+  }
+}
+
+// Partition-granularity degradation: expiring after the first partition
+// check yields a prefix-of-partitions partial whose completion message
+// counts the passed-through partitions.
+TEST_F(ChaosTest, PartitionedDeadlineSkipsAtPartitionGranularity) {
+  const Scenario s = MakeScenarios().front();
+  fault::FaultSpec expire;
+  expire.fire_on_hit = 1;  // exactly one partition check reports expiry
+  ASSERT_TRUE(fault::FailPointRegistry::Global()
+                  .Arm(fault::kDeadlineExpireSite, expire)
+                  .ok());
+  auto result = RunEngine("partitioned", s, 1, /*deadline_ms=*/600000);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->completion.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(result->completion.message().find("partitions passed through"),
+            std::string::npos)
+      << result->completion;
+  EXPECT_EQ(result->repaired.total_records(), s.set.total_records());
+}
+
+uint64_t CounterValue(const std::string& name) {
+  for (const auto& m : obs::MetricsRegistry::Global().Collect()) {
+    if (m.name == name) return m.counter_value;
+  }
+  return 0;
+}
+
+// Every engine accounts for its runs: attempts ticks at entry, runs only on
+// full completion — so injected faults and degraded runs leave a visible
+// attempted-but-not-completed gap.
+TEST_F(ChaosTest, AttemptedVersusCompletedCountersAccountForEveryRun) {
+  const std::map<std::string, std::pair<std::string, std::string>> kCounters =
+      {
+          {"core",
+           {"idrepair_repair_attempts_total", "idrepair_repair_runs_total"}},
+          {"partitioned",
+           {"idrepair_partition_attempts_total",
+            "idrepair_partition_runs_total"}},
+          {"streaming",
+           {"idrepair_stream_attempts_total", "idrepair_stream_runs_total"}},
+          {"idsim",
+           {"idrepair_baseline_idsim_attempts_total",
+            "idrepair_baseline_idsim_runs_total"}},
+          {"neighborhood",
+           {"idrepair_baseline_neighborhood_attempts_total",
+            "idrepair_baseline_neighborhood_runs_total"}},
+      };
+  obs::SetEnabled(true);
+  const Scenario s = MakeScenarios().front();
+
+  // Clean run: attempts and runs advance in lockstep on all five engines.
+  for (const auto& [engine, counters] : kCounters) {
+    SCOPED_TRACE(engine + "/clean");
+    uint64_t attempts = CounterValue(counters.first);
+    uint64_t runs = CounterValue(counters.second);
+    ASSERT_TRUE(RunEngine(engine, s, 2).ok());
+    EXPECT_EQ(CounterValue(counters.first), attempts + 1);
+    EXPECT_EQ(CounterValue(counters.second), runs + 1);
+  }
+
+  // Faulted run: attempted, not completed.
+  for (const auto& [engine, sites] : ErrorSitesByEngine()) {
+    SCOPED_TRACE(engine + "/faulted");
+    const auto& counters = kCounters.at(engine);
+    fault::FaultSpec spec;
+    spec.fire_on_hit = 1;
+    ASSERT_TRUE(
+        fault::FailPointRegistry::Global().Arm(sites.front(), spec).ok());
+    uint64_t attempts = CounterValue(counters.first);
+    uint64_t runs = CounterValue(counters.second);
+    ASSERT_FALSE(RunEngine(engine, s, 2).ok());
+    EXPECT_EQ(CounterValue(counters.first), attempts + 1);
+    EXPECT_EQ(CounterValue(counters.second), runs);
+    fault::FailPointRegistry::Global().DisarmAll();
+  }
+
+  // Degraded run: attempted, and not counted as a completed run either.
+  {
+    SCOPED_TRACE("core/degraded");
+    fault::FaultSpec expire;
+    expire.one_in = 1;
+    ASSERT_TRUE(fault::FailPointRegistry::Global()
+                    .Arm(fault::kDeadlineExpireSite, expire)
+                    .ok());
+    uint64_t attempts = CounterValue("idrepair_repair_attempts_total");
+    uint64_t runs = CounterValue("idrepair_repair_runs_total");
+    auto result = RunEngine("core", s, 1, /*deadline_ms=*/600000);
+    ASSERT_TRUE(result.ok()) << result.status();
+    ASSERT_FALSE(result->completion.ok());
+    EXPECT_EQ(CounterValue("idrepair_repair_attempts_total"), attempts + 1);
+    EXPECT_EQ(CounterValue("idrepair_repair_runs_total"), runs);
+  }
+}
+
+// Faults on the incremental streaming surface (Poll returning nothing,
+// Finish falling back to passthrough) must never lose or duplicate a
+// record: the stream stays conservative under chaos.
+TEST_F(ChaosTest, StreamingIncrementalFaultsConserveRecords) {
+  const Scenario s = MakeScenarios().front();
+  std::vector<TrackingRecord> records;
+  for (TrajIndex i = 0; i < s.set.size(); ++i) {
+    for (const auto& p : s.set.at(i).points()) {
+      records.push_back(TrackingRecord{s.set.at(i).id(), p.loc, p.ts});
+    }
+  }
+  std::stable_sort(records.begin(), records.end(),
+                   [](const TrackingRecord& a, const TrackingRecord& b) {
+                     return std::tie(a.ts, a.id, a.loc) <
+                            std::tie(b.ts, b.id, b.loc);
+                   });
+
+  fault::FaultSpec flaky;
+  flaky.one_in = 2;
+  flaky.seed = 17;
+  ASSERT_TRUE(
+      fault::FailPointRegistry::Global().Arm("stream.poll", flaky).ok());
+  fault::FaultSpec fail_finish;
+  fail_finish.fire_on_hit = 1;
+  ASSERT_TRUE(fault::FailPointRegistry::Global()
+                  .Arm("stream.finish", fail_finish)
+                  .ok());
+
+  StreamingRepairer stream(s.graph, s.options);
+  size_t emitted_records = 0;
+  Timestamp last_poll = records.empty() ? 0 : records.front().ts;
+  for (const auto& r : records) {
+    ASSERT_TRUE(stream.Append(r).ok());
+    if (stream.watermark() - last_poll > s.options.eta) {
+      for (const Trajectory& t : stream.Poll()) emitted_records += t.size();
+      last_poll = stream.watermark();
+    }
+  }
+  for (const Trajectory& t : stream.Finish()) emitted_records += t.size();
+
+  EXPECT_EQ(emitted_records, records.size());
+  EXPECT_EQ(stream.pending_records(), 0u);
+}
+
+// Seeded soak sweep: probabilistic error + delay chaos across the wired
+// sites, all engines, all thread counts. Every run must either succeed and
+// conserve records or fail with exactly the injected code — and once the
+// chaos is disarmed the engines are back to byte-identical, proving no
+// cross-run residue. scripts/soak.sh stretches the rounds/seeds via the
+// environment.
+TEST_F(ChaosTest, SoakSeededProbabilisticChaos) {
+  uint64_t seed_base = 1;
+  int rounds = 2;
+  if (const char* env = std::getenv("IDREPAIR_CHAOS_SEED_BASE")) {
+    seed_base = static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+  }
+  if (const char* env = std::getenv("IDREPAIR_CHAOS_ROUNDS")) {
+    rounds = static_cast<int>(std::strtol(env, nullptr, 10));
+  }
+
+  const auto scenarios = MakeScenarios();
+  for (int round = 0; round < rounds; ++round) {
+    const uint64_t seed = seed_base + static_cast<uint64_t>(round);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+
+    auto arm = [&](const char* site, fault::FaultAction action,
+                   uint64_t one_in) {
+      fault::FaultSpec spec;
+      spec.action = action;
+      spec.code = StatusCode::kInternal;
+      spec.one_in = one_in;
+      spec.seed = seed;
+      spec.delay_micros = 100;
+      ASSERT_TRUE(fault::FailPointRegistry::Global().Arm(site, spec).ok());
+    };
+    arm("exec.pool.dispatch", fault::FaultAction::kDelay, 5);
+    arm("exec.pool.steal", fault::FaultAction::kDelay, 5);
+    arm("repair.generation.shard", fault::FaultAction::kError, 4);
+    arm("repair.partition.repair", fault::FaultAction::kAllocFail, 4);
+    arm("stream.append", fault::FaultAction::kCancel, 400);
+
+    for (const Scenario& s : scenarios) {
+      for (std::string_view engine : AllEngineNames()) {
+        for (int threads : ThreadCounts()) {
+          SCOPED_TRACE(s.name + "/" + std::string(engine) + "/t" +
+                       std::to_string(threads));
+          auto result = RunEngine(engine, s, threads);
+          if (result.ok()) {
+            EXPECT_TRUE(result->completion.ok());
+            EXPECT_EQ(result->repaired.total_records(),
+                      s.set.total_records());
+          } else {
+            const StatusCode code = result.status().code();
+            EXPECT_TRUE(code == StatusCode::kInternal ||
+                        code == StatusCode::kResourceExhausted ||
+                        code == StatusCode::kCancelled)
+                << result.status();
+          }
+        }
+      }
+    }
+
+    fault::FailPointRegistry::Global().DisarmAll();
+    for (const Scenario& s : scenarios) {
+      for (std::string_view engine : AllEngineNames()) {
+        SCOPED_TRACE(s.name + "/" + std::string(engine) + "/post-chaos");
+        auto result = RunEngine(engine, s, 2);
+        ASSERT_TRUE(result.ok()) << result.status();
+        EXPECT_EQ(Fingerprint(*result), BaselineFor(s, engine, 2));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace idrepair

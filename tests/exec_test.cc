@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
 #include <vector>
+
+#include "fault/failpoint.h"
 
 #include "exec/exec_options.h"
 #include "exec/parallel_for.h"
@@ -197,6 +202,112 @@ TEST(ThreadPoolTest, ObsCountsEveryTaskExactlyOnce) {
   EXPECT_LE(stolen, executed);
   EXPECT_EQ(depth, 0);  // everything enqueued was drained
   EXPECT_TRUE(saw_latency);
+}
+
+// Regression for the deterministic-first-error contract: the surfaced
+// error belongs to the lowest spawn index among the tasks that failed,
+// not to whichever failure landed first. Task 0 fails slowly while a
+// burst of later tasks fails instantly; at every thread count Wait()
+// must still report task 0.
+TEST(TaskGroupTest, SurfacesLowestSpawnIndexErrorNotFirstToLand) {
+  for (int threads : {1, 2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ThreadPool pool(threads);
+    TaskGroup group(&pool);
+    std::atomic<bool> started{false};
+    group.Spawn([&started] {
+      started.store(true, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      return Status::Corruption("slow failure at index 0");
+    });
+    // Don't introduce the fast failures until task 0 is running, so it can
+    // never be skipped by their cancellation — its failure always exists.
+    while (!started.load(std::memory_order_relaxed)) std::this_thread::yield();
+    for (int i = 1; i < 32; ++i) {
+      group.Spawn([] { return Status::Internal("fast failure"); });
+    }
+    Status status = group.Wait();
+    EXPECT_EQ(status.code(), StatusCode::kCorruption);
+    EXPECT_EQ(status.message(), "slow failure at index 0");
+  }
+}
+
+// With exactly one fallible task in the group — the common one-bad-shard
+// case — the same error surfaces at every thread count, run after run.
+TEST(TaskGroupTest, SingleFailureIsDeterministicAcrossThreadCounts) {
+  for (int threads : {1, 2, 8}) {
+    for (int round = 0; round < 5; ++round) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) + " round=" +
+                   std::to_string(round));
+      ThreadPool pool(threads);
+      TaskGroup group(&pool);
+      for (int i = 0; i < 64; ++i) {
+        group.Spawn([i] {
+          if (i == 23) return Status::NotFound("shard 23 is bad");
+          return Status::OK();
+        });
+      }
+      Status status = group.Wait();
+      EXPECT_EQ(status.code(), StatusCode::kNotFound);
+      EXPECT_EQ(status.message(), "shard 23 is bad");
+    }
+  }
+}
+
+// The exec.task_group.run failpoint fires inside task closures and its
+// error propagates through Wait() like any task failure; disarming
+// restores clean runs.
+TEST(TaskGroupTest, InjectedFaultAtRunSitePropagates) {
+  fault::FaultSpec spec;
+  spec.fire_on_hit = 1;
+  spec.code = StatusCode::kResourceExhausted;
+  ASSERT_TRUE(fault::FailPointRegistry::Global()
+                  .Arm("exec.task_group.run", spec)
+                  .ok());
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  std::atomic<int> executed{0};
+  for (int i = 0; i < 16; ++i) {
+    group.Spawn([&executed] {
+      executed.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    });
+  }
+  EXPECT_EQ(group.Wait().code(), StatusCode::kResourceExhausted);
+  EXPECT_LT(executed.load(), 16) << "the fault should have cancelled tasks";
+
+  fault::FailPointRegistry::Global().DisarmAll();
+  TaskGroup clean(&pool);
+  for (int i = 0; i < 16; ++i) {
+    clean.Spawn([] { return Status::OK(); });
+  }
+  EXPECT_TRUE(clean.Wait().ok());
+}
+
+// Delay perturbation on the pool's dispatch/steal sites reorders timing
+// but never drops work or surfaces errors (MaybePerturb swallows them).
+TEST(ThreadPoolTest, DispatchPerturbationNeverDropsTasks) {
+  fault::FaultSpec delay;
+  delay.action = fault::FaultAction::kDelay;
+  delay.one_in = 2;
+  delay.seed = 3;
+  delay.delay_micros = 100;
+  ASSERT_TRUE(
+      fault::FailPointRegistry::Global().Arm("exec.pool.dispatch", delay).ok());
+  ASSERT_TRUE(
+      fault::FailPointRegistry::Global().Arm("exec.pool.steal", delay).ok());
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 200; ++i) {
+    group.Spawn([&counter] {
+      counter.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    });
+  }
+  EXPECT_TRUE(group.Wait().ok());
+  EXPECT_EQ(counter.load(), 200);
+  fault::FailPointRegistry::Global().DisarmAll();
 }
 
 TEST(ParallelForTest, PropagatesShardError) {

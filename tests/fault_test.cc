@@ -1,0 +1,291 @@
+// Unit tests for the deterministic fault-injection subsystem (src/fault/):
+// spec validation, trigger semantics (on-Nth-hit exactness, seeded
+// probabilistic determinism, max_fires caps), the global registry and its
+// CLI arming grammar, and the Deadline budget with its forced-expiry
+// failpoint.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/deadline.h"
+#include "fault/failpoint.h"
+
+namespace idrepair {
+namespace fault {
+namespace {
+
+// Every test must leave the process with nothing armed: chaos leaking into
+// a later test would break its byte-identity assumptions.
+class FaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    FailPointRegistry::Global().DisarmAll();
+    EXPECT_FALSE(Armed());
+  }
+};
+
+FaultSpec OnHit(uint64_t n, FaultAction action = FaultAction::kError) {
+  FaultSpec spec;
+  spec.action = action;
+  spec.fire_on_hit = n;
+  return spec;
+}
+
+FaultSpec OneIn(uint64_t n, uint64_t seed) {
+  FaultSpec spec;
+  spec.one_in = n;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST_F(FaultTest, SpecRequiresExactlyOneTrigger) {
+  FaultSpec neither;
+  EXPECT_FALSE(neither.Validate().ok()) << "no trigger must be rejected";
+
+  FaultSpec both;
+  both.fire_on_hit = 1;
+  both.one_in = 4;
+  EXPECT_FALSE(both.Validate().ok()) << "two triggers must be rejected";
+
+  EXPECT_TRUE(OnHit(1).Validate().ok());
+  EXPECT_TRUE(OneIn(4, 7).Validate().ok());
+}
+
+TEST_F(FaultTest, DisarmedSiteIsFreeAndNeverFires) {
+  EXPECT_FALSE(Armed());
+  FailPoint* point = FailPointRegistry::Global().GetPoint("test.disarmed");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(point->Evaluate().ok());
+  }
+  EXPECT_EQ(point->fires(), 0u);
+  // Inject() on a never-armed name is OK too (site auto-created).
+  EXPECT_TRUE(Inject("test.never.armed").ok());
+}
+
+TEST_F(FaultTest, FireOnNthHitFiresExactlyOnce) {
+  FailPoint* point = FailPointRegistry::Global().GetPoint("test.on_hit");
+  ASSERT_TRUE(point->Arm(OnHit(3)).ok());
+  EXPECT_TRUE(Armed());
+
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(!point->Evaluate().ok());
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false, false}));
+  EXPECT_EQ(point->hits(), 6u);
+  EXPECT_EQ(point->fires(), 1u);
+}
+
+TEST_F(FaultTest, ErrorFireCarriesConfiguredCodeAndMessage) {
+  FaultSpec spec = OnHit(1);
+  spec.code = StatusCode::kIoError;
+  spec.message = "disk gremlin";
+  ASSERT_TRUE(FailPointRegistry::Global().Arm("test.error", spec).ok());
+  Status st = Inject("test.error");
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_EQ(st.message(), "disk gremlin");
+}
+
+TEST_F(FaultTest, ActionsMapToStatusCodes) {
+  ASSERT_TRUE(FailPointRegistry::Global()
+                  .Arm("test.alloc", OnHit(1, FaultAction::kAllocFail))
+                  .ok());
+  EXPECT_EQ(Inject("test.alloc").code(), StatusCode::kResourceExhausted);
+
+  ASSERT_TRUE(FailPointRegistry::Global()
+                  .Arm("test.cancel", OnHit(1, FaultAction::kCancel))
+                  .ok());
+  EXPECT_EQ(Inject("test.cancel").code(), StatusCode::kCancelled);
+
+  FaultSpec delay = OnHit(1, FaultAction::kDelay);
+  delay.delay_micros = 1;
+  ASSERT_TRUE(FailPointRegistry::Global().Arm("test.delay", delay).ok());
+  EXPECT_TRUE(Inject("test.delay").ok()) << "delay fires still return OK";
+  EXPECT_EQ(FailPointRegistry::Global().GetPoint("test.delay")->fires(), 1u);
+}
+
+TEST_F(FaultTest, OneInTriggerIsDeterministicInSeedAndHitIndex) {
+  auto count_fires = [](uint64_t seed, int hits) {
+    FailPoint point("test.local");
+    EXPECT_TRUE(point.Arm(OneIn(4, seed)).ok());
+    uint64_t fired = 0;
+    for (int i = 0; i < hits; ++i) {
+      if (!point.Evaluate().ok()) ++fired;
+    }
+    EXPECT_EQ(fired, point.fires());
+    return point.fires();
+  };
+
+  // Same seed → same fire count, run after run.
+  const uint64_t a = count_fires(/*seed=*/42, /*hits=*/400);
+  EXPECT_EQ(count_fires(42, 400), a);
+  // ~1/4 of 400 hits; a pure hash won't stray wildly from the mean.
+  EXPECT_GT(a, 50u);
+  EXPECT_LT(a, 160u);
+  // Different seeds decide different hit indices (fire counts may rarely
+  // collide, so compare against several seeds).
+  bool any_difference = false;
+  for (uint64_t seed : {7u, 8u, 9u, 10u}) {
+    if (count_fires(seed, 400) != a) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+
+  // one_in == 1 fires on every hit.
+  FailPoint always("test.always");
+  ASSERT_TRUE(always.Arm(OneIn(1, 0)).ok());
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(always.Evaluate().ok());
+}
+
+TEST_F(FaultTest, MaxFiresCapsFiringButNotCounting) {
+  FaultSpec spec = OneIn(1, 0);  // would fire every hit...
+  spec.max_fires = 2;            // ...but is capped at two fires
+  FailPoint point("test.capped");
+  ASSERT_TRUE(point.Arm(spec).ok());
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (!point.Evaluate().ok()) ++fired;
+  }
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(point.fires(), 2u);
+  EXPECT_EQ(point.hits(), 10u);
+}
+
+TEST_F(FaultTest, MaxFiresCapHoldsUnderConcurrentEvaluation) {
+  FaultSpec spec = OneIn(1, 0);
+  spec.max_fires = 5;
+  FailPoint point("test.race");
+  ASSERT_TRUE(point.Arm(spec).ok());
+  std::atomic<int> fired{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        if (!point.Evaluate().ok()) fired.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(fired.load(), 5);
+  EXPECT_EQ(point.fires(), 5u);
+  EXPECT_EQ(point.hits(), 1600u);
+}
+
+TEST_F(FaultTest, ReArmingResetsCountersDisarmKeepsThem) {
+  FailPoint* point = FailPointRegistry::Global().GetPoint("test.rearm");
+  ASSERT_TRUE(point->Arm(OnHit(1)).ok());
+  EXPECT_FALSE(point->Evaluate().ok());
+  EXPECT_EQ(point->fires(), 1u);
+
+  point->Disarm();
+  EXPECT_FALSE(point->armed());
+  // Counters survive disarm so post-run assertions can read them.
+  EXPECT_EQ(point->hits(), 1u);
+  EXPECT_EQ(point->fires(), 1u);
+
+  // Re-arming counts from zero: on_hit=1 fires again on the next hit.
+  ASSERT_TRUE(point->Arm(OnHit(1)).ok());
+  EXPECT_EQ(point->hits(), 0u);
+  EXPECT_FALSE(point->Evaluate().ok());
+}
+
+TEST_F(FaultTest, RegistryArmDisarmAllAndSnapshot) {
+  auto& registry = FailPointRegistry::Global();
+  ASSERT_TRUE(registry.Arm("test.snap.a", OnHit(1)).ok());
+  ASSERT_TRUE(registry.Arm("test.snap.b", OnHit(5)).ok());
+  EXPECT_GE(registry.NumArmed(), 2u);
+  EXPECT_FALSE(Inject("test.snap.a").ok());
+
+  bool saw_a = false;
+  for (const FailPointInfo& info : registry.Snapshot()) {
+    if (info.name == "test.snap.a") {
+      saw_a = true;
+      EXPECT_TRUE(info.armed);
+      EXPECT_EQ(info.hits, 1u);
+      EXPECT_EQ(info.fires, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_a);
+  EXPECT_GE(registry.TotalFires(), 1u);
+
+  registry.DisarmAll();
+  EXPECT_EQ(registry.NumArmed(), 0u);
+  EXPECT_FALSE(Armed());
+  EXPECT_TRUE(Inject("test.snap.b").ok());
+}
+
+TEST_F(FaultTest, ArmFromStringGrammar) {
+  ASSERT_TRUE(ArmFromString("test.cli.a=error,on_hit=2;"
+                            "test.cli.b=delay,one_in=10,seed=7,delay_us=1;"
+                            "test.cli.c=alloc")
+                  .ok());
+  auto& registry = FailPointRegistry::Global();
+  EXPECT_TRUE(registry.GetPoint("test.cli.a")->armed());
+  EXPECT_TRUE(registry.GetPoint("test.cli.b")->armed());
+  EXPECT_TRUE(registry.GetPoint("test.cli.c")->armed());
+
+  // Bare action defaults to firing on the first hit.
+  EXPECT_TRUE(Inject("test.cli.c").code() == StatusCode::kResourceExhausted);
+  // on_hit=2: first hit clean, second fires.
+  EXPECT_TRUE(Inject("test.cli.a").ok());
+  EXPECT_FALSE(Inject("test.cli.a").ok());
+}
+
+TEST_F(FaultTest, ArmFromStringRejectsMalformedSpecs) {
+  EXPECT_FALSE(ArmFromString("no-equals-sign").ok());
+  EXPECT_FALSE(ArmFromString("site=explode").ok()) << "unknown action";
+  EXPECT_FALSE(ArmFromString("site=error,on_hit=nope").ok());
+  EXPECT_FALSE(ArmFromString("site=error,bogus_key=1").ok());
+  EXPECT_FALSE(ArmFromString("site=error,on_hit=1,one_in=2").ok())
+      << "both triggers";
+  EXPECT_FALSE(ArmFromString("=error").ok()) << "empty site name";
+}
+
+TEST_F(FaultTest, MaybePerturbSwallowsErrorsButCounts) {
+  ASSERT_TRUE(
+      FailPointRegistry::Global().Arm("test.perturb", OnHit(1)).ok());
+  MaybePerturb("test.perturb");  // would be an error through Inject()
+  EXPECT_EQ(FailPointRegistry::Global().GetPoint("test.perturb")->fires(), 1u);
+}
+
+TEST_F(FaultTest, DeadlineInfiniteNeverExpires) {
+  Deadline d = Deadline::Infinite();
+  EXPECT_FALSE(d.enabled());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_TRUE(d.Check("anywhere").ok());
+  EXPECT_FALSE(Deadline::FromMillis(0).enabled());
+  EXPECT_FALSE(Deadline::FromMillis(-5).enabled());
+}
+
+TEST_F(FaultTest, DeadlineFromMillisExpiresAfterBudget) {
+  Deadline d = Deadline::FromMillis(1);
+  EXPECT_TRUE(d.enabled());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(d.Expired());
+  Status st = d.Check("phase boundary");
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(st.message().find("phase boundary"), std::string::npos);
+}
+
+TEST_F(FaultTest, ForcedExpiryFailpointOnlyAffectsEnabledDeadlines) {
+  FaultSpec spec = OnHit(2);
+  ASSERT_TRUE(
+      FailPointRegistry::Global().Arm(kDeadlineExpireSite, spec).ok());
+
+  // A disabled deadline never consults the site.
+  Deadline off = Deadline::Infinite();
+  EXPECT_FALSE(off.Expired());
+  EXPECT_FALSE(off.Expired());
+  EXPECT_EQ(FailPointRegistry::Global().GetPoint(kDeadlineExpireSite)->hits(),
+            0u);
+
+  // An enabled (but far-future) deadline expires exactly at the armed check.
+  Deadline on = Deadline::FromMillis(600000);
+  EXPECT_FALSE(on.Expired()) << "first check: trigger not reached";
+  EXPECT_TRUE(on.Expired()) << "second check: forced expiry";
+  EXPECT_EQ(on.Check("forced").code(), StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace idrepair

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include "common/flags.h"
+#include "fault/failpoint.h"
+#include "repair/options.h"
 
 namespace idrepair {
 namespace {
@@ -84,6 +86,43 @@ TEST(FlagParserTest, LaterValueWins) {
   auto p = ParseArgs({"--k=1", "--k=2"});
   ASSERT_TRUE(p.ok());
   EXPECT_EQ(*p->GetInt("k", 0), 2);
+}
+
+// The CLI's --deadline-ms flag path: parsed as an integer, carried into
+// RepairOptions, and rejected when negative by options validation — the
+// same checks tools/idrepair_cli.cc layers on top of FlagParser.
+TEST(FlagParserTest, DeadlineMsFlagRoundTripsIntoOptions) {
+  auto p = ParseArgs({"--deadline-ms=2500"});
+  ASSERT_TRUE(p.ok());
+  auto ms = p->GetInt("deadline-ms", 0);
+  ASSERT_TRUE(ms.ok());
+  RepairOptions options = RepairOptions().WithDeadlineMs(*ms);
+  EXPECT_EQ(options.deadline_ms, 2500);
+  EXPECT_TRUE(options.Validate().ok());
+
+  EXPECT_FALSE(RepairOptions().WithDeadlineMs(-1).Validate().ok());
+  // Absent flag: default 0 = no budget, and that validates.
+  auto none = ParseArgs({});
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(*none->GetInt("deadline-ms", 0), 0);
+}
+
+// The CLI's --failpoints flag value is a registry spec string; a valid one
+// arms sites, a malformed one is rejected before any repair runs.
+TEST(FlagParserTest, FailpointsFlagValueArmsRegistry) {
+  auto p = ParseArgs(
+      {"--failpoints=flags.test.a=error,on_hit=7;flags.test.b=delay"});
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(fault::ArmFromString(p->GetString("failpoints")).ok());
+  auto& registry = fault::FailPointRegistry::Global();
+  EXPECT_TRUE(registry.GetPoint("flags.test.a")->armed());
+  EXPECT_TRUE(registry.GetPoint("flags.test.b")->armed());
+  registry.DisarmAll();
+
+  auto bad = ParseArgs({"--failpoints=flags.test.c=explode"});
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(fault::ArmFromString(bad->GetString("failpoints")).ok());
+  EXPECT_FALSE(fault::Armed());
 }
 
 }  // namespace

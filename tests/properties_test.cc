@@ -7,12 +7,16 @@
 #include <set>
 
 #include "common/rng.h"
+#include "fault/deadline.h"
+#include "fault/failpoint.h"
 #include "gen/synthetic.h"
 #include "graph/generators.h"
 #include "graph/paths.h"
 #include "graph/reachability.h"
 #include "lig/length_indexed_grids.h"
+#include "repair/partitioned.h"
 #include "repair/predicates.h"
+#include "repair/repairer.h"
 #include "stream/streaming_repairer.h"
 #include "traj/merge.h"
 
@@ -214,6 +218,70 @@ TEST_P(SeededPropertyTest, SampledPathPrefixesAreValidPrefixes) {
       EXPECT_TRUE(g.IsValidPathPrefix(
           std::span<const LocationId>(path.data(), len)));
     }
+  }
+}
+
+// Graceful degradation dominates nothing: a partial result produced under
+// a (forced) deadline can only lose Eq. (3)/(4) effectiveness relative to
+// the fault-free run on the same seed — partitions that pass through
+// unrepaired contribute zero — and every repair it does emit is still a
+// valid trajectory of Gt (starts in I, follows transition edges, ends in
+// O), exactly like a fault-free repair.
+TEST_P(SeededPropertyTest, PartialResultsAreDominatedAndStillValid) {
+  TransitionGraph graph = MakeRealLikeGraph();
+  SyntheticConfig config;
+  config.num_trajectories = 80;
+  config.record_error_rate = 0.2;
+  config.max_path_len = 4;
+  config.seed = GetParam() ^ 0xdead;
+  auto ds = GenerateSyntheticDataset(graph, config);
+  ASSERT_TRUE(ds.ok());
+  TrajectorySet set = ds->BuildObservedTrajectories();
+
+  RepairOptions options;
+  options.theta = 4;
+  options.eta = 600;
+  options.exec.num_threads = 1;  // deterministic which boundaries expire
+
+  PartitionedRepairer engine(graph, options);
+  auto full = engine.Repair(set);
+  ASSERT_TRUE(full.ok()) << full.status();
+  ASSERT_TRUE(full->completion.ok());
+
+  // Force expiry at a seeded per-partition check — expiry latches, so the
+  // cutoff point varies with the seed and everything after it passes
+  // through unrepaired. The run needs a (never actually elapsing) budget so
+  // the deadline is enabled at all.
+  fault::FaultSpec expire;
+  expire.one_in = 2;
+  expire.seed = GetParam();
+  ASSERT_TRUE(fault::FailPointRegistry::Global()
+                  .Arm(fault::kDeadlineExpireSite, expire)
+                  .ok());
+  RepairOptions budgeted = options;
+  budgeted.deadline_ms = 600000;
+  auto partial = PartitionedRepairer(graph, budgeted).Repair(set);
+  fault::FailPointRegistry::Global().DisarmAll();
+  ASSERT_TRUE(partial.ok()) << partial.status();
+
+  // Eq. (3) domination: Ω(partial) <= Ω(full) on the same input.
+  EXPECT_LE(partial->total_effectiveness, full->total_effectiveness);
+  // Degradation is never destructive: nothing dropped or invented.
+  EXPECT_EQ(partial->repaired.total_records(), set.total_records());
+  // If any partition was skipped, the result says so.
+  if (partial->total_effectiveness < full->total_effectiveness) {
+    EXPECT_EQ(partial->completion.code(), StatusCode::kDeadlineExceeded);
+  }
+
+  // Every repair the partial run did apply is still a valid trajectory.
+  auto idx = partial->repaired.BuildIdIndex();
+  for (RepairIndex r : partial->selected) {
+    const auto& cand = partial->candidates[r];
+    if (cand.members.size() < 2) continue;
+    auto it = idx.find(cand.target_id);
+    ASSERT_NE(it, idx.end()) << cand.target_id;
+    EXPECT_TRUE(partial->repaired.at(it->second).IsValid(graph))
+        << "partial run applied an invalid join to " << cand.target_id;
   }
 }
 

@@ -10,6 +10,7 @@
 //                         neighborhood] [--max-edit-distance N]
 //                         [--metrics-out FILE] [--trace-out FILE]
 //                         [--trace-capacity N] [--stats-json FILE]
+//                         [--deadline-ms N] [--failpoints SPEC]
 //   idrepair_cli generate --graph g.txt --out records.csv
 //                         [--truth truth.csv] [--trajectories N]
 //                         [--error-rate F] [--missing-rate F] [--seed N]
@@ -27,8 +28,8 @@
 #include "baselines/id_similarity_repairer.h"
 #include "baselines/neighborhood_repairer.h"
 #include "common/flags.h"
-#include "common/json.h"
 #include "common/string_util.h"
+#include "fault/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "eval/metrics.h"
@@ -38,6 +39,7 @@
 #include "repair/explain.h"
 #include "repair/partitioned.h"
 #include "repair/repairer.h"
+#include "repair/stats_json.h"
 #include "sim/similarity.h"
 #include "stream/streaming_repairer.h"
 #include "traj/csv.h"
@@ -89,6 +91,11 @@ Result<RepairOptions> OptionsFromFlags(const FlagParser& flags,
   if (*trace_capacity <= 0) {
     return Status::InvalidArgument("--trace-capacity must be >= 1");
   }
+  auto deadline_ms = flags.GetInt("deadline-ms", 0);
+  if (!deadline_ms.ok()) return deadline_ms.status();
+  if (*deadline_ms < 0) {
+    return Status::InvalidArgument("--deadline-ms must be >= 0");
+  }
   // Requesting either export implies instrumentation; there is no separate
   // --obs switch to forget.
   bool obs_enabled = flags.Has("metrics-out") || flags.Has("trace-out");
@@ -114,6 +121,7 @@ Result<RepairOptions> OptionsFromFlags(const FlagParser& flags,
       .WithMinCandidateGrain(static_cast<size_t>(*grain))
       .WithObsEnabled(obs_enabled)
       .WithTraceCapacity(static_cast<size_t>(*trace_capacity))
+      .WithDeadlineMs(*deadline_ms)
       .Validated();
 }
 
@@ -148,169 +156,16 @@ int FailWith(const Status& status) {
   return 1;
 }
 
-const char* SelectionName(SelectionAlgorithm selection) {
-  switch (selection) {
-    case SelectionAlgorithm::kEmax: return "emax";
-    case SelectionAlgorithm::kDmin: return "dmin";
-    case SelectionAlgorithm::kDmax: return "dmax";
-    case SelectionAlgorithm::kExact: return "exact";
-  }
-  return "unknown";
-}
-
-/// Appends the registry's merged state as a JSON array of per-metric
-/// objects (one entry per instrument, histograms with bounds and buckets).
-void WriteMetricsJson(JsonWriter& w) {
-  w.BeginArray();
-  for (const auto& m : obs::MetricsRegistry::Global().Collect()) {
-    w.BeginObject();
-    w.Key("name");
-    w.String(m.name);
-    w.Key("stability");
-    w.String(m.stability == obs::Stability::kStable ? "stable" : "runtime");
-    switch (m.type) {
-      case obs::MetricSnapshot::Type::kCounter:
-        w.Key("type");
-        w.String("counter");
-        w.Key("value");
-        w.Uint(m.counter_value);
-        break;
-      case obs::MetricSnapshot::Type::kGauge:
-        w.Key("type");
-        w.String("gauge");
-        w.Key("value");
-        w.Int(m.gauge_value);
-        break;
-      case obs::MetricSnapshot::Type::kHistogram:
-        w.Key("type");
-        w.String("histogram");
-        w.Key("count");
-        w.Uint(m.total_count);
-        w.Key("sum");
-        w.Double(m.sum);
-        w.Key("bounds");
-        w.BeginArray();
-        for (double b : m.bounds) w.Double(b);
-        w.EndArray();
-        w.Key("bucket_counts");
-        w.BeginArray();
-        for (uint64_t c : m.bucket_counts) w.Uint(c);
-        w.EndArray();
-        break;
-    }
-    w.EndObject();
-  }
-  w.EndArray();
-}
-
-/// --stats-json: the full RepairStats of the run plus the configuration
-/// that produced it (and, when obs is on, a metrics snapshot), as one JSON
-/// object per file.
-Status WriteStatsJson(const std::string& path, std::string_view engine,
-                      const RepairOptions& options,
-                      const RepairResult& result) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
-  const RepairStats& s = result.stats;
-  JsonWriter w(&out);
-  w.BeginObject();
-  w.Key("engine");
-  w.String(engine);
-  w.Key("threads");
-  w.Int(options.exec.num_threads);
-  w.Key("options");
-  w.BeginObject();
-  w.Key("theta");
-  w.Uint(options.theta);
-  w.Key("eta");
-  w.Int(options.eta);
-  w.Key("zeta");
-  w.Uint(options.zeta);
-  w.Key("lambda");
-  w.Double(options.lambda);
-  w.Key("time_bin");
-  w.Int(options.time_bin);
-  w.Key("use_lig");
-  w.Bool(options.use_lig);
-  w.Key("use_mcp_pruning");
-  w.Bool(options.use_mcp_pruning);
-  w.Key("selection");
-  w.String(SelectionName(options.selection));
-  w.Key("num_threads");
-  w.Int(options.exec.num_threads);
-  w.Key("min_partition_grain");
-  w.Uint(options.exec.min_partition_grain);
-  w.Key("min_candidate_grain");
-  w.Uint(options.exec.min_candidate_grain);
-  w.Key("obs_enabled");
-  w.Bool(options.obs.enabled);
-  w.Key("trace_capacity");
-  w.Uint(options.obs.trace_capacity);
-  w.EndObject();
-  w.Key("stats");
-  w.BeginObject();
-  w.Key("num_trajectories");
-  w.Uint(s.num_trajectories);
-  w.Key("num_invalid");
-  w.Uint(s.num_invalid);
-  w.Key("gm_edges");
-  w.Uint(s.gm_edges);
-  w.Key("cex_evaluations");
-  w.Uint(s.cex_evaluations);
-  w.Key("cliques_enumerated");
-  w.Uint(s.cliques_enumerated);
-  w.Key("pck_pruned");
-  w.Uint(s.pck_pruned);
-  w.Key("jnb_checks");
-  w.Uint(s.jnb_checks);
-  w.Key("joinable_subsets");
-  w.Uint(s.joinable_subsets);
-  w.Key("num_candidates");
-  w.Uint(s.num_candidates);
-  w.Key("gr_edges");
-  w.Uint(s.gr_edges);
-  w.Key("num_selected");
-  w.Uint(s.num_selected);
-  w.Key("seconds_gm");
-  w.Double(s.seconds_gm);
-  w.Key("seconds_generation");
-  w.Double(s.seconds_generation);
-  w.Key("seconds_selection");
-  w.Double(s.seconds_selection);
-  w.Key("seconds_total");
-  w.Double(s.seconds_total);
-  w.Key("cpu_seconds_gm");
-  w.Double(s.cpu_seconds_gm);
-  w.Key("cpu_seconds_generation");
-  w.Double(s.cpu_seconds_generation);
-  w.Key("cpu_seconds_total");
-  w.Double(s.cpu_seconds_total);
-  w.Key("cpu_clock_source");
-  w.String(s.cpu_clock_source);
-  w.Key("threads_used");
-  w.Int(s.threads_used);
-  w.Key("num_partitions");
-  w.Uint(s.num_partitions);
-  w.Key("largest_partition");
-  w.Uint(s.largest_partition);
-  w.EndObject();
-  w.Key("total_effectiveness");
-  w.Double(result.total_effectiveness);
-  w.Key("num_rewrites");
-  w.Uint(result.rewrites.size());
-  if (obs::Enabled()) {
-    w.Key("metrics");
-    WriteMetricsJson(w);
-  }
-  w.EndObject();
-  out << "\n";
-  if (!out.good()) return Status::IoError("failed writing '" + path + "'");
-  return Status::OK();
-}
-
 int RunRepair(const FlagParser& flags) {
   for (const char* key : {"graph", "records", "out"}) {
     if (Status s = RequireFlag(flags, key); !s.ok()) return FailWith(s);
+  }
+  // Arm failpoints before any I/O so the io.* sites see the load path too.
+  if (flags.Has("failpoints")) {
+    if (Status s = fault::ArmFromString(flags.GetString("failpoints"));
+        !s.ok()) {
+      return FailWith(s);
+    }
   }
   auto graph = ReadTransitionGraphFile(flags.GetString("graph"));
   if (!graph.ok()) return FailWith(graph.status());
@@ -337,6 +192,10 @@ int RunRepair(const FlagParser& flags) {
             << ", rewrites: " << result->rewrites.size() << ", threads: "
             << result->stats.threads_used << ", time: "
             << ToFixed(result->stats.seconds_total * 1e3, 1) << " ms\n";
+  if (!result->completion.ok()) {
+    std::cout << "partial result (graceful degradation): "
+              << result->completion << "\n";
+  }
 
   if (flags.GetBool("explain")) {
     std::cout << ExplainRepair(set, *graph, *result, *options);
@@ -364,7 +223,8 @@ int RunRepair(const FlagParser& flags) {
   }
   if (flags.Has("stats-json")) {
     std::string path = flags.GetString("stats-json");
-    if (Status s = WriteStatsJson(path, (*engine)->name(), *options, *result);
+    if (Status s =
+            WriteStatsJsonFile(path, (*engine)->name(), *options, *result);
         !s.ok()) {
       return FailWith(s);
     }
