@@ -2,7 +2,8 @@
 # Builds the concurrency-sensitive targets with ThreadSanitizer and runs the
 # tests that exercise the parallel execution engine. Any data race in the
 # thread pool, task groups, sharded Gm construction, sharded candidate
-# generation, or parallel partitioned repair fails the script.
+# generation, the parallel selection phase, or parallel partitioned repair
+# fails the script.
 #
 # Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -17,12 +18,12 @@ cmake -S . -B "$BUILD_DIR" \
 
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target exec_test partitioned_test stream_test candidates_test \
-           differential_test fuzz_test obs_test fault_test chaos_test \
-           stats_json_test
+           selectors_parallel_test differential_test fuzz_test obs_test \
+           fault_test chaos_test stats_json_test
 
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   ctest --test-dir "$BUILD_DIR" \
-  -R 'exec_test|partitioned_test|stream_test|candidates_test|differential_test|fuzz_test|obs_test|fault_test|chaos_test|stats_json_test' \
+  -R 'exec_test|partitioned_test|stream_test|candidates_test|selectors_parallel_test|differential_test|fuzz_test|obs_test|fault_test|chaos_test|stats_json_test' \
   --output-on-failure
 
 echo "check_tsan: OK"

@@ -30,6 +30,14 @@ struct ExecOptions {
   /// serializing the batch while small components still run inline.
   size_t min_candidate_grain = 32;
 
+  /// Minimum number of selection-phase work items (candidates to sort,
+  /// repair-graph vertices to build, conflict neighbors to invalidate) per
+  /// shard. Selection work items are much cheaper than clique seeds — a
+  /// comparison or a flag write — so the grain is coarser still: below it
+  /// the dispatch overhead exceeds the work, and typical inputs stay on the
+  /// serial reference path.
+  size_t min_selection_grain = 1024;
+
   /// `num_threads` with the 0 default resolved against the hardware.
   int ResolvedThreads() const {
     if (num_threads > 0) return num_threads;
@@ -48,6 +56,10 @@ struct ExecOptions {
     if (min_candidate_grain == 0) {
       return Status::InvalidArgument(
           "exec.min_candidate_grain must be >= 1");
+    }
+    if (min_selection_grain == 0) {
+      return Status::InvalidArgument(
+          "exec.min_selection_grain must be >= 1");
     }
     return Status::OK();
   }

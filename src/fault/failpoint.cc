@@ -161,6 +161,21 @@ size_t FailPointRegistry::NumArmed() const {
   return n;
 }
 
+std::string FailPointRegistry::RenderStatus() const {
+  std::string out;
+  for (const FailPointInfo& info : Snapshot()) {
+    if (!info.armed && info.hits == 0 && info.fires == 0) continue;
+    out += "  ";
+    out += info.name;
+    out += info.armed ? " armed=1" : " armed=0";
+    out += " hits=" + std::to_string(info.hits);
+    out += " fires=" + std::to_string(info.fires);
+    out += "\n";
+  }
+  if (out.empty()) return "failpoints: no sites armed or evaluated\n";
+  return "failpoints:\n" + out;
+}
+
 uint64_t FailPointRegistry::TotalFires() const {
   std::lock_guard<std::mutex> lock(mu_);
   uint64_t n = 0;

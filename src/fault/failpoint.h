@@ -150,6 +150,13 @@ class FailPointRegistry {
   size_t NumArmed() const;
   uint64_t TotalFires() const;
 
+  /// Human-readable per-site hit/fire dump (the CLI's --failpoints-status).
+  /// Lists only sites that are armed or have been evaluated since their
+  /// last arming — name-sorted, one line each — so the output is a stable
+  /// function of what the run actually touched, not of which sites happen
+  /// to exist in the process. The exact format is pinned by flags_test.
+  std::string RenderStatus() const;
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<FailPoint>> points_;

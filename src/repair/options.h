@@ -132,6 +132,10 @@ struct RepairOptions {
     exec.min_candidate_grain = v;
     return *this;
   }
+  RepairOptions& WithMinSelectionGrain(size_t v) {
+    exec.min_selection_grain = v;
+    return *this;
+  }
   RepairOptions& WithObsEnabled(bool v) {
     obs.enabled = v;
     return *this;

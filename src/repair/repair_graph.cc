@@ -1,19 +1,37 @@
 #include "repair/repair_graph.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "exec/parallel_for.h"
+#include "exec/thread_pool.h"
+#include "fault/failpoint.h"
+#include "obs/trace.h"
 
 namespace idrepair {
 
-RepairGraph::RepairGraph(const std::vector<CandidateRepair>& candidates,
-                         size_t num_trajs) {
-  adj_.assign(candidates.size(), {});
-  // Repairs sharing a trajectory are exactly the pairs co-occurring in some
-  // per-trajectory cover list; building from cover lists avoids the
-  // quadratic all-pairs subset intersection.
+namespace {
+
+/// Per-trajectory cover index: covers[t] lists the candidates whose
+/// joinable subset contains trajectory t, in ascending candidate order.
+/// Repairs sharing a trajectory are exactly the pairs co-occurring in some
+/// cover list; building adjacency from cover lists avoids the quadratic
+/// all-pairs subset intersection.
+std::vector<std::vector<RepairIndex>> BuildCovers(
+    const std::vector<CandidateRepair>& candidates, size_t num_trajs) {
   std::vector<std::vector<RepairIndex>> covers(num_trajs);
   for (RepairIndex r = 0; r < candidates.size(); ++r) {
     for (TrajIndex t : candidates[r].members) covers[t].push_back(r);
   }
+  return covers;
+}
+
+}  // namespace
+
+RepairGraph::RepairGraph(const std::vector<CandidateRepair>& candidates,
+                         size_t num_trajs) {
+  adj_.assign(candidates.size(), {});
+  auto covers = BuildCovers(candidates, num_trajs);
   for (const auto& list : covers) {
     for (size_t a = 0; a < list.size(); ++a) {
       for (size_t b = a + 1; b < list.size(); ++b) {
@@ -28,6 +46,52 @@ RepairGraph::RepairGraph(const std::vector<CandidateRepair>& candidates,
     num_edges_ += nbrs.size();
   }
   num_edges_ /= 2;
+}
+
+Result<RepairGraph> RepairGraph::Build(
+    const std::vector<CandidateRepair>& candidates, size_t num_trajs,
+    const ExecOptions& exec) {
+  auto shards = SplitRange(candidates.size(), exec.ResolvedThreads(),
+                           exec.min_selection_grain);
+  if (shards.size() <= 1) {
+    // Serial reference path; still one shard as far as fault injection is
+    // concerned, so chaos schedules behave the same at every thread count.
+    if (!candidates.empty()) IDREPAIR_FAULT_INJECT("repair.selection.shard");
+    return RepairGraph(candidates, num_trajs);
+  }
+
+  RepairGraph g;
+  g.adj_.assign(candidates.size(), {});
+  auto covers = BuildCovers(candidates, num_trajs);
+
+  // Each shard owns a contiguous vertex range and *pulls* its neighbor
+  // lists from the shared (read-only) cover index: N(v) is the sorted-
+  // unique union of covers[t] over v's members, minus v itself. That union
+  // equals the serial constructor's push-based result per vertex and is
+  // independent of shard boundaries, so the merged graph is identical at
+  // any thread count. Edge totals fold in shard order (integer sums).
+  std::vector<size_t> shard_entries(shards.size(), 0);
+  IDREPAIR_RETURN_NOT_OK(ParallelFor(
+      &ThreadPool::Default(), shards,
+      [&](size_t shard, size_t begin, size_t end) {
+        IDREPAIR_FAULT_INJECT("repair.selection.shard");
+        obs::TraceSpan span("selection.gr.shard", shard);
+        for (size_t v = begin; v < end; ++v) {
+          std::vector<RepairIndex>& nbrs = g.adj_[v];
+          for (TrajIndex t : candidates[v].members) {
+            for (RepairIndex r : covers[t]) {
+              if (r != static_cast<RepairIndex>(v)) nbrs.push_back(r);
+            }
+          }
+          std::sort(nbrs.begin(), nbrs.end());
+          nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+          shard_entries[shard] += nbrs.size();
+        }
+        return Status::OK();
+      }));
+  for (size_t entries : shard_entries) g.num_edges_ += entries;
+  g.num_edges_ /= 2;
+  return g;
 }
 
 }  // namespace idrepair

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
+#include "exec/exec_options.h"
 #include "repair/candidates.h"
 
 namespace idrepair {
@@ -17,10 +19,21 @@ using RepairIndex = uint32_t;
 /// an independent-set problem on this graph.
 class RepairGraph {
  public:
-  /// Builds Gr from the candidate set. `num_trajs` is the size of the
-  /// underlying TrajectorySet.
+  /// Builds Gr from the candidate set, serially. `num_trajs` is the size of
+  /// the underlying TrajectorySet. This is the reference construction that
+  /// Build() must reproduce exactly.
   RepairGraph(const std::vector<CandidateRepair>& candidates,
               size_t num_trajs);
+
+  /// Builds Gr with the adjacency pass sharded over the exec pool. Each
+  /// shard derives its vertex range's neighbor lists by pulling from the
+  /// shared per-trajectory cover index, so the result is identical to the
+  /// serial constructor at any thread count (the per-vertex sorted-unique
+  /// union does not depend on shard boundaries). Evaluates the
+  /// "repair.selection.shard" failpoint once per shard.
+  static Result<RepairGraph> Build(
+      const std::vector<CandidateRepair>& candidates, size_t num_trajs,
+      const ExecOptions& exec);
 
   size_t num_vertices() const { return adj_.size(); }
   size_t num_edges() const { return num_edges_; }
@@ -33,6 +46,8 @@ class RepairGraph {
   size_t Degree(RepairIndex v) const { return adj_[v].size(); }
 
  private:
+  RepairGraph() = default;
+
   std::vector<std::vector<RepairIndex>> adj_;
   size_t num_edges_ = 0;
 };

@@ -29,6 +29,9 @@ struct RepairInstruments {
   obs::Histogram* gm_seconds;
   obs::Histogram* generation_seconds;
   obs::Histogram* selection_seconds;
+  obs::Histogram* selection_graph_seconds;
+  obs::Histogram* selection_pick_seconds;
+  obs::Histogram* conflict_degree;
   obs::Histogram* total_seconds;
 
   static RepairInstruments& Get() {
@@ -65,6 +68,19 @@ struct RepairInstruments {
       ri->selection_seconds = reg.GetHistogram(
           "idrepair_repair_selection_seconds", obs::Stability::kRuntime,
           obs::DefaultLatencyBuckets(), "Selection phase wall time");
+      ri->selection_graph_seconds = reg.GetHistogram(
+          "idrepair_repair_selection_graph_seconds", obs::Stability::kRuntime,
+          obs::DefaultLatencyBuckets(),
+          "Selection sub-phase: repair-graph (Gr) construction wall time");
+      ri->selection_pick_seconds = reg.GetHistogram(
+          "idrepair_repair_selection_pick_seconds", obs::Stability::kRuntime,
+          obs::DefaultLatencyBuckets(),
+          "Selection sub-phase: greedy pick/commit loop wall time");
+      ri->conflict_degree = reg.GetHistogram(
+          "idrepair_selection_conflict_degree", obs::Stability::kStable,
+          obs::ExponentialBuckets(1.0, 2.0, 16),
+          "Conflict edges per repair-graph vertex (Gr degree distribution; "
+          "only observed on the graph-materializing selection path)");
       ri->total_seconds = reg.GetHistogram(
           "idrepair_repair_total_seconds", obs::Stability::kRuntime,
           obs::DefaultLatencyBuckets(), "End-to-end Repair() wall time");
@@ -178,6 +194,9 @@ Result<RepairResult> IdRepairer::Repair(const TrajectorySet& set,
   {
     obs::PhaseScope phase("repair.selection", &result.stats.seconds_selection,
                           nullptr, inst.selection_seconds);
+    SelectionContext ctx;
+    ctx.exec = options_.exec;
+    ctx.deadline = &deadline;
     if (selector == nullptr &&
         options_.selection == SelectionAlgorithm::kEmax) {
       // EMAX fast path: greedily taking the highest-ω repair and discarding
@@ -186,21 +205,47 @@ Result<RepairResult> IdRepairer::Repair(const TrajectorySet& set,
       // "used" mask, which is exactly "discard all Gr neighbors". On dense
       // datasets Gr can hold hundreds of millions of edges, so this path
       // turns the selection phase from the bottleneck into a linear pass.
-      result.selected = SelectEmaxByCover(result.candidates, set.size());
+      auto selected = SelectEmaxByCover(result.candidates, set.size(), ctx);
+      IDREPAIR_RETURN_NOT_OK(selected.status());
+      result.selected = std::move(selected).value();
     } else {
-      RepairGraph gr(result.candidates, set.size());
-      result.stats.gr_edges = gr.num_edges();
+      std::optional<RepairGraph> gr;
+      {
+        obs::PhaseScope sub("repair.selection.graph", nullptr, nullptr,
+                            inst.selection_graph_seconds);
+        auto built =
+            RepairGraph::Build(result.candidates, set.size(), options_.exec);
+        IDREPAIR_RETURN_NOT_OK(built.status());
+        gr.emplace(std::move(built).value());
+      }
+      result.stats.gr_edges = gr->num_edges();
+      if (obs::Enabled()) {
+        for (RepairIndex v = 0; v < gr->num_vertices(); ++v) {
+          inst.conflict_degree->Observe(static_cast<double>(gr->Degree(v)));
+        }
+      }
       std::unique_ptr<RepairSelector> owned;
       if (selector == nullptr) {
         owned = MakeSelector(options_.selection);
         selector = owned.get();
       }
-      result.selected = selector->Select(gr, result.candidates);
+      obs::PhaseScope sub("repair.selection.pick", nullptr, nullptr,
+                          inst.selection_pick_seconds);
+      auto selected = selector->Select(*gr, result.candidates, ctx);
+      IDREPAIR_RETURN_NOT_OK(selected.status());
+      result.selected = std::move(selected).value();
     }
   }
   result.stats.num_selected = result.selected.size();
   result.total_effectiveness =
       TotalEffectiveness(result.candidates, result.selected);
+
+  if (deadline.Expired()) {
+    // The budget ran out mid-selection: the commit loop stopped at a safe
+    // boundary, so `selected` is a compatible prefix of the full greedy
+    // sequence — seal it as a partial result.
+    return finish_degraded(deadline.Check("selection commit"));
+  }
 
   // ---- Apply: rewrite IDs and join (Definition 2.5) ----
   for (RepairIndex r : result.selected) {

@@ -3,11 +3,112 @@
 #include <algorithm>
 #include <cassert>
 #include <numeric>
+#include <queue>
 #include <unordered_map>
+#include <utility>
+
+#include "exec/parallel_for.h"
+#include "exec/thread_pool.h"
+#include "fault/failpoint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace idrepair {
 
 namespace {
+
+/// Selection-phase instrumentation, resolved once (same pattern as
+/// RepairInstruments). Both counters are pure functions of the input and
+/// options — the parallel selectors produce the same commit/invalidation
+/// totals at any thread count — hence Stability::kStable.
+struct SelectionInstruments {
+  obs::Counter* commits;
+  obs::Counter* invalidations;
+
+  static SelectionInstruments& Get() {
+    static SelectionInstruments* m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      auto* si = new SelectionInstruments();
+      si->commits = reg.GetCounter(
+          "idrepair_selection_commits_total", obs::Stability::kStable,
+          "Candidate repairs committed by the selection phase");
+      si->invalidations = reg.GetCounter(
+          "idrepair_selection_invalidations_total", obs::Stability::kStable,
+          "Candidates invalidated by committed repairs (conflict-neighbor "
+          "discards on the graph path; cover-mask rejections on the EMAX "
+          "fast path)");
+      return si;
+    }();
+    return *m;
+  }
+};
+
+void RecordSelection(uint64_t commits, uint64_t invalidations) {
+  if (!obs::Enabled()) return;
+  SelectionInstruments& inst = SelectionInstruments::Get();
+  inst.commits->Increment(commits);
+  inst.invalidations->Increment(invalidations);
+}
+
+/// The EMAX pick order as a strict total order: higher ω first, candidate
+/// index breaking ties. Because no two entries compare equal, a plain sort
+/// under it yields exactly what std::stable_sort by descending ω yields —
+/// and the result is independent of how the range was sharded first.
+struct EffectivenessOrder {
+  const std::vector<CandidateRepair>* candidates;
+  bool operator()(RepairIndex a, RepairIndex b) const {
+    double ea = (*candidates)[a].effectiveness;
+    double eb = (*candidates)[b].effectiveness;
+    if (ea != eb) return ea > eb;
+    return a < b;
+  }
+};
+
+/// Candidate indices sorted into EMAX pick order, shard-sorted over the
+/// exec pool above the grain and k-way-merged on the calling thread. The
+/// merge compares shard heads under the same total order, so the output is
+/// byte-identical to a serial sort at any thread count.
+Result<std::vector<RepairIndex>> OrderByEffectiveness(
+    const std::vector<CandidateRepair>& candidates, const ExecOptions& exec) {
+  const size_t n = candidates.size();
+  std::vector<RepairIndex> order(n);
+  std::iota(order.begin(), order.end(), RepairIndex{0});
+  EffectivenessOrder before{&candidates};
+
+  auto shards = SplitRange(n, exec.ResolvedThreads(),
+                           exec.min_selection_grain);
+  if (shards.size() <= 1) {
+    if (n != 0) IDREPAIR_FAULT_INJECT("repair.selection.shard");
+    std::sort(order.begin(), order.end(), before);
+    return order;
+  }
+
+  IDREPAIR_RETURN_NOT_OK(ParallelFor(
+      &ThreadPool::Default(), shards,
+      [&](size_t shard, size_t begin, size_t end) {
+        IDREPAIR_FAULT_INJECT("repair.selection.shard");
+        obs::TraceSpan span("selection.sort.shard", shard);
+        std::sort(order.begin() + begin, order.begin() + end, before);
+        return Status::OK();
+      }));
+
+  std::vector<RepairIndex> merged;
+  merged.reserve(n);
+  std::vector<size_t> head(shards.size());
+  for (size_t s = 0; s < shards.size(); ++s) head[s] = shards[s].first;
+  while (merged.size() < n) {
+    size_t best = shards.size();
+    for (size_t s = 0; s < shards.size(); ++s) {
+      if (head[s] == shards[s].second) continue;
+      if (best == shards.size() ||
+          before(order[head[s]], order[head[best]])) {
+        best = s;
+      }
+    }
+    merged.push_back(order[head[best]++]);
+  }
+  return merged;
+}
 
 /// Shared greedy skeleton: visit vertices in the order produced by
 /// `ordered`, take each undiscarded one, discard its neighbors.
@@ -43,6 +144,64 @@ std::vector<RepairIndex> EmaxSelector::Select(
     skip[v] = candidates[v].effectiveness <= 0.0;
   }
   return GreedyByOrder(gr, order, &skip);
+}
+
+Result<std::vector<RepairIndex>> EmaxSelector::Select(
+    const RepairGraph& gr, const std::vector<CandidateRepair>& candidates,
+    const SelectionContext& ctx) const {
+  auto order = OrderByEffectiveness(candidates, ctx.exec);
+  IDREPAIR_RETURN_NOT_OK(order.status());
+
+  // The commit loop is inherently serial — whether vertex k commits depends
+  // on every earlier commit — so it stays on this thread; only the
+  // neighbor-invalidation fan after each commit is sharded. Shards touch
+  // disjoint entries of `discarded` (neighbor lists are sorted-unique) and
+  // the flags are bytes, not vector<bool> bits, so there is no write
+  // overlap to race on.
+  std::vector<uint8_t> discarded(gr.num_vertices(), 0);
+  std::vector<RepairIndex> out;
+  uint64_t commits = 0;
+  uint64_t invalidations = 0;
+  for (RepairIndex v : *order) {
+    if (discarded[v]) continue;
+    if (candidates[v].effectiveness <= 0.0) continue;
+    IDREPAIR_FAULT_INJECT("repair.selection.commit");
+    if (ctx.deadline != nullptr && ctx.deadline->Expired()) break;
+    out.push_back(v);
+    ++commits;
+    if (ctx.commit_order != nullptr) ctx.commit_order->push_back(v);
+
+    const std::vector<RepairIndex>& nbrs = gr.Neighbors(v);
+    auto shards = SplitRange(nbrs.size(), ctx.exec.ResolvedThreads(),
+                             ctx.exec.min_selection_grain);
+    if (shards.size() <= 1) {
+      for (RepairIndex w : nbrs) {
+        if (!discarded[w]) {
+          discarded[w] = 1;
+          ++invalidations;
+        }
+      }
+    } else {
+      std::vector<uint64_t> shard_invalidations(shards.size(), 0);
+      IDREPAIR_RETURN_NOT_OK(ParallelFor(
+          &ThreadPool::Default(), shards,
+          [&](size_t shard, size_t begin, size_t end) {
+            IDREPAIR_FAULT_INJECT("repair.selection.shard");
+            for (size_t i = begin; i < end; ++i) {
+              RepairIndex w = nbrs[i];
+              if (!discarded[w]) {
+                discarded[w] = 1;
+                ++shard_invalidations[shard];
+              }
+            }
+            return Status::OK();
+          }));
+      for (uint64_t c : shard_invalidations) invalidations += c;
+    }
+  }
+  std::sort(out.begin(), out.end());
+  RecordSelection(commits, invalidations);
+  return out;
 }
 
 namespace {
@@ -85,6 +244,114 @@ std::vector<RepairIndex> DegreeGreedy(const RepairGraph& gr, bool minimize) {
   return out;
 }
 
+/// Lazy-invalidation form of DegreeGreedy: same output, but the O(|Vr|)
+/// full rescan per pick becomes a heap pop, and the degree re-scoring after
+/// each commit fans out over the pool for heavy batches.
+///
+/// Heap entries are (degree-at-push, vertex); a vertex's entry goes stale
+/// when its degree drops, and every drop pushes a fresh entry, so the live
+/// vertex set always has current entries and stale ones are skipped on pop.
+/// Keys are unique (degree ties break by vertex, and one vertex never
+/// repeats a degree — degrees only decrease), so the pop sequence is a pure
+/// function of the key set: push order, and therefore sharding, cannot
+/// change it.
+Result<std::vector<RepairIndex>> DegreeGreedyLazy(const RepairGraph& gr,
+                                                  bool minimize,
+                                                  const SelectionContext& ctx) {
+  const size_t n = gr.num_vertices();
+  std::vector<uint8_t> removed(n, 0);
+  std::vector<size_t> degree(n);
+  using Entry = std::pair<size_t, RepairIndex>;
+  // priority_queue pops the Compare-greatest entry, so "worse" orders the
+  // next pick last-to-first: DMIN pops the smallest (degree, vertex) pair,
+  // DMAX the largest degree with the smallest vertex — exactly the vertex
+  // the reference's ascending scan with strict improvement would pick.
+  auto worse = [minimize](const Entry& a, const Entry& b) {
+    if (a.first != b.first) {
+      return minimize ? a.first > b.first : a.first < b.first;
+    }
+    return a.second > b.second;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(worse)> heap(worse);
+  for (RepairIndex v = 0; v < n; ++v) {
+    degree[v] = gr.Degree(v);
+    heap.push({degree[v], v});
+  }
+
+  std::vector<RepairIndex> out;
+  std::vector<RepairIndex> batch;
+  uint64_t commits = 0;
+  uint64_t invalidations = 0;
+  while (!heap.empty()) {
+    Entry top = heap.top();
+    heap.pop();
+    RepairIndex v = top.second;
+    if (removed[v] || top.first != degree[v]) continue;  // stale entry
+    IDREPAIR_FAULT_INJECT("repair.selection.commit");
+    if (ctx.deadline != nullptr && ctx.deadline->Expired()) break;
+    out.push_back(v);
+    ++commits;
+    if (ctx.commit_order != nullptr) ctx.commit_order->push_back(v);
+
+    // Commit removes v and its surviving neighbors as one batch.
+    batch.clear();
+    batch.push_back(v);
+    removed[v] = 1;
+    for (RepairIndex w : gr.Neighbors(v)) {
+      if (!removed[w]) {
+        removed[w] = 1;
+        ++invalidations;
+        batch.push_back(w);
+      }
+    }
+
+    // Re-scoring: every surviving neighbor of a batch member loses one
+    // incident edge per adjacent batch member. Gathering the touched lists
+    // only reads `removed` (all batch writes happened above, on this
+    // thread); the decrements and heap pushes are applied serially in shard
+    // order, so heap contents are identical at any thread count.
+    size_t batch_edges = 0;
+    for (RepairIndex u : batch) batch_edges += gr.Degree(u);
+    auto shards =
+        batch_edges >= ctx.exec.min_selection_grain
+            ? SplitRange(batch.size(), ctx.exec.ResolvedThreads(), 1)
+            : std::vector<std::pair<size_t, size_t>>();
+    if (shards.size() <= 1) {
+      for (RepairIndex u : batch) {
+        for (RepairIndex w : gr.Neighbors(u)) {
+          if (!removed[w]) {
+            --degree[w];
+            heap.push({degree[w], w});
+          }
+        }
+      }
+    } else {
+      std::vector<std::vector<RepairIndex>> shard_touched(shards.size());
+      IDREPAIR_RETURN_NOT_OK(ParallelFor(
+          &ThreadPool::Default(), shards,
+          [&](size_t shard, size_t begin, size_t end) {
+            IDREPAIR_FAULT_INJECT("repair.selection.shard");
+            std::vector<RepairIndex>& touched = shard_touched[shard];
+            for (size_t i = begin; i < end; ++i) {
+              for (RepairIndex w : gr.Neighbors(batch[i])) {
+                if (!removed[w]) touched.push_back(w);
+              }
+            }
+            return Status::OK();
+          }));
+      for (const std::vector<RepairIndex>& touched : shard_touched) {
+        for (RepairIndex w : touched) {
+          --degree[w];
+          heap.push({degree[w], w});
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  RecordSelection(commits, invalidations);
+  return out;
+}
+
 }  // namespace
 
 std::vector<RepairIndex> DminSelector::Select(
@@ -94,11 +361,25 @@ std::vector<RepairIndex> DminSelector::Select(
   return DegreeGreedy(gr, /*minimize=*/true);
 }
 
+Result<std::vector<RepairIndex>> DminSelector::Select(
+    const RepairGraph& gr, const std::vector<CandidateRepair>& candidates,
+    const SelectionContext& ctx) const {
+  (void)candidates;
+  return DegreeGreedyLazy(gr, /*minimize=*/true, ctx);
+}
+
 std::vector<RepairIndex> DmaxSelector::Select(
     const RepairGraph& gr,
     const std::vector<CandidateRepair>& candidates) const {
   (void)candidates;
   return DegreeGreedy(gr, /*minimize=*/false);
+}
+
+Result<std::vector<RepairIndex>> DmaxSelector::Select(
+    const RepairGraph& gr, const std::vector<CandidateRepair>& candidates,
+    const SelectionContext& ctx) const {
+  (void)candidates;
+  return DegreeGreedyLazy(gr, /*minimize=*/false, ctx);
 }
 
 namespace {
@@ -373,6 +654,41 @@ std::vector<RepairIndex> SelectEmaxByCover(
     out.push_back(r);
   }
   std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::vector<RepairIndex>> SelectEmaxByCover(
+    const std::vector<CandidateRepair>& candidates, size_t num_trajs,
+    const SelectionContext& ctx) {
+  auto order = OrderByEffectiveness(candidates, ctx.exec);
+  IDREPAIR_RETURN_NOT_OK(order.status());
+  std::vector<bool> used(num_trajs, false);
+  std::vector<RepairIndex> out;
+  uint64_t commits = 0;
+  uint64_t invalidations = 0;
+  for (RepairIndex r : *order) {
+    const CandidateRepair& cand = candidates[r];
+    if (cand.effectiveness <= 0.0) continue;
+    bool free = true;
+    for (TrajIndex m : cand.members) {
+      if (used[m]) {
+        free = false;
+        break;
+      }
+    }
+    if (!free) {
+      ++invalidations;
+      continue;
+    }
+    IDREPAIR_FAULT_INJECT("repair.selection.commit");
+    if (ctx.deadline != nullptr && ctx.deadline->Expired()) break;
+    for (TrajIndex m : cand.members) used[m] = true;
+    out.push_back(r);
+    ++commits;
+    if (ctx.commit_order != nullptr) ctx.commit_order->push_back(r);
+  }
+  std::sort(out.begin(), out.end());
+  RecordSelection(commits, invalidations);
   return out;
 }
 

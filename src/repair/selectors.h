@@ -6,14 +6,36 @@
 #include <string_view>
 #include <vector>
 
+#include "fault/deadline.h"
 #include "repair/options.h"
 #include "repair/repair_graph.h"
 
 namespace idrepair {
 
+/// Execution context for Phase 2 selection. `exec` controls how the
+/// parallel selectors shard their sort / invalidation work (num_threads=1
+/// or a small input keeps everything on the serial reference path);
+/// `deadline`, when non-null, is probed before every commit so selection
+/// degrades to a well-formed *prefix* of the commit sequence — the partial
+/// selection is still pairwise compatible. `commit_order`, when non-null,
+/// receives the selected indices in commit (pick) order, which the verifier
+/// tests pin; the returned vector itself is always ascending.
+struct SelectionContext {
+  ExecOptions exec;
+  const fault::Deadline* deadline = nullptr;
+  std::vector<RepairIndex>* commit_order = nullptr;
+};
+
 /// Phase 2 — compatible repair selection (§3.3, §4.2): pick an independent
 /// set of the repair graph. Implementations return candidate indices in
 /// ascending order; the returned set is always independent (compatible).
+///
+/// Two entry points: the 2-arg Select is the serial reference — simple,
+/// obviously correct, no failure modes. The 3-arg ctx overload is the
+/// production path: it may shard work over the exec pool and evaluate the
+/// "repair.selection.*" failpoints, and must return byte-identical indices
+/// to the reference at every thread count (tests/selectors_parallel_test.cc
+/// enforces this).
 class RepairSelector {
  public:
   virtual ~RepairSelector() = default;
@@ -22,38 +44,63 @@ class RepairSelector {
       const RepairGraph& gr,
       const std::vector<CandidateRepair>& candidates) const = 0;
 
+  /// Context-aware selection. The default forwards to the serial reference
+  /// (correct for selectors with no parallel form, e.g. the oracle).
+  virtual Result<std::vector<RepairIndex>> Select(
+      const RepairGraph& gr, const std::vector<CandidateRepair>& candidates,
+      const SelectionContext& ctx) const {
+    (void)ctx;
+    return Select(gr, candidates);
+  }
+
   /// Stable algorithm name for logs and the Fig 15 harness.
   virtual std::string_view name() const = 0;
 };
 
 /// Maximum-effectiveness first (Algorithm 3, "EMAX"): repeatedly take the
 /// highest-ω repair and discard its neighbors. Zero-effectiveness repairs
-/// are never taken (Example 4.2). O(|Vr| log |Vr| + |Er|).
+/// are never taken (Example 4.2). O(|Vr| log |Vr| + |Er|). The parallel
+/// form shard-sorts the pick order and fans neighbor invalidation out over
+/// the pool; the commit loop itself stays serial (DESIGN.md §3).
 class EmaxSelector final : public RepairSelector {
  public:
+  using RepairSelector::Select;
   std::vector<RepairIndex> Select(
       const RepairGraph& gr,
       const std::vector<CandidateRepair>& candidates) const override;
+  Result<std::vector<RepairIndex>> Select(
+      const RepairGraph& gr, const std::vector<CandidateRepair>& candidates,
+      const SelectionContext& ctx) const override;
   std::string_view name() const override { return "EMAX"; }
 };
 
 /// Minimum-degree first (DMIN, §6.5.1): repeatedly take a remaining vertex
 /// of minimum *current* degree and discard its neighbors — the classic
-/// greedy independent-set heuristic, blind to ω.
+/// greedy independent-set heuristic, blind to ω. The parallel form replaces
+/// the O(|Vr|²) rescan with a lazy-invalidation heap and fans the degree
+/// re-scoring after each commit out over the pool.
 class DminSelector final : public RepairSelector {
  public:
+  using RepairSelector::Select;
   std::vector<RepairIndex> Select(
       const RepairGraph& gr,
       const std::vector<CandidateRepair>& candidates) const override;
+  Result<std::vector<RepairIndex>> Select(
+      const RepairGraph& gr, const std::vector<CandidateRepair>& candidates,
+      const SelectionContext& ctx) const override;
   std::string_view name() const override { return "DMIN"; }
 };
 
 /// Maximum-degree first (DMAX, §6.5.1): the adversarial twin of DMIN.
 class DmaxSelector final : public RepairSelector {
  public:
+  using RepairSelector::Select;
   std::vector<RepairIndex> Select(
       const RepairGraph& gr,
       const std::vector<CandidateRepair>& candidates) const override;
+  Result<std::vector<RepairIndex>> Select(
+      const RepairGraph& gr, const std::vector<CandidateRepair>& candidates,
+      const SelectionContext& ctx) const override;
   std::string_view name() const override { return "DMAX"; }
 };
 
@@ -62,6 +109,7 @@ class DmaxSelector final : public RepairSelector {
 /// datasets of the Fig 15 experiment, exactly as in the paper.
 class ExactSelector final : public RepairSelector {
  public:
+  using RepairSelector::Select;
   std::vector<RepairIndex> Select(
       const RepairGraph& gr,
       const std::vector<CandidateRepair>& candidates) const override;
@@ -79,6 +127,7 @@ class OracleSelector final : public RepairSelector {
   explicit OracleSelector(std::vector<std::string> true_id_per_traj)
       : true_ids_(std::move(true_id_per_traj)) {}
 
+  using RepairSelector::Select;
   std::vector<RepairIndex> Select(
       const RepairGraph& gr,
       const std::vector<CandidateRepair>& candidates) const override;
@@ -103,6 +152,14 @@ double TotalEffectiveness(const std::vector<CandidateRepair>& candidates,
 /// hold hundreds of millions of edges.
 std::vector<RepairIndex> SelectEmaxByCover(
     const std::vector<CandidateRepair>& candidates, size_t num_trajs);
+
+/// Context-aware form of the cover-mask EMAX: shard-sorts the pick order
+/// over ctx.exec, evaluates the selection failpoints, and honors
+/// ctx.deadline with a compatible-prefix cutoff. Byte-identical indices to
+/// the 2-arg form at any thread count.
+Result<std::vector<RepairIndex>> SelectEmaxByCover(
+    const std::vector<CandidateRepair>& candidates, size_t num_trajs,
+    const SelectionContext& ctx);
 
 }  // namespace idrepair
 

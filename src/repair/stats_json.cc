@@ -93,6 +93,8 @@ void WriteStatsJson(std::ostream& out, std::string_view engine,
   w.Uint(options.exec.min_partition_grain);
   w.Key("min_candidate_grain");
   w.Uint(options.exec.min_candidate_grain);
+  w.Key("min_selection_grain");
+  w.Uint(options.exec.min_selection_grain);
   w.Key("obs_enabled");
   w.Bool(options.obs.enabled);
   w.Key("trace_capacity");
@@ -164,6 +166,35 @@ void WriteStatsJson(std::ostream& out, std::string_view engine,
   w.Uint(fault::FailPointRegistry::Global().NumArmed());
   w.Key("total_fires");
   w.Uint(fault::FailPointRegistry::Global().TotalFires());
+  {
+    // Per-site breakdown, only for sites the run touched (armed or
+    // evaluated) — so a clean run's fault block stays exactly two keys and
+    // the golden key-order test never depends on which sites exist.
+    std::vector<fault::FailPointInfo> touched;
+    for (fault::FailPointInfo& info :
+         fault::FailPointRegistry::Global().Snapshot()) {
+      if (info.armed || info.hits > 0 || info.fires > 0) {
+        touched.push_back(std::move(info));
+      }
+    }
+    if (!touched.empty()) {
+      w.Key("sites");
+      w.BeginArray();
+      for (const fault::FailPointInfo& info : touched) {
+        w.BeginObject();
+        w.Key("name");
+        w.String(info.name);
+        w.Key("armed");
+        w.Bool(info.armed);
+        w.Key("hits");
+        w.Uint(info.hits);
+        w.Key("fires");
+        w.Uint(info.fires);
+        w.EndObject();
+      }
+      w.EndArray();
+    }
+  }
   w.EndObject();
   if (obs::Enabled()) {
     w.Key("metrics");

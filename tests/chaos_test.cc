@@ -49,10 +49,12 @@ using testutil::MakeEngineByName;
 // chaos armed elsewhere never perturbs them.
 const std::map<std::string, std::vector<std::string>>& ErrorSitesByEngine() {
   static const std::map<std::string, std::vector<std::string>> kSites = {
-      {"core", {"repair.generation.shard"}},
+      {"core", {"repair.generation.shard", "repair.selection.shard",
+                "repair.selection.commit"}},
       {"partitioned",
        {"repair.partition.repair", "repair.partition.merge",
-        "repair.generation.shard"}},
+        "repair.generation.shard", "repair.selection.shard",
+        "repair.selection.commit"}},
       {"streaming", {"stream.append"}},
   };
   return kSites;
@@ -63,6 +65,7 @@ const std::vector<std::string>& AllSites() {
   static const std::vector<std::string> kSites = {
       "exec.pool.dispatch",      "exec.pool.steal",
       "exec.task_group.run",     "repair.generation.shard",
+      "repair.selection.shard",  "repair.selection.commit",
       "repair.partition.repair", "repair.partition.merge",
       "stream.append",           "stream.poll",
       "stream.finish",           "io.csv.read",
@@ -284,6 +287,74 @@ TEST_F(ChaosTest, ErrorInjectionPropagatesCleanlyAndLeavesNoResidue) {
       }
     }
   }
+}
+
+// Selection-phase faults at real parallel grain: --selection-grain 1 at
+// eight threads makes the effectiveness-sort shards, graph shards, and
+// invalidation fan-out genuinely parallel, and an error injected at either
+// selection site must still surface as one clean non-OK Result (first
+// error wins, no torn state). The rerun after disarming keeps the
+// never-armed, default-grain fingerprint — grain is a scheduling knob,
+// never an output knob.
+TEST_F(ChaosTest, SelectionFaultsPropagateCleanlyAtParallelGrain) {
+  const Scenario base = MakeScenarios().front();
+  Scenario fine = base;
+  fine.options.exec.min_selection_grain = 1;
+  for (const char* site :
+       {"repair.selection.shard", "repair.selection.commit"}) {
+    for (std::string_view engine : {"core", "partitioned"}) {
+      SCOPED_TRACE(std::string(site) + "/" + std::string(engine));
+      fault::FaultSpec spec;
+      spec.fire_on_hit = 1;
+      spec.code = StatusCode::kInternal;
+      spec.message = "injected selection fault";
+      ASSERT_TRUE(fault::FailPointRegistry::Global().Arm(site, spec).ok());
+
+      auto result = RunEngine(engine, fine, 8);
+      ASSERT_FALSE(result.ok()) << "armed " << site << " but the run passed";
+      EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+      EXPECT_NE(result.status().message().find("injected selection fault"),
+                std::string::npos)
+          << result.status();
+
+      fault::FailPointRegistry::Global().DisarmAll();
+      auto rerun = RunEngine(engine, fine, 8);
+      ASSERT_TRUE(rerun.ok()) << rerun.status();
+      EXPECT_EQ(Fingerprint(*rerun), BaselineFor(base, engine, 8));
+    }
+  }
+}
+
+// Deadline expiry forced mid-selection (the fourth fault.deadline.expire
+// evaluation is the second commit check: generation boundary, selection
+// boundary, then one check per commit) cuts the commit loop after exactly
+// one commit. The result is a well-formed partial: OK status, completion
+// naming the selection-commit boundary, records conserved, and a selection
+// that is a non-empty strict prefix of the clean run's.
+TEST_F(ChaosTest, DeadlineExpiryMidSelectionKeepsCompatiblePrefix) {
+  const Scenario s = MakeScenarios().front();
+  auto clean = RunEngine("core", s, 1);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  ASSERT_GT(clean->selected.size(), 1u)
+      << "scenario too small to interrupt mid-selection";
+
+  fault::FaultSpec expire;
+  expire.fire_on_hit = 4;
+  ASSERT_TRUE(fault::FailPointRegistry::Global()
+                  .Arm(fault::kDeadlineExpireSite, expire)
+                  .ok());
+  auto partial = RunEngine("core", s, 1, /*deadline_ms=*/600000);
+  ASSERT_TRUE(partial.ok()) << partial.status();
+  EXPECT_EQ(partial->completion.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(partial->completion.message().find("selection commit"),
+            std::string::npos)
+      << partial->completion;
+  EXPECT_EQ(partial->repaired.total_records(), s.set.total_records());
+  ASSERT_EQ(partial->selected.size(), 1u);
+  // The surviving commit is the globally best candidate — the clean run
+  // selected it too, so the partial is a compatible subset, not a detour.
+  EXPECT_TRUE(std::find(clean->selected.begin(), clean->selected.end(),
+                        partial->selected.front()) != clean->selected.end());
 }
 
 // The alloc-failure and cancellation actions map onto their dedicated
@@ -515,6 +586,7 @@ TEST_F(ChaosTest, SoakSeededProbabilisticChaos) {
     arm("exec.pool.dispatch", fault::FaultAction::kDelay, 5);
     arm("exec.pool.steal", fault::FaultAction::kDelay, 5);
     arm("repair.generation.shard", fault::FaultAction::kError, 4);
+    arm("repair.selection.commit", fault::FaultAction::kError, 6);
     arm("repair.partition.repair", fault::FaultAction::kAllocFail, 4);
     arm("stream.append", fault::FaultAction::kCancel, 400);
 

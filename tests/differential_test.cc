@@ -117,6 +117,45 @@ TEST(DifferentialTest, PartitionedIsByteIdenticalToCore) {
   }
 }
 
+// Selection-grain torture: --selection-grain 1 forces every selection
+// stage (effectiveness-sort shards, repair-graph shards, invalidation
+// fan-out) onto the pool even for small components, and the result must
+// still match a single-thread default-grain core run byte for byte — for
+// both the EMAX cover fast path and the graph-materializing DMIN path, on
+// both exact engines, at every thread count.
+TEST(DifferentialTest, SelectionGrainOneIsByteIdenticalAcrossThreads) {
+  for (const Scenario& s : MakeScenarios()) {
+    if (s.name.find("err20") == std::string::npos) continue;
+    for (SelectionAlgorithm algorithm :
+         {SelectionAlgorithm::kEmax, SelectionAlgorithm::kDmin}) {
+      RepairOptions reference_options = s.options;
+      reference_options.selection = algorithm;
+      reference_options.exec.num_threads = 1;
+      auto reference = MakeEngineByName("core", s.graph, reference_options)
+                           ->Repair(s.set);
+      ASSERT_TRUE(reference.ok()) << reference.status();
+      for (int threads : {1, 2, 8}) {
+        for (std::string_view engine_name : {"core", "partitioned"}) {
+          SCOPED_TRACE(s.name + " / " + std::string(engine_name) + " / algo" +
+                       std::to_string(static_cast<int>(algorithm)) + " / t" +
+                       std::to_string(threads));
+          RepairOptions options = reference_options;
+          options.exec.num_threads = threads;
+          options.exec.min_selection_grain = 1;
+          auto result =
+              MakeEngineByName(engine_name, s.graph, options)->Repair(s.set);
+          ASSERT_TRUE(result.ok()) << result.status();
+          EXPECT_EQ(result->selected, reference->selected);
+          EXPECT_EQ(result->rewrites, reference->rewrites);
+          EXPECT_EQ(result->total_effectiveness,
+                    reference->total_effectiveness);
+          EXPECT_EQ(result->stats.gr_edges, reference->stats.gr_edges);
+        }
+      }
+    }
+  }
+}
+
 // Every engine, behind the same interface: must succeed and conserve
 // records (repair only relabels, never drops or invents data).
 TEST(DifferentialTest, AllEnginesConserveRecords) {

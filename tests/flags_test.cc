@@ -125,5 +125,45 @@ TEST(FlagParserTest, FailpointsFlagValueArmsRegistry) {
   EXPECT_FALSE(fault::Armed());
 }
 
+// The CLI's --failpoints-status dump: exact text pinned here — name-sorted,
+// one `  <site> armed= hits= fires=` line per site that is armed or was
+// evaluated, and a fixed placeholder when nothing was touched. Scripts
+// parse this output; change it deliberately or not at all.
+TEST(FlagParserTest, FailpointsStatusDumpIsPinned) {
+  auto& registry = fault::FailPointRegistry::Global();
+  registry.DisarmAll();
+  EXPECT_EQ(registry.RenderStatus(),
+            "failpoints: no sites armed or evaluated\n");
+
+  fault::FaultSpec fire_second;
+  fire_second.action = fault::FaultAction::kError;
+  fire_second.fire_on_hit = 2;
+  ASSERT_TRUE(registry.Arm("flags.status.b", fire_second).ok());
+  fault::FaultSpec silent;
+  silent.action = fault::FaultAction::kDelay;
+  silent.delay_micros = 0;
+  silent.fire_on_hit = 9;
+  ASSERT_TRUE(registry.Arm("flags.status.a", silent).ok());
+
+  // b: three evaluations, the second fires. a: one evaluation, no fire.
+  EXPECT_TRUE(registry.GetPoint("flags.status.b")->Evaluate().ok());
+  EXPECT_FALSE(registry.GetPoint("flags.status.b")->Evaluate().ok());
+  EXPECT_TRUE(registry.GetPoint("flags.status.b")->Evaluate().ok());
+  EXPECT_TRUE(registry.GetPoint("flags.status.a")->Evaluate().ok());
+
+  EXPECT_EQ(registry.RenderStatus(),
+            "failpoints:\n"
+            "  flags.status.a armed=1 hits=1 fires=0\n"
+            "  flags.status.b armed=1 hits=3 fires=1\n");
+
+  // Disarming keeps the counters (post-run inspection), drops the armed
+  // bit; untouched disarmed sites vanish from the dump.
+  registry.DisarmAll();
+  EXPECT_EQ(registry.RenderStatus(),
+            "failpoints:\n"
+            "  flags.status.a armed=0 hits=1 fires=0\n"
+            "  flags.status.b armed=0 hits=3 fires=1\n");
+}
+
 }  // namespace
 }  // namespace idrepair

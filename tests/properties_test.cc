@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "common/rng.h"
@@ -282,6 +283,85 @@ TEST_P(SeededPropertyTest, PartialResultsAreDominatedAndStillValid) {
     ASSERT_NE(it, idx.end()) << cand.target_id;
     EXPECT_TRUE(partial->repaired.at(it->second).IsValid(graph))
         << "partial run applied an invalid join to " << cand.target_id;
+  }
+}
+
+// Phase 2 invariants (Eq. 3/4) for every greedy selection algorithm: the
+// selected set is pairwise compatible (no shared member trajectory — an
+// independent set of Gr), maximal (every unselected candidate the algorithm
+// was allowed to take conflicts with a selected one), and the reported Ω is
+// exactly the Eq. 3 sum recomputed from each candidate's stored similarity
+// and rarity.
+TEST_P(SeededPropertyTest, SelectionInvariantsHold) {
+  TransitionGraph graph = MakeRealLikeGraph();
+  SyntheticConfig config;
+  config.num_trajectories = 80;
+  config.record_error_rate = 0.25;
+  config.max_path_len = 4;
+  config.seed = GetParam() ^ 0x5e1ec7;
+  auto ds = GenerateSyntheticDataset(graph, config);
+  ASSERT_TRUE(ds.ok());
+  TrajectorySet set = ds->BuildObservedTrajectories();
+
+  for (SelectionAlgorithm algorithm :
+       {SelectionAlgorithm::kEmax, SelectionAlgorithm::kDmin,
+        SelectionAlgorithm::kDmax}) {
+    RepairOptions options;
+    options.theta = 4;
+    options.eta = 600;
+    options.selection = algorithm;
+    IdRepairer engine(graph, options);
+    auto result = engine.Repair(set);
+    ASSERT_TRUE(result.ok()) << result.status();
+    const auto& candidates = result->candidates;
+
+    // Pairwise compatible: no trajectory belongs to two selected repairs.
+    std::vector<uint8_t> used(set.size(), 0);
+    std::vector<uint8_t> selected_mask(candidates.size(), 0);
+    for (RepairIndex r : result->selected) {
+      selected_mask[r] = 1;
+      for (TrajIndex m : candidates[r].members) {
+        EXPECT_FALSE(used[m])
+            << "selected repairs share trajectory " << m << " (algorithm "
+            << static_cast<int>(algorithm) << ")";
+        used[m] = 1;
+      }
+    }
+
+    // Maximality: any candidate left out must conflict with the selection.
+    // EMAX never takes ω <= 0 (Example 4.2), so those are exempt for it;
+    // the degree heuristics are blind to ω and must be maximal outright.
+    for (RepairIndex r = 0; r < candidates.size(); ++r) {
+      if (selected_mask[r]) continue;
+      if (algorithm == SelectionAlgorithm::kEmax &&
+          candidates[r].effectiveness <= 0.0) {
+        continue;
+      }
+      bool conflicts = false;
+      for (TrajIndex m : candidates[r].members) {
+        if (used[m]) {
+          conflicts = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(conflicts)
+          << "candidate " << r << " is compatible with the whole selection "
+          << "but was not taken (algorithm " << static_cast<int>(algorithm)
+          << ")";
+    }
+
+    // Ω equals the Eq. 3 sum, recomputed from first principles:
+    // ω(R) = sim(R) + λ · log_{ra+offset}(|ivt(R)|).
+    double recomputed = 0.0;
+    for (RepairIndex r : result->selected) {
+      const CandidateRepair& c = candidates[r];
+      double ivt = static_cast<double>(c.invalid_members.size());
+      double base =
+          static_cast<double>(c.rarity + options.rarity_base_offset);
+      recomputed +=
+          c.similarity + options.lambda * (std::log(ivt) / std::log(base));
+    }
+    EXPECT_DOUBLE_EQ(result->total_effectiveness, recomputed);
   }
 }
 

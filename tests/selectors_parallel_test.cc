@@ -1,0 +1,265 @@
+// Verification suite for the parallel deterministic selection phase: the
+// context-aware (sharded) selectors and the sharded repair-graph build must
+// be *byte-identical* to their serial references at every thread count —
+// same indices, same order, same Ω — never merely "equivalent". The dense
+// instance below is a single conflict component, the worst case for
+// selection parallelism, and the EMAX commit order on it is pinned as a
+// golden so an accidental tie-break or merge-order change fails loudly.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "fault/deadline.h"
+#include "repair/selectors.h"
+
+namespace idrepair {
+namespace {
+
+const std::vector<int> kThreadCounts = {1, 2, 8};
+
+// Builds a synthetic candidate set from (members, ω) specs; member lists
+// induce the incompatibility edges exactly as in production.
+struct Spec {
+  std::vector<TrajIndex> members;
+  double omega;
+};
+
+std::vector<CandidateRepair> MakeCandidates(const std::vector<Spec>& specs) {
+  std::vector<CandidateRepair> out;
+  for (const auto& s : specs) {
+    CandidateRepair r;
+    r.members = s.members;
+    r.invalid_members = s.members;  // immaterial for selection
+    r.effectiveness = s.omega;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+// The running example's candidate set (Figure 4(b)): R1-R2 share T1, R2-R3
+// share T2.
+std::vector<CandidateRepair> RunningExampleCandidates() {
+  return MakeCandidates({{{0}, 0.0}, {{0, 1}, 0.428}, {{1, 2}, 1.029}});
+}
+
+// 300 candidates over 40 heavily shared trajectories: every trajectory is
+// covered ~19 times, so Gr is one dense component (asserted below) — the
+// case where selection, not generation, dominates and where a wrong shard
+// merge would actually change the answer. A slice of the ω range dips below
+// zero to keep the EMAX skip rule in play.
+constexpr size_t kDenseTrajs = 40;
+
+std::vector<CandidateRepair> DenseInstance() {
+  Rng rng(20260807);
+  std::vector<CandidateRepair> out;
+  for (int i = 0; i < 300; ++i) {
+    size_t k = rng.UniformIndex(4) + 1;
+    std::set<TrajIndex> members;
+    while (members.size() < k) {
+      members.insert(static_cast<TrajIndex>(rng.UniformIndex(kDenseTrajs)));
+    }
+    CandidateRepair r;
+    r.members.assign(members.begin(), members.end());
+    r.invalid_members = r.members;
+    r.effectiveness = rng.UniformReal(-0.1, 1.5);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+SelectionContext MakeContext(int threads) {
+  SelectionContext ctx;
+  ctx.exec.num_threads = threads;
+  // Grain 1 forces real sharding even on these small inputs; production
+  // defaults would keep them serial and test nothing.
+  ctx.exec.min_selection_grain = 1;
+  return ctx;
+}
+
+bool IsConnected(const RepairGraph& gr) {
+  if (gr.num_vertices() == 0) return true;
+  std::vector<uint8_t> seen(gr.num_vertices(), 0);
+  std::vector<RepairIndex> stack = {0};
+  seen[0] = 1;
+  size_t reached = 1;
+  while (!stack.empty()) {
+    RepairIndex v = stack.back();
+    stack.pop_back();
+    for (RepairIndex w : gr.Neighbors(v)) {
+      if (!seen[w]) {
+        seen[w] = 1;
+        ++reached;
+        stack.push_back(w);
+      }
+    }
+  }
+  return reached == gr.num_vertices();
+}
+
+// ------------------------------------------------- sharded graph build
+
+TEST(ParallelRepairGraphTest, BuildMatchesSerialConstructorAcrossThreads) {
+  for (const auto& candidates :
+       {RunningExampleCandidates(), DenseInstance()}) {
+    size_t num_trajs = candidates.size() == 3 ? 3 : kDenseTrajs;
+    RepairGraph serial(candidates, num_trajs);
+    for (int threads : kThreadCounts) {
+      ExecOptions exec;
+      exec.num_threads = threads;
+      exec.min_selection_grain = 1;
+      auto built = RepairGraph::Build(candidates, num_trajs, exec);
+      ASSERT_TRUE(built.ok()) << built.status();
+      ASSERT_EQ(built->num_vertices(), serial.num_vertices());
+      EXPECT_EQ(built->num_edges(), serial.num_edges())
+          << "threads=" << threads;
+      for (RepairIndex v = 0; v < serial.num_vertices(); ++v) {
+        EXPECT_EQ(built->Neighbors(v), serial.Neighbors(v))
+            << "threads=" << threads << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(ParallelRepairGraphTest, DenseInstanceIsOneComponent) {
+  auto candidates = DenseInstance();
+  RepairGraph gr(candidates, kDenseTrajs);
+  EXPECT_TRUE(IsConnected(gr));
+}
+
+// ------------------------------------------------- selector byte-identity
+
+TEST(ParallelSelectorsTest, GreedySelectorsMatchSerialReferenceAcrossThreads) {
+  EmaxSelector emax;
+  DminSelector dmin;
+  DmaxSelector dmax;
+  const std::vector<const RepairSelector*> selectors = {&emax, &dmin, &dmax};
+  for (const auto& candidates :
+       {RunningExampleCandidates(), DenseInstance()}) {
+    size_t num_trajs = candidates.size() == 3 ? 3 : kDenseTrajs;
+    RepairGraph gr(candidates, num_trajs);
+    for (const RepairSelector* selector : selectors) {
+      std::vector<RepairIndex> reference = selector->Select(gr, candidates);
+      for (int threads : kThreadCounts) {
+        auto parallel = selector->Select(gr, candidates,
+                                         MakeContext(threads));
+        ASSERT_TRUE(parallel.ok()) << parallel.status();
+        EXPECT_EQ(*parallel, reference)
+            << selector->name() << " threads=" << threads;
+        EXPECT_EQ(TotalEffectiveness(candidates, *parallel),
+                  TotalEffectiveness(candidates, reference))
+            << selector->name() << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ParallelSelectorsTest, CoverFastPathMatchesSerialReferenceAcrossThreads) {
+  for (const auto& candidates :
+       {RunningExampleCandidates(), DenseInstance()}) {
+    size_t num_trajs = candidates.size() == 3 ? 3 : kDenseTrajs;
+    std::vector<RepairIndex> reference =
+        SelectEmaxByCover(candidates, num_trajs);
+    for (int threads : kThreadCounts) {
+      auto parallel =
+          SelectEmaxByCover(candidates, num_trajs, MakeContext(threads));
+      ASSERT_TRUE(parallel.ok()) << parallel.status();
+      EXPECT_EQ(*parallel, reference) << "threads=" << threads;
+    }
+  }
+}
+
+// The cover-mask fast path and the graph-materializing EMAX are two
+// implementations of the same algorithm; their outputs must agree.
+TEST(ParallelSelectorsTest, CoverFastPathAgreesWithGraphEmax) {
+  auto candidates = DenseInstance();
+  RepairGraph gr(candidates, kDenseTrajs);
+  EmaxSelector emax;
+  EXPECT_EQ(SelectEmaxByCover(candidates, kDenseTrajs),
+            emax.Select(gr, candidates));
+}
+
+// ------------------------------------------------- pinned EMAX golden
+
+// The full EMAX commit (pick) sequence on the dense instance, highest ω
+// first. Regenerate only for a *deliberate* algorithm change: any edit to
+// the sort order, the merge, or the tie-break shows up here as a diff.
+const std::vector<RepairIndex> kDenseEmaxCommitOrder = {
+    250, 15,  14,  275, 187, 62,  162, 141, 236, 203, 244, 262,
+    56,  85,  111, 18,  80,  88,  30,  282, 293, 254, 133, 173,
+};
+
+TEST(ParallelSelectorsTest, EmaxCommitOrderIsPinned) {
+  auto candidates = DenseInstance();
+  RepairGraph gr(candidates, kDenseTrajs);
+  EmaxSelector emax;
+  for (int threads : kThreadCounts) {
+    SelectionContext ctx = MakeContext(threads);
+    std::vector<RepairIndex> commit_order;
+    ctx.commit_order = &commit_order;
+    auto selected = emax.Select(gr, candidates, ctx);
+    ASSERT_TRUE(selected.ok()) << selected.status();
+    EXPECT_EQ(commit_order, kDenseEmaxCommitOrder) << "threads=" << threads;
+    // The returned set is the commit sequence, re-sorted ascending.
+    std::vector<RepairIndex> sorted = commit_order;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(*selected, sorted);
+    // Commits are emitted in strictly decreasing (ω, then index) order.
+    for (size_t i = 1; i < commit_order.size(); ++i) {
+      double prev = candidates[commit_order[i - 1]].effectiveness;
+      double cur = candidates[commit_order[i]].effectiveness;
+      EXPECT_TRUE(prev > cur ||
+                  (prev == cur && commit_order[i - 1] < commit_order[i]));
+    }
+  }
+}
+
+TEST(ParallelSelectorsTest, RunningExampleCommitOrderIsPinned) {
+  // Figure 4(b): R3 (ω=1.029) commits first and discards R2; R1 has ω=0 and
+  // is never taken (Example 4.2). One commit.
+  auto candidates = RunningExampleCandidates();
+  RepairGraph gr(candidates, 3);
+  EmaxSelector emax;
+  SelectionContext ctx = MakeContext(8);
+  std::vector<RepairIndex> commit_order;
+  ctx.commit_order = &commit_order;
+  auto selected = emax.Select(gr, candidates, ctx);
+  ASSERT_TRUE(selected.ok()) << selected.status();
+  EXPECT_EQ(commit_order, (std::vector<RepairIndex>{2}));
+  EXPECT_EQ(*selected, (std::vector<RepairIndex>{2}));
+}
+
+// ------------------------------------------------- deadline degradation
+
+// An already-expired deadline stops the commit loop before the first
+// commit; a deadline that expires mid-loop leaves a compatible prefix.
+// (Chaos coverage of forced expiry through a full engine run lives in
+// chaos_test; this pins the selector-level contract.)
+TEST(ParallelSelectorsTest, ExpiredDeadlineYieldsEmptyPrefix) {
+  auto candidates = DenseInstance();
+  RepairGraph gr(candidates, kDenseTrajs);
+  fault::Deadline expired = fault::Deadline::FromMillis(1);
+  while (!expired.Expired()) {
+  }
+  for (int threads : kThreadCounts) {
+    SelectionContext ctx = MakeContext(threads);
+    ctx.deadline = &expired;
+    EmaxSelector emax;
+    auto selected = emax.Select(gr, candidates, ctx);
+    ASSERT_TRUE(selected.ok()) << selected.status();
+    EXPECT_TRUE(selected->empty());
+    DminSelector dmin;
+    auto dmin_selected = dmin.Select(gr, candidates, ctx);
+    ASSERT_TRUE(dmin_selected.ok()) << dmin_selected.status();
+    EXPECT_TRUE(dmin_selected->empty());
+    auto cover = SelectEmaxByCover(candidates, kDenseTrajs, ctx);
+    ASSERT_TRUE(cover.ok()) << cover.status();
+    EXPECT_TRUE(cover->empty());
+  }
+}
+
+}  // namespace
+}  // namespace idrepair

@@ -60,7 +60,8 @@ TEST(StatsJsonTest, KeyOrderIsPinned) {
       // options
       "options", "theta", "eta", "zeta", "lambda", "time_bin", "use_lig",
       "use_mcp_pruning", "selection", "num_threads", "min_partition_grain",
-      "min_candidate_grain", "obs_enabled", "trace_capacity", "deadline_ms",
+      "min_candidate_grain", "min_selection_grain", "obs_enabled",
+      "trace_capacity", "deadline_ms",
       // stats
       "stats", "num_trajectories", "num_invalid", "gm_edges",
       "cex_evaluations", "cliques_enumerated", "pck_pruned", "jnb_checks",
@@ -110,6 +111,13 @@ TEST(StatsJsonTest, CompletionAndFaultBlocksReflectRunHealth) {
       << degraded;
   EXPECT_NE(degraded.find("\"armed_sites\":1"), std::string::npos)
       << degraded;
+  // Touched sites get a per-site breakdown (the --failpoints-status data,
+  // machine-readable); clean runs omit the array entirely.
+  EXPECT_NE(degraded.find("\"sites\":[{\"name\":\"stats_json.test.site\","
+                          "\"armed\":true,\"hits\":0,\"fires\":0}]"),
+            std::string::npos)
+      << degraded;
+  EXPECT_EQ(clean.find("\"sites\""), std::string::npos) << clean;
 }
 
 TEST(StatsJsonTest, DeadlineOptionRoundTripsIntoOptionsBlock) {

@@ -6,11 +6,13 @@
 //                         dmax|exact] [--similarity edit|jaro_winkler|
 //                         bigram_cosine|overlap] [--no-lig] [--no-prune]
 //                         [--explain] [--threads N] [--candidate-grain N]
+//                         [--selection-grain N]
 //                         [--engine core|partitioned|streaming|idsim|
 //                         neighborhood] [--max-edit-distance N]
 //                         [--metrics-out FILE] [--trace-out FILE]
 //                         [--trace-capacity N] [--stats-json FILE]
 //                         [--deadline-ms N] [--failpoints SPEC]
+//                         [--failpoints-status]
 //   idrepair_cli generate --graph g.txt --out records.csv
 //                         [--truth truth.csv] [--trajectories N]
 //                         [--error-rate F] [--missing-rate F] [--seed N]
@@ -84,6 +86,11 @@ Result<RepairOptions> OptionsFromFlags(const FlagParser& flags,
   if (*grain <= 0) {
     return Status::InvalidArgument("--candidate-grain must be >= 1");
   }
+  auto selection_grain = flags.GetInt("selection-grain", 1024);
+  if (!selection_grain.ok()) return selection_grain.status();
+  if (*selection_grain <= 0) {
+    return Status::InvalidArgument("--selection-grain must be >= 1");
+  }
   auto selection = ParseSelection(flags.GetString("selection", "emax"));
   if (!selection.ok()) return selection.status();
   auto trace_capacity = flags.GetInt("trace-capacity", 8192);
@@ -119,6 +126,7 @@ Result<RepairOptions> OptionsFromFlags(const FlagParser& flags,
       .WithSimilarity(owned_similarity.get())
       .WithThreads(static_cast<int>(*threads))
       .WithMinCandidateGrain(static_cast<size_t>(*grain))
+      .WithMinSelectionGrain(static_cast<size_t>(*selection_grain))
       .WithObsEnabled(obs_enabled)
       .WithTraceCapacity(static_cast<size_t>(*trace_capacity))
       .WithDeadlineMs(*deadline_ms)
@@ -195,6 +203,9 @@ int RunRepair(const FlagParser& flags) {
   if (!result->completion.ok()) {
     std::cout << "partial result (graceful degradation): "
               << result->completion << "\n";
+  }
+  if (flags.GetBool("failpoints-status")) {
+    std::cout << fault::FailPointRegistry::Global().RenderStatus();
   }
 
   if (flags.GetBool("explain")) {
@@ -336,8 +347,9 @@ int Main(int argc, char** argv) {
     return 2;
   }
   std::string command = argv[1];
-  auto flags = FlagParser::Parse(argc - 2, argv + 2,
-                                 {"no-lig", "no-prune", "explain"});
+  auto flags = FlagParser::Parse(
+      argc - 2, argv + 2,
+      {"no-lig", "no-prune", "explain", "failpoints-status"});
   if (!flags.ok()) return FailWith(flags.status());
   if (command == "repair") return RunRepair(*flags);
   if (command == "generate") return RunGenerate(*flags);
