@@ -91,7 +91,10 @@ int main() {
     report.Header({"threads", "partitions", "wall_ms", "cpu_ms", "speedup",
                  "identical"});
     double base_seconds = 0.0;
-    RepairResult reference;
+    // RepairResult is move-only; keep only the fields compared below.
+    std::unordered_map<TrajIndex, std::string> reference_rewrites;
+    std::vector<RepairIndex> reference_selected;
+    double reference_omega = 0.0;
     for (int threads : {1, 2, 4, 8}) {
       RepairOptions run_options = options;
       run_options.exec.num_threads = threads;
@@ -114,12 +117,13 @@ int main() {
       }
       if (threads == 1) {
         base_seconds = best;
-        reference = *result;
+        reference_rewrites = result->rewrites;
+        reference_selected = result->selected;
+        reference_omega = result->total_effectiveness;
       }
-      bool identical = result->rewrites == reference.rewrites &&
-                       result->selected == reference.selected &&
-                       result->total_effectiveness ==
-                           reference.total_effectiveness;
+      bool identical = result->rewrites == reference_rewrites &&
+                       result->selected == reference_selected &&
+                       result->total_effectiveness == reference_omega;
       report.Row({std::to_string(result->stats.threads_used),
                 std::to_string(result->stats.num_partitions), FmtMs(best),
                 FmtMs(result->stats.cpu_seconds_total),
@@ -156,7 +160,10 @@ int main() {
     report.Header({"threads", "partitions", "gen_ms", "wall_ms", "speedup",
                  "identical"});
     double base_seconds = 0.0;
-    RepairResult reference;
+    // RepairResult is move-only; keep only the fields compared below.
+    std::unordered_map<TrajIndex, std::string> reference_rewrites;
+    std::vector<RepairIndex> reference_selected;
+    double reference_omega = 0.0;
     for (int threads : {1, 2, 4, 8}) {
       RepairOptions run_options = options;
       run_options.exec.num_threads = threads;
@@ -182,12 +189,13 @@ int main() {
       }
       if (threads == 1) {
         base_seconds = best;
-        reference = *result;
+        reference_rewrites = result->rewrites;
+        reference_selected = result->selected;
+        reference_omega = result->total_effectiveness;
       }
-      bool identical = result->rewrites == reference.rewrites &&
-                       result->selected == reference.selected &&
-                       result->total_effectiveness ==
-                           reference.total_effectiveness;
+      bool identical = result->rewrites == reference_rewrites &&
+                       result->selected == reference_selected &&
+                       result->total_effectiveness == reference_omega;
       report.Row({std::to_string(threads),
                 std::to_string(result->stats.num_partitions),
                 FmtMs(result->stats.seconds_generation), FmtMs(best),
@@ -227,7 +235,10 @@ int main() {
     report.Header({"threads", "gr_edges", "sel_ms", "wall_ms", "sel_speedup",
                  "identical"});
     double base_selection = 0.0;
-    RepairResult reference;
+    // RepairResult is move-only; keep only the fields compared below.
+    std::unordered_map<TrajIndex, std::string> reference_rewrites;
+    std::vector<RepairIndex> reference_selected;
+    double reference_omega = 0.0;
     for (int threads : {1, 2, 4, 8}) {
       RepairOptions run_options = options;
       run_options.selection = SelectionAlgorithm::kDmin;
@@ -250,12 +261,13 @@ int main() {
       }
       if (threads == 1) {
         base_selection = best;
-        reference = *result;
+        reference_rewrites = result->rewrites;
+        reference_selected = result->selected;
+        reference_omega = result->total_effectiveness;
       }
-      bool identical = result->rewrites == reference.rewrites &&
-                       result->selected == reference.selected &&
-                       result->total_effectiveness ==
-                           reference.total_effectiveness;
+      bool identical = result->rewrites == reference_rewrites &&
+                       result->selected == reference_selected &&
+                       result->total_effectiveness == reference_omega;
       report.Row({std::to_string(threads),
                 std::to_string(result->stats.gr_edges), FmtMs(best),
                 FmtMs(result->stats.seconds_total),

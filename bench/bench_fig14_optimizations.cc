@@ -128,7 +128,10 @@ int main() {
     report.Header({"threads", "gen_ms", "gen_cpu_ms", "gen_speedup", "total_ms",
                  "identical"});
     double base_gen = 0.0;
-    RepairResult reference;
+    // RepairResult is move-only; keep only the fields compared below.
+    std::unordered_map<TrajIndex, std::string> reference_rewrites;
+    std::vector<RepairIndex> reference_selected;
+    double reference_omega = 0.0;
     for (int threads : {1, 2, 4, 8}) {
       RepairOptions o = Defaults();
       o.exec.num_threads = threads;
@@ -149,12 +152,13 @@ int main() {
       }
       if (threads == 1) {
         base_gen = best_gen;
-        reference = *result;
+        reference_rewrites = result->rewrites;
+        reference_selected = result->selected;
+        reference_omega = result->total_effectiveness;
       }
-      bool identical = result->rewrites == reference.rewrites &&
-                       result->selected == reference.selected &&
-                       result->total_effectiveness ==
-                           reference.total_effectiveness;
+      bool identical = result->rewrites == reference_rewrites &&
+                       result->selected == reference_selected &&
+                       result->total_effectiveness == reference_omega;
       report.Row({std::to_string(threads), FmtMs(best_gen),
                 FmtMs(result->stats.cpu_seconds_generation),
                 FmtRatio(base_gen / std::max(best_gen, 1e-9)),

@@ -150,7 +150,9 @@ void BM_EmaxSelection(benchmark::State& state) {
   const Workload& w = Workload::Get();
   IdRepairer repairer(w.dataset.graph, w.options);
   auto result = repairer.Repair(w.set);
-  RepairGraph gr(result->candidates, w.set.size());
+  auto built = RepairGraph::Build(result->candidates, w.set.size(),
+                                 w.options.exec);
+  RepairGraph gr = std::move(built).value();
   EmaxSelector emax;
   for (auto _ : state) {
     benchmark::DoNotOptimize(emax.Select(gr, result->candidates).size());

@@ -55,14 +55,14 @@ int main() {
 
   benchutil::PrintTitle("Candidate repairs (Example 3.4, Figure 4(b))");
   benchutil::PrintHeader({"target", "members", "sim", "omega"});
-  for (const auto& cand : result->candidates) {
+  for (size_t r = 0; r < result->candidates.size(); ++r) {
     std::string members;
-    for (TrajIndex m : cand.members) {
+    for (TrajIndex m : result->candidates.members(r)) {
       members += (members.empty() ? "" : "+") + set.at(m).id();
     }
-    benchutil::PrintRow({cand.target_id, members,
-                         benchutil::Fmt(cand.similarity),
-                         benchutil::Fmt(cand.effectiveness)});
+    benchutil::PrintRow({result->candidates.target_id(r), members,
+                         benchutil::Fmt(result->candidates.similarity(r)),
+                         benchutil::Fmt(result->candidates.effectiveness(r))});
   }
 
   benchutil::PrintTitle("Repaired trajectories (Example 1.4)");

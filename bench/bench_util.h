@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/json.h"
+#include "common/resource.h"
 #include "common/string_util.h"
 
 namespace idrepair {
@@ -90,6 +91,12 @@ class BenchReport {
     tables_.back().rows.push_back(cells);
   }
 
+  /// Records a named memory statistic (e.g. "gr_bytes_per_edge") surfaced
+  /// in the JSON "memory" object next to the always-present peak RSS.
+  void Memory(const std::string& key, double value) {
+    memory_.emplace_back(key, value);
+  }
+
  private:
   struct Table {
     std::string title;
@@ -113,6 +120,18 @@ class BenchReport {
     w.String(name_);
     w.Key("repetitions");
     w.Int(kRepetitions);
+    // Memory block: the process peak RSS at write time (the whole run's
+    // high-water mark) plus any bench-reported structure sizes, so memory
+    // regressions diff as easily as timings.
+    w.Key("memory");
+    w.BeginObject();
+    w.Key("peak_rss_bytes");
+    w.Int(static_cast<int64_t>(PeakRssBytes()));
+    for (const auto& [key, value] : memory_) {
+      w.Key(key);
+      w.Double(value);
+    }
+    w.EndObject();
     w.Key("tables");
     w.BeginArray();
     for (const Table& t : tables_) {
@@ -145,6 +164,7 @@ class BenchReport {
 
   std::string name_;
   std::vector<Table> tables_;
+  std::vector<std::pair<std::string, double>> memory_;
 };
 
 }  // namespace benchutil

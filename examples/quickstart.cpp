@@ -63,14 +63,16 @@ int main() {
   }
 
   std::cout << "\nCandidate repairs (Example 3.4 / Figure 4(b)):\n";
-  for (const auto& cand : result->candidates) {
-    std::cout << "  target=" << cand.target_id << "  members={";
-    for (size_t i = 0; i < cand.members.size(); ++i) {
-      std::cout << (i ? ", " : "") << set.at(cand.members[i]).id();
+  for (size_t r = 0; r < result->candidates.size(); ++r) {
+    auto members = result->candidates.members(r);
+    std::cout << "  target=" << result->candidates.target_id(r)
+              << "  members={";
+    for (size_t i = 0; i < members.size(); ++i) {
+      std::cout << (i ? ", " : "") << set.at(members[i]).id();
     }
-    std::cout << "}  sim=" << cand.similarity
-              << "  |ivt|=" << cand.num_invalid()
-              << "  omega=" << cand.effectiveness << "\n";
+    std::cout << "}  sim=" << result->candidates.similarity(r)
+              << "  |ivt|=" << result->candidates.num_invalid(r)
+              << "  omega=" << result->candidates.effectiveness(r) << "\n";
   }
 
   std::cout << "\nSelected repairs (EMAX): " << result->selected.size()

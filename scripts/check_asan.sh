@@ -29,12 +29,13 @@ cmake -S . -B "$BUILD_DIR" \
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target exec_test partitioned_test stream_test candidates_test \
            selectors_parallel_test differential_test fuzz_test obs_test \
-           fault_test chaos_test stats_json_test
+           fault_test chaos_test stats_json_test common_test sim_test \
+           selectors_test graph_test
 
 ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \
 UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
   ctest --test-dir "$BUILD_DIR" \
-  -R 'exec_test|partitioned_test|stream_test|candidates_test|selectors_parallel_test|differential_test|fuzz_test|obs_test|fault_test|chaos_test|stats_json_test' \
+  -R 'exec_test|partitioned_test|stream_test|candidates_test|selectors_parallel_test|differential_test|fuzz_test|obs_test|fault_test|chaos_test|stats_json_test|common_test|sim_test|selectors_test|graph_test' \
   --output-on-failure
 
 echo "check_asan ($SANITIZER): OK"

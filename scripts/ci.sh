@@ -16,6 +16,33 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 echo "==> tier-1: ctest"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 
+echo "==> bench-smoke: storage-layer memory gate"
+BENCH_JSON_DIR="$BUILD_DIR/bench-json"
+mkdir -p "$BENCH_JSON_DIR"
+IDREPAIR_BENCH_JSON_DIR="$BENCH_JSON_DIR" "$BUILD_DIR/bench/bench_storage_memory"
+# Compare the run's memory block against the committed baseline: any gate
+# metric more than 10% above its baseline value fails CI. Lower is always
+# better for these, so improvements pass and tighten nothing.
+python3 - "$BENCH_JSON_DIR/BENCH_storage_memory.json" \
+    bench/baselines/BENCH_storage_memory.json <<'EOF'
+import json, sys
+current = json.load(open(sys.argv[1]))["memory"]
+baseline = json.load(open(sys.argv[2]))["memory"]
+failed = False
+for key, base in sorted(baseline.items()):
+    now = current.get(key)
+    if now is None:
+        print(f"bench-smoke: FAIL missing metric {key}")
+        failed = True
+        continue
+    limit = base * 1.10
+    verdict = "FAIL" if now > limit else "ok"
+    print(f"bench-smoke: {verdict} {key}: {now:.0f} vs baseline {base:.0f} "
+          f"(limit {limit:.0f})")
+    failed = failed or now > limit
+sys.exit(1 if failed else 0)
+EOF
+
 echo "==> sanitizer: address"
 scripts/check_asan.sh
 

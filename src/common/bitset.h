@@ -1,0 +1,115 @@
+#ifndef IDREPAIR_COMMON_BITSET_H_
+#define IDREPAIR_COMMON_BITSET_H_
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace idrepair {
+
+/// A packed fixed-universe bitset over 64-bit words: the compact membership
+/// structure behind the transition-graph edge matrix and the repair-graph
+/// conflict (cover) index. Eight bits per byte where the seed stored one —
+/// and, more importantly, word-granular OR/popcount so "discard every
+/// candidate conflicting with a committed repair" is O(n/64) instead of a
+/// per-neighbor scatter.
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(size_t num_bits) { Resize(num_bits); }
+
+  /// Grows or shrinks to exactly `num_bits`; newly exposed bits are clear.
+  void Resize(size_t num_bits) {
+    num_bits_ = num_bits;
+    words_.resize(WordCount(num_bits), 0);
+    ClearTail();
+  }
+
+  void Assign(size_t num_bits, bool value) {
+    num_bits_ = num_bits;
+    words_.assign(WordCount(num_bits), value ? ~uint64_t{0} : 0);
+    ClearTail();
+  }
+
+  size_t size() const { return num_bits_; }
+  bool empty() const { return num_bits_ == 0; }
+
+  bool Test(size_t i) const {
+    assert(i < num_bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void Set(size_t i) {
+    assert(i < num_bits_);
+    words_[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+
+  void Reset(size_t i) {
+    assert(i < num_bits_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+
+  /// Sets bit `i` and reports whether it was previously clear — the
+  /// "newly invalidated?" probe the selection counters need.
+  bool TestAndSet(size_t i) {
+    assert(i < num_bits_);
+    uint64_t& w = words_[i >> 6];
+    uint64_t mask = uint64_t{1} << (i & 63);
+    bool was_clear = (w & mask) == 0;
+    w |= mask;
+    return was_clear;
+  }
+
+  /// this |= other, returning how many bits flipped 0→1. Both bitsets must
+  /// share a universe. O(words), the conflict-invalidation fast path.
+  size_t OrWithCount(const DynamicBitset& other) {
+    assert(num_bits_ == other.num_bits_);
+    size_t flipped = 0;
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t before = words_[w];
+      uint64_t merged = before | other.words_[w];
+      flipped += static_cast<size_t>(std::popcount(merged & ~before));
+      words_[w] = merged;
+    }
+    return flipped;
+  }
+
+  /// True iff this and `other` share any set bit. O(words).
+  bool Intersects(const DynamicBitset& other) const {
+    assert(num_bits_ == other.num_bits_);
+    for (size_t w = 0; w < words_.size(); ++w) {
+      if ((words_[w] & other.words_[w]) != 0) return true;
+    }
+    return false;
+  }
+
+  size_t Count() const {
+    size_t n = 0;
+    for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+    return n;
+  }
+
+  /// Heap bytes held by the word array (footprint accounting).
+  size_t MemoryBytes() const { return words_.capacity() * sizeof(uint64_t); }
+
+  static size_t WordCount(size_t num_bits) { return (num_bits + 63) / 64; }
+
+ private:
+  // Bits past num_bits_ in the last word stay zero so Count()/OrWithCount()
+  // never see garbage.
+  void ClearTail() {
+    size_t tail = num_bits_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (uint64_t{1} << tail) - 1;
+    }
+  }
+
+  std::vector<uint64_t> words_;
+  size_t num_bits_ = 0;
+};
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_COMMON_BITSET_H_

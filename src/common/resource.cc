@@ -1,0 +1,44 @@
+#include "common/resource.h"
+
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
+namespace idrepair {
+
+size_t PeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  // ru_maxrss is bytes on macOS...
+  return static_cast<size_t>(usage.ru_maxrss);
+#else
+  // ...and kilobytes on Linux.
+  return static_cast<size_t>(usage.ru_maxrss) * 1024;
+#endif
+#else
+  return 0;
+#endif
+}
+
+size_t CurrentRssBytes() {
+#if defined(__linux__)
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long total = 0;
+  long resident = 0;
+  int matched = std::fscanf(f, "%ld %ld", &total, &resident);
+  std::fclose(f);
+  if (matched != 2) return 0;
+  long page = sysconf(_SC_PAGESIZE);
+  return static_cast<size_t>(resident) * static_cast<size_t>(page);
+#else
+  return 0;
+#endif
+}
+
+}  // namespace idrepair

@@ -1,0 +1,21 @@
+#ifndef IDREPAIR_COMMON_RESOURCE_H_
+#define IDREPAIR_COMMON_RESOURCE_H_
+
+#include <cstddef>
+
+namespace idrepair {
+
+/// Peak resident set size of this process in bytes, from getrusage(2).
+/// Monotone over the process lifetime — useful as a high-water mark in
+/// bench reports, not as a before/after delta within one run. Returns 0 on
+/// platforms where the measurement is unavailable.
+size_t PeakRssBytes();
+
+/// Current resident set size in bytes (/proc/self/statm on Linux), or 0
+/// when unavailable. Unlike the peak, this can go down, so bench stages can
+/// report their own live footprint.
+size_t CurrentRssBytes();
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_COMMON_RESOURCE_H_

@@ -48,18 +48,18 @@ RepairDiagnostics DiagnoseRepair(const Dataset& dataset,
   diag.counts.assign(7, 0);
   auto truth = ComputeFragmentTruth(dataset, observed);
 
-  // Entity -> its fragments (ascending, matching CandidateRepair::members).
+  // Entity -> its fragments (ascending, matching candidate member sets).
   std::unordered_map<std::string, std::vector<TrajIndex>> fragments;
   for (TrajIndex t = 0; t < observed.size(); ++t) {
     fragments[truth[t]].push_back(t);
   }
 
   // Index the candidate set: does a candidate with exactly this member set
-  // exist, and with which target?
-  std::map<std::vector<TrajIndex>, std::vector<const CandidateRepair*>>
-      by_members;
-  for (const auto& cand : result.candidates) {
-    by_members[cand.members].push_back(&cand);
+  // exist, and with which target? Keys materialize the interned spans (map
+  // keys must own their storage).
+  std::map<std::vector<TrajIndex>, std::vector<size_t>> by_members;
+  for (size_t r = 0; r < result.candidates.size(); ++r) {
+    by_members[result.candidates.members(r).ToVector()].push_back(r);
   }
 
   auto classify = [&](TrajIndex t) -> FailureReason {
@@ -97,8 +97,8 @@ RepairDiagnostics DiagnoseRepair(const Dataset& dataset,
     if (cand_it == by_members.end()) {
       return FailureReason::kCandidateMissing;
     }
-    for (const CandidateRepair* cand : cand_it->second) {
-      if (cand->target_id == truth[t]) {
+    for (size_t cand : cand_it->second) {
+      if (result.candidates.target_id(cand) == truth[t]) {
         return FailureReason::kCorrectCandidateNotSelected;
       }
     }

@@ -1,8 +1,77 @@
 #include "graph/transition_graph.h"
 
 #include <deque>
+#include <utility>
 
 namespace idrepair {
+
+TransitionGraph::TransitionGraph(const TransitionGraph& other)
+    : names_(other.names_),
+      name_to_id_(other.name_to_id_),
+      out_(other.out_),
+      in_(other.in_),
+      is_entrance_(other.is_entrance_),
+      is_exit_(other.is_exit_),
+      entrances_(other.entrances_),
+      exits_(other.exits_),
+      num_edges_(other.num_edges_),
+      can_reach_exit_(other.can_reach_exit_),
+      exit_reach_dirty_(
+          other.exit_reach_dirty_.load(std::memory_order_acquire)),
+      edge_matrix_(other.edge_matrix_) {}
+
+TransitionGraph& TransitionGraph::operator=(const TransitionGraph& other) {
+  if (this == &other) return *this;
+  names_ = other.names_;
+  name_to_id_ = other.name_to_id_;
+  out_ = other.out_;
+  in_ = other.in_;
+  is_entrance_ = other.is_entrance_;
+  is_exit_ = other.is_exit_;
+  entrances_ = other.entrances_;
+  exits_ = other.exits_;
+  num_edges_ = other.num_edges_;
+  can_reach_exit_ = other.can_reach_exit_;
+  exit_reach_dirty_.store(
+      other.exit_reach_dirty_.load(std::memory_order_acquire),
+      std::memory_order_release);
+  edge_matrix_ = other.edge_matrix_;
+  return *this;
+}
+
+TransitionGraph::TransitionGraph(TransitionGraph&& other) noexcept
+    : names_(std::move(other.names_)),
+      name_to_id_(std::move(other.name_to_id_)),
+      out_(std::move(other.out_)),
+      in_(std::move(other.in_)),
+      is_entrance_(std::move(other.is_entrance_)),
+      is_exit_(std::move(other.is_exit_)),
+      entrances_(std::move(other.entrances_)),
+      exits_(std::move(other.exits_)),
+      num_edges_(other.num_edges_),
+      can_reach_exit_(std::move(other.can_reach_exit_)),
+      exit_reach_dirty_(
+          other.exit_reach_dirty_.load(std::memory_order_acquire)),
+      edge_matrix_(std::move(other.edge_matrix_)) {}
+
+TransitionGraph& TransitionGraph::operator=(TransitionGraph&& other) noexcept {
+  if (this == &other) return *this;
+  names_ = std::move(other.names_);
+  name_to_id_ = std::move(other.name_to_id_);
+  out_ = std::move(other.out_);
+  in_ = std::move(other.in_);
+  is_entrance_ = std::move(other.is_entrance_);
+  is_exit_ = std::move(other.is_exit_);
+  entrances_ = std::move(other.entrances_);
+  exits_ = std::move(other.exits_);
+  num_edges_ = other.num_edges_;
+  can_reach_exit_ = std::move(other.can_reach_exit_);
+  exit_reach_dirty_.store(
+      other.exit_reach_dirty_.load(std::memory_order_acquire),
+      std::memory_order_release);
+  edge_matrix_ = std::move(other.edge_matrix_);
+  return *this;
+}
 
 LocationId TransitionGraph::AddLocation(std::string name) {
   auto it = name_to_id_.find(name);
@@ -14,14 +83,15 @@ LocationId TransitionGraph::AddLocation(std::string name) {
   in_.emplace_back();
   is_entrance_.push_back(false);
   is_exit_.push_back(false);
-  exit_reach_dirty_ = true;
-  // Grow the dense edge matrix to the new size, remapping old entries.
+  exit_reach_dirty_.store(true, std::memory_order_relaxed);
+  // Grow the dense edge matrix to the new size, remapping old entries to
+  // the new row stride.
   size_t n = names_.size();
-  std::vector<uint8_t> grown(n * n, 0);
+  DynamicBitset grown(n * n);
   size_t old_n = n - 1;
   for (size_t u = 0; u < old_n; ++u) {
     for (size_t v = 0; v < old_n; ++v) {
-      grown[u * n + v] = edge_matrix_[u * old_n + v];
+      if (edge_matrix_.Test(u * old_n + v)) grown.Set(u * n + v);
     }
   }
   edge_matrix_ = std::move(grown);
@@ -33,13 +103,13 @@ Status TransitionGraph::AddEdge(LocationId from, LocationId to) {
     return Status::InvalidArgument("AddEdge: location id out of range");
   }
   size_t n = num_locations();
-  uint8_t& cell = edge_matrix_[static_cast<size_t>(from) * n + to];
-  if (cell) return Status::OK();  // idempotent
-  cell = 1;
+  size_t cell = static_cast<size_t>(from) * n + to;
+  if (edge_matrix_.Test(cell)) return Status::OK();  // idempotent
+  edge_matrix_.Set(cell);
   out_[from].push_back(to);
   in_[to].push_back(from);
   ++num_edges_;
-  exit_reach_dirty_ = true;
+  exit_reach_dirty_.store(true, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -70,14 +140,14 @@ Status TransitionGraph::MarkExit(LocationId loc) {
   if (!is_exit_[loc]) {
     is_exit_[loc] = true;
     exits_.push_back(loc);
-    exit_reach_dirty_ = true;
+    exit_reach_dirty_.store(true, std::memory_order_relaxed);
   }
   return Status::OK();
 }
 
 bool TransitionGraph::HasEdge(LocationId from, LocationId to) const {
   if (from >= num_locations() || to >= num_locations()) return false;
-  return edge_matrix_[static_cast<size_t>(from) * num_locations() + to] != 0;
+  return edge_matrix_.Test(static_cast<size_t>(from) * num_locations() + to);
 }
 
 std::optional<LocationId> TransitionGraph::FindLocation(
@@ -112,16 +182,25 @@ bool TransitionGraph::IsValidPathPrefix(
 }
 
 bool TransitionGraph::CanReachExit(LocationId loc) const {
-  if (exit_reach_dirty_) RecomputeExitReachability();
-  return loc < can_reach_exit_.size() && can_reach_exit_[loc];
+  // Double-checked rebuild: the acquire load pairs with the release store
+  // at the end of RecomputeExitReachability, so a reader that sees the flag
+  // clear also sees the fully built cache. Racing dirty readers serialize
+  // through the mutex and the winner rebuilds once.
+  if (exit_reach_dirty_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(exit_reach_mutex_);
+    if (exit_reach_dirty_.load(std::memory_order_relaxed)) {
+      RecomputeExitReachability();
+    }
+  }
+  return loc < can_reach_exit_.size() && can_reach_exit_.Test(loc);
 }
 
 void TransitionGraph::RecomputeExitReachability() const {
   size_t n = num_locations();
-  can_reach_exit_.assign(n, false);
+  can_reach_exit_.Assign(n, false);
   std::deque<LocationId> queue;
   for (LocationId e : exits_) {
-    can_reach_exit_[e] = true;
+    can_reach_exit_.Set(e);
     queue.push_back(e);
   }
   // Reverse BFS from the exit set.
@@ -129,13 +208,13 @@ void TransitionGraph::RecomputeExitReachability() const {
     LocationId v = queue.front();
     queue.pop_front();
     for (LocationId u : in_[v]) {
-      if (!can_reach_exit_[u]) {
-        can_reach_exit_[u] = true;
+      if (!can_reach_exit_.Test(u)) {
+        can_reach_exit_.Set(u);
         queue.push_back(u);
       }
     }
   }
-  exit_reach_dirty_ = false;
+  exit_reach_dirty_.store(false, std::memory_order_release);
 }
 
 Status TransitionGraph::Validate() const {

@@ -1,6 +1,8 @@
 #ifndef IDREPAIR_GRAPH_TRANSITION_GRAPH_H_
 #define IDREPAIR_GRAPH_TRANSITION_GRAPH_H_
 
+#include <atomic>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -8,6 +10,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/bitset.h"
+#include "common/span.h"
 #include "common/status.h"
 #include "graph/types.h"
 
@@ -23,6 +27,16 @@ namespace idrepair {
 class TransitionGraph {
  public:
   TransitionGraph() = default;
+
+  // The reachability cache carries a mutex and an atomic dirty flag, so the
+  // compiler-generated copies are unavailable; these hand-written ones copy
+  // the graph data, snapshot the flag, and give the destination a fresh
+  // mutex. Copying/moving while another thread uses the source is not
+  // supported (the usual single-writer rule for mutations).
+  TransitionGraph(const TransitionGraph& other);
+  TransitionGraph& operator=(const TransitionGraph& other);
+  TransitionGraph(TransitionGraph&& other) noexcept;
+  TransitionGraph& operator=(TransitionGraph&& other) noexcept;
 
   /// Adds a location with a unique display name and returns its dense id.
   /// Adding a name that already exists returns the existing id.
@@ -47,13 +61,14 @@ class TransitionGraph {
   /// True iff the directed edge (from, to) exists.
   bool HasEdge(LocationId from, LocationId to) const;
 
-  /// Out-neighbors of `loc` in insertion order.
-  const std::vector<LocationId>& OutNeighbors(LocationId loc) const {
-    return out_[loc];
+  /// Out-neighbors of `loc` in insertion order. View into graph-owned
+  /// storage; valid until the next AddLocation/AddEdge (DESIGN.md §9).
+  Span<const LocationId> OutNeighbors(LocationId loc) const {
+    return Span<const LocationId>(out_[loc]);
   }
-  /// In-neighbors of `loc` in insertion order.
-  const std::vector<LocationId>& InNeighbors(LocationId loc) const {
-    return in_[loc];
+  /// In-neighbors of `loc` in insertion order (same lifetime rule).
+  Span<const LocationId> InNeighbors(LocationId loc) const {
+    return Span<const LocationId>(in_[loc]);
   }
 
   bool IsEntrance(LocationId loc) const { return is_entrance_[loc]; }
@@ -84,17 +99,22 @@ class TransitionGraph {
 
   /// True iff some exit is reachable from `loc` (including loc itself being
   /// an exit). Amortized O(1): the reachability set is cached and rebuilt
-  /// after mutations.
+  /// after mutations. Thread-safe for concurrent const callers: the lazy
+  /// rebuild is guarded by a mutex with a double-checked atomic dirty flag,
+  /// so racing readers either see the published cache or serialize through
+  /// one rebuild. (Mutations remain single-threaded, like all non-const
+  /// methods.)
   bool CanReachExit(LocationId loc) const;
 
   /// Checks structural sanity: at least one location, entrance and exit sets
   /// non-empty.
   Status Validate() const;
 
-  /// Materializes the lazily rebuilt caches now. Must be called before the
-  /// graph is shared across threads (the parallel engines do this before
-  /// dispatch): concurrent const readers are only safe once no lazy
-  /// rebuild can trigger.
+  /// Materializes the lazily rebuilt caches now, so the sharing point is
+  /// explicit and no shard ever waits on the rebuild mutex. Concurrent
+  /// const readers are safe even without this call (CanReachExit guards its
+  /// rebuild), but the parallel engines still front-load it before
+  /// dispatch.
   void PrepareForConcurrentUse() const {
     if (num_locations() > 0) CanReachExit(0);
   }
@@ -112,13 +132,18 @@ class TransitionGraph {
   std::vector<LocationId> exits_;
   size_t num_edges_ = 0;
 
-  // Lazily rebuilt caches (mutable: logically const accessors).
-  mutable std::vector<bool> can_reach_exit_;
-  mutable bool exit_reach_dirty_ = true;
+  // Lazily rebuilt caches (mutable: logically const accessors). The dirty
+  // flag is atomic and the rebuild itself runs under exit_reach_mutex_, so
+  // CanReachExit is safe from concurrent const readers; see the accessor
+  // comment.
+  mutable DynamicBitset can_reach_exit_;
+  mutable std::atomic<bool> exit_reach_dirty_{true};
+  mutable std::mutex exit_reach_mutex_;
 
-  // Dense edge membership for O(1) HasEdge; n is small (tens to a few
-  // hundred locations) so n^2 bytes is cheap.
-  std::vector<uint8_t> edge_matrix_;
+  // Dense edge membership for O(1) HasEdge, packed 1 bit per pair: n^2
+  // bits instead of n^2 bytes, so the row scans of IsValidPath stay in
+  // cache even for graphs with a few thousand locations.
+  DynamicBitset edge_matrix_;
 };
 
 }  // namespace idrepair

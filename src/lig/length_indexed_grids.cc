@@ -1,6 +1,7 @@
 #include "lig/length_indexed_grids.h"
 
 #include <algorithm>
+#include <cstdint>
 
 namespace idrepair {
 
@@ -25,19 +26,39 @@ LengthIndexedGrids::LengthIndexedGrids(const TrajectorySet& set,
   Timestamp tb = std::max<Timestamp>(1, options_.time_bin);
   num_bins_ = static_cast<size_t>((max_end - base_time_) / tb) + 1;
   band_ = static_cast<size_t>(options_.eta / tb) + 2;
-  cells_.assign(options_.theta * num_bins_ * band_, {});
 
+  // CSR fill in two scans: count each cell's population, prefix-sum into
+  // offsets, then place indices. Scanning i ascending keeps every bucket
+  // sorted, matching the old push_back order.
+  size_t num_cells = options_.theta * num_bins_ * band_;
+  cell_offsets_.assign(num_cells + 1, 0);
   for (TrajIndex i = 0; i < set.size(); ++i) {
-    const Trajectory& t = set.at(i);
-    if (t.empty() || t.size() > options_.theta) continue;
-    if (t.TimeSpan() > options_.eta) continue;  // can never join anything
-    size_t sbin = static_cast<size_t>((t.start_time() - base_time_) / tb);
-    size_t ebin = static_cast<size_t>((t.end_time() - base_time_) / tb);
-    size_t off = ebin - sbin;
-    if (off >= band_) continue;  // span fits η but straddles bin edges
-    cells_[CellIndex(t.size(), sbin, off)].push_back(i);
+    size_t cell = CellFor(set.at(i));
+    if (cell != SIZE_MAX) ++cell_offsets_[cell + 1];
+  }
+  for (size_t c = 0; c < num_cells; ++c) {
+    cell_offsets_[c + 1] += cell_offsets_[c];
+  }
+  cell_entries_.resize(cell_offsets_[num_cells]);
+  std::vector<uint32_t> cursor(cell_offsets_.begin(),
+                               cell_offsets_.end() - 1);
+  for (TrajIndex i = 0; i < set.size(); ++i) {
+    size_t cell = CellFor(set.at(i));
+    if (cell == SIZE_MAX) continue;
+    cell_entries_[cursor[cell]++] = i;
     ++num_indexed_;
   }
+}
+
+size_t LengthIndexedGrids::CellFor(const Trajectory& t) const {
+  if (t.empty() || t.size() > options_.theta) return SIZE_MAX;
+  if (t.TimeSpan() > options_.eta) return SIZE_MAX;  // can never join
+  Timestamp tb = std::max<Timestamp>(1, options_.time_bin);
+  size_t sbin = static_cast<size_t>((t.start_time() - base_time_) / tb);
+  size_t ebin = static_cast<size_t>((t.end_time() - base_time_) / tb);
+  size_t off = ebin - sbin;
+  if (off >= band_) return SIZE_MAX;  // fits η but straddles bin edges
+  return CellIndex(t.size(), sbin, off);
 }
 
 void LengthIndexedGrids::CollectCandidates(TrajIndex k,
@@ -61,7 +82,7 @@ void LengthIndexedGrids::CollectCandidates(TrajIndex k,
       for (size_t off = 0; off < band_; ++off) {
         size_t ebin = sbin + off;
         if (ebin > hi_bin) break;  // candidate end beyond the window
-        for (TrajIndex c : cells_[CellIndex(len, sbin, off)]) {
+        for (TrajIndex c : Bucket(len, sbin, off)) {
           if (c != k) out->push_back(c);
         }
       }

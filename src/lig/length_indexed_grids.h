@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/span.h"
 #include "traj/tracking_record.h"
 #include "traj/trajectory_set.h"
 
@@ -44,6 +45,24 @@ class LengthIndexedGrids {
   /// span <= η).
   size_t num_indexed() const { return num_indexed_; }
 
+  /// The trajectories of length `length` starting in bin `start_bin` and
+  /// ending in bin `start_bin + span_off`, ascending. View into the index's
+  /// CSR arena, valid for the index's lifetime (the index is immutable
+  /// after construction; DESIGN.md §9).
+  Span<const TrajIndex> Bucket(size_t length, size_t start_bin,
+                               size_t span_off) const {
+    size_t cell = CellIndex(length, start_bin, span_off);
+    return Span<const TrajIndex>(cell_entries_.data() + cell_offsets_[cell],
+                                 cell_offsets_[cell + 1] -
+                                     cell_offsets_[cell]);
+  }
+
+  /// Heap bytes of the CSR offset table and entry arena.
+  size_t MemoryBytes() const {
+    return cell_offsets_.capacity() * sizeof(uint32_t) +
+           cell_entries_.capacity() * sizeof(TrajIndex);
+  }
+
   const Options& options() const { return options_; }
 
  private:
@@ -51,15 +70,22 @@ class LengthIndexedGrids {
     return ((length - 1) * num_bins_ + start_bin) * band_ + span_off;
   }
 
+  /// The cell a trajectory indexes into, or SIZE_MAX when it is skipped
+  /// (too long, span exceeds η, or straddles the band).
+  size_t CellFor(const Trajectory& t) const;
+
   const TrajectorySet& set_;
   Options options_;
   Timestamp base_time_ = 0;
   size_t num_bins_ = 0;
   size_t band_ = 0;  // max (end_bin - start_bin) + 1 for indexed spans
   size_t num_indexed_ = 0;
-  // cells_[CellIndex(len, sbin, off)] lists trajectories of that length
-  // whose start falls in sbin and whose end bin is sbin + off.
-  std::vector<std::vector<TrajIndex>> cells_;
+  // Grid buckets in CSR form: the trajectories of cell c occupy
+  // cell_entries_[cell_offsets_[c] .. cell_offsets_[c+1]). One flat arena
+  // replaces a vector-of-vectors whose headers alone dominated the index
+  // footprint (most cells are empty).
+  std::vector<uint32_t> cell_offsets_;
+  std::vector<TrajIndex> cell_entries_;
 };
 
 }  // namespace idrepair

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "common/flat_hash.h"
 #include "exec/parallel_for.h"
 #include "exec/thread_pool.h"
 #include "fault/failpoint.h"
@@ -11,8 +12,144 @@
 
 namespace idrepair {
 
+size_t CandidateSet::Append(Span<const TrajIndex> members,
+                            Span<const TrajIndex> invalid,
+                            std::string target_id, double similarity) {
+  member_sets_.push_back(dict_.Intern(members));
+  invalid_sets_.push_back(dict_.Intern(invalid));
+  target_ids_.push_back(std::move(target_id));
+  similarity_.push_back(similarity);
+  rarity_.push_back(0);
+  effectiveness_.push_back(0.0);
+  return size() - 1;
+}
+
+size_t CandidateSet::AppendFrom(const CandidateSet& other, size_t r) {
+  size_t row =
+      Append(other.members(r), other.invalid_members(r), other.target_ids_[r],
+             other.similarity_[r]);
+  rarity_[row] = other.rarity_[r];
+  effectiveness_[row] = other.effectiveness_[r];
+  return row;
+}
+
+size_t CandidateSet::AppendRemapped(const CandidateSet& other, size_t r,
+                                    const std::vector<TrajIndex>& index_map) {
+  remap_scratch_.clear();
+  for (TrajIndex m : other.members(r)) remap_scratch_.push_back(index_map[m]);
+  SetId members = dict_.Intern(remap_scratch_);
+  remap_scratch_.clear();
+  for (TrajIndex m : other.invalid_members(r)) {
+    remap_scratch_.push_back(index_map[m]);
+  }
+  member_sets_.push_back(members);
+  invalid_sets_.push_back(dict_.Intern(remap_scratch_));
+  target_ids_.push_back(other.target_ids_[r]);
+  similarity_.push_back(other.similarity_[r]);
+  rarity_.push_back(other.rarity_[r]);
+  effectiveness_.push_back(other.effectiveness_[r]);
+  return size() - 1;
+}
+
+void CandidateSet::Reserve(size_t rows) {
+  member_sets_.reserve(rows);
+  invalid_sets_.reserve(rows);
+  target_ids_.reserve(rows);
+  similarity_.reserve(rows);
+  rarity_.reserve(rows);
+  effectiveness_.reserve(rows);
+}
+
+size_t CandidateSet::MemoryBytes() const {
+  size_t strings = target_ids_.capacity() * sizeof(std::string);
+  for (const std::string& s : target_ids_) {
+    // Only out-of-line payloads add heap bytes; SSO ids live in the header
+    // already counted above.
+    if (s.capacity() > sizeof(std::string) - sizeof(char*) - 1) {
+      strings += s.capacity() + 1;
+    }
+  }
+  return dict_.MemoryBytes() + member_sets_.capacity() * sizeof(SetId) +
+         invalid_sets_.capacity() * sizeof(SetId) + strings +
+         similarity_.capacity() * sizeof(double) +
+         rarity_.capacity() * sizeof(uint32_t) +
+         effectiveness_.capacity() * sizeof(double) +
+         remap_scratch_.capacity() * sizeof(TrajIndex);
+}
+
+namespace {
+
+/// Per-shard memo of similarity.Similarity(id(a), id(b)) keyed by the
+/// ordered index pair. The similarity is a pure function of the two ID
+/// strings, so a memo hit returns the exact double a recomputation would —
+/// byte-identity holds at every thread count even though each shard's memo
+/// sees a different call history. Cliques within a component overlap
+/// heavily, making the hit rate the dominant generation speedup on dense
+/// instances.
+class PairSimilarityMemo {
+ public:
+  PairSimilarityMemo(const TrajectorySet& set, const IdSimilarity& similarity)
+      : set_(set), similarity_(similarity) {}
+
+  double Get(TrajIndex a, TrajIndex b) {
+    // Key cannot collide with the table's reserved empty marker: both
+    // halves would have to be 0xffffffff, which no TrajectorySet reaches.
+    uint64_t key = (static_cast<uint64_t>(a) << 32) | b;
+    if (double* v = memo_.Find(key)) {
+      ++hits_;
+      return *v;
+    }
+    double v = similarity_.Similarity(set_.at(a).id(), set_.at(b).id());
+    memo_.Insert(key, v);
+    return v;
+  }
+
+  size_t hits() const { return hits_; }
+
+ private:
+  const TrajectorySet& set_;
+  const IdSimilarity& similarity_;
+  FlatHash64Map<double> memo_;
+  size_t hits_ = 0;
+};
+
+/// Eq. (5) with memoized pair similarities; same tie-breaks and float
+/// order as the public AssignTargetId.
+TrajIndex AssignTargetIdMemo(const TrajectorySet& set,
+                             Span<const TrajIndex> members,
+                             PairSimilarityMemo& memo) {
+  TrajIndex best = members.front();
+  double best_score = -1.0;
+  for (TrajIndex i : members) {
+    const Trajectory& ti = set.at(i);
+    double score = 0.0;
+    for (TrajIndex j : members) {
+      const Trajectory& tj = set.at(j);
+      double ratio =
+          static_cast<double>(ti.size()) / static_cast<double>(tj.size());
+      score += ratio * memo.Get(i, j);
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return best;
+}
+
+/// One shard's private slice of the generation: the candidates rooted at
+/// its seed range, in emission order, plus its stats and reusable scratch.
+/// Shards never share mutable state; the merge walks slots in shard order.
+struct GenerationShard {
+  CandidateSet candidates;
+  GenerationStats stats;
+  std::vector<TrajIndex> invalid_scratch;
+};
+
+}  // namespace
+
 TrajIndex AssignTargetId(const TrajectorySet& set,
-                         const std::vector<TrajIndex>& members,
+                         Span<const TrajIndex> members,
                          const IdSimilarity& similarity) {
   TrajIndex best = members.front();
   double best_score = -1.0;
@@ -21,8 +158,8 @@ TrajIndex AssignTargetId(const TrajectorySet& set,
     double score = 0.0;
     for (TrajIndex j : members) {
       const Trajectory& tj = set.at(j);
-      double ratio = static_cast<double>(ti.size()) /
-                     static_cast<double>(tj.size());
+      double ratio =
+          static_cast<double>(ti.size()) / static_cast<double>(tj.size());
       score += ratio * similarity.Similarity(ti.id(), tj.id());
     }
     if (score > best_score) {
@@ -33,19 +170,7 @@ TrajIndex AssignTargetId(const TrajectorySet& set,
   return best;
 }
 
-namespace {
-
-/// One shard's private slice of the generation: the candidates rooted at
-/// its seed range, in emission order, plus its stats. Shards never share
-/// mutable state; the merge walks slots in shard order.
-struct GenerationShard {
-  std::vector<CandidateRepair> candidates;
-  GenerationStats stats;
-};
-
-}  // namespace
-
-Result<std::vector<CandidateRepair>> GenerateCandidates(
+Result<CandidateSet> GenerateCandidates(
     const TrajectorySet& set, const TrajectoryGraph& gm,
     const PredicateEvaluator& pred, const RepairOptions& options,
     const IdSimilarity& similarity, const std::vector<bool>& is_valid,
@@ -72,6 +197,7 @@ Result<std::vector<CandidateRepair>> GenerateCandidates(
         IDREPAIR_FAULT_INJECT("repair.generation.shard");
         obs::TraceSpan span("generation.shard", shard);
         GenerationShard& slot = slots[shard];
+        PairSimilarityMemo memo(set, similarity);
         slot.stats.clique_stats = enumerator.EnumerateSeedRange(
             seeds, begin, end,
             [&](const std::vector<TrajIndex>& clique,
@@ -80,48 +206,47 @@ Result<std::vector<CandidateRepair>> GenerateCandidates(
               if (!pred.JnbMerged(merged)) return;
               ++slot.stats.joinable_subsets;
 
-              CandidateRepair repair;
-              repair.members = clique;
+              std::vector<TrajIndex>& invalid = slot.invalid_scratch;
+              invalid.clear();
               for (TrajIndex m : clique) {
-                if (!is_valid[m]) repair.invalid_members.push_back(m);
+                if (!is_valid[m]) invalid.push_back(m);
               }
               // ω would be 0 (Eq. 3).
-              if (repair.invalid_members.empty()) return;
+              if (invalid.empty()) return;
 
-              TrajIndex target = AssignTargetId(set, clique, similarity);
-              repair.target_id = set.at(target).id();
+              TrajIndex target = AssignTargetIdMemo(set, clique, memo);
               double min_sim = 1.0;
               for (TrajIndex m : clique) {
-                min_sim = std::min(min_sim,
-                                   similarity.Similarity(repair.target_id,
-                                                         set.at(m).id()));
+                min_sim = std::min(min_sim, memo.Get(target, m));
               }
-              repair.similarity = min_sim;
-              slot.candidates.push_back(std::move(repair));
+              slot.candidates.Append(clique, invalid, set.at(target).id(),
+                                     min_sim);
             });
+        slot.stats.similarity_cache_hits = memo.hits();
         return Status::OK();
       }));
 
   // Deterministic reduction: concatenate emissions and fold counters in
   // shard order, reproducing the sequential enumeration exactly.
-  std::vector<CandidateRepair> out;
+  CandidateSet out;
   GenerationStats merged_stats;
   size_t total = 0;
   for (const GenerationShard& slot : slots) total += slot.candidates.size();
-  out.reserve(total);
+  out.Reserve(total);
   for (GenerationShard& slot : slots) {
     merged_stats.MergeFrom(slot.stats);
-    for (CandidateRepair& c : slot.candidates) out.push_back(std::move(c));
+    for (size_t r = 0; r < slot.candidates.size(); ++r) {
+      out.AppendFrom(slot.candidates, r);
+    }
   }
   if (stats != nullptr) *stats = merged_stats;
   return out;
 }
 
-Status ComputeEffectiveness(std::vector<CandidateRepair>& candidates,
+Status ComputeEffectiveness(CandidateSet& candidates,
                             const RepairOptions& options, size_t num_trajs) {
   obs::TraceSpan span("generation.effectiveness");
-  auto shards = SplitRange(candidates.size(),
-                           options.exec.ResolvedThreads(),
+  auto shards = SplitRange(candidates.size(), options.exec.ResolvedThreads(),
                            options.exec.min_candidate_grain);
 
   // d(T): how many candidate repairs cover each invalid trajectory. Each
@@ -130,8 +255,8 @@ Status ComputeEffectiveness(std::vector<CandidateRepair>& candidates,
   // the same totals — fixed order keeps the invariant self-evident).
   std::vector<uint32_t> degree(num_trajs, 0);
   if (shards.size() <= 1) {
-    for (const auto& r : candidates) {
-      for (TrajIndex t : r.invalid_members) ++degree[t];
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      for (TrajIndex t : candidates.invalid_members(i)) ++degree[t];
     }
   } else {
     std::vector<std::vector<uint32_t>> shard_degree(shards.size());
@@ -141,7 +266,7 @@ Status ComputeEffectiveness(std::vector<CandidateRepair>& candidates,
           std::vector<uint32_t>& d = shard_degree[shard];
           d.assign(num_trajs, 0);
           for (size_t i = begin; i < end; ++i) {
-            for (TrajIndex t : candidates[i].invalid_members) ++d[t];
+            for (TrajIndex t : candidates.invalid_members(i)) ++d[t];
           }
           return Status::OK();
         }));
@@ -150,16 +275,15 @@ Status ComputeEffectiveness(std::vector<CandidateRepair>& candidates,
     }
   }
 
-  // Scoring touches only the candidate's own fields plus the finished
-  // degree array, so the same shards run it without any reduction.
+  // Scoring touches only the candidate's own row plus the finished degree
+  // array, so the same shards run it without any reduction.
   return ParallelFor(
       &ThreadPool::Default(), shards,
       [&](size_t /*shard*/, size_t begin, size_t end) {
         for (size_t i = begin; i < end; ++i) {
-          CandidateRepair& r = candidates[i];
           uint32_t ra = 0;
           bool first = true;
-          for (TrajIndex t : r.invalid_members) {
+          for (TrajIndex t : candidates.invalid_members(i)) {
             uint32_t d = degree[t];
             if (first) {
               ra = d;
@@ -170,13 +294,14 @@ Status ComputeEffectiveness(std::vector<CandidateRepair>& candidates,
               ra = std::max(ra, d);
             }
           }
-          r.rarity = ra;
-          double ivt = static_cast<double>(r.invalid_members.size());
+          double ivt = static_cast<double>(candidates.num_invalid(i));
           double base = static_cast<double>(ra + options.rarity_base_offset);
           // ω(R) = sim(R) + λ · log_base(|ivt(R)|); |ivt| >= 1 by
           // construction.
-          r.effectiveness =
-              r.similarity + options.lambda * (std::log(ivt) / std::log(base));
+          candidates.set_scores(
+              i, ra,
+              candidates.similarity(i) +
+                  options.lambda * (std::log(ivt) / std::log(base)));
         }
         return Status::OK();
       });

@@ -3,9 +3,12 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/span.h"
 #include "repair/cliques.h"
+#include "repair/member_set_dictionary.h"
 #include "repair/options.h"
 #include "repair/predicates.h"
 #include "repair/trajectory_graph.h"
@@ -13,24 +16,104 @@
 
 namespace idrepair {
 
-/// A candidate repair R = (T', r) (Definition 2.6): a joinable subset given
-/// by member indices plus the target ID all members would be rewritten to.
-struct CandidateRepair {
-  /// Joinable subset jns(R), ascending TrajectorySet indices.
-  std::vector<TrajIndex> members;
+/// The candidate repairs R = (T', r) of Definition 2.6 in columnar form:
+/// one column per field, indexed by RepairIndex-compatible row number, with
+/// the two set-valued columns (jns(R) members and ivt(R) invalid members)
+/// interned in a shared MemberSetDictionary instead of one heap vector per
+/// candidate per column. On a dense instance this replaces ~2 allocations
+/// plus ~48 bytes of vector headers per candidate with two 4-byte set ids
+/// into a flat pooled arena — the storage-layer contract is DESIGN.md §9.
+///
+/// Set accessors return Span views into the arena; views are invalidated by
+/// Append/AppendFrom/AppendRemapped (never by score fills), so hold no view
+/// across a mutation.
+class CandidateSet {
+ public:
+  using SetId = MemberSetDictionary::SetId;
+
+  CandidateSet() = default;
+
+  // Movable, not copyable: rows reference the embedded dictionary, and the
+  // pipeline only ever hands the set forward.
+  CandidateSet(CandidateSet&&) = default;
+  CandidateSet& operator=(CandidateSet&&) = default;
+  CandidateSet(const CandidateSet&) = delete;
+  CandidateSet& operator=(const CandidateSet&) = delete;
+
+  size_t size() const { return member_sets_.size(); }
+  bool empty() const { return member_sets_.empty(); }
+
+  /// jns(R): joinable subset of candidate `r`, ascending TrajectorySet
+  /// indices. View into the pooled arena.
+  Span<const TrajIndex> members(size_t r) const {
+    return dict_.Get(member_sets_[r]);
+  }
+
+  /// ivt(R): the members that are invalid trajectories, ascending.
+  Span<const TrajIndex> invalid_members(size_t r) const {
+    return dict_.Get(invalid_sets_[r]);
+  }
+
+  size_t num_members(size_t r) const { return dict_.set_size(member_sets_[r]); }
+  size_t num_invalid(size_t r) const { return dict_.set_size(invalid_sets_[r]); }
+
   /// Target ID r (always the ID of one member, per the paper: repairs never
   /// invent new values).
-  std::string target_id;
-  /// ivt(R): the members that are invalid trajectories, ascending.
-  std::vector<TrajIndex> invalid_members;
-  /// sim(R) of Eq. (1): minimum member-to-target similarity.
-  double similarity = 0.0;
-  /// ra(R) of Eq. (2); filled by ComputeEffectiveness.
-  uint32_t rarity = 0;
-  /// ω(R) of Eq. (3); filled by ComputeEffectiveness.
-  double effectiveness = 0.0;
+  const std::string& target_id(size_t r) const { return target_ids_[r]; }
 
-  size_t num_invalid() const { return invalid_members.size(); }
+  /// sim(R) of Eq. (1): minimum member-to-target similarity.
+  double similarity(size_t r) const { return similarity_[r]; }
+
+  /// ra(R) of Eq. (2); filled by ComputeEffectiveness.
+  uint32_t rarity(size_t r) const { return rarity_[r]; }
+
+  /// ω(R) of Eq. (3); filled by ComputeEffectiveness.
+  double effectiveness(size_t r) const { return effectiveness_[r]; }
+
+  void set_scores(size_t r, uint32_t rarity, double effectiveness) {
+    rarity_[r] = rarity;
+    effectiveness_[r] = effectiveness;
+  }
+
+  /// Appends one candidate. Both sets must be sorted ascending; `invalid`
+  /// must be a subset of `members`. Returns the new row index.
+  size_t Append(Span<const TrajIndex> members, Span<const TrajIndex> invalid,
+                std::string target_id, double similarity);
+
+  /// Appends row `r` of `other` verbatim (re-interning its sets into this
+  /// set's dictionary). The deterministic shard-order merge primitive.
+  size_t AppendFrom(const CandidateSet& other, size_t r);
+
+  /// Appends row `r` of `other` with every member index translated through
+  /// `index_map` (local -> global), preserving element order. Used by the
+  /// partitioned engine's merge; scores are copied as-is and must be
+  /// recomputed or revalidated by the caller if the global degree profile
+  /// differs.
+  size_t AppendRemapped(const CandidateSet& other, size_t r,
+                        const std::vector<TrajIndex>& index_map);
+
+  void Reserve(size_t rows);
+
+  /// Drops the dictionary's dedup index once the set is fully built (a
+  /// later Append still works but stops deduping against earlier sets).
+  /// Engines call this when a result is finalized; it sheds the hash-map
+  /// footprint without touching any row or view.
+  void Freeze() { dict_.Freeze(); }
+
+  const MemberSetDictionary& dict() const { return dict_; }
+
+  /// Heap bytes of every column plus the pooled dictionary.
+  size_t MemoryBytes() const;
+
+ private:
+  MemberSetDictionary dict_;
+  std::vector<SetId> member_sets_;
+  std::vector<SetId> invalid_sets_;
+  std::vector<std::string> target_ids_;
+  std::vector<double> similarity_;
+  std::vector<uint32_t> rarity_;
+  std::vector<double> effectiveness_;
+  std::vector<TrajIndex> remap_scratch_;
 };
 
 /// Chooses the target ID for a joinable subset by Eq. (5): the member ID
@@ -39,7 +122,7 @@ struct CandidateRepair {
 /// locations are unlikely). Ties break to the earlier member. `members`
 /// must be non-empty.
 TrajIndex AssignTargetId(const TrajectorySet& set,
-                         const std::vector<TrajIndex>& members,
+                         Span<const TrajIndex> members,
                          const IdSimilarity& similarity);
 
 /// Phase-1 statistics for the benchmark harness.
@@ -47,6 +130,9 @@ struct GenerationStats {
   CliqueEnumerator::Stats clique_stats;
   size_t jnb_checks = 0;
   size_t joinable_subsets = 0;
+  /// Pairwise-similarity calls answered from the per-shard memo instead of
+  /// recomputed (cliques overlap heavily, so most calls repeat).
+  size_t similarity_cache_hits = 0;
 
   /// Deterministic reduction of per-shard stats: every counter adds, so the
   /// merged totals are identical for any shard decomposition — the sharded
@@ -56,6 +142,7 @@ struct GenerationStats {
     clique_stats.MergeFrom(other.clique_stats);
     jnb_checks += other.jnb_checks;
     joinable_subsets += other.joinable_subsets;
+    similarity_cache_hits += other.similarity_cache_hits;
   }
 };
 
@@ -72,7 +159,11 @@ struct GenerationStats {
 /// shard enumerates, jnb-checks, and scores its subtrees sequentially
 /// (AssignTargetId tie-breaks and the sim(R) minimum are per-clique, so no
 /// cross-shard float order exists); shard outputs and stats are merged in
-/// fixed shard order. Output is bit-identical at every thread count.
+/// fixed shard order. Output is bit-identical at every thread count: the
+/// per-shard pairwise-similarity memo caches a pure function of the two ID
+/// strings, so cached and recomputed values are the same doubles, and the
+/// shard-local scratch buffers (invalid-member assembly, remap arena) are
+/// reused across cliques instead of reallocated per candidate.
 ///
 /// Rarity and effectiveness are *not* filled here — they depend on the full
 /// candidate set; call ComputeEffectiveness next.
@@ -81,7 +172,7 @@ struct GenerationStats {
 /// failpoint) propagates through the TaskGroup's deterministic first-error
 /// rule and surfaces here as a non-OK Result; no partial candidate set is
 /// returned.
-Result<std::vector<CandidateRepair>> GenerateCandidates(
+Result<CandidateSet> GenerateCandidates(
     const TrajectorySet& set, const TrajectoryGraph& gm,
     const PredicateEvaluator& pred, const RepairOptions& options,
     const IdSimilarity& similarity, const std::vector<bool>& is_valid,
@@ -101,7 +192,7 @@ Result<std::vector<CandidateRepair>> GenerateCandidates(
 /// independent inputs). A propagated shard error leaves `candidates` with
 /// possibly part-filled rarity/effectiveness fields; callers must discard
 /// the set on error.
-Status ComputeEffectiveness(std::vector<CandidateRepair>& candidates,
+Status ComputeEffectiveness(CandidateSet& candidates,
                             const RepairOptions& options, size_t num_trajs);
 
 }  // namespace idrepair

@@ -9,22 +9,23 @@ namespace idrepair {
 
 std::string ExplainCandidate(const TrajectorySet& set,
                              const TransitionGraph& graph,
-                             const CandidateRepair& candidate,
+                             const CandidateSet& candidates, size_t r,
                              const RepairOptions& options) {
   std::ostringstream out;
+  Span<const TrajIndex> members = candidates.members(r);
   out << "join {";
-  for (size_t i = 0; i < candidate.members.size(); ++i) {
-    const Trajectory& t = set.at(candidate.members[i]);
+  for (size_t i = 0; i < members.size(); ++i) {
+    const Trajectory& t = set.at(members[i]);
     out << (i ? ", " : "") << t.ToString(graph);
   }
-  out << "} -> " << candidate.target_id;
-  out << "  [sim=" << ToFixed(candidate.similarity, 3)
-      << ", |ivt|=" << candidate.num_invalid()
-      << ", rarity=" << candidate.rarity << ", omega=sim+"
+  out << "} -> " << candidates.target_id(r);
+  out << "  [sim=" << ToFixed(candidates.similarity(r), 3)
+      << ", |ivt|=" << candidates.num_invalid(r)
+      << ", rarity=" << candidates.rarity(r) << ", omega=sim+"
       << ToFixed(options.lambda, 2) << "*log_"
-      << candidate.rarity + options.rarity_base_offset << "("
-      << candidate.num_invalid()
-      << ")=" << ToFixed(candidate.effectiveness, 3) << "]";
+      << candidates.rarity(r) + options.rarity_base_offset << "("
+      << candidates.num_invalid(r)
+      << ")=" << ToFixed(candidates.effectiveness(r), 3) << "]";
   return out.str();
 }
 
@@ -42,12 +43,14 @@ std::string ExplainRepair(const TrajectorySet& set,
       out << "  ... (" << result.selected.size() - shown << " more)\n";
       break;
     }
-    const CandidateRepair& cand = result.candidates[r];
-    out << "  " << ExplainCandidate(set, graph, cand, options) << "\n";
+    out << "  " << ExplainCandidate(set, graph, result.candidates, r, options)
+        << "\n";
     // Show the join outcome.
     std::vector<const Trajectory*> members;
-    for (TrajIndex m : cand.members) members.push_back(&set.at(m));
-    Trajectory joined = Join(members, cand.target_id);
+    for (TrajIndex m : result.candidates.members(r)) {
+      members.push_back(&set.at(m));
+    }
+    Trajectory joined = Join(members, result.candidates.target_id(r));
     out << "    => " << joined.ToString(graph) << "\n";
     ++shown;
   }

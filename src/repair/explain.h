@@ -14,7 +14,7 @@ namespace idrepair {
 /// (similarity + λ·log_{ra+offset}|ivt| = ω).
 std::string ExplainCandidate(const TrajectorySet& set,
                              const TransitionGraph& graph,
-                             const CandidateRepair& candidate,
+                             const CandidateSet& candidates, size_t r,
                              const RepairOptions& options);
 
 /// Renders a full repair run: every selected repair with its ω

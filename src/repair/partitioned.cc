@@ -140,8 +140,11 @@ Result<RepairResult> PartitionedRepairer::Repair(
   // Per-partition result slots: each task writes only its own partitions;
   // the merge below walks slots in partition order, so output is
   // bit-identical to the sequential run regardless of thread count.
-  std::vector<Result<RepairResult>> slots(
-      partitions.size(), Status::Internal("partition repair never ran"));
+  std::vector<Result<RepairResult>> slots;
+  slots.reserve(partitions.size());
+  for (size_t p = 0; p < partitions.size(); ++p) {
+    slots.emplace_back(Status::Internal("partition repair never ran"));
+  }
 
   auto repair_partition = [&](size_t p) -> Status {
     IDREPAIR_FAULT_INJECT("repair.partition.repair");
@@ -213,12 +216,12 @@ Result<RepairResult> PartitionedRepairer::Repair(
     }
     RepairResult& result = *slots[p];
 
-    // Re-index candidates and selections into global trajectory indices.
+    // Re-index candidates and selections into global trajectory indices:
+    // every member translates through `partition` (local -> global) while
+    // the rows re-intern into the combined set's dictionary.
     RepairIndex base = static_cast<RepairIndex>(combined.candidates.size());
-    for (auto& cand : result.candidates) {
-      for (TrajIndex& m : cand.members) m = partition[m];
-      for (TrajIndex& m : cand.invalid_members) m = partition[m];
-      combined.candidates.push_back(std::move(cand));
+    for (size_t r = 0; r < result.candidates.size(); ++r) {
+      combined.candidates.AppendRemapped(result.candidates, r, partition);
     }
     for (RepairIndex r : result.selected) {
       combined.selected.push_back(base + r);
@@ -255,6 +258,7 @@ Result<RepairResult> PartitionedRepairer::Repair(
   combined.total_effectiveness =
       TotalEffectiveness(combined.candidates, combined.selected);
   combined.repaired = ApplyRewrites(set, combined.rewrites);
+  combined.candidates.Freeze();  // merge complete; shed the intern index
   combined.stats.seconds_total = total.ElapsedSeconds();
   combined.stats.cpu_seconds_total = total_cpu.ElapsedSeconds();
   if (skipped > 0) {

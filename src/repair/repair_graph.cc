@@ -12,84 +12,101 @@ namespace idrepair {
 
 namespace {
 
-/// Per-trajectory cover index: covers[t] lists the candidates whose
-/// joinable subset contains trajectory t, in ascending candidate order.
-/// Repairs sharing a trajectory are exactly the pairs co-occurring in some
-/// cover list; building adjacency from cover lists avoids the quadratic
-/// all-pairs subset intersection.
-std::vector<std::vector<RepairIndex>> BuildCovers(
-    const std::vector<CandidateRepair>& candidates, size_t num_trajs) {
-  std::vector<std::vector<RepairIndex>> covers(num_trajs);
-  for (RepairIndex r = 0; r < candidates.size(); ++r) {
-    for (TrajIndex t : candidates[r].members) covers[t].push_back(r);
+/// Fills the neighbor lists for vertices [begin, end) into `arena`, writing
+/// each vertex's degree into `degree`. N(v) is the sorted-unique union of
+/// the cover lists over v's members, minus v itself — a pure function of
+/// (candidates, covers, v), so the output is independent of how the vertex
+/// range is sharded. `scratch` is caller-owned so one buffer serves a whole
+/// shard.
+void BuildVertexRange(const CandidateSet& candidates, const RepairGraph& g,
+                      size_t begin, size_t end,
+                      std::vector<RepairIndex>& arena,
+                      std::vector<uint32_t>& degree,
+                      std::vector<RepairIndex>& scratch) {
+  for (size_t v = begin; v < end; ++v) {
+    scratch.clear();
+    for (TrajIndex t : candidates.members(v)) {
+      for (RepairIndex r : g.Cover(t)) {
+        if (r != static_cast<RepairIndex>(v)) scratch.push_back(r);
+      }
+    }
+    std::sort(scratch.begin(), scratch.end());
+    scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+    degree[v] = static_cast<uint32_t>(scratch.size());
+    arena.insert(arena.end(), scratch.begin(), scratch.end());
   }
-  return covers;
 }
 
 }  // namespace
 
-RepairGraph::RepairGraph(const std::vector<CandidateRepair>& candidates,
-                         size_t num_trajs) {
-  adj_.assign(candidates.size(), {});
-  auto covers = BuildCovers(candidates, num_trajs);
-  for (const auto& list : covers) {
-    for (size_t a = 0; a < list.size(); ++a) {
-      for (size_t b = a + 1; b < list.size(); ++b) {
-        adj_[list[a]].push_back(list[b]);
-        adj_[list[b]].push_back(list[a]);
+Result<RepairGraph> RepairGraph::Build(const CandidateSet& candidates,
+                                       size_t num_trajs,
+                                       const ExecOptions& exec) {
+  RepairGraph g;
+
+  // Cover CSR first: a counting pass sizes each trajectory's slot, then a
+  // fill pass appends candidates in ascending order (the row scan is
+  // ascending, so per-trajectory lists come out sorted). This pass is
+  // linear in total membership and stays serial.
+  g.cover_offsets_.assign(num_trajs + 1, 0);
+  for (size_t r = 0; r < candidates.size(); ++r) {
+    for (TrajIndex t : candidates.members(r)) ++g.cover_offsets_[t + 1];
+  }
+  for (size_t t = 0; t < num_trajs; ++t) {
+    g.cover_offsets_[t + 1] += g.cover_offsets_[t];
+  }
+  g.cover_entries_.resize(g.cover_offsets_[num_trajs]);
+  {
+    std::vector<uint64_t> cursor(g.cover_offsets_.begin(),
+                                 g.cover_offsets_.end() - 1);
+    for (size_t r = 0; r < candidates.size(); ++r) {
+      for (TrajIndex t : candidates.members(r)) {
+        g.cover_entries_[cursor[t]++] = static_cast<RepairIndex>(r);
       }
     }
   }
-  for (auto& nbrs : adj_) {
-    std::sort(nbrs.begin(), nbrs.end());
-    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
-    num_edges_ += nbrs.size();
-  }
-  num_edges_ /= 2;
-}
 
-Result<RepairGraph> RepairGraph::Build(
-    const std::vector<CandidateRepair>& candidates, size_t num_trajs,
-    const ExecOptions& exec) {
   auto shards = SplitRange(candidates.size(), exec.ResolvedThreads(),
                            exec.min_selection_grain);
+  std::vector<uint32_t> degree(candidates.size(), 0);
+
   if (shards.size() <= 1) {
-    // Serial reference path; still one shard as far as fault injection is
-    // concerned, so chaos schedules behave the same at every thread count.
+    // Serial reference schedule; still one shard as far as fault injection
+    // is concerned, so chaos schedules behave the same at every thread
+    // count.
     if (!candidates.empty()) IDREPAIR_FAULT_INJECT("repair.selection.shard");
-    return RepairGraph(candidates, num_trajs);
+    std::vector<RepairIndex> scratch;
+    g.neighbors_.clear();
+    BuildVertexRange(candidates, g, 0, candidates.size(), g.neighbors_,
+                     degree, scratch);
+  } else {
+    // Each shard owns a contiguous vertex range and *pulls* its neighbor
+    // lists from the shared (read-only) cover index into a private arena;
+    // the arenas concatenate in shard order, which is vertex order.
+    std::vector<std::vector<RepairIndex>> slot_arena(shards.size());
+    IDREPAIR_RETURN_NOT_OK(ParallelFor(
+        &ThreadPool::Default(), shards,
+        [&](size_t shard, size_t begin, size_t end) {
+          IDREPAIR_FAULT_INJECT("repair.selection.shard");
+          obs::TraceSpan span("selection.gr.shard", shard);
+          std::vector<RepairIndex> scratch;
+          BuildVertexRange(candidates, g, begin, end, slot_arena[shard],
+                           degree, scratch);
+          return Status::OK();
+        }));
+    size_t total = 0;
+    for (const auto& arena : slot_arena) total += arena.size();
+    g.neighbors_.reserve(total);
+    for (const auto& arena : slot_arena) {
+      g.neighbors_.insert(g.neighbors_.end(), arena.begin(), arena.end());
+    }
   }
 
-  RepairGraph g;
-  g.adj_.assign(candidates.size(), {});
-  auto covers = BuildCovers(candidates, num_trajs);
-
-  // Each shard owns a contiguous vertex range and *pulls* its neighbor
-  // lists from the shared (read-only) cover index: N(v) is the sorted-
-  // unique union of covers[t] over v's members, minus v itself. That union
-  // equals the serial constructor's push-based result per vertex and is
-  // independent of shard boundaries, so the merged graph is identical at
-  // any thread count. Edge totals fold in shard order (integer sums).
-  std::vector<size_t> shard_entries(shards.size(), 0);
-  IDREPAIR_RETURN_NOT_OK(ParallelFor(
-      &ThreadPool::Default(), shards,
-      [&](size_t shard, size_t begin, size_t end) {
-        IDREPAIR_FAULT_INJECT("repair.selection.shard");
-        obs::TraceSpan span("selection.gr.shard", shard);
-        for (size_t v = begin; v < end; ++v) {
-          std::vector<RepairIndex>& nbrs = g.adj_[v];
-          for (TrajIndex t : candidates[v].members) {
-            for (RepairIndex r : covers[t]) {
-              if (r != static_cast<RepairIndex>(v)) nbrs.push_back(r);
-            }
-          }
-          std::sort(nbrs.begin(), nbrs.end());
-          nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
-          shard_entries[shard] += nbrs.size();
-        }
-        return Status::OK();
-      }));
-  for (size_t entries : shard_entries) g.num_edges_ += entries;
+  g.offsets_.assign(candidates.size() + 1, 0);
+  for (size_t v = 0; v < candidates.size(); ++v) {
+    g.offsets_[v + 1] = g.offsets_[v] + degree[v];
+    g.num_edges_ += degree[v];
+  }
   g.num_edges_ /= 2;
   return g;
 }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/span.h"
 #include "common/status.h"
 #include "exec/exec_options.h"
 #include "repair/candidates.h"
@@ -17,38 +18,69 @@ using RepairIndex = uint32_t;
 /// undirected edge wherever two repairs are *incompatible*, i.e. their
 /// joinable subsets share a trajectory. Selecting compatible repairs is then
 /// an independent-set problem on this graph.
+///
+/// Storage is compressed sparse row (DESIGN.md §9): all neighbor lists live
+/// in one flat arena indexed by a per-vertex offset table, instead of one
+/// heap vector per vertex. Neighbors() returns a Span view into the arena —
+/// valid for the graph's lifetime, since a built graph is immutable. The
+/// per-trajectory cover index (which candidates touch trajectory t) is kept
+/// in a second CSR pair and exposed via Cover(), so selectors can probe
+/// conflicts by trajectory without rebuilding it.
 class RepairGraph {
  public:
-  /// Builds Gr from the candidate set, serially. `num_trajs` is the size of
-  /// the underlying TrajectorySet. This is the reference construction that
-  /// Build() must reproduce exactly.
-  RepairGraph(const std::vector<CandidateRepair>& candidates,
-              size_t num_trajs);
+  /// Builds Gr from the candidate set with the adjacency pass sharded over
+  /// the exec pool. Shard boundaries never affect the result: each shard
+  /// derives its vertex range's neighbor list as the sorted-unique union of
+  /// the shared (read-only) cover index over the vertex's members, so the
+  /// graph is byte-identical at any thread count, including the one-shard
+  /// serial schedule. Evaluates the "repair.selection.shard" failpoint once
+  /// per shard (and once on the serial schedule when the set is non-empty),
+  /// so chaos schedules line up across thread counts.
+  static Result<RepairGraph> Build(const CandidateSet& candidates,
+                                   size_t num_trajs, const ExecOptions& exec);
 
-  /// Builds Gr with the adjacency pass sharded over the exec pool. Each
-  /// shard derives its vertex range's neighbor lists by pulling from the
-  /// shared per-trajectory cover index, so the result is identical to the
-  /// serial constructor at any thread count (the per-vertex sorted-unique
-  /// union does not depend on shard boundaries). Evaluates the
-  /// "repair.selection.shard" failpoint once per shard.
-  static Result<RepairGraph> Build(
-      const std::vector<CandidateRepair>& candidates, size_t num_trajs,
-      const ExecOptions& exec);
-
-  size_t num_vertices() const { return adj_.size(); }
+  size_t num_vertices() const { return offsets_.size() - 1; }
   size_t num_edges() const { return num_edges_; }
 
-  /// Sorted list of repairs incompatible with `v`.
-  const std::vector<RepairIndex>& Neighbors(RepairIndex v) const {
-    return adj_[v];
+  /// Sorted list of repairs incompatible with `v`. View into the CSR arena,
+  /// valid for the graph's lifetime.
+  Span<const RepairIndex> Neighbors(RepairIndex v) const {
+    return Span<const RepairIndex>(neighbors_.data() + offsets_[v],
+                                   offsets_[v + 1] - offsets_[v]);
   }
 
-  size_t Degree(RepairIndex v) const { return adj_[v].size(); }
+  size_t Degree(RepairIndex v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  size_t num_trajs() const { return cover_offsets_.size() - 1; }
+
+  /// Ascending list of candidates whose joinable subset contains trajectory
+  /// `t` — the cover index the adjacency was derived from.
+  Span<const RepairIndex> Cover(TrajIndex t) const {
+    return Span<const RepairIndex>(cover_entries_.data() + cover_offsets_[t],
+                                   cover_offsets_[t + 1] - cover_offsets_[t]);
+  }
+
+  /// Heap bytes of both CSR pairs (adjacency + cover index).
+  size_t MemoryBytes() const {
+    return offsets_.capacity() * sizeof(uint64_t) +
+           neighbors_.capacity() * sizeof(RepairIndex) +
+           cover_offsets_.capacity() * sizeof(uint64_t) +
+           cover_entries_.capacity() * sizeof(RepairIndex);
+  }
 
  private:
   RepairGraph() = default;
 
-  std::vector<std::vector<RepairIndex>> adj_;
+  // Adjacency CSR: neighbors of v are neighbors_[offsets_[v] ..
+  // offsets_[v+1]), sorted ascending.
+  std::vector<uint64_t> offsets_ = {0};
+  std::vector<RepairIndex> neighbors_;
+  // Cover CSR: candidates containing trajectory t are cover_entries_[
+  // cover_offsets_[t] .. cover_offsets_[t+1]), ascending.
+  std::vector<uint64_t> cover_offsets_ = {0};
+  std::vector<RepairIndex> cover_entries_;
   size_t num_edges_ = 0;
 };
 

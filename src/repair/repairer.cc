@@ -129,11 +129,9 @@ Result<RepairResult> IdRepairer::Repair(const TrajectorySet& set,
   auto finish_degraded = [&](Status why) -> RepairResult {
     result.completion = std::move(why);
     for (RepairIndex r : result.selected) {
-      const CandidateRepair& repair = result.candidates[r];
-      for (TrajIndex m : repair.members) {
-        if (set.at(m).id() != repair.target_id) {
-          result.rewrites[m] = repair.target_id;
-        }
+      const std::string& target = result.candidates.target_id(r);
+      for (TrajIndex m : result.candidates.members(r)) {
+        if (set.at(m).id() != target) result.rewrites[m] = target;
       }
     }
     result.repaired = ApplyRewrites(set, result.rewrites);
@@ -249,14 +247,13 @@ Result<RepairResult> IdRepairer::Repair(const TrajectorySet& set,
 
   // ---- Apply: rewrite IDs and join (Definition 2.5) ----
   for (RepairIndex r : result.selected) {
-    const CandidateRepair& repair = result.candidates[r];
-    for (TrajIndex m : repair.members) {
-      if (set.at(m).id() != repair.target_id) {
-        result.rewrites[m] = repair.target_id;
-      }
+    const std::string& target = result.candidates.target_id(r);
+    for (TrajIndex m : result.candidates.members(r)) {
+      if (set.at(m).id() != target) result.rewrites[m] = target;
     }
   }
   result.repaired = ApplyRewrites(set, result.rewrites);
+  result.candidates.Freeze();  // no further appends; shed the intern index
   result.stats.seconds_total = total.ElapsedSeconds();
   result.stats.cpu_seconds_total = total_cpu.ElapsedSeconds();
   if (obs::Enabled()) {

@@ -74,8 +74,8 @@ struct RepairStats {
 /// that only need a usable trajectory set can ignore it.
 struct RepairResult {
   /// Phase-1 output: every candidate repair with |ivt| >= 1, with rarity and
-  /// effectiveness filled in.
-  std::vector<CandidateRepair> candidates;
+  /// effectiveness filled in (columnar; set columns interned, DESIGN.md §9).
+  CandidateSet candidates;
   /// Phase-2 output: indices into `candidates`, ascending, compatible.
   std::vector<RepairIndex> selected;
   /// ID rewrites the selected repairs apply: trajectory index -> target ID.

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/bitset.h"
 #include "exec/parallel_for.h"
 #include "exec/thread_pool.h"
 #include "fault/failpoint.h"
@@ -55,10 +56,10 @@ void RecordSelection(uint64_t commits, uint64_t invalidations) {
 /// under it yields exactly what std::stable_sort by descending ω yields —
 /// and the result is independent of how the range was sharded first.
 struct EffectivenessOrder {
-  const std::vector<CandidateRepair>* candidates;
+  const CandidateSet* candidates;
   bool operator()(RepairIndex a, RepairIndex b) const {
-    double ea = (*candidates)[a].effectiveness;
-    double eb = (*candidates)[b].effectiveness;
+    double ea = candidates->effectiveness(a);
+    double eb = candidates->effectiveness(b);
     if (ea != eb) return ea > eb;
     return a < b;
   }
@@ -69,7 +70,7 @@ struct EffectivenessOrder {
 /// merge compares shard heads under the same total order, so the output is
 /// byte-identical to a serial sort at any thread count.
 Result<std::vector<RepairIndex>> OrderByEffectiveness(
-    const std::vector<CandidateRepair>& candidates, const ExecOptions& exec) {
+    const CandidateSet& candidates, const ExecOptions& exec) {
   const size_t n = candidates.size();
   std::vector<RepairIndex> order(n);
   std::iota(order.begin(), order.end(), RepairIndex{0});
@@ -131,23 +132,23 @@ std::vector<RepairIndex> GreedyByOrder(const RepairGraph& gr,
 
 std::vector<RepairIndex> EmaxSelector::Select(
     const RepairGraph& gr,
-    const std::vector<CandidateRepair>& candidates) const {
+    const CandidateSet& candidates) const {
   std::vector<RepairIndex> order(gr.num_vertices());
   std::iota(order.begin(), order.end(), RepairIndex{0});
   std::stable_sort(order.begin(), order.end(),
                    [&](RepairIndex a, RepairIndex b) {
-                     return candidates[a].effectiveness >
-                            candidates[b].effectiveness;
+                     return candidates.effectiveness(a) >
+                            candidates.effectiveness(b);
                    });
   std::vector<bool> skip(gr.num_vertices(), false);
   for (RepairIndex v = 0; v < gr.num_vertices(); ++v) {
-    skip[v] = candidates[v].effectiveness <= 0.0;
+    skip[v] = candidates.effectiveness(v) <= 0.0;
   }
   return GreedyByOrder(gr, order, &skip);
 }
 
 Result<std::vector<RepairIndex>> EmaxSelector::Select(
-    const RepairGraph& gr, const std::vector<CandidateRepair>& candidates,
+    const RepairGraph& gr, const CandidateSet& candidates,
     const SelectionContext& ctx) const {
   auto order = OrderByEffectiveness(candidates, ctx.exec);
   IDREPAIR_RETURN_NOT_OK(order.status());
@@ -164,14 +165,14 @@ Result<std::vector<RepairIndex>> EmaxSelector::Select(
   uint64_t invalidations = 0;
   for (RepairIndex v : *order) {
     if (discarded[v]) continue;
-    if (candidates[v].effectiveness <= 0.0) continue;
+    if (candidates.effectiveness(v) <= 0.0) continue;
     IDREPAIR_FAULT_INJECT("repair.selection.commit");
     if (ctx.deadline != nullptr && ctx.deadline->Expired()) break;
     out.push_back(v);
     ++commits;
     if (ctx.commit_order != nullptr) ctx.commit_order->push_back(v);
 
-    const std::vector<RepairIndex>& nbrs = gr.Neighbors(v);
+    Span<const RepairIndex> nbrs = gr.Neighbors(v);
     auto shards = SplitRange(nbrs.size(), ctx.exec.ResolvedThreads(),
                              ctx.exec.min_selection_grain);
     if (shards.size() <= 1) {
@@ -356,13 +357,13 @@ Result<std::vector<RepairIndex>> DegreeGreedyLazy(const RepairGraph& gr,
 
 std::vector<RepairIndex> DminSelector::Select(
     const RepairGraph& gr,
-    const std::vector<CandidateRepair>& candidates) const {
+    const CandidateSet& candidates) const {
   (void)candidates;
   return DegreeGreedy(gr, /*minimize=*/true);
 }
 
 Result<std::vector<RepairIndex>> DminSelector::Select(
-    const RepairGraph& gr, const std::vector<CandidateRepair>& candidates,
+    const RepairGraph& gr, const CandidateSet& candidates,
     const SelectionContext& ctx) const {
   (void)candidates;
   return DegreeGreedyLazy(gr, /*minimize=*/true, ctx);
@@ -370,13 +371,13 @@ Result<std::vector<RepairIndex>> DminSelector::Select(
 
 std::vector<RepairIndex> DmaxSelector::Select(
     const RepairGraph& gr,
-    const std::vector<CandidateRepair>& candidates) const {
+    const CandidateSet& candidates) const {
   (void)candidates;
   return DegreeGreedy(gr, /*minimize=*/false);
 }
 
 Result<std::vector<RepairIndex>> DmaxSelector::Select(
-    const RepairGraph& gr, const std::vector<CandidateRepair>& candidates,
+    const RepairGraph& gr, const CandidateSet& candidates,
     const SelectionContext& ctx) const {
   (void)candidates;
   return DegreeGreedyLazy(gr, /*minimize=*/false, ctx);
@@ -547,7 +548,7 @@ class ComponentSolver {
 
 std::vector<RepairIndex> ExactSelector::Select(
     const RepairGraph& gr,
-    const std::vector<CandidateRepair>& candidates) const {
+    const CandidateSet& candidates) const {
   size_t n = gr.num_vertices();
   // Connected components (repairs in different components never conflict).
   std::vector<int64_t> component(n, -1);
@@ -579,7 +580,7 @@ std::vector<RepairIndex> ExactSelector::Select(
     std::vector<std::vector<uint32_t>> adj(members.size());
     std::vector<double> weight(members.size());
     for (uint32_t i = 0; i < members.size(); ++i) {
-      weight[i] = candidates[members[i]].effectiveness;
+      weight[i] = candidates.effectiveness(members[i]);
       for (RepairIndex w : gr.Neighbors(members[i])) {
         adj[i].push_back(local.at(w));
       }
@@ -594,7 +595,7 @@ std::vector<RepairIndex> ExactSelector::Select(
 
 std::vector<RepairIndex> OracleSelector::Select(
     const RepairGraph& gr,
-    const std::vector<CandidateRepair>& candidates) const {
+    const CandidateSet& candidates) const {
   (void)gr;
   // Fragment sets per entity: entity -> sorted trajectory indices.
   std::unordered_map<std::string, std::vector<TrajIndex>> fragments;
@@ -603,13 +604,13 @@ std::vector<RepairIndex> OracleSelector::Select(
   }
   std::vector<RepairIndex> out;
   for (RepairIndex r = 0; r < candidates.size(); ++r) {
-    const CandidateRepair& cand = candidates[r];
-    const std::string& entity = true_ids_[cand.members.front()];
-    if (cand.target_id != entity) continue;
+    Span<const TrajIndex> members = candidates.members(r);
+    const std::string& entity = true_ids_[members.front()];
+    if (candidates.target_id(r) != entity) continue;
     auto it = fragments.find(entity);
     // Correct iff the members are exactly the entity's fragments (members
     // are already ascending; fragments built in ascending order).
-    if (it != fragments.end() && it->second == cand.members) out.push_back(r);
+    if (it != fragments.end() && members == it->second) out.push_back(r);
   }
   return out;
 }
@@ -629,28 +630,28 @@ std::unique_ptr<RepairSelector> MakeSelector(SelectionAlgorithm algorithm) {
 }
 
 std::vector<RepairIndex> SelectEmaxByCover(
-    const std::vector<CandidateRepair>& candidates, size_t num_trajs) {
+    const CandidateSet& candidates, size_t num_trajs) {
   std::vector<RepairIndex> order(candidates.size());
   std::iota(order.begin(), order.end(), RepairIndex{0});
   std::stable_sort(order.begin(), order.end(),
                    [&](RepairIndex a, RepairIndex b) {
-                     return candidates[a].effectiveness >
-                            candidates[b].effectiveness;
+                     return candidates.effectiveness(a) >
+                            candidates.effectiveness(b);
                    });
-  std::vector<bool> used(num_trajs, false);
+  DynamicBitset used(num_trajs);
   std::vector<RepairIndex> out;
   for (RepairIndex r : order) {
-    const CandidateRepair& cand = candidates[r];
-    if (cand.effectiveness <= 0.0) continue;
+    if (candidates.effectiveness(r) <= 0.0) continue;
+    Span<const TrajIndex> members = candidates.members(r);
     bool free = true;
-    for (TrajIndex m : cand.members) {
-      if (used[m]) {
+    for (TrajIndex m : members) {
+      if (used.Test(m)) {
         free = false;
         break;
       }
     }
     if (!free) continue;
-    for (TrajIndex m : cand.members) used[m] = true;
+    for (TrajIndex m : members) used.Set(m);
     out.push_back(r);
   }
   std::sort(out.begin(), out.end());
@@ -658,20 +659,20 @@ std::vector<RepairIndex> SelectEmaxByCover(
 }
 
 Result<std::vector<RepairIndex>> SelectEmaxByCover(
-    const std::vector<CandidateRepair>& candidates, size_t num_trajs,
+    const CandidateSet& candidates, size_t num_trajs,
     const SelectionContext& ctx) {
   auto order = OrderByEffectiveness(candidates, ctx.exec);
   IDREPAIR_RETURN_NOT_OK(order.status());
-  std::vector<bool> used(num_trajs, false);
+  DynamicBitset used(num_trajs);
   std::vector<RepairIndex> out;
   uint64_t commits = 0;
   uint64_t invalidations = 0;
   for (RepairIndex r : *order) {
-    const CandidateRepair& cand = candidates[r];
-    if (cand.effectiveness <= 0.0) continue;
+    if (candidates.effectiveness(r) <= 0.0) continue;
+    Span<const TrajIndex> members = candidates.members(r);
     bool free = true;
-    for (TrajIndex m : cand.members) {
-      if (used[m]) {
+    for (TrajIndex m : members) {
+      if (used.Test(m)) {
         free = false;
         break;
       }
@@ -682,7 +683,7 @@ Result<std::vector<RepairIndex>> SelectEmaxByCover(
     }
     IDREPAIR_FAULT_INJECT("repair.selection.commit");
     if (ctx.deadline != nullptr && ctx.deadline->Expired()) break;
-    for (TrajIndex m : cand.members) used[m] = true;
+    for (TrajIndex m : members) used.Set(m);
     out.push_back(r);
     ++commits;
     if (ctx.commit_order != nullptr) ctx.commit_order->push_back(r);
@@ -692,10 +693,10 @@ Result<std::vector<RepairIndex>> SelectEmaxByCover(
   return out;
 }
 
-double TotalEffectiveness(const std::vector<CandidateRepair>& candidates,
+double TotalEffectiveness(const CandidateSet& candidates,
                           const std::vector<RepairIndex>& selected) {
   double total = 0.0;
-  for (RepairIndex r : selected) total += candidates[r].effectiveness;
+  for (RepairIndex r : selected) total += candidates.effectiveness(r);
   return total;
 }
 

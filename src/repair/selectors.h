@@ -42,12 +42,12 @@ class RepairSelector {
 
   virtual std::vector<RepairIndex> Select(
       const RepairGraph& gr,
-      const std::vector<CandidateRepair>& candidates) const = 0;
+      const CandidateSet& candidates) const = 0;
 
   /// Context-aware selection. The default forwards to the serial reference
   /// (correct for selectors with no parallel form, e.g. the oracle).
   virtual Result<std::vector<RepairIndex>> Select(
-      const RepairGraph& gr, const std::vector<CandidateRepair>& candidates,
+      const RepairGraph& gr, const CandidateSet& candidates,
       const SelectionContext& ctx) const {
     (void)ctx;
     return Select(gr, candidates);
@@ -67,9 +67,9 @@ class EmaxSelector final : public RepairSelector {
   using RepairSelector::Select;
   std::vector<RepairIndex> Select(
       const RepairGraph& gr,
-      const std::vector<CandidateRepair>& candidates) const override;
+      const CandidateSet& candidates) const override;
   Result<std::vector<RepairIndex>> Select(
-      const RepairGraph& gr, const std::vector<CandidateRepair>& candidates,
+      const RepairGraph& gr, const CandidateSet& candidates,
       const SelectionContext& ctx) const override;
   std::string_view name() const override { return "EMAX"; }
 };
@@ -84,9 +84,9 @@ class DminSelector final : public RepairSelector {
   using RepairSelector::Select;
   std::vector<RepairIndex> Select(
       const RepairGraph& gr,
-      const std::vector<CandidateRepair>& candidates) const override;
+      const CandidateSet& candidates) const override;
   Result<std::vector<RepairIndex>> Select(
-      const RepairGraph& gr, const std::vector<CandidateRepair>& candidates,
+      const RepairGraph& gr, const CandidateSet& candidates,
       const SelectionContext& ctx) const override;
   std::string_view name() const override { return "DMIN"; }
 };
@@ -97,9 +97,9 @@ class DmaxSelector final : public RepairSelector {
   using RepairSelector::Select;
   std::vector<RepairIndex> Select(
       const RepairGraph& gr,
-      const std::vector<CandidateRepair>& candidates) const override;
+      const CandidateSet& candidates) const override;
   Result<std::vector<RepairIndex>> Select(
-      const RepairGraph& gr, const std::vector<CandidateRepair>& candidates,
+      const RepairGraph& gr, const CandidateSet& candidates,
       const SelectionContext& ctx) const override;
   std::string_view name() const override { return "DMAX"; }
 };
@@ -112,7 +112,7 @@ class ExactSelector final : public RepairSelector {
   using RepairSelector::Select;
   std::vector<RepairIndex> Select(
       const RepairGraph& gr,
-      const std::vector<CandidateRepair>& candidates) const override;
+      const CandidateSet& candidates) const override;
   std::string_view name() const override { return "exact"; }
 };
 
@@ -130,7 +130,7 @@ class OracleSelector final : public RepairSelector {
   using RepairSelector::Select;
   std::vector<RepairIndex> Select(
       const RepairGraph& gr,
-      const std::vector<CandidateRepair>& candidates) const override;
+      const CandidateSet& candidates) const override;
   std::string_view name() const override { return "optimal"; }
 
  private:
@@ -142,7 +142,7 @@ class OracleSelector final : public RepairSelector {
 std::unique_ptr<RepairSelector> MakeSelector(SelectionAlgorithm algorithm);
 
 /// Total effectiveness Ω of a selected set (Eq. 4's objective).
-double TotalEffectiveness(const std::vector<CandidateRepair>& candidates,
+double TotalEffectiveness(const CandidateSet& candidates,
                           const std::vector<RepairIndex>& selected);
 
 /// EMAX without materializing the repair graph: identical output to
@@ -151,14 +151,14 @@ double TotalEffectiveness(const std::vector<CandidateRepair>& candidates,
 /// rather than O(|Er|). Used by IdRepairer on large inputs, where Gr can
 /// hold hundreds of millions of edges.
 std::vector<RepairIndex> SelectEmaxByCover(
-    const std::vector<CandidateRepair>& candidates, size_t num_trajs);
+    const CandidateSet& candidates, size_t num_trajs);
 
 /// Context-aware form of the cover-mask EMAX: shard-sorts the pick order
 /// over ctx.exec, evaluates the selection failpoints, and honors
 /// ctx.deadline with a compatible-prefix cutoff. Byte-identical indices to
 /// the 2-arg form at any thread count.
 Result<std::vector<RepairIndex>> SelectEmaxByCover(
-    const std::vector<CandidateRepair>& candidates, size_t num_trajs,
+    const CandidateSet& candidates, size_t num_trajs,
     const SelectionContext& ctx);
 
 }  // namespace idrepair

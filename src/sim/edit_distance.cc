@@ -47,4 +47,60 @@ size_t EditDistanceBounded(std::string_view a, std::string_view b,
   return row[b.size()];
 }
 
+namespace {
+
+/// The banded DP kernel: exact distance when it is <= band, otherwise
+/// band + 1. `a` must be the longer string. Only cells with |i - j| <= band
+/// are evaluated; the sentinel writes just outside the band stand in for
+/// the never-computed out-of-band cells (their true values exceed band).
+size_t EditDistanceWithinBand(std::string_view a, std::string_view b,
+                              size_t band) {
+  const size_t kInf = band + 1;
+  std::vector<size_t> prev(b.size() + 1, kInf);
+  std::vector<size_t> cur(b.size() + 1, kInf);
+  for (size_t j = 0; j <= std::min(b.size(), band); ++j) prev[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t lo = i > band ? i - band : 0;
+    size_t hi = std::min(b.size(), i + band);
+    if (lo > b.size()) return kInf;  // band left the table entirely
+    size_t best = kInf;
+    size_t j = lo;
+    if (lo == 0) {
+      cur[0] = std::min(i, kInf);
+      best = cur[0];
+      j = 1;
+    } else if (lo >= 1) {
+      cur[lo - 1] = kInf;  // sentinel: insertion source outside the band
+    }
+    for (; j <= hi; ++j) {
+      size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      size_t del = prev[j] + 1;
+      size_t ins = cur[j - 1] + 1;
+      size_t v = std::min({sub, del, ins});
+      cur[j] = std::min(v, kInf);
+      best = std::min(best, cur[j]);
+    }
+    if (hi + 1 <= b.size()) cur[hi + 1] = kInf;  // sentinel for next row
+    if (best > band) return kInf;  // no in-band cell can recover
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace
+
+size_t EditDistanceBanded(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter string
+  if (b.empty()) return a.size();
+  // The distance is at least the length gap and at most |a|, so the
+  // doubling search always terminates with an in-band (exact) result.
+  size_t band = std::max<size_t>(a.size() - b.size(), 1);
+  while (band < a.size()) {
+    size_t d = EditDistanceWithinBand(a, b, band);
+    if (d <= band) return d;
+    band *= 2;
+  }
+  return EditDistanceWithinBand(a, b, a.size());
+}
+
 }  // namespace idrepair

@@ -16,6 +16,17 @@ size_t EditDistance(std::string_view a, std::string_view b);
 size_t EditDistanceBounded(std::string_view a, std::string_view b,
                            size_t limit);
 
+/// Banded Levenshtein with iterative deepening (Ukkonen): evaluates only
+/// the DP cells within `band` of the diagonal, starting from
+/// band = max(1, ||a|-|b||) and doubling until the result fits the band —
+/// at which point it is provably the exact distance (a path leaving the
+/// band costs more than the band). Always returns the exact integer
+/// distance, so similarities derived from it are bit-identical to the full
+/// DP's; for near-identical IDs (the common case when comparing a
+/// trajectory's misread variants) it runs in O(d·min(|a|,|b|)) instead of
+/// O(|a|·|b|). The cutoff rule is documented in DESIGN.md §9.
+size_t EditDistanceBanded(std::string_view a, std::string_view b);
+
 }  // namespace idrepair
 
 #endif  // IDREPAIR_SIM_EDIT_DISTANCE_H_

@@ -31,8 +31,10 @@ std::unordered_map<uint16_t, int> BigramCounts(std::string_view s) {
 double NormalizedEditSimilarity::Similarity(std::string_view a,
                                             std::string_view b) const {
   if (a.empty() && b.empty()) return 1.0;
+  // The banded form returns the same exact integer distance as the full
+  // DP, so this similarity is bit-identical to the unbanded one.
   size_t max_len = std::max(a.size(), b.size());
-  return 1.0 - static_cast<double>(EditDistance(a, b)) /
+  return 1.0 - static_cast<double>(EditDistanceBanded(a, b)) /
                    static_cast<double>(max_len);
 }
 

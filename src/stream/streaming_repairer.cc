@@ -189,23 +189,23 @@ std::vector<Trajectory> StreamingRepairer::PollImpl() {
     std::unordered_set<std::string> deferred;  // safe but in a mixed repair
     if (result.ok()) {
       for (RepairIndex r : result->selected) {
-        const CandidateRepair& cand = result->candidates[r];
+        Span<const TrajIndex> cand_members = result->candidates.members(r);
         bool all_safe = true;
-        for (TrajIndex m : cand.members) {
+        for (TrajIndex m : cand_members) {
           if (safe_ids.count(chunk.at(m).id()) == 0) all_safe = false;
         }
         if (all_safe) {
           std::vector<const Trajectory*> members;
-          for (TrajIndex m : cand.members) {
+          for (TrajIndex m : cand_members) {
             members.push_back(&chunk.at(m));
             consumed.insert(chunk.at(m).id());
           }
-          emitted.push_back(Join(members, cand.target_id));
+          emitted.push_back(Join(members, result->candidates.target_id(r)));
         } else {
           // Defer every safe member of a mixed repair; applying it later,
           // once the unsafe members become safe, reproduces the batch
           // decision.
-          for (TrajIndex m : cand.members) {
+          for (TrajIndex m : cand_members) {
             if (safe_ids.count(chunk.at(m).id()) > 0) {
               deferred.insert(chunk.at(m).id());
             }

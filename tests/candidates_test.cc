@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <numeric>
 #include <vector>
 
 #include "gen/synthetic.h"
@@ -24,7 +25,7 @@ class CandidatesFixture : public ::testing::Test {
         options_(RunningExampleOptions()),
         pred_(graph_, options_.theta, options_.eta) {}
 
-  std::vector<CandidateRepair> Generate() {
+  CandidateSet Generate() {
     TrajectoryGraph gm(set_, pred_, options_);
     std::vector<bool> is_valid(set_.size());
     for (TrajIndex i = 0; i < set_.size(); ++i) {
@@ -33,15 +34,21 @@ class CandidatesFixture : public ::testing::Test {
     auto generated = GenerateCandidates(set_, gm, pred_, options_,
                                         similarity_, is_valid, &stats_);
     EXPECT_TRUE(generated.ok()) << generated.status();
-    std::vector<CandidateRepair> candidates = std::move(generated).value();
+    CandidateSet candidates = std::move(generated).value();
     EXPECT_TRUE(
         ComputeEffectiveness(candidates, options_, set_.size()).ok());
-    // Deterministic order for assertions.
-    std::sort(candidates.begin(), candidates.end(),
-              [](const CandidateRepair& a, const CandidateRepair& b) {
-                return a.members < b.members;
-              });
-    return candidates;
+    // Deterministic order for assertions: re-emit rows sorted by member set.
+    std::vector<size_t> order(candidates.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      auto ma = candidates.members(a);
+      auto mb = candidates.members(b);
+      return std::lexicographical_compare(ma.begin(), ma.end(), mb.begin(),
+                                          mb.end());
+    });
+    CandidateSet sorted;
+    for (size_t r : order) sorted.AppendFrom(candidates, r);
+    return sorted;
   }
 
   TransitionGraph graph_;
@@ -86,29 +93,29 @@ TEST_F(CandidatesFixture, GeneratesExactlyTheExample34Repairs) {
   // R1 = ({T1}, GL21348) has no invalid member and is dropped; R2 and R3
   // remain.
   ASSERT_EQ(candidates.size(), 2u);
-  EXPECT_EQ(candidates[0].members, (std::vector<TrajIndex>{0, 1}));
-  EXPECT_EQ(candidates[0].target_id, "GL21348");
-  EXPECT_EQ(candidates[0].invalid_members, (std::vector<TrajIndex>{1}));
-  EXPECT_EQ(candidates[1].members, (std::vector<TrajIndex>{1, 2}));
-  EXPECT_EQ(candidates[1].target_id, "GL83248");
-  EXPECT_EQ(candidates[1].invalid_members, (std::vector<TrajIndex>{1, 2}));
+  EXPECT_EQ(candidates.members(0), (std::vector<TrajIndex>{0, 1}));
+  EXPECT_EQ(candidates.target_id(0), "GL21348");
+  EXPECT_EQ(candidates.invalid_members(0), (std::vector<TrajIndex>{1}));
+  EXPECT_EQ(candidates.members(1), (std::vector<TrajIndex>{1, 2}));
+  EXPECT_EQ(candidates.target_id(1), "GL83248");
+  EXPECT_EQ(candidates.invalid_members(1), (std::vector<TrajIndex>{1, 2}));
 }
 
 TEST_F(CandidatesFixture, SimilarityMatchesEquationOne) {
   auto candidates = Generate();
   ASSERT_EQ(candidates.size(), 2u);
-  EXPECT_NEAR(candidates[0].similarity, 1.0 - 4.0 / 7.0, 1e-9);  // 0.428
-  EXPECT_NEAR(candidates[1].similarity, 1.0 - 2.0 / 7.0, 1e-9);  // 0.714
+  EXPECT_NEAR(candidates.similarity(0), 1.0 - 4.0 / 7.0, 1e-9);  // 0.428
+  EXPECT_NEAR(candidates.similarity(1), 1.0 - 2.0 / 7.0, 1e-9);  // 0.714
 }
 
 TEST_F(CandidatesFixture, EffectivenessWithDefaultEquationThree) {
   auto candidates = Generate();
   ASSERT_EQ(candidates.size(), 2u);
   // R2: |ivt| = 1 so the potency term vanishes; ω = sim.
-  EXPECT_NEAR(candidates[0].effectiveness, 0.4286, 1e-3);
+  EXPECT_NEAR(candidates.effectiveness(0), 0.4286, 1e-3);
   // R3: d(T2)=2, d(T3)=1, min-rarity=1, base=2: ω = 0.714 + 0.5·log2(2).
-  EXPECT_EQ(candidates[1].rarity, 1u);
-  EXPECT_NEAR(candidates[1].effectiveness, 0.714 + 0.5, 1e-3);
+  EXPECT_EQ(candidates.rarity(1), 1u);
+  EXPECT_NEAR(candidates.effectiveness(1), 0.714 + 0.5, 1e-3);
 }
 
 TEST_F(CandidatesFixture, PaperWorkedExampleValueNeedsBaseOffsetTwo) {
@@ -117,16 +124,16 @@ TEST_F(CandidatesFixture, PaperWorkedExampleValueNeedsBaseOffsetTwo) {
   options_.rarity_base_offset = 2;
   auto candidates = Generate();
   ASSERT_EQ(candidates.size(), 2u);
-  EXPECT_NEAR(candidates[0].effectiveness, 0.428, 1e-3);
-  EXPECT_NEAR(candidates[1].effectiveness, 1.029, 1e-3);
+  EXPECT_NEAR(candidates.effectiveness(0), 0.428, 1e-3);
+  EXPECT_NEAR(candidates.effectiveness(1), 1.029, 1e-3);
 }
 
 TEST_F(CandidatesFixture, MaxRarityAggregationUsesLargestDegree) {
   options_.rarity_aggregation = RarityAggregation::kMax;
   auto candidates = Generate();
   ASSERT_EQ(candidates.size(), 2u);
-  EXPECT_EQ(candidates[1].rarity, 2u);  // max(d(T2)=2, d(T3)=1)
-  EXPECT_NEAR(candidates[1].effectiveness,
+  EXPECT_EQ(candidates.rarity(1), 2u);  // max(d(T2)=2, d(T3)=1)
+  EXPECT_NEAR(candidates.effectiveness(1),
               0.714 + 0.5 * std::log(2.0) / std::log(3.0), 1e-3);
 }
 
@@ -200,7 +207,7 @@ TEST(ParallelGenerationTest, SingleGiantComponentIsBitIdenticalAcrossThreads) {
     is_valid[i] = set.at(i).IsValid(graph);
   }
 
-  std::vector<CandidateRepair> reference;
+  CandidateSet reference;
   GenerationStats reference_stats;
   for (int threads : {1, 2, 8}) {
     RepairOptions o = options;
@@ -211,7 +218,7 @@ TEST(ParallelGenerationTest, SingleGiantComponentIsBitIdenticalAcrossThreads) {
     auto generated =
         GenerateCandidates(set, gm, pred, o, similarity, is_valid, &stats);
     ASSERT_TRUE(generated.ok()) << generated.status();
-    std::vector<CandidateRepair> candidates = std::move(generated).value();
+    CandidateSet candidates = std::move(generated).value();
     ASSERT_TRUE(ComputeEffectiveness(candidates, o, set.size()).ok());
     if (threads == 1) {
       ASSERT_GT(candidates.size(), 100u) << "workload too easy to be a test";
@@ -222,16 +229,20 @@ TEST(ParallelGenerationTest, SingleGiantComponentIsBitIdenticalAcrossThreads) {
     SCOPED_TRACE(threads);
     ASSERT_EQ(candidates.size(), reference.size());
     for (size_t i = 0; i < candidates.size(); ++i) {
-      const CandidateRepair& a = reference[i];
-      const CandidateRepair& b = candidates[i];
-      EXPECT_EQ(b.members, a.members) << "candidate " << i;
-      EXPECT_EQ(b.target_id, a.target_id) << "candidate " << i;
-      EXPECT_EQ(b.invalid_members, a.invalid_members) << "candidate " << i;
+      EXPECT_EQ(candidates.members(i), reference.members(i))
+          << "candidate " << i;
+      EXPECT_EQ(candidates.target_id(i), reference.target_id(i))
+          << "candidate " << i;
+      EXPECT_EQ(candidates.invalid_members(i), reference.invalid_members(i))
+          << "candidate " << i;
       // Bit-identical floats, not approximately equal: scoring happens
       // inside a shard in sequential order, so no summation is reordered.
-      EXPECT_EQ(b.similarity, a.similarity) << "candidate " << i;
-      EXPECT_EQ(b.rarity, a.rarity) << "candidate " << i;
-      EXPECT_EQ(b.effectiveness, a.effectiveness) << "candidate " << i;
+      EXPECT_EQ(candidates.similarity(i), reference.similarity(i))
+          << "candidate " << i;
+      EXPECT_EQ(candidates.rarity(i), reference.rarity(i))
+          << "candidate " << i;
+      EXPECT_EQ(candidates.effectiveness(i), reference.effectiveness(i))
+          << "candidate " << i;
     }
     EXPECT_EQ(stats.jnb_checks, reference_stats.jnb_checks);
     EXPECT_EQ(stats.joinable_subsets, reference_stats.joinable_subsets);
@@ -248,17 +259,17 @@ TEST_F(CandidatesFixture, LambdaScalesThePotencyTerm) {
   options_.lambda = 1.0;
   auto candidates = Generate();
   ASSERT_EQ(candidates.size(), 2u);
-  EXPECT_NEAR(candidates[1].effectiveness, 0.714 + 1.0, 1e-3);
+  EXPECT_NEAR(candidates.effectiveness(1), 0.714 + 1.0, 1e-3);
 }
 
 TEST_F(CandidatesFixture, TargetIdIsAlwaysAMemberId) {
   auto candidates = Generate();
-  for (const auto& c : candidates) {
+  for (size_t r = 0; r < candidates.size(); ++r) {
     bool found = false;
-    for (TrajIndex m : c.members) {
-      found = found || set_.at(m).id() == c.target_id;
+    for (TrajIndex m : candidates.members(r)) {
+      found = found || set_.at(m).id() == candidates.target_id(r);
     }
-    EXPECT_TRUE(found) << c.target_id;
+    EXPECT_TRUE(found) << candidates.target_id(r);
   }
 }
 
@@ -266,15 +277,15 @@ TEST_F(CandidatesFixture, RarityIsMinCoverDegreeOfInvalidMembers) {
   auto candidates = Generate();
   // Recompute degrees by hand.
   std::vector<uint32_t> degree(set_.size(), 0);
-  for (const auto& c : candidates) {
-    for (TrajIndex t : c.invalid_members) ++degree[t];
+  for (size_t r = 0; r < candidates.size(); ++r) {
+    for (TrajIndex t : candidates.invalid_members(r)) ++degree[t];
   }
-  for (const auto& c : candidates) {
+  for (size_t r = 0; r < candidates.size(); ++r) {
     uint32_t expected = UINT32_MAX;
-    for (TrajIndex t : c.invalid_members) {
+    for (TrajIndex t : candidates.invalid_members(r)) {
       expected = std::min(expected, degree[t]);
     }
-    EXPECT_EQ(c.rarity, expected);
+    EXPECT_EQ(candidates.rarity(r), expected);
   }
 }
 

@@ -4,7 +4,11 @@
 #include <string>
 #include <vector>
 
+#include "common/bitset.h"
+#include "common/flat_hash.h"
+#include "common/resource.h"
 #include "common/rng.h"
+#include "common/span.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
@@ -267,6 +271,170 @@ TEST(StopwatchTest, RestartResets) {
   for (int i = 0; i < 100000; ++i) sink = sink + i;
   w.Restart();
   EXPECT_LT(w.ElapsedSeconds(), 1.0);
+}
+
+// ------------------------------------------------------------------ Span
+
+TEST(SpanTest, ViewsVectorWithoutCopy) {
+  std::vector<uint32_t> v = {3, 1, 4, 1, 5};
+  Span<const uint32_t> s = v;
+  EXPECT_EQ(s.size(), v.size());
+  EXPECT_EQ(s.data(), v.data());  // a view, not a copy
+  EXPECT_EQ(s.front(), 3u);
+  EXPECT_EQ(s.back(), 5u);
+  EXPECT_EQ(s[2], 4u);
+}
+
+TEST(SpanTest, EmptyAndDefault) {
+  Span<const uint32_t> s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.begin(), s.end());
+  std::vector<uint32_t> empty;
+  Span<const uint32_t> e = empty;
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(s, e);
+}
+
+TEST(SpanTest, ComparesOrderedAgainstSpansAndVectors) {
+  std::vector<uint32_t> v = {1, 2, 3};
+  Span<const uint32_t> s = v;
+  EXPECT_EQ(s, (std::vector<uint32_t>{1, 2, 3}));
+  EXPECT_EQ((std::vector<uint32_t>{1, 2, 3}), s);
+  EXPECT_NE(s, (std::vector<uint32_t>{1, 3, 2}));  // order matters
+  EXPECT_NE(s, (std::vector<uint32_t>{1, 2}));
+  std::vector<uint32_t> w = {1, 2, 3};
+  EXPECT_EQ(s, Span<const uint32_t>(w));
+}
+
+TEST(SpanTest, SubspanAndToVector) {
+  std::vector<uint32_t> v = {10, 20, 30, 40};
+  Span<const uint32_t> s = v;
+  Span<const uint32_t> mid = s.subspan(1, 2);
+  EXPECT_EQ(mid, (std::vector<uint32_t>{20, 30}));
+  EXPECT_EQ(mid.ToVector(), (std::vector<uint32_t>{20, 30}));
+}
+
+TEST(SpanTest, RangeForIteration) {
+  std::vector<uint32_t> v = {2, 4, 6};
+  uint32_t sum = 0;
+  for (uint32_t x : Span<const uint32_t>(v)) sum += x;
+  EXPECT_EQ(sum, 12u);
+}
+
+// --------------------------------------------------------- FlatHash64Map
+
+TEST(FlatHash64MapTest, FindInsertRoundTrip) {
+  FlatHash64Map<uint32_t> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(42), nullptr);  // empty table: no probe, no crash
+  for (uint64_t k = 0; k < 1000; ++k) map.Insert(k * 977, uint32_t(k));
+  EXPECT_EQ(map.size(), 1000u);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    uint32_t* v = map.Find(k * 977);
+    ASSERT_NE(v, nullptr) << k;
+    EXPECT_EQ(*v, uint32_t(k));
+  }
+  EXPECT_EQ(map.Find(1), nullptr);
+  EXPECT_EQ(map.Find(FlatHash64Map<uint32_t>::kEmptyKey - 1), nullptr);
+}
+
+TEST(FlatHash64MapTest, SurvivesGrowthAcrossAdversarialKeys) {
+  // Sequential keys land in clustered slots pre-mix; the finalizer plus
+  // growth rehashing must keep every mapping intact.
+  FlatHash64Map<double> map;
+  for (uint64_t k = 0; k < 5000; ++k) map.Insert(k, k * 0.5);
+  for (uint64_t k = 0; k < 5000; ++k) {
+    double* v = map.Find(k);
+    ASSERT_NE(v, nullptr) << k;
+    EXPECT_EQ(*v, k * 0.5);
+  }
+}
+
+TEST(FlatHash64MapTest, ClearReleasesAllStorage) {
+  FlatHash64Map<uint32_t> map;
+  for (uint64_t k = 0; k < 100; ++k) map.Insert(k + 7, uint32_t(k));
+  EXPECT_GT(map.MemoryBytes(), 0u);
+  map.Clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.MemoryBytes(), 0u);
+  EXPECT_EQ(map.Find(7), nullptr);
+  map.Insert(7, 9);  // usable again after Clear
+  ASSERT_NE(map.Find(7), nullptr);
+  EXPECT_EQ(*map.Find(7), 9u);
+}
+
+// --------------------------------------------------------- DynamicBitset
+
+TEST(DynamicBitsetTest, SetTestResetAcrossWordBoundaries) {
+  DynamicBitset b(200);
+  EXPECT_EQ(b.size(), 200u);
+  for (size_t i : {0u, 63u, 64u, 127u, 128u, 199u}) {
+    EXPECT_FALSE(b.Test(i));
+    b.Set(i);
+    EXPECT_TRUE(b.Test(i));
+  }
+  EXPECT_EQ(b.Count(), 6u);
+  b.Reset(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.Count(), 5u);
+}
+
+TEST(DynamicBitsetTest, TestAndSetReportsFirstSetOnly) {
+  DynamicBitset b(70);
+  EXPECT_TRUE(b.TestAndSet(69));   // was clear
+  EXPECT_FALSE(b.TestAndSet(69));  // already set
+  EXPECT_EQ(b.Count(), 1u);
+}
+
+TEST(DynamicBitsetTest, OrWithCountReturnsNewlySetBits) {
+  DynamicBitset a(130), b(130);
+  a.Set(1);
+  a.Set(65);
+  b.Set(65);
+  b.Set(129);
+  EXPECT_EQ(a.OrWithCount(b), 1u);  // only bit 129 is new
+  EXPECT_EQ(a.Count(), 3u);
+  EXPECT_EQ(a.OrWithCount(b), 0u);  // idempotent
+}
+
+TEST(DynamicBitsetTest, IntersectsDetectsSharedBits) {
+  DynamicBitset a(100), b(100);
+  a.Set(70);
+  b.Set(71);
+  EXPECT_FALSE(a.Intersects(b));
+  b.Set(70);
+  EXPECT_TRUE(a.Intersects(b));
+}
+
+TEST(DynamicBitsetTest, AssignFillsAndClearsTail) {
+  DynamicBitset b;
+  b.Assign(70, true);
+  // All 70 logical bits set; the 58 tail bits of the last word must not
+  // leak into Count().
+  EXPECT_EQ(b.Count(), 70u);
+  b.Assign(70, false);
+  EXPECT_EQ(b.Count(), 0u);
+}
+
+TEST(DynamicBitsetTest, ResizePreservesAndClearsNewBits) {
+  DynamicBitset b(10);
+  b.Set(9);
+  b.Resize(300);
+  EXPECT_TRUE(b.Test(9));
+  for (size_t i = 10; i < 300; ++i) EXPECT_FALSE(b.Test(i));
+  EXPECT_GE(b.MemoryBytes(), DynamicBitset::WordCount(300) * 8);
+}
+
+// -------------------------------------------------------------- resource
+
+TEST(ResourceTest, RssMeasurementsArePlausible) {
+  size_t peak = PeakRssBytes();
+  size_t current = CurrentRssBytes();
+  // Both available on Linux; a running gtest binary occupies at least 1 MB.
+  EXPECT_GT(peak, 1u << 20);
+  EXPECT_GT(current, 1u << 20);
+  EXPECT_GE(peak, current / 2);  // peak is a high-water mark (coarse check)
 }
 
 }  // namespace

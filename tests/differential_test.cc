@@ -18,8 +18,10 @@
 #include <utility>
 #include <vector>
 
+#include "common/rng.h"
 #include "gen/synthetic.h"
 #include "graph/generators.h"
+#include "repair/repair_graph.h"
 #include "test_util.h"
 
 namespace idrepair {
@@ -93,15 +95,16 @@ TEST(DifferentialTest, PartitionedIsByteIdenticalToCore) {
     ASSERT_TRUE(part.ok()) << part.status();
 
     ASSERT_EQ(part->candidates.size(), core->candidates.size());
-    for (size_t i = 0; i < core->candidates.size(); ++i) {
-      const CandidateRepair& a = core->candidates[i];
-      const CandidateRepair& b = part->candidates[i];
-      EXPECT_EQ(b.members, a.members) << "candidate " << i;
-      EXPECT_EQ(b.target_id, a.target_id) << "candidate " << i;
-      EXPECT_EQ(b.invalid_members, a.invalid_members) << "candidate " << i;
-      EXPECT_EQ(b.similarity, a.similarity) << "candidate " << i;
-      EXPECT_EQ(b.rarity, a.rarity) << "candidate " << i;
-      EXPECT_EQ(b.effectiveness, a.effectiveness) << "candidate " << i;
+    const CandidateSet& a = core->candidates;
+    const CandidateSet& b = part->candidates;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(b.members(i), a.members(i)) << "candidate " << i;
+      EXPECT_EQ(b.target_id(i), a.target_id(i)) << "candidate " << i;
+      EXPECT_EQ(b.invalid_members(i), a.invalid_members(i))
+          << "candidate " << i;
+      EXPECT_EQ(b.similarity(i), a.similarity(i)) << "candidate " << i;
+      EXPECT_EQ(b.rarity(i), a.rarity(i)) << "candidate " << i;
+      EXPECT_EQ(b.effectiveness(i), a.effectiveness(i)) << "candidate " << i;
     }
     EXPECT_EQ(part->selected, core->selected);
     EXPECT_EQ(part->rewrites, core->rewrites);
@@ -184,18 +187,18 @@ TEST(DifferentialTest, CandidateEnginesApplyOnlyValidCompatibleJoins) {
       ASSERT_TRUE(result.ok()) << result.status();
       std::set<TrajIndex> used;
       for (RepairIndex r : result->selected) {
-        for (TrajIndex m : result->candidates[r].members) {
+        for (TrajIndex m : result->candidates.members(r)) {
           EXPECT_TRUE(used.insert(m).second) << "overlapping selection";
         }
       }
       auto idx = result->repaired.BuildIdIndex();
       for (RepairIndex r : result->selected) {
-        const auto& cand = result->candidates[r];
-        if (cand.members.size() < 2) continue;
-        auto it = idx.find(cand.target_id);
-        ASSERT_NE(it, idx.end()) << cand.target_id;
+        const CandidateSet& cands = result->candidates;
+        if (cands.num_members(r) < 2) continue;
+        auto it = idx.find(cands.target_id(r));
+        ASSERT_NE(it, idx.end()) << cands.target_id(r);
         EXPECT_TRUE(result->repaired.at(it->second).IsValid(s.graph))
-            << "invalid join applied to " << cand.target_id;
+            << "invalid join applied to " << cands.target_id(r);
       }
     }
   }
@@ -267,6 +270,164 @@ TEST(DifferentialTest, StreamingEmitsOnlyValidMerges) {
     ASSERT_TRUE(batch.ok()) << batch.status();
     EXPECT_EQ(batch->repaired.total_records(), s.set.total_records());
   }
+}
+
+// ------------------------------------------------ storage-layer regression
+
+// A dense conflict workload for the storage-layer suites below: 300
+// candidates over 36 trajectories in three 12-trajectory groups, each
+// candidate an 8-member subset of its group. Heavy member overlap is the
+// worst case for the seed's push-then-dedup adjacency build (every shared
+// trajectory pushed a duplicate neighbor entry) and the best case for the
+// member-set dictionary (sets repeat, invalid == members always).
+CandidateSet DenseStorageInstance(size_t* num_trajs) {
+  constexpr size_t kGroups = 3;
+  constexpr size_t kGroupTrajs = 12;
+  constexpr size_t kMembers = 8;
+  *num_trajs = kGroups * kGroupTrajs;
+  Rng rng(20260809);
+  CandidateSet out;
+  out.Reserve(300);  // production merges reserve exactly; measure that shape
+  std::vector<TrajIndex> members;
+  for (int i = 0; i < 300; ++i) {
+    TrajIndex base = static_cast<TrajIndex>((i % kGroups) * kGroupTrajs);
+    std::set<TrajIndex> picked;
+    while (picked.size() < kMembers) {
+      picked.insert(base + static_cast<TrajIndex>(rng.UniformIndex(kGroupTrajs)));
+    }
+    members.assign(picked.begin(), picked.end());
+    size_t r = out.Append(members, members, "id" + std::to_string(i % 7),
+                          0.5);
+    out.set_scores(r, 1, 0.5);
+  }
+  return out;
+}
+
+// The CSR adjacency must equal the O(n²) first-principles definition of Gr:
+// an edge wherever two candidates' member sets intersect — at every thread
+// count, and the cover index must equal a per-trajectory scan.
+TEST(StorageLayerTest, CsrAdjacencyMatchesBruteForceDefinition) {
+  size_t num_trajs = 0;
+  CandidateSet candidates = DenseStorageInstance(&num_trajs);
+
+  // Reference: direct pairwise member-set intersection.
+  std::vector<std::vector<RepairIndex>> reference(candidates.size());
+  for (size_t a = 0; a < candidates.size(); ++a) {
+    for (size_t b = a + 1; b < candidates.size(); ++b) {
+      auto ma = candidates.members(a);
+      auto mb = candidates.members(b);
+      bool intersect = std::find_first_of(ma.begin(), ma.end(), mb.begin(),
+                                          mb.end()) != ma.end();
+      if (intersect) {
+        reference[a].push_back(static_cast<RepairIndex>(b));
+        reference[b].push_back(static_cast<RepairIndex>(a));
+      }
+    }
+  }
+
+  for (int threads : {1, 2, 8}) {
+    ExecOptions exec;
+    exec.num_threads = threads;
+    exec.min_selection_grain = 1;
+    auto built = RepairGraph::Build(candidates, num_trajs, exec);
+    ASSERT_TRUE(built.ok()) << built.status();
+    size_t edges = 0;
+    for (RepairIndex v = 0; v < candidates.size(); ++v) {
+      EXPECT_EQ(built->Neighbors(v), reference[v])
+          << "threads=" << threads << " v=" << v;
+      edges += reference[v].size();
+    }
+    EXPECT_EQ(built->num_edges(), edges / 2) << "threads=" << threads;
+    for (TrajIndex t = 0; t < num_trajs; ++t) {
+      std::vector<RepairIndex> cover;
+      for (size_t r = 0; r < candidates.size(); ++r) {
+        auto m = candidates.members(r);
+        if (std::find(m.begin(), m.end(), t) != m.end()) {
+          cover.push_back(static_cast<RepairIndex>(r));
+        }
+      }
+      EXPECT_EQ(built->Cover(t), cover) << "threads=" << threads << " t=" << t;
+    }
+  }
+}
+
+namespace seedmodel {
+
+// Simulates std::vector's geometric growth under push_back: the capacity a
+// vector ends at after `pushes` appends with no reserve. The seed built its
+// per-vertex adjacency lists and candidate vectors exactly this way, and
+// sort+unique+erase never returns capacity.
+size_t GrownCapacity(size_t pushes) {
+  size_t cap = 0;
+  for (size_t size = 0; size < pushes; ++size) {
+    if (size == cap) cap = cap == 0 ? 1 : cap * 2;
+  }
+  return cap;
+}
+
+// Heap bytes of the pre-refactor candidate layout for the same logical
+// content: an AoS vector of structs, each row owning two heap vectors
+// (members, invalid_members) plus an SSO string and three scalar scores.
+size_t CandidateBytes(const CandidateSet& c) {
+  // sizeof(CandidateRepair) on this ABI: 24 (vector) + 32 (string) +
+  // 24 (vector) + 8 + 4(+4 pad) + 8 = 104 bytes.
+  constexpr size_t kRowBytes = 104;
+  size_t bytes = GrownCapacity(c.size()) * kRowBytes;
+  for (size_t r = 0; r < c.size(); ++r) {
+    bytes += c.num_members(r) * sizeof(TrajIndex);   // members heap payload
+    bytes += c.num_invalid(r) * sizeof(TrajIndex);   // invalid heap payload
+  }
+  return bytes;
+}
+
+// Heap bytes of the seed's serial Gr construction: one heap vector per
+// vertex, filled by pushing one entry per *shared trajectory occurrence*
+// (multiplicity included) and deduplicated afterwards — capacity keeps the
+// pre-dedup high-water mark.
+size_t GraphBytes(const CandidateSet& c, size_t num_trajs) {
+  std::vector<std::vector<RepairIndex>> covers(num_trajs);
+  for (RepairIndex r = 0; r < c.size(); ++r) {
+    for (TrajIndex t : c.members(r)) covers[t].push_back(r);
+  }
+  std::vector<size_t> pushes(c.size(), 0);
+  for (const auto& list : covers) {
+    for (size_t i = 0; i < list.size(); ++i) {
+      // Each co-occurrence pushed one entry into both endpoints.
+      pushes[list[i]] += list.size() - 1;
+    }
+  }
+  size_t bytes = c.size() * 24;  // per-vertex vector headers (adj_ is exact)
+  for (size_t p : pushes) bytes += GrownCapacity(p) * sizeof(RepairIndex);
+  // The covers themselves were transient in the seed; not charged.
+  return bytes;
+}
+
+}  // namespace seedmodel
+
+// The headline storage win: on the dense instance, the interned columnar
+// candidate set plus the CSR repair graph must occupy at least 4x fewer
+// bytes than the seed's AoS-plus-adjacency-vectors layout holding the same
+// logical content. Guards the storage layer against regressing into
+// per-row allocations.
+TEST(StorageLayerTest, CsrAndInterningCutCandidatePlusGraphBytes4x) {
+  size_t num_trajs = 0;
+  CandidateSet candidates = DenseStorageInstance(&num_trajs);
+  ExecOptions exec;
+  exec.num_threads = 1;
+  auto built = RepairGraph::Build(candidates, num_trajs, exec);
+  ASSERT_TRUE(built.ok()) << built.status();
+  candidates.Freeze();  // engines freeze finalized results; measure that
+
+  size_t seed_bytes = seedmodel::CandidateBytes(candidates) +
+                      seedmodel::GraphBytes(candidates, num_trajs);
+  size_t actual_bytes = candidates.MemoryBytes() + built->MemoryBytes();
+  ASSERT_GT(actual_bytes, 0u);
+  double ratio = static_cast<double>(seed_bytes) /
+                 static_cast<double>(actual_bytes);
+  EXPECT_GE(ratio, 4.0) << "seed layout " << seed_bytes << " B vs current "
+                        << actual_bytes << " B (" << ratio << "x)";
+  // Sanity on the instance shape: it really is one dense conflict workload.
+  EXPECT_GT(built->num_edges(), 10000u);
 }
 
 }  // namespace

@@ -30,12 +30,13 @@ class ExplainFixture : public ::testing::Test {
 
 TEST_F(ExplainFixture, CandidateExplanationShowsOmegaParts) {
   ASSERT_FALSE(result_.candidates.empty());
-  const CandidateRepair* r3 = nullptr;
-  for (const auto& c : result_.candidates) {
-    if (c.target_id == "GL83248") r3 = &c;
+  size_t r3 = result_.candidates.size();
+  for (size_t r = 0; r < result_.candidates.size(); ++r) {
+    if (result_.candidates.target_id(r) == "GL83248") r3 = r;
   }
-  ASSERT_NE(r3, nullptr);
-  std::string text = ExplainCandidate(set_, graph_, *r3, options_);
+  ASSERT_NE(r3, result_.candidates.size());
+  std::string text =
+      ExplainCandidate(set_, graph_, result_.candidates, r3, options_);
   EXPECT_NE(text.find("GL83248"), std::string::npos);
   EXPECT_NE(text.find("GL03245<C>"), std::string::npos);
   EXPECT_NE(text.find("sim=0.714"), std::string::npos);
@@ -57,7 +58,11 @@ TEST_F(ExplainFixture, MaxRepairsCapsTheListing) {
   std::string capped = ExplainRepair(set_, graph_, result_, options_, 0);
   EXPECT_NE(capped.find("=>"), std::string::npos);  // 0 = unlimited
   // Build a result with several selected repairs by reusing candidates.
-  RepairResult many = result_;
+  // RepairResult is move-only now, so re-run the repairer for a fresh one.
+  IdRepairer repairer(graph_, options_);
+  auto again = repairer.Repair(set_);
+  ASSERT_TRUE(again.ok());
+  RepairResult many = std::move(*again);
   many.selected = {0, 0, 0};
   std::string text = ExplainRepair(set_, graph_, many, options_, 1);
   EXPECT_NE(text.find("... (2 more)"), std::string::npos);

@@ -103,22 +103,23 @@ TEST(FormulaFuzzTest, EquationThreeMatchesDirectComputation) {
     ASSERT_TRUE(result.ok());
 
     // Oracle degree map.
+    const CandidateSet& cands = result->candidates;
     std::vector<uint32_t> degree(set.size(), 0);
-    for (const auto& cand : result->candidates) {
-      for (TrajIndex t : cand.invalid_members) ++degree[t];
+    for (size_t r = 0; r < cands.size(); ++r) {
+      for (TrajIndex t : cands.invalid_members(r)) ++degree[t];
     }
-    for (const auto& cand : result->candidates) {
+    for (size_t r = 0; r < cands.size(); ++r) {
       uint32_t ra = UINT32_MAX;
-      for (TrajIndex t : cand.invalid_members) {
+      for (TrajIndex t : cands.invalid_members(r)) {
         ra = std::min(ra, degree[t]);
       }
       double expected =
-          cand.similarity +
+          cands.similarity(r) +
           options.lambda *
-              std::log(static_cast<double>(cand.invalid_members.size())) /
+              std::log(static_cast<double>(cands.num_invalid(r))) /
               std::log(static_cast<double>(ra + options.rarity_base_offset));
-      EXPECT_EQ(cand.rarity, ra);
-      EXPECT_NEAR(cand.effectiveness, expected, 1e-12);
+      EXPECT_EQ(cands.rarity(r), ra);
+      EXPECT_NEAR(cands.effectiveness(r), expected, 1e-12);
     }
   }
 }

@@ -58,15 +58,14 @@ TEST_P(ChaosFuzzTest, PipelineSurvivesUnstructuredInput) {
   // Compatibility.
   std::set<TrajIndex> used;
   for (RepairIndex r : result->selected) {
-    for (TrajIndex m : result->candidates[r].members) {
+    for (TrajIndex m : result->candidates.members(r)) {
       EXPECT_TRUE(used.insert(m).second);
     }
   }
   // Selected joins are valid.
   auto idx = result->repaired.BuildIdIndex();
   for (RepairIndex r : result->selected) {
-    const auto& cand = result->candidates[r];
-    auto it = idx.find(cand.target_id);
+    auto it = idx.find(result->candidates.target_id(r));
     ASSERT_NE(it, idx.end());
     EXPECT_TRUE(result->repaired.at(it->second).IsValid(graph));
   }
@@ -115,7 +114,7 @@ TEST_P(ChaosFuzzTest, SelectorsAlwaysReturnCompatibleSets) {
     ASSERT_TRUE(result.ok());
     std::set<TrajIndex> used;
     for (RepairIndex r : result->selected) {
-      for (TrajIndex m : result->candidates[r].members) {
+      for (TrajIndex m : result->candidates.members(r)) {
         EXPECT_TRUE(used.insert(m).second) << "selector " << (int)alg;
       }
     }

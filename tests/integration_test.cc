@@ -59,7 +59,7 @@ TEST_P(PipelineInvariantTest, CoreInvariantsHold) {
   // 2. The selected repairs are pairwise compatible.
   std::set<TrajIndex> used;
   for (RepairIndex r : result->selected) {
-    for (TrajIndex m : result->candidates[r].members) {
+    for (TrajIndex m : result->candidates.members(r)) {
       EXPECT_TRUE(used.insert(m).second);
     }
   }
@@ -67,8 +67,7 @@ TEST_P(PipelineInvariantTest, CoreInvariantsHold) {
   // 3. Every selected repair's join is a valid trajectory.
   auto repaired_idx = result->repaired.BuildIdIndex();
   for (RepairIndex r : result->selected) {
-    const auto& cand = result->candidates[r];
-    auto it = repaired_idx.find(cand.target_id);
+    auto it = repaired_idx.find(result->candidates.target_id(r));
     ASSERT_NE(it, repaired_idx.end());
     EXPECT_TRUE(result->repaired.at(it->second).IsValid(graph));
   }
@@ -87,20 +86,22 @@ TEST_P(PipelineInvariantTest, CoreInvariantsHold) {
   }
 
   // 6. Candidate bookkeeping is internally consistent.
-  for (const auto& cand : result->candidates) {
-    EXPECT_FALSE(cand.members.empty());
-    EXPECT_FALSE(cand.invalid_members.empty());
-    EXPECT_TRUE(std::includes(cand.members.begin(), cand.members.end(),
-                              cand.invalid_members.begin(),
-                              cand.invalid_members.end()));
-    EXPECT_GE(cand.similarity, 0.0);
-    EXPECT_LE(cand.similarity, 1.0);
-    EXPECT_GE(cand.rarity, 1u);
-    EXPECT_GE(cand.effectiveness, 0.0);
+  const CandidateSet& cands = result->candidates;
+  for (size_t r = 0; r < cands.size(); ++r) {
+    auto members = cands.members(r);
+    auto invalid = cands.invalid_members(r);
+    EXPECT_FALSE(members.empty());
+    EXPECT_FALSE(invalid.empty());
+    EXPECT_TRUE(std::includes(members.begin(), members.end(),
+                              invalid.begin(), invalid.end()));
+    EXPECT_GE(cands.similarity(r), 0.0);
+    EXPECT_LE(cands.similarity(r), 1.0);
+    EXPECT_GE(cands.rarity(r), 1u);
+    EXPECT_GE(cands.effectiveness(r), 0.0);
     size_t total_records = 0;
-    for (TrajIndex m : cand.members) total_records += set.at(m).size();
+    for (TrajIndex m : members) total_records += set.at(m).size();
     EXPECT_LE(total_records, options.theta);
-    EXPECT_LE(cand.members.size(), options.zeta);
+    EXPECT_LE(members.size(), options.zeta);
   }
 }
 

@@ -112,7 +112,7 @@ TEST(PartitionedRepairTest, SelectedCandidatesUseGlobalIndices) {
   ASSERT_TRUE(result.ok());
   for (RepairIndex r : result->selected) {
     ASSERT_LT(r, result->candidates.size());
-    for (TrajIndex m : result->candidates[r].members) {
+    for (TrajIndex m : result->candidates.members(r)) {
       ASSERT_LT(m, set.size());
     }
   }
@@ -184,12 +184,12 @@ TEST(PartitionedRepairTest, DeterminismAcrossThreadCounts) {
         << threads;  // bit-identical, not just approximately equal
     ASSERT_EQ(result->candidates.size(), reference->candidates.size());
     for (size_t c = 0; c < result->candidates.size(); ++c) {
-      EXPECT_EQ(result->candidates[c].members,
-                reference->candidates[c].members);
-      EXPECT_EQ(result->candidates[c].target_id,
-                reference->candidates[c].target_id);
-      EXPECT_EQ(result->candidates[c].effectiveness,
-                reference->candidates[c].effectiveness);
+      EXPECT_EQ(result->candidates.members(c),
+                reference->candidates.members(c));
+      EXPECT_EQ(result->candidates.target_id(c),
+                reference->candidates.target_id(c));
+      EXPECT_EQ(result->candidates.effectiveness(c),
+                reference->candidates.effectiveness(c));
     }
     EXPECT_EQ(result->stats.num_partitions, reference->stats.num_partitions);
     EXPECT_EQ(result->stats.cex_evaluations,

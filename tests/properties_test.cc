@@ -277,12 +277,12 @@ TEST_P(SeededPropertyTest, PartialResultsAreDominatedAndStillValid) {
   // Every repair the partial run did apply is still a valid trajectory.
   auto idx = partial->repaired.BuildIdIndex();
   for (RepairIndex r : partial->selected) {
-    const auto& cand = partial->candidates[r];
-    if (cand.members.size() < 2) continue;
-    auto it = idx.find(cand.target_id);
-    ASSERT_NE(it, idx.end()) << cand.target_id;
+    const auto& cands = partial->candidates;
+    if (cands.num_members(r) < 2) continue;
+    auto it = idx.find(cands.target_id(r));
+    ASSERT_NE(it, idx.end()) << cands.target_id(r);
     EXPECT_TRUE(partial->repaired.at(it->second).IsValid(graph))
-        << "partial run applied an invalid join to " << cand.target_id;
+        << "partial run applied an invalid join to " << cands.target_id(r);
   }
 }
 
@@ -320,7 +320,7 @@ TEST_P(SeededPropertyTest, SelectionInvariantsHold) {
     std::vector<uint8_t> selected_mask(candidates.size(), 0);
     for (RepairIndex r : result->selected) {
       selected_mask[r] = 1;
-      for (TrajIndex m : candidates[r].members) {
+      for (TrajIndex m : candidates.members(r)) {
         EXPECT_FALSE(used[m])
             << "selected repairs share trajectory " << m << " (algorithm "
             << static_cast<int>(algorithm) << ")";
@@ -334,11 +334,11 @@ TEST_P(SeededPropertyTest, SelectionInvariantsHold) {
     for (RepairIndex r = 0; r < candidates.size(); ++r) {
       if (selected_mask[r]) continue;
       if (algorithm == SelectionAlgorithm::kEmax &&
-          candidates[r].effectiveness <= 0.0) {
+          candidates.effectiveness(r) <= 0.0) {
         continue;
       }
       bool conflicts = false;
-      for (TrajIndex m : candidates[r].members) {
+      for (TrajIndex m : candidates.members(r)) {
         if (used[m]) {
           conflicts = true;
           break;
@@ -354,12 +354,11 @@ TEST_P(SeededPropertyTest, SelectionInvariantsHold) {
     // ω(R) = sim(R) + λ · log_{ra+offset}(|ivt(R)|).
     double recomputed = 0.0;
     for (RepairIndex r : result->selected) {
-      const CandidateRepair& c = candidates[r];
-      double ivt = static_cast<double>(c.invalid_members.size());
+      double ivt = static_cast<double>(candidates.num_invalid(r));
       double base =
-          static_cast<double>(c.rarity + options.rarity_base_offset);
-      recomputed +=
-          c.similarity + options.lambda * (std::log(ivt) / std::log(base));
+          static_cast<double>(candidates.rarity(r) + options.rarity_base_offset);
+      recomputed += candidates.similarity(r) +
+                    options.lambda * (std::log(ivt) / std::log(base));
     }
     EXPECT_DOUBLE_EQ(result->total_effectiveness, recomputed);
   }

@@ -74,7 +74,7 @@ TEST(RepairerTest, SelectedRepairsAreCompatible) {
   ASSERT_TRUE(result.ok());
   std::vector<bool> used(set.size(), false);
   for (RepairIndex r : result->selected) {
-    for (TrajIndex m : result->candidates[r].members) {
+    for (TrajIndex m : result->candidates.members(r)) {
       EXPECT_FALSE(used[m]) << "trajectory " << m << " in two repairs";
       used[m] = true;
     }
@@ -93,7 +93,7 @@ TEST(RepairerTest, AppliedRepairsProduceValidTrajectories) {
   ASSERT_TRUE(result.ok());
   auto repaired_idx = result->repaired.BuildIdIndex();
   for (RepairIndex r : result->selected) {
-    const std::string& target = result->candidates[r].target_id;
+    const std::string& target = result->candidates.target_id(r);
     const Trajectory& joined = result->repaired.at(repaired_idx.at(target));
     EXPECT_TRUE(joined.IsValid(ds->graph)) << joined.ToString(ds->graph);
   }
@@ -195,7 +195,7 @@ TEST(RepairerTest, RewritesOnlyTargetSelectedMembers) {
   ASSERT_TRUE(result.ok());
   std::set<TrajIndex> selected_members;
   for (RepairIndex r : result->selected) {
-    for (TrajIndex m : result->candidates[r].members) {
+    for (TrajIndex m : result->candidates.members(r)) {
       selected_members.insert(m);
     }
   }

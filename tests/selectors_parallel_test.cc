@@ -28,21 +28,29 @@ struct Spec {
   double omega;
 };
 
-std::vector<CandidateRepair> MakeCandidates(const std::vector<Spec>& specs) {
-  std::vector<CandidateRepair> out;
+CandidateSet MakeCandidates(const std::vector<Spec>& specs) {
+  CandidateSet out;
   for (const auto& s : specs) {
-    CandidateRepair r;
-    r.members = s.members;
-    r.invalid_members = s.members;  // immaterial for selection
-    r.effectiveness = s.omega;
-    out.push_back(std::move(r));
+    // Invalid members mirror the member set — immaterial for selection.
+    size_t r = out.Append(s.members, s.members, "", 0.0);
+    out.set_scores(r, 0, s.omega);
   }
   return out;
 }
 
+// Serial-schedule Build(): threads=1 with the default grain runs the
+// one-shard reference path, which is the byte-identity baseline below.
+RepairGraph BuildSerial(const CandidateSet& candidates, size_t num_trajs) {
+  ExecOptions exec;
+  exec.num_threads = 1;
+  auto built = RepairGraph::Build(candidates, num_trajs, exec);
+  EXPECT_TRUE(built.ok());
+  return std::move(built).value();
+}
+
 // The running example's candidate set (Figure 4(b)): R1-R2 share T1, R2-R3
 // share T2.
-std::vector<CandidateRepair> RunningExampleCandidates() {
+CandidateSet RunningExampleCandidates() {
   return MakeCandidates({{{0}, 0.0}, {{0, 1}, 0.428}, {{1, 2}, 1.029}});
 }
 
@@ -53,20 +61,19 @@ std::vector<CandidateRepair> RunningExampleCandidates() {
 // zero to keep the EMAX skip rule in play.
 constexpr size_t kDenseTrajs = 40;
 
-std::vector<CandidateRepair> DenseInstance() {
+CandidateSet DenseInstance() {
   Rng rng(20260807);
-  std::vector<CandidateRepair> out;
+  CandidateSet out;
+  std::vector<TrajIndex> members_vec;
   for (int i = 0; i < 300; ++i) {
     size_t k = rng.UniformIndex(4) + 1;
     std::set<TrajIndex> members;
     while (members.size() < k) {
       members.insert(static_cast<TrajIndex>(rng.UniformIndex(kDenseTrajs)));
     }
-    CandidateRepair r;
-    r.members.assign(members.begin(), members.end());
-    r.invalid_members = r.members;
-    r.effectiveness = rng.UniformReal(-0.1, 1.5);
-    out.push_back(std::move(r));
+    members_vec.assign(members.begin(), members.end());
+    size_t r = out.Append(members_vec, members_vec, "", 0.0);
+    out.set_scores(r, 0, rng.UniformReal(-0.1, 1.5));
   }
   return out;
 }
@@ -102,11 +109,12 @@ bool IsConnected(const RepairGraph& gr) {
 
 // ------------------------------------------------- sharded graph build
 
-TEST(ParallelRepairGraphTest, BuildMatchesSerialConstructorAcrossThreads) {
-  for (const auto& candidates :
-       {RunningExampleCandidates(), DenseInstance()}) {
+TEST(ParallelRepairGraphTest, BuildMatchesSerialScheduleAcrossThreads) {
+  for (int which = 0; which < 2; ++which) {
+    CandidateSet candidates =
+        which == 0 ? RunningExampleCandidates() : DenseInstance();
     size_t num_trajs = candidates.size() == 3 ? 3 : kDenseTrajs;
-    RepairGraph serial(candidates, num_trajs);
+    RepairGraph serial = BuildSerial(candidates, num_trajs);
     for (int threads : kThreadCounts) {
       ExecOptions exec;
       exec.num_threads = threads;
@@ -126,7 +134,7 @@ TEST(ParallelRepairGraphTest, BuildMatchesSerialConstructorAcrossThreads) {
 
 TEST(ParallelRepairGraphTest, DenseInstanceIsOneComponent) {
   auto candidates = DenseInstance();
-  RepairGraph gr(candidates, kDenseTrajs);
+  RepairGraph gr = BuildSerial(candidates, kDenseTrajs);
   EXPECT_TRUE(IsConnected(gr));
 }
 
@@ -137,10 +145,11 @@ TEST(ParallelSelectorsTest, GreedySelectorsMatchSerialReferenceAcrossThreads) {
   DminSelector dmin;
   DmaxSelector dmax;
   const std::vector<const RepairSelector*> selectors = {&emax, &dmin, &dmax};
-  for (const auto& candidates :
-       {RunningExampleCandidates(), DenseInstance()}) {
+  for (int which = 0; which < 2; ++which) {
+    CandidateSet candidates =
+        which == 0 ? RunningExampleCandidates() : DenseInstance();
     size_t num_trajs = candidates.size() == 3 ? 3 : kDenseTrajs;
-    RepairGraph gr(candidates, num_trajs);
+    RepairGraph gr = BuildSerial(candidates, num_trajs);
     for (const RepairSelector* selector : selectors) {
       std::vector<RepairIndex> reference = selector->Select(gr, candidates);
       for (int threads : kThreadCounts) {
@@ -158,8 +167,9 @@ TEST(ParallelSelectorsTest, GreedySelectorsMatchSerialReferenceAcrossThreads) {
 }
 
 TEST(ParallelSelectorsTest, CoverFastPathMatchesSerialReferenceAcrossThreads) {
-  for (const auto& candidates :
-       {RunningExampleCandidates(), DenseInstance()}) {
+  for (int which = 0; which < 2; ++which) {
+    CandidateSet candidates =
+        which == 0 ? RunningExampleCandidates() : DenseInstance();
     size_t num_trajs = candidates.size() == 3 ? 3 : kDenseTrajs;
     std::vector<RepairIndex> reference =
         SelectEmaxByCover(candidates, num_trajs);
@@ -176,7 +186,7 @@ TEST(ParallelSelectorsTest, CoverFastPathMatchesSerialReferenceAcrossThreads) {
 // implementations of the same algorithm; their outputs must agree.
 TEST(ParallelSelectorsTest, CoverFastPathAgreesWithGraphEmax) {
   auto candidates = DenseInstance();
-  RepairGraph gr(candidates, kDenseTrajs);
+  RepairGraph gr = BuildSerial(candidates, kDenseTrajs);
   EmaxSelector emax;
   EXPECT_EQ(SelectEmaxByCover(candidates, kDenseTrajs),
             emax.Select(gr, candidates));
@@ -194,7 +204,7 @@ const std::vector<RepairIndex> kDenseEmaxCommitOrder = {
 
 TEST(ParallelSelectorsTest, EmaxCommitOrderIsPinned) {
   auto candidates = DenseInstance();
-  RepairGraph gr(candidates, kDenseTrajs);
+  RepairGraph gr = BuildSerial(candidates, kDenseTrajs);
   EmaxSelector emax;
   for (int threads : kThreadCounts) {
     SelectionContext ctx = MakeContext(threads);
@@ -209,8 +219,8 @@ TEST(ParallelSelectorsTest, EmaxCommitOrderIsPinned) {
     EXPECT_EQ(*selected, sorted);
     // Commits are emitted in strictly decreasing (ω, then index) order.
     for (size_t i = 1; i < commit_order.size(); ++i) {
-      double prev = candidates[commit_order[i - 1]].effectiveness;
-      double cur = candidates[commit_order[i]].effectiveness;
+      double prev = candidates.effectiveness(commit_order[i - 1]);
+      double cur = candidates.effectiveness(commit_order[i]);
       EXPECT_TRUE(prev > cur ||
                   (prev == cur && commit_order[i - 1] < commit_order[i]));
     }
@@ -221,7 +231,7 @@ TEST(ParallelSelectorsTest, RunningExampleCommitOrderIsPinned) {
   // Figure 4(b): R3 (ω=1.029) commits first and discards R2; R1 has ω=0 and
   // is never taken (Example 4.2). One commit.
   auto candidates = RunningExampleCandidates();
-  RepairGraph gr(candidates, 3);
+  RepairGraph gr = BuildSerial(candidates, 3);
   EmaxSelector emax;
   SelectionContext ctx = MakeContext(8);
   std::vector<RepairIndex> commit_order;
@@ -240,7 +250,7 @@ TEST(ParallelSelectorsTest, RunningExampleCommitOrderIsPinned) {
 // chaos_test; this pins the selector-level contract.)
 TEST(ParallelSelectorsTest, ExpiredDeadlineYieldsEmptyPrefix) {
   auto candidates = DenseInstance();
-  RepairGraph gr(candidates, kDenseTrajs);
+  RepairGraph gr = BuildSerial(candidates, kDenseTrajs);
   fault::Deadline expired = fault::Deadline::FromMillis(1);
   while (!expired.Expired()) {
   }

@@ -17,16 +17,24 @@ struct Spec {
   double omega;
 };
 
-std::vector<CandidateRepair> MakeCandidates(const std::vector<Spec>& specs) {
-  std::vector<CandidateRepair> out;
+CandidateSet MakeCandidates(const std::vector<Spec>& specs) {
+  CandidateSet out;
   for (const auto& s : specs) {
-    CandidateRepair r;
-    r.members = s.members;
-    r.invalid_members = s.members;  // immaterial for selection
-    r.effectiveness = s.omega;
-    out.push_back(std::move(r));
+    // Invalid members mirror the member set — immaterial for selection.
+    size_t r = out.Append(s.members, s.members, "", 0.0);
+    out.set_scores(r, 0, s.omega);
   }
   return out;
+}
+
+// Serial-schedule Build(): the only construction path since the serial
+// constructor was retired.
+RepairGraph BuildGraph(const CandidateSet& candidates, size_t num_trajs) {
+  ExecOptions exec;
+  exec.num_threads = 1;
+  auto built = RepairGraph::Build(candidates, num_trajs, exec);
+  EXPECT_TRUE(built.ok());
+  return std::move(built).value();
 }
 
 size_t MaxTraj(const std::vector<Spec>& specs) {
@@ -52,7 +60,7 @@ bool IsIndependent(const RepairGraph& gr,
 
 // Exhaustive optimum for cross-checking (specs must stay small).
 double BruteForceOptimum(const RepairGraph& gr,
-                         const std::vector<CandidateRepair>& candidates) {
+                         const CandidateSet& candidates) {
   size_t n = candidates.size();
   double best = 0.0;
   for (size_t mask = 0; mask < (size_t{1} << n); ++mask) {
@@ -72,7 +80,7 @@ TEST(RepairGraphTest, EdgesFollowSharedTrajectories) {
   // The running example's Gr: R1-R2 share T1, R2-R3 share T2 (Figure 4(b)).
   auto candidates =
       MakeCandidates({{{0}, 0.0}, {{0, 1}, 0.428}, {{1, 2}, 1.029}});
-  RepairGraph gr(candidates, 3);
+  RepairGraph gr = BuildGraph(candidates, 3);
   EXPECT_EQ(gr.num_vertices(), 3u);
   EXPECT_EQ(gr.num_edges(), 2u);
   EXPECT_EQ(gr.Neighbors(0), (std::vector<RepairIndex>{1}));
@@ -82,13 +90,13 @@ TEST(RepairGraphTest, EdgesFollowSharedTrajectories) {
 
 TEST(RepairGraphTest, NoDuplicateEdgesWhenSharingMultipleTrajectories) {
   auto candidates = MakeCandidates({{{0, 1}, 1.0}, {{0, 1}, 1.0}});
-  RepairGraph gr(candidates, 2);
+  RepairGraph gr = BuildGraph(candidates, 2);
   EXPECT_EQ(gr.num_edges(), 1u);
   EXPECT_EQ(gr.Degree(0), 1u);
 }
 
 TEST(RepairGraphTest, EmptyCandidateSet) {
-  RepairGraph gr({}, 5);
+  RepairGraph gr = BuildGraph(CandidateSet(), 5);
   EXPECT_EQ(gr.num_vertices(), 0u);
   EXPECT_EQ(gr.num_edges(), 0u);
 }
@@ -98,7 +106,7 @@ TEST(RepairGraphTest, EmptyCandidateSet) {
 TEST(EmaxTest, ReproducesExample42) {
   auto candidates =
       MakeCandidates({{{0}, 0.0}, {{0, 1}, 0.428}, {{1, 2}, 1.029}});
-  RepairGraph gr(candidates, 3);
+  RepairGraph gr = BuildGraph(candidates, 3);
   EmaxSelector emax;
   // R3 selected; R2 discarded as a neighbor; R1 skipped (ω = 0).
   EXPECT_EQ(emax.Select(gr, candidates), (std::vector<RepairIndex>{2}));
@@ -109,7 +117,7 @@ TEST(EmaxTest, PicksGreedyNotOptimal) {
   // EMAX takes the center (3), the optimum is the leaves (4).
   auto candidates =
       MakeCandidates({{{0, 1}, 3.0}, {{0}, 2.0}, {{1}, 2.0}});
-  RepairGraph gr(candidates, 2);
+  RepairGraph gr = BuildGraph(candidates, 2);
   EmaxSelector emax;
   EXPECT_EQ(emax.Select(gr, candidates), (std::vector<RepairIndex>{0}));
   ExactSelector exact;
@@ -132,7 +140,7 @@ TEST(EmaxTest, SelectionIsIndependentSet) {
       specs.push_back({members, rng.UniformReal(0.1, 2.0)});
     }
     auto candidates = MakeCandidates(specs);
-    RepairGraph gr(candidates, MaxTraj(specs));
+    RepairGraph gr = BuildGraph(candidates, MaxTraj(specs));
     EmaxSelector emax;
     EXPECT_TRUE(IsIndependent(gr, emax.Select(gr, candidates)));
   }
@@ -144,7 +152,7 @@ TEST(DegreeSelectorsTest, DminPrefersLowDegreeVertices) {
   // Star: center (repair over {0,1,2}) conflicts with three leaves.
   auto candidates = MakeCandidates(
       {{{0, 1, 2}, 1.0}, {{0}, 1.0}, {{1}, 1.0}, {{2}, 1.0}});
-  RepairGraph gr(candidates, 3);
+  RepairGraph gr = BuildGraph(candidates, 3);
   DminSelector dmin;
   EXPECT_EQ(dmin.Select(gr, candidates),
             (std::vector<RepairIndex>{1, 2, 3}));
@@ -168,7 +176,7 @@ TEST(DegreeSelectorsTest, SelectionsAreIndependentSets) {
       specs.push_back({members, rng.UniformReal(0.1, 2.0)});
     }
     auto candidates = MakeCandidates(specs);
-    RepairGraph gr(candidates, MaxTraj(specs));
+    RepairGraph gr = BuildGraph(candidates, MaxTraj(specs));
     DminSelector dmin;
     DmaxSelector dmax;
     EXPECT_TRUE(IsIndependent(gr, dmin.Select(gr, candidates)));
@@ -179,7 +187,7 @@ TEST(DegreeSelectorsTest, SelectionsAreIndependentSets) {
 TEST(DegreeSelectorsTest, IsolatedVerticesAllSelected) {
   auto candidates =
       MakeCandidates({{{0}, 1.0}, {{1}, 1.0}, {{2}, 1.0}});
-  RepairGraph gr(candidates, 3);
+  RepairGraph gr = BuildGraph(candidates, 3);
   DminSelector dmin;
   DmaxSelector dmax;
   EXPECT_EQ(dmin.Select(gr, candidates).size(), 3u);
@@ -206,7 +214,7 @@ TEST(ExactSelectorTest, MatchesBruteForceOnRandomInstances) {
       specs.push_back({members, rng.UniformReal(0.01, 2.0)});
     }
     auto candidates = MakeCandidates(specs);
-    RepairGraph gr(candidates, MaxTraj(specs));
+    RepairGraph gr = BuildGraph(candidates, MaxTraj(specs));
     auto selected = exact.Select(gr, candidates);
     ASSERT_TRUE(IsIndependent(gr, selected));
     double got = TotalEffectiveness(candidates, selected);
@@ -220,16 +228,17 @@ TEST(ExactSelectorTest, HandlesDisconnectedComponents) {
       {{{0}, 1.0}, {{0}, 2.0},    // component 1: pick the 2.0
        {{5}, 0.5}, {{5, 6}, 0.4},  // component 2: pick the 0.5
        {{9}, 3.0}});               // isolated
-  RepairGraph gr(candidates, 10);
+  RepairGraph gr = BuildGraph(candidates, 10);
   ExactSelector exact;
   auto selected = exact.Select(gr, candidates);
   EXPECT_EQ(selected, (std::vector<RepairIndex>{1, 2, 4}));
 }
 
 TEST(ExactSelectorTest, EmptyInput) {
-  RepairGraph gr({}, 0);
+  CandidateSet empty;
+  RepairGraph gr = BuildGraph(empty, 0);
   ExactSelector exact;
-  EXPECT_TRUE(exact.Select(gr, {}).empty());
+  EXPECT_TRUE(exact.Select(gr, empty).empty());
 }
 
 // ----------------------------------------------------------------- oracle
@@ -238,15 +247,13 @@ TEST(OracleSelectorTest, SelectsExactlyCorrectRepairs) {
   // Trajectories 0,1 belong to entity "aaa" (fragments of one trajectory);
   // trajectory 2 is entity "bbb" on its own.
   std::vector<std::string> truth = {"aaa", "aaa", "bbb"};
-  std::vector<CandidateRepair> candidates(3);
-  candidates[0].members = {0, 1};
-  candidates[0].target_id = "aaa";  // correct
-  candidates[1].members = {0, 1};
-  candidates[1].target_id = "zzz";  // wrong target
-  candidates[2].members = {1, 2};
-  candidates[2].target_id = "aaa";  // mixes entities
-  for (auto& c : candidates) c.invalid_members = c.members;
-  RepairGraph gr(candidates, 3);
+  CandidateSet candidates;
+  std::vector<TrajIndex> m01 = {0, 1};
+  std::vector<TrajIndex> m12 = {1, 2};
+  candidates.Append(m01, m01, "aaa", 0.0);  // correct
+  candidates.Append(m01, m01, "zzz", 0.0);  // wrong target
+  candidates.Append(m12, m12, "aaa", 0.0);  // mixes entities
+  RepairGraph gr = BuildGraph(candidates, 3);
   OracleSelector oracle(truth);
   EXPECT_EQ(oracle.Select(gr, candidates), (std::vector<RepairIndex>{0}));
 }
@@ -255,13 +262,12 @@ TEST(OracleSelectorTest, RequiresFullFragmentCoverage) {
   // Entity "aaa" has fragments {0, 1, 2}; a repair over {0, 1} with the
   // right target is still not the full true trajectory.
   std::vector<std::string> truth = {"aaa", "aaa", "aaa"};
-  std::vector<CandidateRepair> candidates(2);
-  candidates[0].members = {0, 1};
-  candidates[0].target_id = "aaa";
-  candidates[1].members = {0, 1, 2};
-  candidates[1].target_id = "aaa";
-  for (auto& c : candidates) c.invalid_members = c.members;
-  RepairGraph gr(candidates, 3);
+  CandidateSet candidates;
+  std::vector<TrajIndex> m01 = {0, 1};
+  std::vector<TrajIndex> m012 = {0, 1, 2};
+  candidates.Append(m01, m01, "aaa", 0.0);
+  candidates.Append(m012, m012, "aaa", 0.0);
+  RepairGraph gr = BuildGraph(candidates, 3);
   OracleSelector oracle(truth);
   EXPECT_EQ(oracle.Select(gr, candidates), (std::vector<RepairIndex>{1}));
 }
@@ -296,7 +302,7 @@ TEST(SelectEmaxByCoverTest, MatchesGraphBasedEmaxOnRandomInstances) {
       specs.push_back({members, w});
     }
     auto candidates = MakeCandidates(specs);
-    RepairGraph gr(candidates, MaxTraj(specs));
+    RepairGraph gr = BuildGraph(candidates, MaxTraj(specs));
     EXPECT_EQ(SelectEmaxByCover(candidates, MaxTraj(specs)),
               emax.Select(gr, candidates))
         << "trial " << trial;

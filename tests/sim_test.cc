@@ -94,6 +94,42 @@ TEST(EditDistanceBoundedTest, ShortCircuitsOnLengthGap) {
   EXPECT_EQ(EditDistanceBounded("abcd", "abcd", 0), 0u);
 }
 
+// ------------------------------------------------- EditDistanceBanded
+
+// The banded computation with iterative band doubling must return the
+// *exact* distance (not an approximation) for every input — it feeds
+// NormalizedEditSimilarity, whose doubles are pinned by the byte-identity
+// suites.
+TEST(EditDistanceBandedTest, ExactOnKnownValues) {
+  EXPECT_EQ(EditDistanceBanded("", ""), 0u);
+  EXPECT_EQ(EditDistanceBanded("abc", ""), 3u);
+  EXPECT_EQ(EditDistanceBanded("", "abc"), 3u);
+  EXPECT_EQ(EditDistanceBanded("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistanceBanded("GL03245", "GL21348"), 4u);
+  EXPECT_EQ(EditDistanceBanded("GL03245", "GL83248"), 2u);
+  // Worst case for a narrow band: completely different strings.
+  EXPECT_EQ(EditDistanceBanded("aaaaaaaa", "bbbbbbbb"), 8u);
+  EXPECT_EQ(EditDistanceBanded("abcdefgh", "hgfedcba"), 8u);
+}
+
+TEST(EditDistanceBandedTest, MatchesFullMatrixOnRandomStrings) {
+  Rng rng(20260809);
+  for (int i = 0; i < 500; ++i) {
+    auto make = [&] {
+      size_t len = rng.UniformIndex(14);
+      std::string s;
+      for (size_t j = 0; j < len; ++j) {
+        s.push_back(static_cast<char>('a' + rng.UniformIndex(4)));
+      }
+      return s;
+    };
+    std::string a = make();
+    std::string b = make();
+    EXPECT_EQ(EditDistanceBanded(a, b), EditDistance(a, b))
+        << "\"" << a << "\" vs \"" << b << "\"";
+  }
+}
+
 // ------------------------------------------------------- similarity metrics
 
 class SimilarityMetricTest
