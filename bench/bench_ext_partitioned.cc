@@ -19,6 +19,34 @@
 using namespace idrepair;
 using namespace idrepair::benchutil;
 
+namespace {
+
+/// Min-of-N repair (the bench_util timing policy): runs the engine
+/// kRepetitions times, returns the smallest value of `metric` in *best and
+/// moves that repetition's result into *keep. False on any failed run.
+bool MinRepair(const Repairer& engine, const TrajectorySet& set,
+               double RepairStats::*metric, Result<RepairResult>* keep,
+               double* best) {
+  bool ok = true;
+  *keep = Status::Internal("never ran");
+  *best = MinOverReps([&](int rep) {
+    auto r = engine.Repair(set);
+    if (!r.ok()) {
+      std::cerr << engine.name() << " repair failed: " << r.status() << "\n";
+      ok = false;
+      return 0.0;
+    }
+    double seconds = (*r).stats.*metric;
+    if (rep == 0 || !keep->ok() || seconds < (*keep)->stats.*metric) {
+      *keep = std::move(r);
+    }
+    return seconds;
+  });
+  return ok;
+}
+
+}  // namespace
+
 int main() {
   BenchReport report("ext_partitioned");
   TransitionGraph graph = MakeRealLikeGraph();
@@ -43,16 +71,18 @@ int main() {
     TrajectorySet set = ds->BuildObservedTrajectories();
 
     IdRepairer whole(graph, options);
-    auto batch = whole.Repair(set);
-    if (!batch.ok()) {
-      std::cerr << "batch repair failed: " << batch.status() << "\n";
+    Result<RepairResult> batch = Status::Internal("never ran");
+    double batch_seconds = 0.0;
+    if (!MinRepair(whole, set, &RepairStats::seconds_total, &batch,
+                   &batch_seconds)) {
       return 1;
     }
 
     PartitionedRepairer partitioned(graph, options);
-    auto chunked = partitioned.Repair(set);
-    if (!chunked.ok()) {
-      std::cerr << "partitioned repair failed: " << chunked.status() << "\n";
+    Result<RepairResult> chunked = Status::Internal("never ran");
+    double chunked_seconds = 0.0;
+    if (!MinRepair(partitioned, set, &RepairStats::seconds_total, &chunked,
+                   &chunked_seconds)) {
       return 1;
     }
 
@@ -60,8 +90,7 @@ int main() {
     report.Row({std::to_string(window_hours), std::to_string(set.size()),
               std::to_string(chunked->stats.num_partitions),
               std::to_string(chunked->stats.largest_partition),
-              FmtMs(batch->stats.seconds_total),
-              FmtMs(chunked->stats.seconds_total),
+              FmtMs(batch_seconds), FmtMs(chunked_seconds),
               identical ? "yes" : "NO (BUG)"});
     if (!identical) return 1;
   }
@@ -101,19 +130,11 @@ int main() {
       run_options.exec.min_partition_grain = 64;
       PartitionedRepairer engine(graph, run_options);
 
-      // Best of 3 to damp scheduler noise.
       double best = 0.0;
       Result<RepairResult> result = Status::Internal("never ran");
-      for (int rep = 0; rep < 3; ++rep) {
-        auto r = engine.Repair(set);
-        if (!r.ok()) {
-          std::cerr << "parallel repair failed: " << r.status() << "\n";
-          return 1;
-        }
-        if (rep == 0 || r->stats.seconds_total < best) {
-          best = r->stats.seconds_total;
-          result = std::move(r);
-        }
+      if (!MinRepair(engine, set, &RepairStats::seconds_total, &result,
+                     &best)) {
+        return 1;
       }
       if (threads == 1) {
         base_seconds = best;
@@ -158,7 +179,7 @@ int main() {
     TrajectorySet set = ds->BuildObservedTrajectories();
 
     report.Header({"threads", "partitions", "gen_ms", "wall_ms", "speedup",
-                 "identical"});
+                 "imbalance", "identical"});
     double base_seconds = 0.0;
     // RepairResult is move-only; keep only the fields compared below.
     std::unordered_map<TrajIndex, std::string> reference_rewrites;
@@ -171,16 +192,9 @@ int main() {
 
       double best = 0.0;
       Result<RepairResult> result = Status::Internal("never ran");
-      for (int rep = 0; rep < 3; ++rep) {
-        auto r = engine.Repair(set);
-        if (!r.ok()) {
-          std::cerr << "repair failed: " << r.status() << "\n";
-          return 1;
-        }
-        if (rep == 0 || r->stats.seconds_total < best) {
-          best = r->stats.seconds_total;
-          result = std::move(r);
-        }
+      if (!MinRepair(engine, set, &RepairStats::seconds_total, &result,
+                     &best)) {
+        return 1;
       }
       if (result->stats.num_partitions != 1) {
         std::cerr << "expected one giant component, got "
@@ -200,6 +214,7 @@ int main() {
                 std::to_string(result->stats.num_partitions),
                 FmtMs(result->stats.seconds_generation), FmtMs(best),
                 FmtRatio(base_seconds / std::max(best, 1e-9)),
+                Fmt(result->stats.sched_imbalance, 2),
                 identical ? "yes" : "NO (BUG)"});
       if (!identical) return 1;
     }
@@ -248,16 +263,9 @@ int main() {
 
       double best = 0.0;
       Result<RepairResult> result = Status::Internal("never ran");
-      for (int rep = 0; rep < 3; ++rep) {
-        auto r = engine.Repair(set);
-        if (!r.ok()) {
-          std::cerr << "repair failed: " << r.status() << "\n";
-          return 1;
-        }
-        if (rep == 0 || r->stats.seconds_selection < best) {
-          best = r->stats.seconds_selection;
-          result = std::move(r);
-        }
+      if (!MinRepair(engine, set, &RepairStats::seconds_selection, &result,
+                     &best)) {
+        return 1;
       }
       if (threads == 1) {
         base_selection = best;

@@ -1,11 +1,14 @@
 #ifndef IDREPAIR_BENCH_BENCH_UTIL_H_
 #define IDREPAIR_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/json.h"
@@ -20,6 +23,21 @@ namespace benchutil {
 /// while still averaging out generator noise (results are deterministic per
 /// seed anyway).
 inline constexpr int kRepetitions = 3;
+
+/// The harness-wide timing policy: MIN of kRepetitions, not mean or a
+/// single run. The minimum is the repetition least disturbed by the
+/// machine (scheduler preemption, cache pollution from a neighbor, a GC in
+/// an unrelated process all only ever ADD time), so it is the stable
+/// estimator speedup ratios should be built from. `run(rep)` performs one
+/// repetition and returns its seconds.
+template <typename RunFn>
+double MinOverReps(RunFn&& run) {
+  double best = run(0);
+  for (int rep = 1; rep < kRepetitions; ++rep) {
+    best = std::min(best, run(rep));
+  }
+  return best;
+}
 
 inline void PrintTitle(const std::string& title) {
   std::cout << "\n=== " << title << " ===\n";
@@ -120,6 +138,14 @@ class BenchReport {
     w.String(name_);
     w.Key("repetitions");
     w.Int(kRepetitions);
+    // Timing provenance: which estimator produced the ms columns and how
+    // much hardware the run had — without these, artifact diffs across
+    // machines (a 1-core CI box vs an 8-core workstation) read as
+    // regressions.
+    w.Key("timing_policy");
+    w.String("min_of_n");
+    w.Key("hardware_threads");
+    w.Int(static_cast<int64_t>(std::thread::hardware_concurrency()));
     // Memory block: the process peak RSS at write time (the whole run's
     // high-water mark) plus any bench-reported structure sizes, so memory
     // regressions diff as easily as timings.

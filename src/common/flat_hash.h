@@ -60,6 +60,15 @@ class FlatHash64Map {
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  /// Empties the map but KEEPS its capacity: one fill of the key array
+  /// instead of a rebuild-from-64 growth ladder. This is the per-task
+  /// reset of pool-owned scratch memos — entries from a previous input
+  /// must not leak across tasks, but the table footprint should.
+  void Reset() {
+    if (!keys_.empty()) keys_.assign(keys_.size(), kEmptyKey);
+    size_ = 0;
+  }
+
   /// Releases all storage (capacity included) — the Freeze() primitive.
   void Clear() {
     keys_.clear();

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/status.h"
+#include "exec/grain.h"
 
 namespace idrepair {
 
@@ -23,20 +24,24 @@ struct ExecOptions {
   /// inputs never pay dispatch overhead.
   size_t min_partition_grain = 64;
 
-  /// Minimum number of clique-enumeration seed vertices (and, for the
-  /// rarity pass, candidate repairs) per shard of intra-component candidate
-  /// generation. Seeds root whole search subtrees, so they are coarser work
-  /// items than trajectories; a smaller grain keeps one hot component from
-  /// serializing the batch while small components still run inline.
-  size_t min_candidate_grain = 32;
+  /// Number of clique-enumeration seed vertices (and, for the rarity
+  /// pass, candidate repairs) per work item of intra-component candidate
+  /// generation. kGrainAuto (the default) lets the cost model in
+  /// exec/grain.h pick from the work-item count and thread budget; any
+  /// positive value is an unconditional override. Seeds root whole search
+  /// subtrees, so they are coarser work items than trajectories; a smaller
+  /// grain keeps one hot clique from serializing the phase while small
+  /// components still run inline.
+  size_t min_candidate_grain = kGrainAuto;
 
-  /// Minimum number of selection-phase work items (candidates to sort,
-  /// repair-graph vertices to build, conflict neighbors to invalidate) per
-  /// shard. Selection work items are much cheaper than clique seeds — a
-  /// comparison or a flag write — so the grain is coarser still: below it
-  /// the dispatch overhead exceeds the work, and typical inputs stay on the
-  /// serial reference path.
-  size_t min_selection_grain = 1024;
+  /// Number of selection-phase work items (candidates to sort, repair-graph
+  /// vertices to build, conflict neighbors to invalidate) per shard.
+  /// kGrainAuto (the default) defers to the cost model with the selection
+  /// calibration; any positive value overrides it. Selection work items are
+  /// much cheaper than clique seeds — a comparison or a flag write — so the
+  /// calibrated grain is coarser: below it the dispatch overhead exceeds
+  /// the work, and typical inputs stay on the serial reference path.
+  size_t min_selection_grain = kGrainAuto;
 
   /// `num_threads` with the 0 default resolved against the hardware.
   int ResolvedThreads() const {
@@ -53,14 +58,9 @@ struct ExecOptions {
       return Status::InvalidArgument(
           "exec.min_partition_grain must be >= 1");
     }
-    if (min_candidate_grain == 0) {
-      return Status::InvalidArgument(
-          "exec.min_candidate_grain must be >= 1");
-    }
-    if (min_selection_grain == 0) {
-      return Status::InvalidArgument(
-          "exec.min_selection_grain must be >= 1");
-    }
+    // min_candidate_grain / min_selection_grain: every size_t is valid —
+    // kGrainAuto (0) selects the cost model, anything else is an explicit
+    // per-shard item floor.
     return Status::OK();
   }
 };

@@ -1,0 +1,42 @@
+#include "exec/grain.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace idrepair {
+
+size_t ComputeAutoGrain(size_t items, int threads, size_t calibration) {
+  if (items == 0) return 1;
+  if (threads <= 1) return items;  // single shard: the serial schedule
+  if (calibration == 0) calibration = 1;
+  size_t target_shards =
+      static_cast<size_t>(threads) * kAutoShardsPerThread;
+  size_t grain = (items + target_shards - 1) / target_shards;
+  grain = std::max(grain, calibration);
+  return std::min(grain, items);
+}
+
+size_t ResolveGrain(size_t requested, size_t items, int threads,
+                    size_t calibration) {
+  if (requested != kGrainAuto) return requested;
+  return ComputeAutoGrain(items, threads, calibration);
+}
+
+Result<size_t> ParseGrainValue(const std::string& text,
+                               const std::string& flag) {
+  if (text == "auto") return kGrainAuto;
+  if (!text.empty() && text.find_first_not_of("0123456789") ==
+                           std::string::npos) {
+    // All digits: reject only zero (and absurd lengths that can't be a
+    // realistic grain anyway).
+    if (text.size() <= 15) {
+      uint64_t value = 0;
+      for (char c : text) value = value * 10 + static_cast<uint64_t>(c - '0');
+      if (value >= 1) return static_cast<size_t>(value);
+    }
+  }
+  return Status::InvalidArgument("--" + flag + " must be 'auto' or an " +
+                                 "integer >= 1, got '" + text + "'");
+}
+
+}  // namespace idrepair

@@ -2,6 +2,7 @@
 #define IDREPAIR_EXEC_PARALLEL_FOR_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <utility>
 #include <vector>
@@ -36,6 +37,45 @@ Status ParallelFor(
     ThreadPool* pool, size_t n, int num_threads, size_t grain,
     const std::function<Status(size_t shard, size_t begin, size_t end)>&
         body);
+
+/// Scheduling footprint of one ParallelForDynamic invocation: how the
+/// blocks actually landed on workers, for the steal/imbalance summary in
+/// --stats-json. Purely observational — never feeds back into results.
+struct DynamicScheduleStats {
+  size_t items = 0;    // total work items in the range
+  size_t blocks = 0;   // work items as claimed: ceil(items / block size)
+  size_t workers = 0;  // worker tasks that claimed at least one block
+  /// Blocks claimed and busy time spent, per worker slot. Busy time is
+  /// wall time inside body() only, so claim contention is excluded.
+  std::vector<uint64_t> blocks_per_worker;
+  std::vector<uint64_t> busy_micros_per_worker;
+
+  /// Max worker busy time over the mean, across workers that claimed at
+  /// least one block: 1.0 is a perfectly balanced schedule, `workers` is
+  /// fully serialized on one worker. 1.0 when nothing ran or timing was
+  /// not collected.
+  double Imbalance() const;
+};
+
+/// Runs body(block, begin, end) over [0, n) split into fixed blocks of
+/// `block_size` items (the last block takes the remainder), claimed
+/// DYNAMICALLY: min(num_threads, num_blocks) worker tasks pull the next
+/// unclaimed block from a shared cursor until the range is exhausted, so a
+/// heavy block delays only the worker that claimed it instead of a fixed
+/// range-mate. The block decomposition is a pure function of
+/// (n, block_size) — callers merge per-block slots in block order for
+/// output that is byte-identical at any thread count and any schedule.
+///
+/// Error semantics: the first body error stops further claims (blocks
+/// already claimed finish); among the blocks that errored, the LOWEST
+/// block index wins, mirroring TaskGroup's lowest-spawn-index retention.
+/// A single worker (or a single block) runs inline on the calling thread
+/// with no pool dispatch — the serial reference schedule.
+Status ParallelForDynamic(
+    ThreadPool* pool, size_t n, int num_threads, size_t block_size,
+    const std::function<Status(size_t block, size_t begin, size_t end)>&
+        body,
+    DynamicScheduleStats* stats = nullptr);
 
 }  // namespace idrepair
 

@@ -1,5 +1,6 @@
 #include "exec/thread_pool.h"
 
+#include <atomic>
 #include <utility>
 
 #include "fault/failpoint.h"
@@ -176,6 +177,11 @@ bool ThreadPool::TryRunOneTask() {
 ThreadPool& ThreadPool::Default() {
   static ThreadPool* pool = new ThreadPool();  // leaked: lives until exit
   return *pool;
+}
+
+uint64_t ThreadPool::NextPoolId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace idrepair

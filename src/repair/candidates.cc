@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/flat_hash.h"
+#include "exec/grain.h"
 #include "exec/parallel_for.h"
 #include "exec/thread_pool.h"
 #include "fault/failpoint.h"
@@ -79,17 +80,26 @@ size_t CandidateSet::MemoryBytes() const {
 
 namespace {
 
-/// Per-shard memo of similarity.Similarity(id(a), id(b)) keyed by the
+/// Per-block memo of similarity.Similarity(id(a), id(b)) keyed by the
 /// ordered index pair. The similarity is a pure function of the two ID
 /// strings, so a memo hit returns the exact double a recomputation would —
-/// byte-identity holds at every thread count even though each shard's memo
+/// byte-identity holds at every thread count even though each block's memo
 /// sees a different call history. Cliques within a component overlap
 /// heavily, making the hit rate the dominant generation speedup on dense
 /// instances.
+///
+/// The backing table is borrowed, not owned: blocks draw it from the
+/// pool's per-thread scratch (ThreadPool::LocalScratch) so its capacity
+/// survives across blocks, and Reset() it per block — both because
+/// TrajIndex keys are component-local under the partitioned engine (a
+/// stale entry would answer for the wrong pair) and so the merged
+/// similarity_cache_hits stays a pure function of the block decomposition
+/// rather than of which thread ran which block.
 class PairSimilarityMemo {
  public:
-  PairSimilarityMemo(const TrajectorySet& set, const IdSimilarity& similarity)
-      : set_(set), similarity_(similarity) {}
+  PairSimilarityMemo(const TrajectorySet& set, const IdSimilarity& similarity,
+                     FlatHash64Map<double>& table)
+      : set_(set), similarity_(similarity), memo_(table) {}
 
   double Get(TrajIndex a, TrajIndex b) {
     // Key cannot collide with the table's reserved empty marker: both
@@ -109,8 +119,17 @@ class PairSimilarityMemo {
  private:
   const TrajectorySet& set_;
   const IdSimilarity& similarity_;
-  FlatHash64Map<double> memo_;
+  FlatHash64Map<double>& memo_;
   size_t hits_ = 0;
+};
+
+/// Pool-owned per-thread workspace for generation blocks: the similarity
+/// memo's table and the invalid-member assembly buffer, reused across every
+/// block a thread claims instead of reallocated per block. Reset per block
+/// where required (memo: always; invalid: cleared per clique).
+struct GenerationScratch {
+  FlatHash64Map<double> memo;
+  std::vector<TrajIndex> invalid;
 };
 
 /// Eq. (5) with memoized pair similarities; same tie-breaks and float
@@ -137,13 +156,12 @@ TrajIndex AssignTargetIdMemo(const TrajectorySet& set,
   return best;
 }
 
-/// One shard's private slice of the generation: the candidates rooted at
-/// its seed range, in emission order, plus its stats and reusable scratch.
-/// Shards never share mutable state; the merge walks slots in shard order.
+/// One block's private slice of the generation: the candidates rooted at
+/// its seed range, in emission order, plus its stats. Blocks never share
+/// mutable state; the merge walks slots in block order.
 struct GenerationShard {
   CandidateSet candidates;
   GenerationStats stats;
-  std::vector<TrajIndex> invalid_scratch;
 };
 
 }  // namespace
@@ -178,26 +196,36 @@ Result<CandidateSet> GenerateCandidates(
   CliqueEnumerator enumerator(set, gm, pred, options);
   std::vector<TrajIndex> seeds = enumerator.SeedVertices();
 
-  // Shard boundaries are a pure function of (|seeds|, threads, grain), so
-  // the decomposition — and therefore the merged output — never depends on
-  // timing. One seed owns the whole subtree of cliques it roots, which is
-  // exactly the intra-component unit of work.
-  auto shards = SplitRange(seeds.size(), options.exec.ResolvedThreads(),
-                           options.exec.min_candidate_grain);
-  std::vector<GenerationShard> slots(shards.size());
+  // Block boundaries are a pure function of (|seeds|, grain), so the
+  // decomposition — and therefore the merged output — never depends on
+  // timing even though blocks are CLAIMED dynamically: a seed rooting a
+  // heavy clique subtree delays only the worker that claimed its block,
+  // not a fixed range-mate. One seed owns the whole subtree of cliques it
+  // roots, which is exactly the intra-component unit of work.
+  const int threads = options.exec.ResolvedThreads();
+  const size_t grain = ResolveGrain(options.exec.min_candidate_grain,
+                                    seeds.size(), threads,
+                                    kCandidateGrainCalibration);
+  const size_t num_blocks =
+      seeds.empty() ? 0 : (seeds.size() + grain - 1) / grain;
+  std::vector<GenerationShard> slots(num_blocks);
 
-  if (shards.size() > 1) {
+  if (num_blocks > 1 && threads > 1) {
     // pck consults the transition graph's lazy exit-reachability cache;
-    // materialize it before the shards share the graph across threads.
+    // materialize it before the blocks share the graph across threads.
     pred.graph().PrepareForConcurrentUse();
   }
-  IDREPAIR_RETURN_NOT_OK(ParallelFor(
-      &ThreadPool::Default(), shards,
-      [&](size_t shard, size_t begin, size_t end) {
+  ThreadPool* pool = &ThreadPool::Default();
+  DynamicScheduleStats sched;
+  IDREPAIR_RETURN_NOT_OK(ParallelForDynamic(
+      pool, seeds.size(), threads, grain,
+      [&](size_t block, size_t begin, size_t end) {
         IDREPAIR_FAULT_INJECT("repair.generation.shard");
-        obs::TraceSpan span("generation.shard", shard);
-        GenerationShard& slot = slots[shard];
-        PairSimilarityMemo memo(set, similarity);
+        obs::TraceSpan span("generation.shard", block);
+        GenerationShard& slot = slots[block];
+        GenerationScratch& scratch = pool->LocalScratch<GenerationScratch>();
+        scratch.memo.Reset();
+        PairSimilarityMemo memo(set, similarity, scratch.memo);
         slot.stats.clique_stats = enumerator.EnumerateSeedRange(
             seeds, begin, end,
             [&](const std::vector<TrajIndex>& clique,
@@ -206,7 +234,7 @@ Result<CandidateSet> GenerateCandidates(
               if (!pred.JnbMerged(merged)) return;
               ++slot.stats.joinable_subsets;
 
-              std::vector<TrajIndex>& invalid = slot.invalid_scratch;
+              std::vector<TrajIndex>& invalid = scratch.invalid;
               invalid.clear();
               for (TrajIndex m : clique) {
                 if (!is_valid[m]) invalid.push_back(m);
@@ -224,10 +252,11 @@ Result<CandidateSet> GenerateCandidates(
             });
         slot.stats.similarity_cache_hits = memo.hits();
         return Status::OK();
-      }));
+      },
+      &sched));
 
   // Deterministic reduction: concatenate emissions and fold counters in
-  // shard order, reproducing the sequential enumeration exactly.
+  // block order, reproducing the sequential enumeration exactly.
   CandidateSet out;
   GenerationStats merged_stats;
   size_t total = 0;
@@ -239,6 +268,9 @@ Result<CandidateSet> GenerateCandidates(
       out.AppendFrom(slot.candidates, r);
     }
   }
+  merged_stats.sched_blocks = sched.blocks;
+  merged_stats.sched_workers = sched.workers;
+  merged_stats.sched_imbalance = sched.Imbalance();
   if (stats != nullptr) *stats = merged_stats;
   return out;
 }
@@ -246,8 +278,11 @@ Result<CandidateSet> GenerateCandidates(
 Status ComputeEffectiveness(CandidateSet& candidates,
                             const RepairOptions& options, size_t num_trajs) {
   obs::TraceSpan span("generation.effectiveness");
-  auto shards = SplitRange(candidates.size(), options.exec.ResolvedThreads(),
-                           options.exec.min_candidate_grain);
+  const int threads = options.exec.ResolvedThreads();
+  auto shards = SplitRange(
+      candidates.size(), threads,
+      ResolveGrain(options.exec.min_candidate_grain, candidates.size(),
+                   threads, kCandidateGrainCalibration));
 
   // d(T): how many candidate repairs cover each invalid trajectory. Each
   // shard counts its candidate range into a private array; the reduction

@@ -134,15 +134,32 @@ struct GenerationStats {
   /// recomputed (cliques overlap heavily, so most calls repeat).
   size_t similarity_cache_hits = 0;
 
+  /// Scheduling footprint of the dynamic clique-granularity scheduler
+  /// (ParallelForDynamic): seed blocks claimed, worker tasks that claimed
+  /// at least one, and the worst max/mean busy-time ratio observed (1.0 =
+  /// perfectly balanced). Observational only — results never depend on it.
+  size_t sched_blocks = 0;
+  size_t sched_workers = 0;
+  double sched_imbalance = 1.0;
+
   /// Deterministic reduction of per-shard stats: every counter adds, so the
   /// merged totals are identical for any shard decomposition — the sharded
   /// generator folds shards in fixed shard order and 1/2/8-thread runs
-  /// report the same numbers.
+  /// report the same numbers. The sched_* footprint aggregates across
+  /// invocations (blocks add, workers and imbalance take the max); it is a
+  /// property of the schedule, not of the output.
   void MergeFrom(const GenerationStats& other) {
     clique_stats.MergeFrom(other.clique_stats);
     jnb_checks += other.jnb_checks;
     joinable_subsets += other.joinable_subsets;
     similarity_cache_hits += other.similarity_cache_hits;
+    sched_blocks += other.sched_blocks;
+    sched_workers = sched_workers > other.sched_workers
+                        ? sched_workers
+                        : other.sched_workers;
+    sched_imbalance = sched_imbalance > other.sched_imbalance
+                          ? sched_imbalance
+                          : other.sched_imbalance;
   }
 };
 
@@ -153,17 +170,21 @@ struct GenerationStats {
 /// are dropped: their effectiveness is 0 by Eq. (3) and they are never
 /// selected (Example 4.2).
 ///
-/// Runs sharded over the clique-enumeration seed vertices on the shared
-/// exec pool (`options.exec`: num_threads width, min_candidate_grain seeds
-/// per shard), so one giant chain component no longer serializes. Each
-/// shard enumerates, jnb-checks, and scores its subtrees sequentially
-/// (AssignTargetId tie-breaks and the sim(R) minimum are per-clique, so no
-/// cross-shard float order exists); shard outputs and stats are merged in
-/// fixed shard order. Output is bit-identical at every thread count: the
-/// per-shard pairwise-similarity memo caches a pure function of the two ID
-/// strings, so cached and recomputed values are the same doubles, and the
-/// shard-local scratch buffers (invalid-member assembly, remap arena) are
-/// reused across cliques instead of reallocated per candidate.
+/// Runs over the clique-enumeration seed vertices on the shared exec pool,
+/// split into fixed blocks of `options.exec.min_candidate_grain` seeds
+/// (kGrainAuto selects the cost model in exec/grain.h) that workers CLAIM
+/// dynamically — a seed rooting a heavy clique subtree delays only the
+/// worker that claimed it, so one giant component no longer serializes
+/// behind a fixed range split. Each block enumerates, jnb-checks, and
+/// scores its subtrees sequentially (AssignTargetId tie-breaks and the
+/// sim(R) minimum are per-clique, so no cross-block float order exists);
+/// block outputs and stats are merged in fixed block order, making output
+/// bit-identical at every thread count and any claim schedule. The
+/// pairwise-similarity memo caches a pure function of the two ID strings
+/// (cached and recomputed values are the same doubles); its table and the
+/// invalid-member buffer live in pool-owned per-thread scratch, reused
+/// across blocks instead of reallocated per shard. The schedule's
+/// footprint is reported in the sched_* stats fields.
 ///
 /// Rarity and effectiveness are *not* filled here — they depend on the full
 /// candidate set; call ComputeEffectiveness next.

@@ -242,6 +242,11 @@ Result<RepairResult> PartitionedRepairer::Repair(
     combined.stats.pck_pruned += s.pck_pruned;
     combined.stats.jnb_checks += s.jnb_checks;
     combined.stats.joinable_subsets += s.joinable_subsets;
+    combined.stats.sched_blocks += s.sched_blocks;
+    combined.stats.sched_workers =
+        std::max(combined.stats.sched_workers, s.sched_workers);
+    combined.stats.sched_imbalance =
+        std::max(combined.stats.sched_imbalance, s.sched_imbalance);
     combined.stats.num_candidates += s.num_candidates;
     combined.stats.gr_edges += s.gr_edges;
     combined.stats.num_selected += s.num_selected;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "exec/grain.h"
 #include "exec/parallel_for.h"
 #include "exec/thread_pool.h"
 #include "fault/failpoint.h"
@@ -66,8 +67,11 @@ Result<RepairGraph> RepairGraph::Build(const CandidateSet& candidates,
     }
   }
 
-  auto shards = SplitRange(candidates.size(), exec.ResolvedThreads(),
-                           exec.min_selection_grain);
+  const int threads = exec.ResolvedThreads();
+  auto shards = SplitRange(
+      candidates.size(), threads,
+      ResolveGrain(exec.min_selection_grain, candidates.size(), threads,
+                   kSelectionGrainCalibration));
   std::vector<uint32_t> degree(candidates.size(), 0);
 
   if (shards.size() <= 1) {
@@ -82,14 +86,18 @@ Result<RepairGraph> RepairGraph::Build(const CandidateSet& candidates,
   } else {
     // Each shard owns a contiguous vertex range and *pulls* its neighbor
     // lists from the shared (read-only) cover index into a private arena;
-    // the arenas concatenate in shard order, which is vertex order.
+    // the arenas concatenate in shard order, which is vertex order. The
+    // sort scratch comes from pool-owned per-thread storage so its
+    // capacity survives across shards and Build calls.
     std::vector<std::vector<RepairIndex>> slot_arena(shards.size());
+    ThreadPool* pool = &ThreadPool::Default();
     IDREPAIR_RETURN_NOT_OK(ParallelFor(
-        &ThreadPool::Default(), shards,
+        pool, shards,
         [&](size_t shard, size_t begin, size_t end) {
           IDREPAIR_FAULT_INJECT("repair.selection.shard");
           obs::TraceSpan span("selection.gr.shard", shard);
-          std::vector<RepairIndex> scratch;
+          std::vector<RepairIndex>& scratch =
+              pool->LocalScratch<std::vector<RepairIndex>>();
           BuildVertexRange(candidates, g, begin, end, slot_arena[shard],
                            degree, scratch);
           return Status::OK();

@@ -180,6 +180,9 @@ Result<RepairResult> IdRepairer::Repair(const TrajectorySet& set,
   result.stats.pck_pruned = gen_stats.clique_stats.pck_pruned;
   result.stats.jnb_checks = gen_stats.jnb_checks;
   result.stats.joinable_subsets = gen_stats.joinable_subsets;
+  result.stats.sched_blocks = gen_stats.sched_blocks;
+  result.stats.sched_workers = gen_stats.sched_workers;
+  result.stats.sched_imbalance = gen_stats.sched_imbalance;
   result.stats.num_candidates = result.candidates.size();
 
   if (deadline.Expired()) {

@@ -51,6 +51,15 @@ struct RepairStats {
   // engine does not partition).
   size_t num_partitions = 0;
   size_t largest_partition = 0;     // trajectories in the biggest component
+  // Dynamic-scheduler footprint of the generation phase (ParallelForDynamic
+  // over clique seeds): blocks claimed, worker tasks that claimed at least
+  // one, and the worst max/mean busy-time ratio (1.0 = balanced). Under the
+  // partitioned engine these aggregate across partitions (blocks add,
+  // workers and imbalance take the max). Observational only — never feeds
+  // back into results.
+  size_t sched_blocks = 0;
+  size_t sched_workers = 0;
+  double sched_imbalance = 1.0;
 };
 
 /// The outcome of one repair run.

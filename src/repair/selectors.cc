@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/bitset.h"
+#include "exec/grain.h"
 #include "exec/parallel_for.h"
 #include "exec/thread_pool.h"
 #include "fault/failpoint.h"
@@ -76,8 +77,10 @@ Result<std::vector<RepairIndex>> OrderByEffectiveness(
   std::iota(order.begin(), order.end(), RepairIndex{0});
   EffectivenessOrder before{&candidates};
 
-  auto shards = SplitRange(n, exec.ResolvedThreads(),
-                           exec.min_selection_grain);
+  const int threads = exec.ResolvedThreads();
+  auto shards = SplitRange(n, threads,
+                           ResolveGrain(exec.min_selection_grain, n, threads,
+                                        kSelectionGrainCalibration));
   if (shards.size() <= 1) {
     if (n != 0) IDREPAIR_FAULT_INJECT("repair.selection.shard");
     std::sort(order.begin(), order.end(), before);
@@ -163,6 +166,10 @@ Result<std::vector<RepairIndex>> EmaxSelector::Select(
   std::vector<RepairIndex> out;
   uint64_t commits = 0;
   uint64_t invalidations = 0;
+  const int threads = ctx.exec.ResolvedThreads();
+  // Hoisted per-commit scratch: the fan re-sizes it in place instead of
+  // allocating a fresh vector per committed repair.
+  std::vector<uint64_t> shard_invalidations;
   for (RepairIndex v : *order) {
     if (discarded[v]) continue;
     if (candidates.effectiveness(v) <= 0.0) continue;
@@ -173,8 +180,10 @@ Result<std::vector<RepairIndex>> EmaxSelector::Select(
     if (ctx.commit_order != nullptr) ctx.commit_order->push_back(v);
 
     Span<const RepairIndex> nbrs = gr.Neighbors(v);
-    auto shards = SplitRange(nbrs.size(), ctx.exec.ResolvedThreads(),
-                             ctx.exec.min_selection_grain);
+    auto shards = SplitRange(
+        nbrs.size(), threads,
+        ResolveGrain(ctx.exec.min_selection_grain, nbrs.size(), threads,
+                     kSelectionGrainCalibration));
     if (shards.size() <= 1) {
       for (RepairIndex w : nbrs) {
         if (!discarded[w]) {
@@ -183,7 +192,7 @@ Result<std::vector<RepairIndex>> EmaxSelector::Select(
         }
       }
     } else {
-      std::vector<uint64_t> shard_invalidations(shards.size(), 0);
+      shard_invalidations.assign(shards.size(), 0);
       IDREPAIR_RETURN_NOT_OK(ParallelFor(
           &ThreadPool::Default(), shards,
           [&](size_t shard, size_t begin, size_t end) {
@@ -283,6 +292,15 @@ Result<std::vector<RepairIndex>> DegreeGreedyLazy(const RepairGraph& gr,
   std::vector<RepairIndex> batch;
   uint64_t commits = 0;
   uint64_t invalidations = 0;
+  const int threads = ctx.exec.ResolvedThreads();
+  // An explicit grain doubles as the fan-out gate (small batches stay
+  // serial); the auto sentinel would gate at 0 edges and shard every
+  // batch, so it maps to the calibrated edge threshold instead.
+  const size_t rescore_gate = ctx.exec.min_selection_grain == kGrainAuto
+                                  ? kSelectionRescoreGateEdges
+                                  : ctx.exec.min_selection_grain;
+  // Hoisted per-commit scratch (inner vectors keep their capacity).
+  std::vector<std::vector<RepairIndex>> shard_touched;
   while (!heap.empty()) {
     Entry top = heap.top();
     heap.pop();
@@ -313,10 +331,9 @@ Result<std::vector<RepairIndex>> DegreeGreedyLazy(const RepairGraph& gr,
     // order, so heap contents are identical at any thread count.
     size_t batch_edges = 0;
     for (RepairIndex u : batch) batch_edges += gr.Degree(u);
-    auto shards =
-        batch_edges >= ctx.exec.min_selection_grain
-            ? SplitRange(batch.size(), ctx.exec.ResolvedThreads(), 1)
-            : std::vector<std::pair<size_t, size_t>>();
+    auto shards = batch_edges >= rescore_gate
+                      ? SplitRange(batch.size(), threads, 1)
+                      : std::vector<std::pair<size_t, size_t>>();
     if (shards.size() <= 1) {
       for (RepairIndex u : batch) {
         for (RepairIndex w : gr.Neighbors(u)) {
@@ -327,7 +344,10 @@ Result<std::vector<RepairIndex>> DegreeGreedyLazy(const RepairGraph& gr,
         }
       }
     } else {
-      std::vector<std::vector<RepairIndex>> shard_touched(shards.size());
+      if (shard_touched.size() < shards.size()) {
+        shard_touched.resize(shards.size());
+      }
+      for (auto& touched : shard_touched) touched.clear();
       IDREPAIR_RETURN_NOT_OK(ParallelFor(
           &ThreadPool::Default(), shards,
           [&](size_t shard, size_t begin, size_t end) {

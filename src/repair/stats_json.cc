@@ -149,6 +149,19 @@ void WriteStatsJson(std::ostream& out, std::string_view engine,
   w.Key("largest_partition");
   w.Uint(s.largest_partition);
   w.EndObject();
+  // Steal/imbalance summary of the generation phase's dynamic scheduler
+  // (ParallelForDynamic): how the clique-seed blocks actually landed on
+  // workers. Runtime-dependent by nature (imbalance reflects timing), so
+  // golden comparisons should treat the imbalance value as informational.
+  w.Key("scheduler");
+  w.BeginObject();
+  w.Key("generation_blocks");
+  w.Uint(s.sched_blocks);
+  w.Key("generation_workers");
+  w.Uint(s.sched_workers);
+  w.Key("generation_imbalance");
+  w.Double(s.sched_imbalance);
+  w.EndObject();
   w.Key("total_effectiveness");
   w.Double(result.total_effectiveness);
   w.Key("num_rewrites");

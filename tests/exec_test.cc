@@ -1,14 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "fault/failpoint.h"
 
 #include "exec/exec_options.h"
+#include "exec/grain.h"
 #include "exec/parallel_for.h"
 #include "exec/task_group.h"
 #include "exec/thread_pool.h"
@@ -319,6 +322,200 @@ TEST(ParallelForTest, PropagatesShardError) {
         return Status::OK();
       });
   EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
+// ---- Auto-grain cost model (exec/grain.h) ----
+
+TEST(GrainTest, SerialInputsCollapseToOneShard) {
+  // threads <= 1 is the serial reference schedule: one shard spanning the
+  // whole range, whatever the calibration.
+  EXPECT_EQ(ComputeAutoGrain(1000, 1, 4), 1000u);
+  EXPECT_EQ(ComputeAutoGrain(1000, 0, 512), 1000u);
+  EXPECT_EQ(ComputeAutoGrain(7, -3, 1), 7u);
+  // Empty range: grain 1 (SplitRange returns no shards anyway).
+  EXPECT_EQ(ComputeAutoGrain(0, 8, 4), 1u);
+}
+
+TEST(GrainTest, SmallCountsFloorAtCalibration) {
+  // 10 items on 8 threads targets 32 shards -> raw grain 1, floored at the
+  // calibration so tiny shards never pay a dispatch each...
+  EXPECT_EQ(ComputeAutoGrain(10, 8, 4), 4u);
+  // ...but the floor never exceeds the item count (threads > items).
+  EXPECT_EQ(ComputeAutoGrain(3, 8, 512), 3u);
+  EXPECT_EQ(ComputeAutoGrain(1, 8, 4), 1u);
+}
+
+TEST(GrainTest, HugeCountsTargetShardsPerThread) {
+  // 1e6 items, 8 threads -> ceil(1e6 / 32) with the floor irrelevant.
+  EXPECT_EQ(ComputeAutoGrain(1000000, 8, 4),
+            (1000000u + 8 * kAutoShardsPerThread - 1) /
+                (8 * kAutoShardsPerThread));
+  // 2 threads -> 8 shards of 125k.
+  EXPECT_EQ(ComputeAutoGrain(1000000, 2, 512), 125000u);
+}
+
+TEST(GrainTest, ExplicitRequestOverridesTheModel) {
+  // Any non-auto request wins unconditionally, even a degenerate one.
+  EXPECT_EQ(ResolveGrain(17, 1000000, 8, 512), 17u);
+  EXPECT_EQ(ResolveGrain(1, 10, 1, 512), 1u);
+  // kGrainAuto defers to the model.
+  EXPECT_EQ(ResolveGrain(kGrainAuto, 1000, 1, 4), 1000u);
+  EXPECT_EQ(ResolveGrain(kGrainAuto, 10, 8, 4), 4u);
+}
+
+TEST(GrainTest, ExecOptionsDefaultToAuto) {
+  ExecOptions exec;
+  EXPECT_EQ(exec.min_candidate_grain, kGrainAuto);
+  EXPECT_EQ(exec.min_selection_grain, kGrainAuto);
+  EXPECT_TRUE(exec.Validate().ok());
+}
+
+// ---- ParallelForDynamic ----
+
+TEST(ParallelForDynamicTest, CoversEveryIndexExactlyOnceAtAnyWidth) {
+  ThreadPool pool(4);
+  for (int threads : {1, 2, 4, 8}) {
+    for (size_t block_size : {1u, 3u, 7u, 100u, 1000u}) {
+      std::vector<std::atomic<int>> seen(257);
+      for (auto& s : seen) s = 0;
+      Status status = ParallelForDynamic(
+          &pool, seen.size(), threads, block_size,
+          [&](size_t, size_t begin, size_t end) {
+            for (size_t i = begin; i < end; ++i) seen[i]++;
+            return Status::OK();
+          });
+      ASSERT_TRUE(status.ok()) << status;
+      for (auto& s : seen) EXPECT_EQ(s.load(), 1);
+    }
+  }
+}
+
+TEST(ParallelForDynamicTest, BlockDecompositionIsPureAndOrdered) {
+  // block -> [begin, end) must be a pure function of (n, block_size):
+  // begin == block * block_size regardless of claim order or thread count.
+  ThreadPool pool(4);
+  for (int threads : {1, 4}) {
+    std::vector<std::pair<size_t, size_t>> ranges(12);
+    Status status = ParallelForDynamic(
+        &pool, 100, threads, 9,
+        [&](size_t block, size_t begin, size_t end) {
+          ranges[block] = {begin, end};
+          return Status::OK();
+        });
+    ASSERT_TRUE(status.ok()) << status;
+    for (size_t b = 0; b < ranges.size(); ++b) {
+      EXPECT_EQ(ranges[b].first, b * 9);
+      EXPECT_EQ(ranges[b].second, std::min<size_t>(100, b * 9 + 9));
+    }
+  }
+}
+
+TEST(ParallelForDynamicTest, LowestErroredBlockWins) {
+  // Mirror of TaskGroup's lowest-spawn-index retention: when several
+  // blocks error, the reported Status is the lowest block index's, at any
+  // thread count.
+  ThreadPool pool(4);
+  for (int threads : {1, 2, 8}) {
+    Status status = ParallelForDynamic(
+        &pool, 64, threads, 1,
+        [&](size_t block, size_t, size_t) {
+          if (block >= 5) {
+            return Status::Corruption("block " + std::to_string(block));
+          }
+          return Status::OK();
+        });
+    EXPECT_EQ(status.code(), StatusCode::kCorruption);
+    EXPECT_EQ(status.message(), "block 5");
+  }
+}
+
+TEST(ParallelForDynamicTest, ErrorStopsFurtherClaims) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  Status status = ParallelForDynamic(
+      &pool, 1000, 2, 1,
+      [&](size_t block, size_t, size_t) {
+        ran++;
+        if (block == 0) return Status::Corruption("first block broke");
+        return Status::OK();
+      });
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  // Blocks already claimed may finish, but the cursor stops advancing:
+  // nowhere near all 1000 blocks should have run.
+  EXPECT_LT(ran.load(), 1000);
+}
+
+TEST(ParallelForDynamicTest, ReportsScheduleStats) {
+  ThreadPool pool(4);
+  DynamicScheduleStats stats;
+  Status status = ParallelForDynamic(
+      &pool, 100, 4, 10,
+      [](size_t, size_t, size_t) { return Status::OK(); }, &stats);
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(stats.items, 100u);
+  EXPECT_EQ(stats.blocks, 10u);
+  EXPECT_GE(stats.workers, 1u);
+  EXPECT_LE(stats.workers, 4u);
+  uint64_t claimed = 0;
+  for (uint64_t c : stats.blocks_per_worker) claimed += c;
+  EXPECT_EQ(claimed, 10u);
+  EXPECT_GE(stats.Imbalance(), 1.0);
+}
+
+TEST(ParallelForDynamicTest, SerialPathRunsInlineWithStats) {
+  ThreadPool pool(2);
+  DynamicScheduleStats stats;
+  std::thread::id caller = std::this_thread::get_id();
+  Status status = ParallelForDynamic(
+      &pool, 50, 1, 10,
+      [&](size_t, size_t, size_t) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        return Status::OK();
+      },
+      &stats);
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(stats.blocks, 5u);
+  EXPECT_EQ(stats.workers, 1u);
+}
+
+// ---- Pool-owned per-thread scratch ----
+
+TEST(ThreadPoolTest, LocalScratchIsStablePerThreadAndPool) {
+  ThreadPool pool(2);
+  // Same thread, same pool -> same object across calls.
+  auto& a = pool.LocalScratch<std::vector<int>>();
+  auto& b = pool.LocalScratch<std::vector<int>>();
+  EXPECT_EQ(&a, &b);
+  // A different pool hands this thread a different object.
+  ThreadPool other(1);
+  auto& c = other.LocalScratch<std::vector<int>>();
+  EXPECT_NE(&a, &c);
+  // A different T shares nothing with vector<int>'s slot.
+  auto& d = pool.LocalScratch<std::vector<double>>();
+  EXPECT_NE(static_cast<void*>(&a), static_cast<void*>(&d));
+}
+
+TEST(ThreadPoolTest, LocalScratchPersistsAcrossTasksOnOneThread) {
+  // One worker runs both tasks, so the second sees capacity retained by
+  // the first — the allocation-churn kill this scratch exists for.
+  ThreadPool pool(1);
+  TaskGroup group(&pool);
+  group.Spawn([&] {
+    auto& v = pool.LocalScratch<std::vector<int>>();
+    v.reserve(4096);
+    return Status::OK();
+  });
+  ASSERT_TRUE(group.Wait().ok());
+  TaskGroup second(&pool);
+  std::atomic<size_t> seen{0};
+  second.Spawn([&] {
+    seen = pool.LocalScratch<std::vector<int>>().capacity();
+    return Status::OK();
+  });
+  ASSERT_TRUE(second.Wait().ok());
+  // The helping Wait may have run either task on the main thread; accept
+  // both outcomes but require the scratch to exist and be empty.
+  ASSERT_TRUE(seen == 0 || seen >= 4096) << seen;
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "common/flags.h"
+#include "exec/grain.h"
 #include "fault/failpoint.h"
 #include "repair/options.h"
 
@@ -163,6 +164,33 @@ TEST(FlagParserTest, FailpointsStatusDumpIsPinned) {
             "failpoints:\n"
             "  flags.status.a armed=0 hits=1 fires=0\n"
             "  flags.status.b armed=0 hits=3 fires=1\n");
+}
+
+// The CLI grain flags (--candidate-grain / --selection-grain) accept the
+// literal "auto" (the default) or a positive integer; everything else is a
+// flag-naming InvalidArgument. Pinned because the "auto" spelling is a
+// documented CLI contract (README flag table).
+TEST(FlagParserTest, GrainValuesParseAutoAndIntegers) {
+  auto autov = ParseGrainValue("auto", "candidate-grain");
+  ASSERT_TRUE(autov.ok());
+  EXPECT_EQ(*autov, kGrainAuto);
+
+  auto one = ParseGrainValue("1", "candidate-grain");
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(*one, 1u);
+  auto big = ParseGrainValue("65536", "selection-grain");
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(*big, 65536u);
+
+  for (const char* bad : {"", "0", "-4", "4x", "Auto", "AUTO", " auto",
+                          "1e3", "99999999999999999999"}) {
+    auto r = ParseGrainValue(bad, "candidate-grain");
+    ASSERT_FALSE(r.ok()) << bad;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << bad;
+    EXPECT_NE(r.status().message().find("--candidate-grain"),
+              std::string::npos)
+        << r.status();
+  }
 }
 
 }  // namespace

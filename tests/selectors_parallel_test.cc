@@ -242,6 +242,119 @@ TEST(ParallelSelectorsTest, RunningExampleCommitOrderIsPinned) {
   EXPECT_EQ(*selected, (std::vector<RepairIndex>{2}));
 }
 
+// ------------------------------------------------- randomized stress
+
+// Chain shape: candidate i conflicts with i-1 and i+1 only — many small
+// fan-outs, the opposite extreme from the dense component.
+CandidateSet ChainInstance() {
+  Rng rng(20260808);
+  CandidateSet out;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<TrajIndex> members = {static_cast<TrajIndex>(i),
+                                      static_cast<TrajIndex>(i + 1)};
+    size_t r = out.Append(members, members, "", 0.0);
+    out.set_scores(r, 0, rng.UniformReal(-0.1, 1.5));
+  }
+  return out;
+}
+
+// Clustered shape: 20 clusters of 15 candidates, each cluster sharing one
+// hub trajectory — mid-size components with a few heavy hubs, the skewed
+// case dynamic claiming exists for.
+CandidateSet ClusteredInstance() {
+  Rng rng(20260809);
+  CandidateSet out;
+  for (int c = 0; c < 20; ++c) {
+    TrajIndex hub = static_cast<TrajIndex>(c * 6);
+    for (int i = 0; i < 15; ++i) {
+      std::set<TrajIndex> members = {hub};
+      size_t k = rng.UniformIndex(3) + 1;
+      while (members.size() < k + 1) {
+        members.insert(
+            static_cast<TrajIndex>(c * 6 + 1 + rng.UniformIndex(5)));
+      }
+      std::vector<TrajIndex> members_vec(members.begin(), members.end());
+      size_t r = out.Append(members_vec, members_vec, "", 0.0);
+      out.set_scores(r, 0, rng.UniformReal(-0.1, 1.5));
+    }
+  }
+  return out;
+}
+
+size_t NumTrajsFor(const CandidateSet& candidates) {
+  TrajIndex max_traj = 0;
+  for (size_t r = 0; r < candidates.size(); ++r) {
+    for (TrajIndex m : candidates.members(r)) {
+      max_traj = std::max(max_traj, m);
+    }
+  }
+  return static_cast<size_t>(max_traj) + 1;
+}
+
+// Property: for EVERY (grain, threads, shape) draw — including `auto` and
+// adversarially tiny/huge explicit grains — the sharded Build and all
+// three greedy selectors are byte-identical to the 1-thread serial
+// reference, and the commit count matches the selected count exactly.
+TEST(ParallelSelectorsTest, RandomizedGrainsMatchSerialAcrossShapes) {
+  EmaxSelector emax;
+  DminSelector dmin;
+  DmaxSelector dmax;
+  const std::vector<const RepairSelector*> selectors = {&emax, &dmin, &dmax};
+  const std::vector<CandidateSet> shapes = [] {
+    std::vector<CandidateSet> s;
+    s.push_back(DenseInstance());
+    s.push_back(ChainInstance());
+    s.push_back(ClusteredInstance());
+    return s;
+  }();
+  Rng rng(20260810);
+  for (size_t shape = 0; shape < shapes.size(); ++shape) {
+    const CandidateSet& candidates = shapes[shape];
+    const size_t num_trajs = NumTrajsFor(candidates);
+    RepairGraph serial = BuildSerial(candidates, num_trajs);
+    std::vector<std::vector<RepairIndex>> reference;
+    for (const RepairSelector* selector : selectors) {
+      reference.push_back(selector->Select(serial, candidates));
+    }
+    for (int round = 0; round < 4; ++round) {
+      // Grain 0 is the auto sentinel; the explicit draws cover degenerate
+      // (1), mid, and larger-than-input grains.
+      size_t grain = round == 0 ? 0 : rng.UniformIndex(2 * candidates.size());
+      for (int threads : {1, 2, 4, 8}) {
+        ExecOptions exec;
+        exec.num_threads = threads;
+        exec.min_selection_grain = grain;
+        auto built = RepairGraph::Build(candidates, num_trajs, exec);
+        ASSERT_TRUE(built.ok()) << built.status();
+        ASSERT_EQ(built->num_edges(), serial.num_edges())
+            << "shape=" << shape << " grain=" << grain
+            << " threads=" << threads;
+        for (RepairIndex v = 0; v < serial.num_vertices(); ++v) {
+          ASSERT_EQ(built->Neighbors(v), serial.Neighbors(v))
+              << "shape=" << shape << " grain=" << grain
+              << " threads=" << threads;
+        }
+        for (size_t s = 0; s < selectors.size(); ++s) {
+          SelectionContext ctx;
+          ctx.exec.num_threads = threads;
+          ctx.exec.min_selection_grain = grain;
+          std::vector<RepairIndex> commit_order;
+          ctx.commit_order = &commit_order;
+          auto got = selectors[s]->Select(*built, candidates, ctx);
+          ASSERT_TRUE(got.ok()) << got.status();
+          EXPECT_EQ(*got, reference[s])
+              << selectors[s]->name() << " shape=" << shape
+              << " grain=" << grain << " threads=" << threads;
+          // Conservation: every commit lands in the output, nothing else.
+          EXPECT_EQ(commit_order.size(), got->size())
+              << selectors[s]->name() << " shape=" << shape
+              << " grain=" << grain << " threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
 // ------------------------------------------------- deadline degradation
 
 // An already-expired deadline stops the commit loop before the first

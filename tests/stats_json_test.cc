@@ -70,6 +70,9 @@ TEST(StatsJsonTest, KeyOrderIsPinned) {
       "seconds_total", "cpu_seconds_gm", "cpu_seconds_generation",
       "cpu_seconds_total", "cpu_clock_source", "threads_used",
       "num_partitions", "largest_partition",
+      // scheduler footprint (generation-phase dynamic claiming)
+      "scheduler", "generation_blocks", "generation_workers",
+      "generation_imbalance",
       // result summary + run health
       "total_effectiveness", "num_rewrites", "completion", "code", "message",
       "fault", "armed_sites", "total_fires",

@@ -5,8 +5,9 @@
 //                         [--zeta N] [--lambda F] [--selection emax|dmin|
 //                         dmax|exact] [--similarity edit|jaro_winkler|
 //                         bigram_cosine|overlap] [--no-lig] [--no-prune]
-//                         [--explain] [--threads N] [--candidate-grain N]
-//                         [--selection-grain N]
+//                         [--explain] [--threads N]
+//                         [--candidate-grain auto|N]
+//                         [--selection-grain auto|N]
 //                         [--engine core|partitioned|streaming|idsim|
 //                         neighborhood] [--max-edit-distance N]
 //                         [--metrics-out FILE] [--trace-out FILE]
@@ -31,6 +32,7 @@
 #include "baselines/neighborhood_repairer.h"
 #include "common/flags.h"
 #include "common/string_util.h"
+#include "exec/grain.h"
 #include "fault/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -81,16 +83,12 @@ Result<RepairOptions> OptionsFromFlags(const FlagParser& flags,
   if (!lambda.ok()) return lambda.status();
   auto threads = flags.GetInt("threads", 0);
   if (!threads.ok()) return threads.status();
-  auto grain = flags.GetInt("candidate-grain", 32);
+  auto grain = ParseGrainValue(flags.GetString("candidate-grain", "auto"),
+                               "candidate-grain");
   if (!grain.ok()) return grain.status();
-  if (*grain <= 0) {
-    return Status::InvalidArgument("--candidate-grain must be >= 1");
-  }
-  auto selection_grain = flags.GetInt("selection-grain", 1024);
+  auto selection_grain = ParseGrainValue(
+      flags.GetString("selection-grain", "auto"), "selection-grain");
   if (!selection_grain.ok()) return selection_grain.status();
-  if (*selection_grain <= 0) {
-    return Status::InvalidArgument("--selection-grain must be >= 1");
-  }
   auto selection = ParseSelection(flags.GetString("selection", "emax"));
   if (!selection.ok()) return selection.status();
   auto trace_capacity = flags.GetInt("trace-capacity", 8192);
@@ -125,8 +123,8 @@ Result<RepairOptions> OptionsFromFlags(const FlagParser& flags,
       .WithSelection(*selection)
       .WithSimilarity(owned_similarity.get())
       .WithThreads(static_cast<int>(*threads))
-      .WithMinCandidateGrain(static_cast<size_t>(*grain))
-      .WithMinSelectionGrain(static_cast<size_t>(*selection_grain))
+      .WithMinCandidateGrain(*grain)
+      .WithMinSelectionGrain(*selection_grain)
       .WithObsEnabled(obs_enabled)
       .WithTraceCapacity(static_cast<size_t>(*trace_capacity))
       .WithDeadlineMs(*deadline_ms)
