@@ -14,6 +14,7 @@
 #include "common/json.h"
 #include "common/resource.h"
 #include "common/string_util.h"
+#include "fault/failpoint.h"
 
 namespace idrepair {
 namespace benchutil {
@@ -123,6 +124,9 @@ class BenchReport {
   };
 
   void WriteJson() const {
+    // Delay-only site: artifact writing happens in a destructor, so chaos
+    // runs can stall it but a Status-style failure has nowhere to go.
+    fault::MaybePerturb("bench.report.write");
     const char* dir = std::getenv("IDREPAIR_BENCH_JSON_DIR");
     std::string path = (dir != nullptr && *dir != '\0')
                            ? std::string(dir) + "/BENCH_" + name_ + ".json"

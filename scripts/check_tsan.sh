@@ -20,15 +20,17 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target exec_test partitioned_test stream_test candidates_test \
            selectors_parallel_test differential_test fuzz_test obs_test \
            fault_test chaos_test stats_json_test common_test sim_test \
-           selectors_test graph_test scaling_test
+           selectors_test graph_test scaling_test snapshot_test server_test
 
 # scaling_test runs identity-only here: TSan's ~10x slowdown makes any
 # wall-clock floor meaningless, but the 8-thread byte-identity check is
-# exactly the schedule-dependent surface TSan should watch.
+# exactly the schedule-dependent surface TSan should watch. server_test
+# rides along because the daemon's acceptor/connection/shutdown threads are
+# precisely the kind of surface TSan exists for.
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
 IDREPAIR_SCALING_SKIP_TIMING=1 \
   ctest --test-dir "$BUILD_DIR" \
-  -R 'exec_test|partitioned_test|stream_test|candidates_test|selectors_parallel_test|differential_test|fuzz_test|obs_test|fault_test|chaos_test|stats_json_test|common_test|sim_test|selectors_test|graph_test|scaling_test' \
+  -R 'exec_test|partitioned_test|stream_test|candidates_test|selectors_parallel_test|differential_test|fuzz_test|obs_test|fault_test|chaos_test|stats_json_test|common_test|sim_test|selectors_test|graph_test|scaling_test|snapshot_test|server_test' \
   --output-on-failure
 
 echo "check_tsan: OK"

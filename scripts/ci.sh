@@ -80,6 +80,16 @@ print(f"scaling: {verdict} 8-thread generation speedup {speedup:.2f}x "
 sys.exit(0 if speedup >= floor else 1)
 EOF
 
+echo "==> server: daemon e2e + snapshot kill-restart arm"
+# The idrepaird end-to-end suite (register -> snapshot -> kill -> restart
+# --load-dir -> byte-identical repair, admission shedding, wire garbage)
+# plus the daemon kill-restart chaos arm. Both binaries were built by the
+# tier-1 stage; this re-runs them by name so a server regression is
+# reported as its own stage, not buried in the tier-1 wall of green.
+ctest --test-dir "$BUILD_DIR" -R 'server_test|snapshot_test' --output-on-failure
+"$BUILD_DIR/tests/chaos_test" \
+  --gtest_filter='ChaosTest.DaemonKillRestartFromSnapshotIsByteIdentical'
+
 echo "==> sanitizer: address"
 scripts/check_asan.sh
 

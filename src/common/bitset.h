@@ -94,6 +94,16 @@ class DynamicBitset {
   /// Heap bytes held by the word array (footprint accounting).
   size_t MemoryBytes() const { return words_.capacity() * sizeof(uint64_t); }
 
+  /// The packed word array, low bit of words()[0] = bit 0. Bits past
+  /// size() in the last word are guaranteed zero (ClearTail), so the raw
+  /// words are a canonical encoding of the bitset — the snapshot format
+  /// serializes and cross-checks them directly.
+  const std::vector<uint64_t>& words() const { return words_; }
+
+  friend bool operator==(const DynamicBitset& a, const DynamicBitset& b) {
+    return a.num_bits_ == b.num_bits_ && a.words_ == b.words_;
+  }
+
   static size_t WordCount(size_t num_bits) { return (num_bits + 63) / 64; }
 
  private:

@@ -1,0 +1,27 @@
+#ifndef IDREPAIR_COMMON_CRC32_H_
+#define IDREPAIR_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace idrepair {
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial 0xEDB88320), the integrity
+/// check of the snapshot file format. Table-driven, one byte per step —
+/// snapshots are written rarely and read once at startup, so simplicity
+/// beats a slice-by-8 here.
+///
+/// `seed` is a previous Crc32 return value, so checksums can be computed
+/// incrementally over non-contiguous buffers:
+///   uint32_t c = Crc32(a.data(), a.size());
+///   c = Crc32(b.data(), b.size(), c);
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view data, uint32_t seed = 0) {
+  return Crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_COMMON_CRC32_H_

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "eval/metrics.h"
+#include "fault/failpoint.h"
 
 namespace idrepair {
 
@@ -44,6 +45,7 @@ RepairDiagnostics DiagnoseRepair(const Dataset& dataset,
                                  const TrajectorySet& observed,
                                  const RepairResult& result,
                                  const RepairOptions& options) {
+  fault::MaybePerturb("eval.diagnostics.diagnose");
   RepairDiagnostics diag;
   diag.counts.assign(7, 0);
   auto truth = ComputeFragmentTruth(dataset, observed);

@@ -2,10 +2,15 @@
 
 #include <map>
 
+#include "fault/failpoint.h"
+
 namespace idrepair {
 
 std::vector<std::string> ComputeFragmentTruth(const Dataset& dataset,
                                               const TrajectorySet& observed) {
+  // Delay-only site: quality evaluation returns plain values (no Status
+  // channel), so chaos runs can stall it but not fail it.
+  fault::MaybePerturb("eval.metrics.fragment_truth");
   // observed_id -> (true_id -> record count). std::map for deterministic
   // tie-breaking on the majority vote.
   std::unordered_map<std::string, std::map<std::string, size_t>> votes;
@@ -32,6 +37,7 @@ QualityMetrics EvaluateRewrites(
     const std::vector<std::string>& fragment_truth,
     const TrajectorySet& observed,
     const std::unordered_map<TrajIndex, std::string>& rewrites) {
+  fault::MaybePerturb("eval.metrics.evaluate");
   QualityMetrics m;
   for (TrajIndex i = 0; i < observed.size(); ++i) {
     if (observed.at(i).id() != fragment_truth[i]) ++m.num_erroneous;

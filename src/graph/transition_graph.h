@@ -110,6 +110,13 @@ class TransitionGraph {
   /// non-empty.
   Status Validate() const;
 
+  /// The dense edge-membership matrix, bit (from * n + to) set iff the edge
+  /// exists. A pure function of the edge set — the snapshot format stores
+  /// it as its own section and cross-checks it against the matrix rebuilt
+  /// from the edge list on load, catching payload tampering that a file
+  /// checksum alone cannot attribute.
+  const DynamicBitset& EdgeMatrix() const { return edge_matrix_; }
+
   /// Materializes the lazily rebuilt caches now, so the sharing point is
   /// explicit and no shard ever waits on the rebuild mutex. Concurrent
   /// const readers are safe even without this call (CanReachExit guards its

@@ -2,9 +2,11 @@
 #define IDREPAIR_LIG_LENGTH_INDEXED_GRIDS_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/span.h"
+#include "common/status.h"
 #include "traj/tracking_record.h"
 #include "traj/trajectory_set.h"
 
@@ -33,8 +35,34 @@ class LengthIndexedGrids {
     Timestamp time_bin = 60;
   };
 
+  /// The complete serializable state of a built index. Together with the
+  /// indexed TrajectorySet this reconstructs the index exactly — the
+  /// snapshot format persists Parts so daemon startup is load-not-rebuild.
+  struct Parts {
+    Options options;
+    Timestamp base_time = 0;
+    uint64_t num_bins = 0;
+    uint64_t band = 0;
+    uint64_t num_indexed = 0;
+    std::vector<uint32_t> cell_offsets;
+    std::vector<TrajIndex> cell_entries;
+  };
+
   /// Builds the index over `set` in Θ(|set|).
   LengthIndexedGrids(const TrajectorySet& set, const Options& options);
+
+  /// Copies out the serializable state. Building a fresh index over the
+  /// same set with parts.options yields byte-identical Parts (the CSR fill
+  /// is deterministic), which the snapshot round-trip tests rely on.
+  Parts ToParts() const;
+
+  /// Reconstructs an index over `set` from previously captured Parts,
+  /// validating every structural invariant (offset table shape, monotone
+  /// offsets, entry bounds, the num_indexed == entries count identity).
+  /// `set` must outlive the returned index, exactly as for the building
+  /// constructor.
+  static Result<std::unique_ptr<LengthIndexedGrids>> FromParts(
+      const TrajectorySet& set, Parts parts);
 
   /// Appends to `out` all indexed trajectories (other than `k` itself) that
   /// satisfy the grid-level length and time-window criteria for pairing
@@ -65,7 +93,15 @@ class LengthIndexedGrids {
 
   const Options& options() const { return options_; }
 
+  /// The set this index was built over. Identity matters: a prebuilt index
+  /// is only valid for probes into this exact object (see
+  /// RepairOptions::resident_lig).
+  const TrajectorySet& indexed_set() const { return set_; }
+
  private:
+  /// FromParts' trusting constructor — validation happens in the factory.
+  LengthIndexedGrids(const TrajectorySet& set, Parts parts);
+
   size_t CellIndex(size_t length, size_t start_bin, size_t span_off) const {
     return ((length - 1) * num_bins_ + start_bin) * band_ + span_off;
   }

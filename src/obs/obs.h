@@ -25,9 +25,20 @@ struct ObsOptions {
   /// long the process runs.
   size_t trace_capacity = 8192;
 
+  /// Period, in milliseconds, of the background Prometheus scrape that
+  /// appends to the --metrics-out file (MetricsScraper, scrape.h). 0 (the
+  /// default) disables periodic scraping: the CLI then writes one final
+  /// scrape at exit, exactly as before this knob existed. Consumed by the
+  /// CLI and the daemon, never by the engines — like all obs knobs it can
+  /// not change what a repair computes.
+  int64_t metrics_interval_ms = 0;
+
   Status Validate() const {
     if (trace_capacity == 0) {
       return Status::InvalidArgument("obs.trace_capacity must be >= 1");
+    }
+    if (metrics_interval_ms < 0) {
+      return Status::InvalidArgument("obs.metrics_interval_ms must be >= 0");
     }
     return Status::OK();
   }

@@ -1,0 +1,90 @@
+#include "obs/scrape.h"
+
+#include <chrono>
+#include <fstream>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace idrepair {
+namespace obs {
+
+MetricsScraper::MetricsScraper(Options options)
+    : options_(std::move(options)) {}
+
+Result<std::unique_ptr<MetricsScraper>> MetricsScraper::Start(
+    Options options) {
+  if (options.path.empty()) {
+    return Status::InvalidArgument("metrics scraper: path must be non-empty");
+  }
+  if (options.interval_ms <= 0) {
+    return Status::InvalidArgument(
+        "metrics scraper: interval_ms must be >= 1");
+  }
+  {
+    std::ofstream probe(options.path, std::ios::app);
+    if (!probe) {
+      return Status::IoError("metrics scraper: cannot open '" + options.path +
+                             "' for append");
+    }
+  }
+  std::unique_ptr<MetricsScraper> scraper(
+      new MetricsScraper(std::move(options)));
+  scraper->thread_ = std::thread([s = scraper.get()] { s->Run(); });
+  return scraper;
+}
+
+MetricsScraper::~MetricsScraper() { Stop(); }
+
+void MetricsScraper::Stop() {
+  bool expected = false;
+  if (!stop_initiated_.compare_exchange_strong(expected, true)) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+Status MetricsScraper::last_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_error_;
+}
+
+void MetricsScraper::Run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    bool woken = cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.interval_ms),
+        [this] { return stop_requested_; });
+    if (woken) break;
+    lock.unlock();
+    ScrapeOnce();
+    lock.lock();
+  }
+  lock.unlock();
+  // The final scrape: every run ends with a complete exposition on disk.
+  ScrapeOnce();
+}
+
+void MetricsScraper::ScrapeOnce() {
+  uint64_t seq = scrapes_.load(std::memory_order_relaxed) + 1;
+  std::string body =
+      MetricsRegistry::Global().RenderPrometheus(options_.include_runtime);
+  std::ofstream out(options_.path, std::ios::app);
+  if (!out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (last_error_.ok()) {
+      last_error_ =
+          Status::IoError("metrics scraper: append to '" + options_.path +
+                          "' failed");
+    }
+    return;
+  }
+  out << "# idrepair scrape seq=" << seq << "\n" << body << "\n";
+  scrapes_.store(seq, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace idrepair

@@ -1,0 +1,79 @@
+#ifndef IDREPAIR_OBS_SCRAPE_H_
+#define IDREPAIR_OBS_SCRAPE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace idrepair {
+namespace obs {
+
+/// A background thread that periodically appends the global registry's
+/// Prometheus rendering to a file — the `--metrics-interval` follow-up from
+/// the ROADMAP. Each scrape is one self-delimiting block:
+///
+///   # idrepair scrape seq=<n>
+///   <RenderPrometheus output>
+///   <blank line>
+///
+/// so a long-running daemon's metrics file is a time series of expositions
+/// rather than a single end-of-run snapshot. Stop() (and the destructor)
+/// always writes one final scrape, so even a run shorter than the interval
+/// leaves a complete exposition behind.
+class MetricsScraper {
+ public:
+  struct Options {
+    /// File the scrapes are appended to. Required.
+    std::string path;
+    /// Scrape period, milliseconds; must be >= 1 (an interval of 0 means
+    /// "no periodic scraping" and callers simply do not start a scraper).
+    int64_t interval_ms = 1000;
+    /// Forwarded to MetricsRegistry::RenderPrometheus.
+    bool include_runtime = true;
+  };
+
+  /// Validates options, verifies the file is appendable (fail fast at
+  /// startup, not on the first timer tick), and starts the scrape thread.
+  static Result<std::unique_ptr<MetricsScraper>> Start(Options options);
+
+  /// Stops the thread and writes the final scrape. Idempotent.
+  void Stop();
+
+  ~MetricsScraper();
+
+  MetricsScraper(const MetricsScraper&) = delete;
+  MetricsScraper& operator=(const MetricsScraper&) = delete;
+
+  /// Scrapes written so far (periodic + final).
+  uint64_t scrapes() const { return scrapes_.load(std::memory_order_relaxed); }
+
+  /// First write error observed, if any (the scraper keeps trying; a full
+  /// disk mid-run should not kill a daemon).
+  Status last_error() const;
+
+ private:
+  explicit MetricsScraper(Options options);
+
+  void Run();
+  void ScrapeOnce();
+
+  const Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;       // guarded by mu_, read by the thread
+  std::atomic<bool> stop_initiated_{false};
+  Status last_error_;  // guarded by mu_
+  std::atomic<uint64_t> scrapes_{0};
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace idrepair
+
+#endif  // IDREPAIR_OBS_SCRAPE_H_

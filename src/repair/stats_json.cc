@@ -101,6 +101,8 @@ void WriteStatsJson(std::ostream& out, std::string_view engine,
   w.Uint(options.obs.trace_capacity);
   w.Key("deadline_ms");
   w.Int(options.deadline_ms);
+  w.Key("metrics_interval_ms");
+  w.Int(options.obs.metrics_interval_ms);
   w.EndObject();
   w.Key("stats");
   w.BeginObject();
@@ -209,6 +211,33 @@ void WriteStatsJson(std::ostream& out, std::string_view engine,
     }
   }
   w.EndObject();
+  // Daemon admission counters, read back from the metric registry by name
+  // (the repair library cannot link the server library; the daemon exports
+  // them as runtime metrics). Zero in a one-shot CLI run, so the pinned key
+  // order is identical with and without a daemon in the process.
+  {
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;
+    int64_t queue_peak = 0;
+    for (const auto& m : obs::MetricsRegistry::Global().Collect()) {
+      if (m.name == "idrepair_server_admitted_total") {
+        admitted = m.counter_value;
+      } else if (m.name == "idrepair_server_rejected_total") {
+        rejected = m.counter_value;
+      } else if (m.name == "idrepair_server_queue_peak") {
+        queue_peak = m.gauge_value;
+      }
+    }
+    w.Key("server");
+    w.BeginObject();
+    w.Key("admitted");
+    w.Uint(admitted);
+    w.Key("rejected");
+    w.Uint(rejected);
+    w.Key("queue_peak");
+    w.Int(queue_peak);
+    w.EndObject();
+  }
   if (obs::Enabled()) {
     w.Key("metrics");
     WriteMetricsJson(w);

@@ -1,0 +1,113 @@
+#include "server/client.h"
+
+#include <unistd.h>
+
+#include <utility>
+
+namespace idrepair {
+namespace server {
+
+Result<RepairClient> RepairClient::Connect(const std::string& address) {
+  auto parsed = ParseAddress(address);
+  IDREPAIR_RETURN_NOT_OK(parsed.status());
+  auto fd = DialAddress(*parsed);
+  IDREPAIR_RETURN_NOT_OK(fd.status());
+  return RepairClient(*fd);
+}
+
+RepairClient::~RepairClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+RepairClient::RepairClient(RepairClient&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+RepairClient& RepairClient::operator=(RepairClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<std::string> RepairClient::RoundTrip(MsgType type,
+                                            const std::string& payload) {
+  if (fd_ < 0) return Status::InvalidArgument("client is not connected");
+  IDREPAIR_RETURN_NOT_OK(WriteFrame(fd_, type, payload));
+  auto frame = ReadFrame(fd_, nullptr);
+  IDREPAIR_RETURN_NOT_OK(frame.status());
+  if (frame->type != type) {
+    return Status::Corruption("reply type does not echo the request");
+  }
+  return std::move(frame->payload);
+}
+
+namespace {
+
+/// Peels the status envelope; on OK leaves `r` positioned at the typed body.
+Status OpenEnvelope(BinaryReader* r) {
+  Status remote = DecodeStatus(r);
+  IDREPAIR_RETURN_NOT_OK(r->status());
+  return remote;
+}
+
+}  // namespace
+
+Result<RegisterGraphReply> RepairClient::RegisterGraph(
+    const RegisterGraphRequest& req) {
+  auto payload =
+      RoundTrip(MsgType::kRegisterGraph, EncodeRegisterGraphRequest(req));
+  IDREPAIR_RETURN_NOT_OK(payload.status());
+  BinaryReader r(*payload);
+  IDREPAIR_RETURN_NOT_OK(OpenEnvelope(&r));
+  RegisterGraphReply reply;
+  IDREPAIR_RETURN_NOT_OK(DecodeRegisterGraphReply(&r, &reply));
+  IDREPAIR_RETURN_NOT_OK(r.ExpectDone());
+  return reply;
+}
+
+Result<SnapshotReply> RepairClient::Snapshot(const SnapshotRequest& req) {
+  auto payload = RoundTrip(MsgType::kSnapshot, EncodeSnapshotRequest(req));
+  IDREPAIR_RETURN_NOT_OK(payload.status());
+  BinaryReader r(*payload);
+  IDREPAIR_RETURN_NOT_OK(OpenEnvelope(&r));
+  SnapshotReply reply;
+  IDREPAIR_RETURN_NOT_OK(DecodeSnapshotReply(&r, &reply));
+  IDREPAIR_RETURN_NOT_OK(r.ExpectDone());
+  return reply;
+}
+
+Result<RepairReply> RepairClient::Repair(const RepairRequest& req) {
+  auto payload = RoundTrip(MsgType::kRepair, EncodeRepairRequest(req));
+  IDREPAIR_RETURN_NOT_OK(payload.status());
+  BinaryReader r(*payload);
+  IDREPAIR_RETURN_NOT_OK(OpenEnvelope(&r));
+  RepairReply reply;
+  IDREPAIR_RETURN_NOT_OK(DecodeRepairReply(&r, &reply));
+  IDREPAIR_RETURN_NOT_OK(r.ExpectDone());
+  return reply;
+}
+
+Result<StatsReply> RepairClient::Stats(const StatsRequest& req) {
+  auto payload = RoundTrip(MsgType::kStats, EncodeStatsRequest(req));
+  IDREPAIR_RETURN_NOT_OK(payload.status());
+  BinaryReader r(*payload);
+  IDREPAIR_RETURN_NOT_OK(OpenEnvelope(&r));
+  StatsReply reply;
+  IDREPAIR_RETURN_NOT_OK(DecodeStatsReply(&r, &reply));
+  IDREPAIR_RETURN_NOT_OK(r.ExpectDone());
+  return reply;
+}
+
+Status RepairClient::Shutdown() {
+  auto payload = RoundTrip(MsgType::kShutdown, std::string());
+  IDREPAIR_RETURN_NOT_OK(payload.status());
+  BinaryReader r(*payload);
+  IDREPAIR_RETURN_NOT_OK(OpenEnvelope(&r));
+  return r.ExpectDone();
+}
+
+}  // namespace server
+}  // namespace idrepair

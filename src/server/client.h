@@ -1,0 +1,47 @@
+#ifndef IDREPAIR_SERVER_CLIENT_H_
+#define IDREPAIR_SERVER_CLIENT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "server/protocol.h"
+
+namespace idrepair {
+namespace server {
+
+/// Blocking client for one idrepaird connection. One request is in flight
+/// at a time (the protocol is strict request/reply per connection); open
+/// several clients for concurrent requests. Not thread-safe.
+class RepairClient {
+ public:
+  /// Connects to "unix:<path>" / "tcp:host:port" / "tcp:port".
+  static Result<RepairClient> Connect(const std::string& address);
+
+  ~RepairClient();
+  RepairClient(RepairClient&& other) noexcept;
+  RepairClient& operator=(RepairClient&& other) noexcept;
+  RepairClient(const RepairClient&) = delete;
+  RepairClient& operator=(const RepairClient&) = delete;
+
+  Result<RegisterGraphReply> RegisterGraph(const RegisterGraphRequest& req);
+  Result<SnapshotReply> Snapshot(const SnapshotRequest& req);
+  Result<RepairReply> Repair(const RepairRequest& req);
+  Result<StatsReply> Stats(const StatsRequest& req);
+  /// Asks the daemon to shut down. OK means the daemon acknowledged and
+  /// will stop once its owner observes the request.
+  Status Shutdown();
+
+ private:
+  explicit RepairClient(int fd) : fd_(fd) {}
+
+  /// Sends one frame and reads the echoed reply; returns the reply payload
+  /// (status envelope still at the front).
+  Result<std::string> RoundTrip(MsgType type, const std::string& payload);
+
+  int fd_ = -1;
+};
+
+}  // namespace server
+}  // namespace idrepair
+
+#endif  // IDREPAIR_SERVER_CLIENT_H_

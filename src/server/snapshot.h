@@ -1,0 +1,117 @@
+#ifndef IDREPAIR_SERVER_SNAPSHOT_H_
+#define IDREPAIR_SERVER_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/transition_graph.h"
+#include "lig/length_indexed_grids.h"
+#include "repair/options.h"
+#include "server/wire_format.h"
+#include "traj/tracking_record.h"
+#include "traj/trajectory_set.h"
+
+namespace idrepair {
+namespace server {
+
+/// One registry entry: a named transition graph, the repair options it was
+/// registered with, and (optionally) a resident corpus with its prebuilt
+/// LIG index. Bundles are immutable after construction and shared through
+/// shared_ptr<const GraphBundle> — the epoch mechanism of GraphRegistry:
+/// replacing an entry swaps the pointer, and in-flight repairs holding the
+/// old bundle finish on the old version.
+struct GraphBundle {
+  std::string name;
+  /// Registry epoch of this bundle, monotonically increasing per name.
+  uint64_t version = 1;
+  TransitionGraph graph;
+  /// The registered defaults. `similarity`, `exec`, `obs`, and
+  /// `resident_lig` are process-local and never persisted; a snapshot
+  /// round-trip resets them to defaults.
+  RepairOptions options;
+  /// Resident corpus (heap-allocated so the LIG's back-reference survives
+  /// bundle moves), or null when the tenant registered a graph only.
+  std::unique_ptr<TrajectorySet> corpus;
+  /// LIG index over *corpus with the bundle's θ/η/time_bin; null iff
+  /// corpus is null. Loaded from snapshot sections at startup — not
+  /// rebuilt — and handed to engines via RepairOptions::resident_lig.
+  std::unique_ptr<LengthIndexedGrids> lig;
+
+  /// Flattens the resident corpus back to records, in trajectory order.
+  /// Deterministic, and FromRecords of the result reproduces the corpus —
+  /// the identity the snapshot byte-stability tests lean on.
+  std::vector<TrackingRecord> CorpusRecords() const;
+};
+
+using BundlePtr = std::shared_ptr<const GraphBundle>;
+
+/// Validates and assembles a bundle: graph structural sanity, option
+/// sanity, corpus record location bounds; builds the corpus set and its
+/// LIG index when `corpus_records` is non-empty.
+Result<BundlePtr> MakeBundle(std::string name, uint64_t version,
+                             TransitionGraph graph, RepairOptions options,
+                             std::vector<TrackingRecord> corpus_records);
+
+// ---- Snapshot file format (v1) -------------------------------------
+//
+// A snapshot is a 24-byte header followed by a CRC-protected payload:
+//
+//   u32 magic   'IDRS' (0x53524449 little-endian)
+//   u32 version  1
+//   u64 payload_size        (exact byte count; no trailing garbage)
+//   u32 payload_crc32       (IEEE CRC-32 of the payload bytes)
+//   u32 reserved            (0)
+//
+// The payload is a sequence of tagged sections, each `u32 tag, u64 len,
+// len bytes`, in strictly ascending tag order:
+//
+//   1 meta      entry name, registry version
+//   2 vertices  location names (id order), entrances/exits (marking order)
+//   3 edges     (from, to) pairs grouped by source in insertion order
+//   4 matrix    the packed bitset edge matrix — cross-checked on load
+//               against the matrix rebuilt from section 3
+//   5 options   the registered RepairOptions (persistable fields only)
+//   6 corpus    resident corpus records (optional)
+//   7 lig       LengthIndexedGrids::Parts over the corpus (optional,
+//               requires section 6) — the load-not-rebuild payload
+//
+// Loaders reject bad magic, unknown versions, truncation, trailing bytes,
+// CRC mismatches, unknown or out-of-order sections, and any structural
+// inconsistency between sections, always with a clean Status.
+
+inline constexpr uint32_t kSnapshotMagic = 0x53524449u;  // "IDRS"
+inline constexpr uint32_t kSnapshotVersion = 1;
+inline constexpr size_t kSnapshotHeaderBytes = 24;
+
+/// Serializes a bundle to snapshot bytes.
+std::string EncodeSnapshot(const GraphBundle& bundle);
+
+/// Parses and fully validates snapshot bytes.
+Result<BundlePtr> DecodeSnapshot(std::string_view bytes);
+
+/// EncodeSnapshot + atomic-enough file write (failpoint: io.snapshot.save).
+Status WriteSnapshotFile(const std::string& path, const GraphBundle& bundle);
+
+/// Whole-file read + DecodeSnapshot (failpoint: io.snapshot.load).
+Result<BundlePtr> ReadSnapshotFile(const std::string& path);
+
+// ---- Shared field encoders ------------------------------------------
+// Reused by the wire protocol so a record or option block has exactly one
+// byte-level encoding in the system.
+
+void EncodeRepairOptions(BinaryWriter* w, const RepairOptions& options);
+/// Decodes into *options (persistable fields only; pointers and exec/obs
+/// keep their current values). Latches decode errors on the reader.
+void DecodeRepairOptions(BinaryReader* r, RepairOptions* options);
+
+void EncodeRecords(BinaryWriter* w, const std::vector<TrackingRecord>& recs);
+std::vector<TrackingRecord> DecodeRecords(BinaryReader* r);
+
+}  // namespace server
+}  // namespace idrepair
+
+#endif  // IDREPAIR_SERVER_SNAPSHOT_H_

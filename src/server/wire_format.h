@@ -1,0 +1,132 @@
+#ifndef IDREPAIR_SERVER_WIRE_FORMAT_H_
+#define IDREPAIR_SERVER_WIRE_FORMAT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace idrepair {
+namespace server {
+
+/// Little-endian binary encoding shared by the snapshot file format and the
+/// wire protocol. Fixed-width integers are memcpy'd in little-endian byte
+/// order (the only byte order this codebase targets); strings and blobs are
+/// u32-length-prefixed.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::string* out) : out_(out) {}
+
+  void U8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void I64(int64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+
+  void Str(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out_->append(s.data(), s.size());
+  }
+
+  void Raw(const void* data, size_t size) {
+    out_->append(static_cast<const char*>(data), size);
+  }
+
+ private:
+  std::string* out_;
+};
+
+/// Sticky-error reader over a byte buffer: reads past the end (or an
+/// oversized length prefix) latch a Corruption status and return zero
+/// values. Callers check ok()/status() before trusting anything derived
+/// from the parsed values — in particular before sizing allocations from a
+/// parsed count (Need() bounds every count by the bytes actually present).
+class BinaryReader {
+ public:
+  BinaryReader(const void* data, size_t size)
+      : data_(static_cast<const char*>(data)), size_(size) {}
+
+  explicit BinaryReader(std::string_view buf)
+      : BinaryReader(buf.data(), buf.size()) {}
+
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+  uint32_t U32() { return Fixed<uint32_t>(); }
+  uint64_t U64() { return Fixed<uint64_t>(); }
+  int64_t I64() { return Fixed<int64_t>(); }
+  double F64() { return Fixed<double>(); }
+
+  std::string Str() {
+    uint32_t len = U32();
+    if (!Need(len)) return std::string();
+    std::string s(data_ + pos_, len);
+    pos_ += len;
+    return s;
+  }
+
+  /// True iff at least `n` more bytes exist. The guard callers use before
+  /// turning a parsed element count into an allocation: a count can never
+  /// legitimately exceed remaining().
+  bool Need(size_t n) {
+    if (!status_.ok()) return false;
+    if (size_ - pos_ < n) {
+      status_ = Status::Corruption("truncated buffer: wanted " +
+                                   std::to_string(n) + " bytes, have " +
+                                   std::to_string(size_ - pos_));
+      return false;
+    }
+    return true;
+  }
+
+  /// Skips `n` bytes (unknown/ignored payload regions).
+  void Skip(size_t n) {
+    if (Need(n)) pos_ += n;
+  }
+
+  size_t remaining() const { return status_.ok() ? size_ - pos_ : 0; }
+  size_t position() const { return pos_; }
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Latches an application-level decode error (bad enum value, failed
+  /// invariant) into the same channel as truncation.
+  void Fail(std::string message) {
+    if (status_.ok()) status_ = Status::Corruption(std::move(message));
+  }
+
+  /// OK iff the buffer parsed cleanly and was consumed exactly.
+  Status ExpectDone() {
+    if (!status_.ok()) return status_;
+    if (pos_ != size_) {
+      return Status::Corruption("trailing garbage: " +
+                                std::to_string(size_ - pos_) +
+                                " unconsumed bytes");
+    }
+    return Status::OK();
+  }
+
+ private:
+  template <typename T>
+  T Fixed() {
+    if (!Need(sizeof(T))) return T{};
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  Status status_;
+};
+
+}  // namespace server
+}  // namespace idrepair
+
+#endif  // IDREPAIR_SERVER_WIRE_FORMAT_H_

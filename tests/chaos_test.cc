@@ -20,6 +20,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <set>
@@ -29,12 +30,16 @@
 #include <utility>
 #include <vector>
 
+#include "eval/metrics.h"
 #include "fault/deadline.h"
 #include "fault/failpoint.h"
 #include "gen/synthetic.h"
 #include "graph/generators.h"
+#include "graph/serialization.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "test_util.h"
 
 namespace idrepair {
@@ -70,7 +75,12 @@ const std::vector<std::string>& AllSites() {
       "stream.append",           "stream.poll",
       "stream.finish",           "io.csv.read",
       "io.csv.write",            "io.graph.load",
-      "io.graph.save",           fault::kDeadlineExpireSite,
+      "io.graph.save",           "io.snapshot.save",
+      "io.snapshot.load",        "bench.report.write",
+      "eval.metrics.fragment_truth",
+      "eval.metrics.evaluate",
+      "eval.diagnostics.diagnose",
+      fault::kDeadlineExpireSite,
   };
   return kSites;
 }
@@ -621,6 +631,172 @@ TEST_F(ChaosTest, SoakSeededProbabilisticChaos) {
       }
     }
   }
+}
+
+// The eval layer's failpoints are delay-only (fault::MaybePerturb):
+// chaos can stall ground-truth computation and metric evaluation, but the
+// numbers that come out must be bit-identical to the undisturbed run.
+TEST_F(ChaosTest, EvalDelayChaosFiresWithoutChangingMetrics) {
+  SyntheticConfig config;
+  config.num_trajectories = 60;
+  config.record_error_rate = 0.3;
+  config.seed = 555;
+  auto dataset = GenerateSyntheticDataset(MakePaperExampleGraph(), config);
+  ASSERT_TRUE(dataset.ok()) << dataset.status();
+  TrajectorySet observed = dataset->BuildObservedTrajectories();
+
+  RepairOptions options;
+  options.theta = 5;
+  options.eta = 600;
+  IdRepairer engine(dataset->graph, options);
+  auto result = engine.Repair(observed);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  auto truth_clean = ComputeFragmentTruth(*dataset, observed);
+  QualityMetrics clean =
+      EvaluateRewrites(truth_clean, observed, result->rewrites);
+
+  fault::FaultSpec delay;
+  delay.action = fault::FaultAction::kDelay;
+  delay.one_in = 1;
+  delay.delay_micros = 100;
+  for (const char* site :
+       {"eval.metrics.fragment_truth", "eval.metrics.evaluate"}) {
+    ASSERT_TRUE(fault::FailPointRegistry::Global().Arm(site, delay).ok());
+  }
+
+  auto truth_chaos = ComputeFragmentTruth(*dataset, observed);
+  QualityMetrics chaos =
+      EvaluateRewrites(truth_chaos, observed, result->rewrites);
+  EXPECT_GE(fault::FailPointRegistry::Global()
+                .GetPoint("eval.metrics.fragment_truth")
+                ->fires(),
+            1u);
+  EXPECT_GE(fault::FailPointRegistry::Global()
+                .GetPoint("eval.metrics.evaluate")
+                ->fires(),
+            1u);
+  EXPECT_EQ(truth_chaos, truth_clean);
+  EXPECT_EQ(chaos.precision, clean.precision);
+  EXPECT_EQ(chaos.recall, clean.recall);
+  EXPECT_EQ(chaos.f_measure, clean.f_measure);
+  EXPECT_EQ(chaos.num_correct, clean.num_correct);
+}
+
+// The daemon kill-restart arm: a registered-and-snapshotted graph survives
+// killing the daemon; the restarted daemon (--load-dir) repairs
+// byte-identically to the pre-kill daemon. Chaos rides along twice: an
+// io.snapshot.save error makes the Snapshot request fail with the injected
+// status (and no partial registry damage), and after disarming the same
+// request succeeds — the daemon is fault-transparent, not fault-sticky.
+TEST_F(ChaosTest, DaemonKillRestartFromSnapshotIsByteIdentical) {
+  namespace fs = std::filesystem;
+  const Scenario s = MakeScenarios().front();
+  fs::path dir = fs::temp_directory_path() / "idrepair_chaos_daemon";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  std::vector<TrackingRecord> records;
+  for (TrajIndex i = 0; i < s.set.size(); ++i) {
+    for (const auto& p : s.set.at(i).points()) {
+      records.push_back(TrackingRecord{s.set.at(i).id(), p.loc, p.ts});
+    }
+  }
+
+  std::vector<TrackingRecord> before_kill;
+  {
+    server::ServerOptions server_options;
+    server_options.listen = "tcp:127.0.0.1:0";
+    auto srv = server::IdRepairServer::Start(std::move(server_options));
+    ASSERT_TRUE(srv.ok()) << srv.status();
+    auto client = server::RepairClient::Connect((*srv)->address());
+    ASSERT_TRUE(client.ok()) << client.status();
+
+    server::RegisterGraphRequest reg;
+    reg.name = "chaos";
+    std::ostringstream graph_text;
+    ASSERT_TRUE(WriteTransitionGraph(graph_text, s.graph).ok());
+    reg.graph_text = graph_text.str();
+    reg.options = s.options;
+    reg.corpus = records;
+    ASSERT_TRUE(client->RegisterGraph(reg).ok());
+
+    server::RepairRequest req;
+    req.name = "chaos";
+    req.use_corpus = true;
+    auto reply = client->Repair(req);
+    ASSERT_TRUE(reply.ok()) << reply.status();
+    ASSERT_EQ(reply->batches.size(), 1u);
+    ASSERT_TRUE(reply->batches[0].completion.ok());
+    before_kill = reply->batches[0].repaired;
+
+    // Snapshot under an injected save fault: clean failure, nothing saved.
+    fault::FaultSpec spec;
+    spec.fire_on_hit = 1;
+    spec.code = StatusCode::kIoError;
+    spec.message = "injected snapshot-save fault";
+    ASSERT_TRUE(fault::FailPointRegistry::Global()
+                    .Arm("io.snapshot.save", spec)
+                    .ok());
+    server::SnapshotRequest snap;
+    snap.dir = dir.string();
+    auto failed = client->Snapshot(snap);
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.status().code(), StatusCode::kIoError);
+    EXPECT_NE(failed.status().message().find("injected snapshot-save fault"),
+              std::string::npos)
+        << failed.status();
+
+    // Disarmed: the identical request succeeds.
+    fault::FailPointRegistry::Global().DisarmAll();
+    auto saved = client->Snapshot(snap);
+    ASSERT_TRUE(saved.ok()) << saved.status();
+    EXPECT_EQ(saved->num_saved, 1u);
+
+    (*srv)->Stop();  // kill: no shutdown persistence
+  }
+
+  {
+    server::ServerOptions server_options;
+    server_options.listen = "tcp:127.0.0.1:0";
+    server_options.load_dir = dir.string();
+    auto srv = server::IdRepairServer::Start(std::move(server_options));
+    ASSERT_TRUE(srv.ok()) << srv.status();
+    EXPECT_EQ((*srv)->registry().size(), 1u);
+
+    auto client = server::RepairClient::Connect((*srv)->address());
+    ASSERT_TRUE(client.ok()) << client.status();
+    server::RepairRequest req;
+    req.name = "chaos";
+    req.use_corpus = true;
+    auto reply = client->Repair(req);
+    ASSERT_TRUE(reply.ok()) << reply.status();
+    ASSERT_EQ(reply->batches.size(), 1u);
+    EXPECT_EQ(reply->batches[0].repaired, before_kill);
+    (*srv)->Stop();
+  }
+
+  // An injected load fault keeps a fresh daemon from starting on the same
+  // snapshot dir — fail-stop, not a silently empty registry.
+  {
+    fault::FaultSpec spec;
+    spec.fire_on_hit = 1;
+    spec.code = StatusCode::kIoError;
+    spec.message = "injected snapshot-load fault";
+    ASSERT_TRUE(fault::FailPointRegistry::Global()
+                    .Arm("io.snapshot.load", spec)
+                    .ok());
+    server::ServerOptions server_options;
+    server_options.listen = "tcp:127.0.0.1:0";
+    server_options.load_dir = dir.string();
+    auto srv = server::IdRepairServer::Start(std::move(server_options));
+    ASSERT_FALSE(srv.ok());
+    EXPECT_EQ(srv.status().code(), StatusCode::kIoError);
+    fault::FailPointRegistry::Global().DisarmAll();
+  }
+
+  std::error_code ec;
+  fs::remove_all(dir, ec);
 }
 
 }  // namespace

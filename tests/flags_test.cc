@@ -108,6 +108,25 @@ TEST(FlagParserTest, DeadlineMsFlagRoundTripsIntoOptions) {
   EXPECT_EQ(*none->GetInt("deadline-ms", 0), 0);
 }
 
+// The CLI's --metrics-interval flag path: parsed as an integer, carried
+// into ObsOptions::metrics_interval_ms, and rejected when negative by
+// options validation. 0 (the default) means "no periodic scraping" — the
+// CLI then writes one final exposition exactly as before the flag existed.
+TEST(FlagParserTest, MetricsIntervalFlagRoundTripsIntoOptions) {
+  auto p = ParseArgs({"--metrics-interval=250"});
+  ASSERT_TRUE(p.ok());
+  auto ms = p->GetInt("metrics-interval", 0);
+  ASSERT_TRUE(ms.ok());
+  RepairOptions options = RepairOptions().WithMetricsIntervalMs(*ms);
+  EXPECT_EQ(options.obs.metrics_interval_ms, 250);
+  EXPECT_TRUE(options.Validate().ok());
+
+  EXPECT_FALSE(RepairOptions().WithMetricsIntervalMs(-1).Validate().ok());
+  auto none = ParseArgs({});
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(*none->GetInt("metrics-interval", 0), 0);
+}
+
 // The CLI's --failpoints flag value is a registry spec string; a valid one
 // arms sites, a malformed one is rejected before any repair runs.
 TEST(FlagParserTest, FailpointsFlagValueArmsRegistry) {

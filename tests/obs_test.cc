@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "exec/task_group.h"
@@ -12,6 +16,7 @@
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/phase.h"
+#include "obs/scrape.h"
 #include "obs/trace.h"
 #include "repair/partitioned.h"
 #include "repair/repairer.h"
@@ -324,6 +329,50 @@ TEST_F(ObsTest, StableMetricsByteIdenticalAcrossRepairThreadCounts) {
       EXPECT_EQ(rendered, reference) << "threads=" << threads;
     }
   }
+}
+
+TEST_F(ObsTest, MetricsScraperAppendsSelfDelimitingBlocks) {
+  namespace fs = std::filesystem;
+  fs::path path = fs::temp_directory_path() / "idrepair_obs_scrape_test.prom";
+  fs::remove(path);
+
+  obs::SetEnabled(true);
+  obs::MetricsRegistry::Global()
+      .GetCounter("idrepair_scrape_test_total", obs::Stability::kRuntime,
+                  "scrape test marker")
+      ->Increment(3);
+  {
+    obs::MetricsScraper::Options options;
+    options.path = path.string();
+    options.interval_ms = 20;
+    auto scraper = obs::MetricsScraper::Start(options);
+    ASSERT_TRUE(scraper.ok()) << scraper.status();
+    std::this_thread::sleep_for(std::chrono::milliseconds(70));
+    (*scraper)->Stop();
+    (*scraper)->Stop();  // idempotent
+    EXPECT_TRUE((*scraper)->last_error().ok());
+    // At least one timer tick plus the final scrape on Stop().
+    EXPECT_GE((*scraper)->scrapes(), 2u);
+  }
+
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  // Sequence-numbered block headers, starting at 1, and every block carries
+  // the full exposition (our marker counter included).
+  EXPECT_NE(content.find("# idrepair scrape seq=1\n"), std::string::npos)
+      << content.substr(0, 400);
+  EXPECT_NE(content.find("# idrepair scrape seq=2\n"), std::string::npos);
+  EXPECT_NE(content.find("idrepair_scrape_test_total 3"), std::string::npos);
+
+  // A scraper over an unwritable path fails at Start, not on a timer tick.
+  obs::MetricsScraper::Options bad;
+  bad.path = "/nonexistent-dir/metrics.prom";
+  EXPECT_FALSE(obs::MetricsScraper::Start(bad).ok());
+  obs::MetricsScraper::Options empty;
+  EXPECT_FALSE(obs::MetricsScraper::Start(empty).ok());
+
+  fs::remove(path);
 }
 
 }  // namespace

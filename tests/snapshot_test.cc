@@ -1,0 +1,335 @@
+// Snapshot format robustness: byte-identity of save -> load -> save across
+// graph shapes, and clean rejection of every corruption class (truncation,
+// bad magic, wrong version, CRC mismatch, trailing bytes, cross-section
+// inconsistency). A snapshot loader that crashes on a bad file would turn a
+// torn disk write into a daemon that can never start again.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/crc32.h"
+#include "gen/synthetic.h"
+#include "graph/generators.h"
+#include "lig/length_indexed_grids.h"
+#include "repair/repairer.h"
+#include "server/snapshot.h"
+#include "test_util.h"
+
+namespace idrepair {
+namespace server {
+namespace {
+
+namespace fs = std::filesystem;
+
+Result<BundlePtr> MakePaperBundle() {
+  return MakeBundle("paper", 3, MakePaperExampleGraph(),
+                    testutil::RunningExampleOptions(),
+                    testutil::MakeTable1Records());
+}
+
+/// Patches the header's CRC and payload-size fields to match the (possibly
+/// tampered) payload, so tests can corrupt *content* without tripping the
+/// cheaper CRC check first.
+void RestampHeader(std::string* bytes) {
+  ASSERT_GE(bytes->size(), kSnapshotHeaderBytes);
+  uint64_t payload_size = bytes->size() - kSnapshotHeaderBytes;
+  uint32_t crc =
+      Crc32(bytes->data() + kSnapshotHeaderBytes, payload_size);
+  std::memcpy(bytes->data() + 8, &payload_size, sizeof(payload_size));
+  std::memcpy(bytes->data() + 16, &crc, sizeof(crc));
+}
+
+TEST(SnapshotTest, SaveLoadSaveIsByteIdenticalAcrossShapes) {
+  struct Shape {
+    const char* name;
+    TransitionGraph graph;
+    std::vector<TrackingRecord> corpus;
+  };
+  auto synthetic_corpus = [](const TransitionGraph& graph, uint64_t seed) {
+    SyntheticConfig config;
+    config.num_trajectories = 40;
+    config.record_error_rate = 0.25;
+    config.max_path_len = 20;  // the chain shape's only valid path is long
+    config.seed = seed;
+    auto dataset = GenerateSyntheticDataset(graph, config);
+    EXPECT_TRUE(dataset.ok()) << dataset.status();
+    if (!dataset.ok()) return std::vector<TrackingRecord>{};
+    return dataset->ObservedRecords();
+  };
+  std::vector<Shape> shapes;
+  shapes.push_back({"paper+corpus", MakePaperExampleGraph(),
+                    testutil::MakeTable1Records()});
+  shapes.push_back({"paper graph-only", MakePaperExampleGraph(), {}});
+  shapes.push_back({"chain", MakeChainGraph(17),
+                    synthetic_corpus(MakeChainGraph(17), 7)});
+  shapes.push_back({"grid", MakeGridNetwork(4, 5),
+                    synthetic_corpus(MakeGridNetwork(4, 5), 11)});
+  shapes.push_back({"real-like", MakeRealLikeGraph(),
+                    synthetic_corpus(MakeRealLikeGraph(), 13)});
+
+  for (Shape& shape : shapes) {
+    SCOPED_TRACE(shape.name);
+    auto bundle = MakeBundle("shape", 2, std::move(shape.graph),
+                             testutil::RunningExampleOptions(),
+                             std::move(shape.corpus));
+    ASSERT_TRUE(bundle.ok()) << bundle.status();
+    std::string first = EncodeSnapshot(**bundle);
+    auto loaded = DecodeSnapshot(first);
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    std::string second = EncodeSnapshot(**loaded);
+    EXPECT_EQ(first, second);
+    // And once more through the decoded-of-decoded bundle: a fixed point,
+    // not merely a 2-cycle.
+    auto reloaded = DecodeSnapshot(second);
+    ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+    EXPECT_EQ(EncodeSnapshot(**reloaded), first);
+  }
+}
+
+TEST(SnapshotTest, DecodedBundlePreservesEveryField) {
+  auto bundle = MakePaperBundle();
+  ASSERT_TRUE(bundle.ok()) << bundle.status();
+  auto loaded = DecodeSnapshot(EncodeSnapshot(**bundle));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const GraphBundle& b = **loaded;
+  EXPECT_EQ(b.name, "paper");
+  EXPECT_EQ(b.version, 3u);
+  EXPECT_EQ(b.graph.num_locations(), (*bundle)->graph.num_locations());
+  EXPECT_EQ(b.graph.num_edges(), (*bundle)->graph.num_edges());
+  EXPECT_EQ(b.graph.EdgeMatrix(), (*bundle)->graph.EdgeMatrix());
+  EXPECT_EQ(b.options.theta, 5u);
+  EXPECT_EQ(b.options.eta, 1200);
+  ASSERT_NE(b.corpus, nullptr);
+  EXPECT_EQ(b.corpus->total_records(), 7u);
+  ASSERT_NE(b.lig, nullptr);
+  // The loaded LIG indexes the loaded corpus object — the pointer identity
+  // RepairOptions::resident_lig reuse hinges on.
+  EXPECT_EQ(&b.lig->indexed_set(), b.corpus.get());
+}
+
+TEST(SnapshotTest, LoadedLigRepairsIdenticallyToFreshBuild) {
+  auto bundle = MakePaperBundle();
+  ASSERT_TRUE(bundle.ok()) << bundle.status();
+  auto loaded = DecodeSnapshot(EncodeSnapshot(**bundle));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  RepairOptions with_resident = (*loaded)->options;
+  with_resident.resident_lig = (*loaded)->lig.get();
+  IdRepairer resident_engine((*loaded)->graph, with_resident);
+  auto resident = resident_engine.Repair(*(*loaded)->corpus);
+  ASSERT_TRUE(resident.ok()) << resident.status();
+
+  IdRepairer fresh_engine((*bundle)->graph, (*bundle)->options);
+  auto fresh = fresh_engine.Repair(*(*bundle)->corpus);
+  ASSERT_TRUE(fresh.ok()) << fresh.status();
+
+  EXPECT_EQ(resident->repaired.trajectories(),
+            fresh->repaired.trajectories());
+  EXPECT_EQ(resident->rewrites, fresh->rewrites);
+  EXPECT_EQ(resident->selected, fresh->selected);
+}
+
+TEST(SnapshotTest, FileRoundTripMatchesInMemoryBytes) {
+  auto bundle = MakePaperBundle();
+  ASSERT_TRUE(bundle.ok()) << bundle.status();
+  fs::path path = fs::temp_directory_path() / "idrepair_snapshot_rt.idrs";
+  ASSERT_TRUE(WriteSnapshotFile(path.string(), **bundle).ok());
+  auto loaded = ReadSnapshotFile(path.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  std::ifstream in(path, std::ios::binary);
+  std::string on_disk((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(on_disk, EncodeSnapshot(**loaded));
+  std::remove(path.string().c_str());
+}
+
+TEST(SnapshotTest, TruncationAtEveryPrefixIsRejectedCleanly) {
+  auto bundle = MakePaperBundle();
+  ASSERT_TRUE(bundle.ok()) << bundle.status();
+  std::string bytes = EncodeSnapshot(**bundle);
+  // Every prefix must fail with a clean Status — never crash, never
+  // succeed. Covers header truncation, section-boundary truncation, and
+  // mid-section truncation in one sweep (the file is small).
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    auto r = DecodeSnapshot(std::string_view(bytes).substr(0, len));
+    ASSERT_FALSE(r.ok()) << "prefix of " << len << " bytes decoded";
+  }
+  EXPECT_TRUE(DecodeSnapshot(bytes).ok());
+}
+
+TEST(SnapshotTest, BadMagicIsRejected) {
+  auto bundle = MakePaperBundle();
+  ASSERT_TRUE(bundle.ok()) << bundle.status();
+  std::string bytes = EncodeSnapshot(**bundle);
+  bytes[0] ^= 0x01;
+  auto r = DecodeSnapshot(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(r.status().message().find("magic"), std::string::npos)
+      << r.status();
+}
+
+TEST(SnapshotTest, WrongVersionIsRejected) {
+  auto bundle = MakePaperBundle();
+  ASSERT_TRUE(bundle.ok()) << bundle.status();
+  std::string bytes = EncodeSnapshot(**bundle);
+  uint32_t version = 2;
+  std::memcpy(bytes.data() + 4, &version, sizeof(version));
+  auto r = DecodeSnapshot(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("version"), std::string::npos)
+      << r.status();
+}
+
+TEST(SnapshotTest, CrcMismatchIsRejected) {
+  auto bundle = MakePaperBundle();
+  ASSERT_TRUE(bundle.ok()) << bundle.status();
+  std::string bytes = EncodeSnapshot(**bundle);
+  // Flip one payload byte without restamping the header.
+  bytes[kSnapshotHeaderBytes + bytes.size() / 2] ^= 0x40;
+  auto r = DecodeSnapshot(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(r.status().message().find("checksum"), std::string::npos)
+      << r.status();
+}
+
+TEST(SnapshotTest, TrailingGarbageIsRejected) {
+  auto bundle = MakePaperBundle();
+  ASSERT_TRUE(bundle.ok()) << bundle.status();
+  std::string bytes = EncodeSnapshot(**bundle);
+  bytes += "extra";
+  auto r = DecodeSnapshot(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+/// Locates section `tag`'s body inside a whole snapshot byte string.
+/// Returns {offset, len} into `bytes`, or {0, 0} when absent.
+std::pair<size_t, size_t> FindSection(const std::string& bytes,
+                                      uint32_t tag) {
+  size_t pos = kSnapshotHeaderBytes;
+  while (pos + 12 <= bytes.size()) {
+    uint32_t t;
+    uint64_t len;
+    std::memcpy(&t, bytes.data() + pos, sizeof(t));
+    std::memcpy(&len, bytes.data() + pos + 4, sizeof(len));
+    pos += 12;
+    if (t == tag) return {pos, static_cast<size_t>(len)};
+    pos += static_cast<size_t>(len);
+  }
+  return {0, 0};
+}
+
+TEST(SnapshotTest, MatrixTamperSurvivingCrcIsStillRejected) {
+  auto bundle = MakePaperBundle();
+  ASSERT_TRUE(bundle.ok()) << bundle.status();
+  std::string bytes = EncodeSnapshot(**bundle);
+  // An editor that flips a matrix bit AND fixes the CRC still fails the
+  // cross-check against the matrix rebuilt from the edge section. Flip one
+  // bit inside every word of section 4's packed bitset (the words sit at
+  // the end of the section body, after the u64 bit/word counts).
+  auto [matrix_off, matrix_len] = FindSection(bytes, 4);
+  ASSERT_GT(matrix_len, 16u) << "matrix section not found";
+  for (size_t i = matrix_off + 16; i < matrix_off + matrix_len; ++i) {
+    std::string tampered = bytes;
+    tampered[i] ^= 0x04;
+    RestampHeader(&tampered);
+    auto r = DecodeSnapshot(tampered);
+    ASSERT_FALSE(r.ok()) << "matrix byte " << (i - matrix_off)
+                         << " tamper decoded";
+    EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+    EXPECT_NE(r.status().message().find("matrix"), std::string::npos)
+        << r.status();
+  }
+}
+
+TEST(SnapshotTest, EveryPayloadByteFlipIsRejectedOrDecodesToAFixedPoint) {
+  auto bundle = MakePaperBundle();
+  ASSERT_TRUE(bundle.ok()) << bundle.status();
+  std::string bytes = EncodeSnapshot(**bundle);
+  // Flip each payload byte in turn (restamping the CRC so content checks,
+  // not the checksum, do the work). Most flips must be rejected outright;
+  // a flip that survives (e.g. a changed timestamp, or a non-canonical
+  // bool byte) must decode to a bundle whose own encoding is a decode
+  // fixed point — corruption may be semantically invisible, but it must
+  // never produce a bundle the loader itself cannot round-trip.
+  size_t rejected = 0;
+  size_t accepted = 0;
+  for (size_t i = kSnapshotHeaderBytes; i < bytes.size(); ++i) {
+    std::string tampered = bytes;
+    tampered[i] ^= 0x04;
+    RestampHeader(&tampered);
+    auto r = DecodeSnapshot(tampered);
+    if (!r.ok()) {
+      ++rejected;
+      continue;
+    }
+    ++accepted;
+    std::string normalized = EncodeSnapshot(**r);
+    auto r2 = DecodeSnapshot(normalized);
+    ASSERT_TRUE(r2.ok()) << "byte " << i << ": " << r2.status();
+    EXPECT_EQ(EncodeSnapshot(**r2), normalized) << "byte " << i;
+  }
+  // The structured sections make the vast majority of flips detectable.
+  EXPECT_GT(rejected, accepted);
+}
+
+TEST(SnapshotTest, LigSectionMismatchedOptionsIsRejected) {
+  // FromParts is the snapshot's trust boundary for the LIG arena; feed it
+  // structurally broken Parts directly.
+  auto set = testutil::MakeTable2Trajectories();
+  LengthIndexedGrids::Options options;
+  options.theta = 5;
+  options.eta = 1200;
+  LengthIndexedGrids lig(set, options);
+  LengthIndexedGrids::Parts good = lig.ToParts();
+
+  {
+    LengthIndexedGrids::Parts bad = good;
+    bad.cell_offsets.pop_back();
+    EXPECT_FALSE(LengthIndexedGrids::FromParts(set, std::move(bad)).ok());
+  }
+  {
+    LengthIndexedGrids::Parts bad = good;
+    if (!bad.cell_offsets.empty()) bad.cell_offsets[0] = 1;
+    EXPECT_FALSE(LengthIndexedGrids::FromParts(set, std::move(bad)).ok());
+  }
+  {
+    LengthIndexedGrids::Parts bad = good;
+    bad.num_indexed += 1;
+    EXPECT_FALSE(LengthIndexedGrids::FromParts(set, std::move(bad)).ok());
+  }
+  {
+    LengthIndexedGrids::Parts bad = good;
+    for (auto& e : bad.cell_entries) e = 1000;  // out of range for the set
+    EXPECT_FALSE(LengthIndexedGrids::FromParts(set, std::move(bad)).ok());
+  }
+  auto ok = LengthIndexedGrids::FromParts(set, std::move(good));
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_EQ(&(*ok)->indexed_set(), &set);
+}
+
+TEST(SnapshotTest, MakeBundleValidatesInputs) {
+  EXPECT_FALSE(MakeBundle("", 1, MakePaperExampleGraph(),
+                          testutil::RunningExampleOptions(), {})
+                   .ok());
+  EXPECT_FALSE(MakeBundle("x", 0, MakePaperExampleGraph(),
+                          testutil::RunningExampleOptions(), {})
+                   .ok());
+  // Corpus record referencing a location the graph does not have.
+  std::vector<TrackingRecord> bad = {{"id", 999, 0}};
+  EXPECT_FALSE(MakeBundle("x", 1, MakePaperExampleGraph(),
+                          testutil::RunningExampleOptions(), std::move(bad))
+                   .ok());
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace idrepair

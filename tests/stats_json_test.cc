@@ -61,7 +61,7 @@ TEST(StatsJsonTest, KeyOrderIsPinned) {
       "options", "theta", "eta", "zeta", "lambda", "time_bin", "use_lig",
       "use_mcp_pruning", "selection", "num_threads", "min_partition_grain",
       "min_candidate_grain", "min_selection_grain", "obs_enabled",
-      "trace_capacity", "deadline_ms",
+      "trace_capacity", "deadline_ms", "metrics_interval_ms",
       // stats
       "stats", "num_trajectories", "num_invalid", "gm_edges",
       "cex_evaluations", "cliques_enumerated", "pck_pruned", "jnb_checks",
@@ -76,6 +76,8 @@ TEST(StatsJsonTest, KeyOrderIsPinned) {
       // result summary + run health
       "total_effectiveness", "num_rewrites", "completion", "code", "message",
       "fault", "armed_sites", "total_fires",
+      // daemon admission counters (zero in a one-shot run)
+      "server", "admitted", "rejected", "queue_peak",
   };
   EXPECT_EQ(ExtractKeys(RenderStatsJson(options, *result)), kGolden);
 }
@@ -93,6 +95,11 @@ TEST(StatsJsonTest, CompletionAndFaultBlocksReflectRunHealth) {
             std::string::npos)
       << clean;
   EXPECT_NE(clean.find("\"fault\":{\"armed_sites\":0,\"total_fires\":0"),
+            std::string::npos)
+      << clean;
+  // No daemon in this process: the admission block is present but zero.
+  EXPECT_NE(clean.find("\"server\":{\"admitted\":0,\"rejected\":0,"
+                       "\"queue_peak\":0}"),
             std::string::npos)
       << clean;
 
@@ -132,6 +139,19 @@ TEST(StatsJsonTest, DeadlineOptionRoundTripsIntoOptionsBlock) {
   auto result = repairer.Repair(set);
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_NE(RenderStatsJson(options, *result).find("\"deadline_ms\":1234"),
+            std::string::npos);
+}
+
+TEST(StatsJsonTest, MetricsIntervalOptionRoundTripsIntoOptionsBlock) {
+  auto set = testutil::MakeTable2Trajectories();
+  auto graph = MakePaperExampleGraph();
+  RepairOptions options =
+      testutil::RunningExampleOptions().WithMetricsIntervalMs(250);
+  IdRepairer repairer(graph, options);
+  auto result = repairer.Repair(set);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_NE(RenderStatsJson(options, *result)
+                .find("\"metrics_interval_ms\":250"),
             std::string::npos);
 }
 

@@ -10,7 +10,8 @@
 //                         [--selection-grain auto|N]
 //                         [--engine core|partitioned|streaming|idsim|
 //                         neighborhood] [--max-edit-distance N]
-//                         [--metrics-out FILE] [--trace-out FILE]
+//                         [--metrics-out FILE] [--metrics-interval MS]
+//                         [--trace-out FILE]
 //                         [--trace-capacity N] [--stats-json FILE]
 //                         [--deadline-ms N] [--failpoints SPEC]
 //                         [--failpoints-status]
@@ -20,6 +21,19 @@
 //                         [--window SECONDS] [--max-path-len N]
 //   idrepair_cli stats    --graph g.txt --records in.csv
 //   idrepair_cli dot      --graph g.txt
+//   idrepair_cli serve    [--listen tcp:127.0.0.1:7077] [--load-dir DIR]
+//                         [--snapshot-dir DIR] [--max-inflight N]
+//                         [--default-deadline-ms N] [--threads N]
+//                         [--metrics-out FILE] [--metrics-interval MS]
+//   idrepair_cli client register --connect ADDR --name NAME --graph g.txt
+//                         [--records corpus.csv] [--theta N] [--eta S] ...
+//   idrepair_cli client repair   --connect ADDR --name NAME
+//                         (--records in.csv --graph g.txt [--out fixed.csv]
+//                          | --use-corpus) [--budget-ms N]
+//                         [--engine core|partitioned]
+//   idrepair_cli client snapshot --connect ADDR [--dir DIR]
+//   idrepair_cli client stats    --connect ADDR [--prometheus]
+//   idrepair_cli client shutdown --connect ADDR
 //
 // Graph files use the text format of graph/serialization.h; record files
 // are `id,loc,ts` CSV.
@@ -27,6 +41,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 
 #include "baselines/id_similarity_repairer.h"
 #include "baselines/neighborhood_repairer.h"
@@ -35,7 +50,11 @@
 #include "exec/grain.h"
 #include "fault/failpoint.h"
 #include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/scrape.h"
 #include "obs/trace.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "eval/metrics.h"
 #include "gen/dataset.h"
 #include "gen/synthetic.h"
@@ -53,7 +72,7 @@ namespace idrepair {
 namespace {
 
 constexpr char kUsage[] =
-    "usage: idrepair_cli <repair|generate|stats|dot> [flags]\n"
+    "usage: idrepair_cli <repair|generate|stats|dot|serve|client> [flags]\n"
     "run with a command and no flags for that command's requirements\n";
 
 Status RequireFlag(const FlagParser& flags, const std::string& key) {
@@ -101,6 +120,15 @@ Result<RepairOptions> OptionsFromFlags(const FlagParser& flags,
   if (*deadline_ms < 0) {
     return Status::InvalidArgument("--deadline-ms must be >= 0");
   }
+  auto metrics_interval = flags.GetInt("metrics-interval", 0);
+  if (!metrics_interval.ok()) return metrics_interval.status();
+  if (*metrics_interval < 0) {
+    return Status::InvalidArgument("--metrics-interval must be >= 0");
+  }
+  if (*metrics_interval > 0 && !flags.Has("metrics-out")) {
+    return Status::InvalidArgument(
+        "--metrics-interval needs --metrics-out to scrape into");
+  }
   // Requesting either export implies instrumentation; there is no separate
   // --obs switch to forget.
   bool obs_enabled = flags.Has("metrics-out") || flags.Has("trace-out");
@@ -128,6 +156,7 @@ Result<RepairOptions> OptionsFromFlags(const FlagParser& flags,
       .WithObsEnabled(obs_enabled)
       .WithTraceCapacity(static_cast<size_t>(*trace_capacity))
       .WithDeadlineMs(*deadline_ms)
+      .WithMetricsIntervalMs(*metrics_interval)
       .Validated();
 }
 
@@ -184,6 +213,15 @@ int RunRepair(const FlagParser& flags) {
   // Enable instrumentation up front (not just inside the engines) so the
   // baseline engines, which ignore RepairOptions::obs, still export.
   obs::ApplyOptions(options->obs);
+  std::unique_ptr<obs::MetricsScraper> scraper;
+  if (options->obs.metrics_interval_ms > 0) {
+    obs::MetricsScraper::Options scrape_options;
+    scrape_options.path = flags.GetString("metrics-out");
+    scrape_options.interval_ms = options->obs.metrics_interval_ms;
+    auto started = obs::MetricsScraper::Start(std::move(scrape_options));
+    if (!started.ok()) return FailWith(started.status());
+    scraper = std::move(*started);
+  }
 
   TrajectorySet set = TrajectorySet::FromRecords(*records);
   auto engine = MakeEngine(flags, *graph, *options);
@@ -210,7 +248,15 @@ int RunRepair(const FlagParser& flags) {
     std::cout << ExplainRepair(set, *graph, *result, *options);
   }
 
-  if (flags.Has("metrics-out")) {
+  if (scraper != nullptr) {
+    // Periodic mode: the scraper appends timestamped expositions; its Stop()
+    // writes the final one, so the one-shot dump below would only duplicate
+    // the last block.
+    scraper->Stop();
+    if (Status s = scraper->last_error(); !s.ok()) return FailWith(s);
+    std::cout << "wrote " << scraper->scrapes() << " metric scrapes to "
+              << flags.GetString("metrics-out") << "\n";
+  } else if (flags.Has("metrics-out")) {
     std::string path = flags.GetString("metrics-out");
     std::ofstream metrics(path);
     if (!metrics) {
@@ -339,12 +385,221 @@ int RunDot(const FlagParser& flags) {
   return 0;
 }
 
+int RunServe(const FlagParser& flags) {
+  server::ServerOptions options;
+  options.listen = flags.GetString("listen", "tcp:127.0.0.1:7077");
+  options.load_dir = flags.GetString("load-dir");
+  options.snapshot_dir = flags.GetString("snapshot-dir");
+  auto max_inflight = flags.GetInt("max-inflight", 64);
+  auto default_deadline = flags.GetInt("default-deadline-ms", 0);
+  auto threads = flags.GetInt("threads", 0);
+  auto metrics_interval = flags.GetInt("metrics-interval", 0);
+  for (const Status& s :
+       {max_inflight.status(), default_deadline.status(), threads.status(),
+        metrics_interval.status()}) {
+    if (!s.ok()) return FailWith(s);
+  }
+  if (*max_inflight < 0) {
+    return FailWith(Status::InvalidArgument("--max-inflight must be >= 0"));
+  }
+  options.max_inflight = static_cast<uint64_t>(*max_inflight);
+  options.default_deadline_ms = *default_deadline;
+  options.exec_threads = static_cast<int>(*threads);
+
+  if (flags.Has("metrics-out")) obs::SetEnabled(true);
+  std::unique_ptr<obs::MetricsScraper> scraper;
+  if (*metrics_interval > 0) {
+    if (!flags.Has("metrics-out")) {
+      return FailWith(Status::InvalidArgument(
+          "--metrics-interval needs --metrics-out to scrape into"));
+    }
+    obs::MetricsScraper::Options scrape_options;
+    scrape_options.path = flags.GetString("metrics-out");
+    scrape_options.interval_ms = *metrics_interval;
+    auto started = obs::MetricsScraper::Start(std::move(scrape_options));
+    if (!started.ok()) return FailWith(started.status());
+    scraper = std::move(*started);
+  }
+
+  auto srv = server::IdRepairServer::Start(std::move(options));
+  if (!srv.ok()) return FailWith(srv.status());
+  std::cout << "idrepaird listening at " << (*srv)->address() << " ("
+            << (*srv)->registry().size() << " graphs loaded)" << std::endl;
+  (*srv)->WaitForShutdownRequest();
+  server::AdmissionStats admission = (*srv)->admission();
+  (*srv)->Stop();
+  std::cout << "idrepaird stopped: admitted=" << admission.admitted
+            << " rejected=" << admission.rejected
+            << " completed=" << admission.completed << "\n";
+  if (scraper != nullptr) {
+    scraper->Stop();
+    std::cout << "wrote " << scraper->scrapes() << " metric scrapes to "
+              << flags.GetString("metrics-out") << "\n";
+  }
+  return 0;
+}
+
+Result<std::string> ReadFileText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return std::move(text).str();
+}
+
+int RunClient(const std::string& action, const FlagParser& flags) {
+  if (Status s = RequireFlag(flags, "connect"); !s.ok()) return FailWith(s);
+  auto client = server::RepairClient::Connect(flags.GetString("connect"));
+  if (!client.ok()) return FailWith(client.status());
+
+  if (action == "register") {
+    for (const char* key : {"name", "graph"}) {
+      if (Status s = RequireFlag(flags, key); !s.ok()) return FailWith(s);
+    }
+    server::RegisterGraphRequest req;
+    req.name = flags.GetString("name");
+    auto graph_text = ReadFileText(flags.GetString("graph"));
+    if (!graph_text.ok()) return FailWith(graph_text.status());
+    req.graph_text = std::move(*graph_text);
+    const IdSimilarity* unused = nullptr;
+    auto options = OptionsFromFlags(flags, &unused);
+    if (!options.ok()) return FailWith(options.status());
+    options->similarity = nullptr;  // never travels the wire
+    req.options = *options;
+    if (flags.Has("records")) {
+      std::istringstream graph_stream(req.graph_text);
+      auto graph = ReadTransitionGraph(graph_stream);
+      if (!graph.ok()) return FailWith(graph.status());
+      auto corpus = ReadRecordsCsvFile(flags.GetString("records"), *graph);
+      if (!corpus.ok()) return FailWith(corpus.status());
+      req.corpus = std::move(*corpus);
+    }
+    auto reply = client->RegisterGraph(req);
+    if (!reply.ok()) return FailWith(reply.status());
+    std::cout << "registered '" << req.name << "' version " << reply->version
+              << " (" << req.corpus.size() << " corpus records)\n";
+    return 0;
+  }
+
+  if (action == "repair") {
+    if (Status s = RequireFlag(flags, "name"); !s.ok()) return FailWith(s);
+    server::RepairRequest req;
+    req.name = flags.GetString("name");
+    auto budget = flags.GetInt("budget-ms", 0);
+    if (!budget.ok()) return FailWith(budget.status());
+    req.budget_ms = *budget;
+    std::string engine = flags.GetString("engine", "core");
+    if (engine == "partitioned") {
+      req.engine = 1;
+    } else if (engine != "core") {
+      return FailWith(Status::InvalidArgument(
+          "client repair supports --engine core|partitioned"));
+    }
+    req.use_corpus = flags.GetBool("use-corpus");
+    std::unique_ptr<TransitionGraph> graph;  // only needed for record CSV I/O
+    if (!req.use_corpus) {
+      for (const char* key : {"records", "graph"}) {
+        if (Status s = RequireFlag(flags, key); !s.ok()) return FailWith(s);
+      }
+      auto loaded = ReadTransitionGraphFile(flags.GetString("graph"));
+      if (!loaded.ok()) return FailWith(loaded.status());
+      graph = std::make_unique<TransitionGraph>(std::move(*loaded));
+      auto records = ReadRecordsCsvFile(flags.GetString("records"), *graph);
+      if (!records.ok()) return FailWith(records.status());
+      req.batches.push_back(std::move(*records));
+    }
+    auto reply = client->Repair(req);
+    if (!reply.ok()) return FailWith(reply.status());
+    size_t batch_index = 0;
+    for (const server::BatchReply& batch : reply->batches) {
+      std::cout << "batch " << batch_index++ << ": candidates="
+                << batch.num_candidates << " selected=" << batch.num_selected
+                << " rewrites=" << batch.num_rewrites << " records="
+                << batch.repaired.size() << " time="
+                << ToFixed(batch.seconds_total * 1e3, 1) << " ms";
+      if (!batch.completion.ok()) std::cout << " (" << batch.completion << ")";
+      std::cout << "\n";
+    }
+    if (flags.Has("out")) {
+      if (graph == nullptr) {
+        return FailWith(Status::InvalidArgument(
+            "--out needs --graph to render location names"));
+      }
+      std::vector<TrackingRecord> all;
+      for (const server::BatchReply& batch : reply->batches) {
+        all.insert(all.end(), batch.repaired.begin(), batch.repaired.end());
+      }
+      if (Status s =
+              WriteRecordsCsvFile(flags.GetString("out"), *graph, all);
+          !s.ok()) {
+        return FailWith(s);
+      }
+      std::cout << "wrote " << all.size() << " records to "
+                << flags.GetString("out") << "\n";
+    }
+    return 0;
+  }
+
+  if (action == "snapshot") {
+    server::SnapshotRequest req;
+    req.dir = flags.GetString("dir");
+    auto reply = client->Snapshot(req);
+    if (!reply.ok()) return FailWith(reply.status());
+    std::cout << "saved " << reply->num_saved << " snapshots to "
+              << reply->dir << "\n";
+    return 0;
+  }
+
+  if (action == "stats") {
+    server::StatsRequest req;
+    req.include_prometheus = flags.GetBool("prometheus");
+    auto reply = client->Stats(req);
+    if (!reply.ok()) return FailWith(reply.status());
+    for (const auto& entry : reply->entries) {
+      std::cout << entry.name << " v" << entry.version << ": "
+                << entry.num_locations << " locations, " << entry.num_edges
+                << " edges, " << entry.corpus_trajectories
+                << " corpus trajectories, " << entry.lig_indexed
+                << " LIG-indexed, " << entry.use_count << " in use\n";
+    }
+    const server::AdmissionStats& a = reply->admission;
+    std::cout << "admission: admitted=" << a.admitted << " rejected="
+              << a.rejected << " completed=" << a.completed << " inflight="
+              << a.inflight << " queue_peak=" << a.queue_peak
+              << " max_inflight=" << a.max_inflight << "\n";
+    if (!reply->prometheus.empty()) std::cout << reply->prometheus;
+    return 0;
+  }
+
+  if (action == "shutdown") {
+    if (Status s = client->Shutdown(); !s.ok()) return FailWith(s);
+    std::cout << "shutdown acknowledged\n";
+    return 0;
+  }
+
+  std::cerr << "unknown client action '" << action << "'\n" << kUsage;
+  return 2;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << kUsage;
     return 2;
   }
   std::string command = argv[1];
+  if (command == "client") {
+    if (argc < 3) {
+      std::cerr << "usage: idrepair_cli client "
+                   "<register|repair|snapshot|stats|shutdown> --connect "
+                   "ADDR [flags]\n";
+      return 2;
+    }
+    auto flags = FlagParser::Parse(argc - 3, argv + 3,
+                                   {"no-lig", "no-prune", "use-corpus",
+                                    "prometheus"});
+    if (!flags.ok()) return FailWith(flags.status());
+    return RunClient(argv[2], *flags);
+  }
   auto flags = FlagParser::Parse(
       argc - 2, argv + 2,
       {"no-lig", "no-prune", "explain", "failpoints-status"});
@@ -353,6 +608,7 @@ int Main(int argc, char** argv) {
   if (command == "generate") return RunGenerate(*flags);
   if (command == "stats") return RunStats(*flags);
   if (command == "dot") return RunDot(*flags);
+  if (command == "serve") return RunServe(*flags);
   std::cerr << "unknown command '" << command << "'\n" << kUsage;
   return 2;
 }
