@@ -90,6 +90,16 @@ ctest --test-dir "$BUILD_DIR" -R 'server_test|snapshot_test' --output-on-failure
 "$BUILD_DIR/tests/chaos_test" \
   --gtest_filter='ChaosTest.DaemonKillRestartFromSnapshotIsByteIdentical'
 
+echo "==> stream: incremental batch-equivalence differential tier"
+# The streaming engine's per-window repairs must be byte-identical to the
+# batch pipeline (tentpole invariant of the incremental rewrite), with the
+# eviction-pattern fuzz/chaos arms alongside. Built by tier-1; re-run by
+# name so a streaming regression reports as its own stage.
+ctest --test-dir "$BUILD_DIR" -R 'stream_test|stream_differential_test' \
+  --output-on-failure
+"$BUILD_DIR/tests/chaos_test" \
+  --gtest_filter='ChaosTest.SoakEvictionHeavyStreaming'
+
 echo "==> sanitizer: address"
 scripts/check_asan.sh
 

@@ -97,6 +97,23 @@ IdRepairer::IdRepairer(const TransitionGraph& graph, RepairOptions options)
 
 Result<RepairResult> IdRepairer::Repair(const TrajectorySet& set,
                                         const RepairSelector* selector) const {
+  return RepairImpl(set, selector, nullptr, nullptr);
+}
+
+Result<RepairResult> IdRepairer::RepairPrebuilt(
+    const TrajectorySet& set, const TrajectoryGraph& gm,
+    const PredicateEvaluator& pred) const {
+  if (gm.num_vertices() != set.size()) {
+    return Status::InvalidArgument(
+        "RepairPrebuilt: graph vertex count disagrees with the set");
+  }
+  return RepairImpl(set, nullptr, &gm, &pred);
+}
+
+Result<RepairResult> IdRepairer::RepairImpl(
+    const TrajectorySet& set, const RepairSelector* selector,
+    const TrajectoryGraph* prebuilt,
+    const PredicateEvaluator* external_pred) const {
   IDREPAIR_RETURN_NOT_OK(options_.Validate());
   IDREPAIR_RETURN_NOT_OK(graph_->Validate());
   obs::ApplyOptions(options_.obs);
@@ -148,14 +165,22 @@ Result<RepairResult> IdRepairer::Repair(const TrajectorySet& set,
   }
 
   // ---- Phase 1: candidate repair generation (§3.2) ----
-  PredicateEvaluator pred(*graph_, options_.theta, options_.eta);
+  // The evaluator (and its Floyd–Warshall closure) and the trajectory graph
+  // are built here unless the caller brought its own — RepairPrebuilt
+  // amortizes both across the streaming engine's component repairs.
+  std::optional<PredicateEvaluator> pred_storage;
+  if (external_pred == nullptr) {
+    pred_storage.emplace(*graph_, options_.theta, options_.eta);
+  }
+  const PredicateEvaluator& pred =
+      external_pred != nullptr ? *external_pred : *pred_storage;
   std::optional<TrajectoryGraph> gm_storage;
-  {
+  if (prebuilt == nullptr) {
     obs::PhaseScope phase("repair.gm", &result.stats.seconds_gm,
                           &result.stats.cpu_seconds_gm, inst.gm_seconds);
     gm_storage.emplace(set, pred, options_);
   }
-  const TrajectoryGraph& gm = *gm_storage;
+  const TrajectoryGraph& gm = prebuilt != nullptr ? *prebuilt : *gm_storage;
   result.stats.gm_edges = gm.num_edges();
   result.stats.cex_evaluations = gm.stats().cex_evaluations;
 

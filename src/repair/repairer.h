@@ -15,6 +15,9 @@
 
 namespace idrepair {
 
+class TrajectoryGraph;
+class PredicateEvaluator;
+
 /// Per-phase timings and counters of one repair run, powering the paper's
 /// running-time plots.
 struct RepairStats {
@@ -60,6 +63,16 @@ struct RepairStats {
   size_t sched_blocks = 0;
   size_t sched_workers = 0;
   double sched_imbalance = 1.0;
+  // Incremental-streaming footprint (StreamingRepairer's batch adapter;
+  // all zero for the batch engines): polls the replay issued, component
+  // dirty-set invalidations, records that rode through a poll without
+  // re-running generation for their component, appends the bounded buffer
+  // rejected (backpressure), and component-scoped generation runs.
+  size_t stream_polls = 0;
+  size_t stream_dirty_components = 0;
+  size_t stream_records_reused = 0;
+  size_t stream_appends_rejected = 0;
+  size_t stream_generation_runs = 0;
 };
 
 /// The outcome of one repair run.
@@ -146,12 +159,30 @@ class IdRepairer : public Repairer {
     return Repair(set, nullptr);
   }
 
+  /// Runs the pipeline downstream of Gm construction against a trajectory
+  /// graph the caller already holds — the component-scoped entry point of
+  /// the incremental streaming engine, which maintains `gm`'s adjacency
+  /// edge-by-edge and shares one PredicateEvaluator (and its Floyd–Warshall
+  /// closure) across every component repair. `gm` must be a graph over
+  /// exactly `set` (num_vertices == set.size()) built against the same θ/η
+  /// as `pred`, or InvalidArgument is returned. stats.seconds_gm stays 0.
+  Result<RepairResult> RepairPrebuilt(const TrajectorySet& set,
+                                      const TrajectoryGraph& gm,
+                                      const PredicateEvaluator& pred) const;
+
   std::string_view name() const override { return "core"; }
 
   const RepairOptions& options() const { return options_; }
   const TransitionGraph& graph() const { return *graph_; }
 
  private:
+  /// Shared pipeline body: `prebuilt`/`external_pred` are both null on the
+  /// building path and both non-null on the RepairPrebuilt path.
+  Result<RepairResult> RepairImpl(const TrajectorySet& set,
+                                  const RepairSelector* selector,
+                                  const TrajectoryGraph* prebuilt,
+                                  const PredicateEvaluator* external_pred) const;
+
   const TransitionGraph* graph_;
   RepairOptions options_;
   NormalizedEditSimilarity default_similarity_;

@@ -164,6 +164,23 @@ void WriteStatsJson(std::ostream& out, std::string_view engine,
   w.Key("generation_imbalance");
   w.Double(s.sched_imbalance);
   w.EndObject();
+  // Incremental-streaming footprint: how the StreamingRepairer's replay
+  // actually behaved (polls, dirty-component invalidations, reuse,
+  // backpressure). All zero for batch engines, keeping the pinned key order
+  // engine-independent.
+  w.Key("stream");
+  w.BeginObject();
+  w.Key("polls");
+  w.Uint(s.stream_polls);
+  w.Key("dirty_components");
+  w.Uint(s.stream_dirty_components);
+  w.Key("records_reused");
+  w.Uint(s.stream_records_reused);
+  w.Key("appends_rejected");
+  w.Uint(s.stream_appends_rejected);
+  w.Key("generation_runs");
+  w.Uint(s.stream_generation_runs);
+  w.EndObject();
   w.Key("total_effectiveness");
   w.Double(result.total_effectiveness);
   w.Key("num_rewrites");

@@ -4,14 +4,17 @@
 #include <cstddef>
 #include <deque>
 #include <map>
+#include <string>
 #include <tuple>
-#include <unordered_set>
+#include <utility>
 
 #include "common/stopwatch.h"
 #include "fault/deadline.h"
 #include "fault/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "repair/trajectory_graph.h"
+#include "traj/merge.h"
 
 namespace idrepair {
 
@@ -26,6 +29,10 @@ struct StreamInstruments {
   obs::Counter* emitted;
   obs::Counter* batch_attempts;
   obs::Counter* batch_completed;
+  obs::Counter* dirty_components;
+  obs::Counter* records_reused;
+  obs::Counter* appends_rejected;
+  obs::Counter* generation_runs;
   obs::Histogram* poll_seconds;
 
   static StreamInstruments& Get() {
@@ -48,6 +55,19 @@ struct StreamInstruments {
           "idrepair_stream_emitted_trajectories_total",
           obs::Stability::kStable,
           "Repaired trajectories emitted by Poll() and Finish()");
+      si->dirty_components = reg.GetCounter(
+          "idrepair_stream_dirty_components_total", obs::Stability::kStable,
+          "Clean components invalidated by an appended record");
+      si->records_reused = reg.GetCounter(
+          "idrepair_stream_records_reused_total", obs::Stability::kStable,
+          "Records that rode through a poll without their component "
+          "re-running candidate generation");
+      si->appends_rejected = reg.GetCounter(
+          "idrepair_stream_appends_rejected_total", obs::Stability::kStable,
+          "Appends rejected by bounded-buffer backpressure");
+      si->generation_runs = reg.GetCounter(
+          "idrepair_stream_generation_runs_total", obs::Stability::kStable,
+          "Component-scoped pipeline runs (cache misses)");
       si->poll_seconds = reg.GetHistogram(
           "idrepair_stream_poll_seconds", obs::Stability::kRuntime,
           obs::DefaultLatencyBuckets(), "Poll() wall time");
@@ -57,44 +77,180 @@ struct StreamInstruments {
   }
 };
 
+LengthIndexedGrids::Options LigOptionsFrom(const RepairOptions& options) {
+  LengthIndexedGrids::Options lig_opts;
+  lig_opts.theta = options.theta;
+  lig_opts.eta = options.eta;
+  lig_opts.time_bin = options.time_bin;
+  return lig_opts;
+}
+
+std::vector<TrackingRecord> FlattenRecords(const TrajectorySet& set) {
+  std::vector<TrackingRecord> records;
+  records.reserve(set.total_records());
+  for (const auto& t : set.trajectories()) {
+    for (const auto& p : t.points()) {
+      records.push_back(TrackingRecord{t.id(), p.loc, p.ts});
+    }
+  }
+  return records;
+}
+
 }  // namespace
 
 StreamingRepairer::StreamingRepairer(const TransitionGraph& graph,
                                      RepairOptions options,
-                                     double flush_horizon_multiplier)
+                                     StreamOptions stream_options)
     : graph_(&graph),
       options_(std::move(options)),
-      flush_horizon_multiplier_(flush_horizon_multiplier) {
+      stream_options_(stream_options),
+      pred_(graph, options_.theta, options_.eta),
+      inner_(graph, options_) {
   obs::ApplyOptions(options_.obs);
   // Emitted fragments must at least be inert (no future record can join a
   // fragment whose start is more than η behind the watermark), so the
   // horizon is clamped to one η.
   flush_horizon_ = std::max(
       options_.eta,
-      static_cast<Timestamp>(flush_horizon_multiplier *
+      static_cast<Timestamp>(stream_options_.flush_horizon_multiplier *
                              static_cast<double>(options_.eta)));
 }
 
+StreamingRepairer::StreamingRepairer(const TransitionGraph& graph,
+                                     RepairOptions options,
+                                     double flush_horizon_multiplier)
+    : StreamingRepairer(graph, std::move(options),
+                        StreamOptions{flush_horizon_multiplier}) {}
+
 Status StreamingRepairer::Append(const TrackingRecord& record) {
-  // Before any state mutation: an injected Append fault drops nothing from
-  // the buffer and moves no watermark — the caller may retry the record.
+  // Before any state mutation: an injected Append fault drops nothing and
+  // moves no watermark — the caller may retry the record.
   IDREPAIR_FAULT_INJECT("stream.append");
   if (saw_any_ && record.ts < watermark_) {
     return Status::OutOfRange(
         "stream records must arrive in non-decreasing timestamp order");
   }
+  if (stream_options_.max_buffered > 0 &&
+      pending_records_ >= stream_options_.max_buffered) {
+    ++appends_rejected_;
+    if (obs::Enabled()) {
+      StreamInstruments::Get().appends_rejected->Increment();
+    }
+    return Status::ResourceExhausted(
+        "stream buffer full (max_buffered=" +
+        std::to_string(stream_options_.max_buffered) +
+        "); poll and retry");
+  }
   saw_any_ = true;
   watermark_ = record.ts;
-  buffer_.push_back(record);
+  if (!lig_.has_value()) {
+    // Anchor the dynamic index at the first record: the watermark never
+    // regresses, so every later span starts at or after this base.
+    lig_.emplace(
+        LengthIndexedGrids::Dynamic(LigOptionsFrom(options_), record.ts));
+  }
+  uint32_t handle;
+  auto it = frag_by_id_.find(record.id);
+  if (it != frag_by_id_.end()) {
+    handle = it->second;
+  } else {
+    handle = NewFragment(record);
+  }
+  frags_[handle].points.push_back(TrajectoryPoint{record.loc, record.ts});
+  ++pending_records_;
+  RefreshFragment(handle);
+  TouchComponent(frags_[handle].component);
   if (obs::Enabled()) StreamInstruments::Get().appends->Increment();
   return Status::OK();
 }
 
+uint32_t StreamingRepairer::NewFragment(const TrackingRecord& record) {
+  uint32_t handle = static_cast<uint32_t>(frags_.size());
+  Fragment frag;
+  frag.id = record.id;
+  frags_.push_back(std::move(frag));
+  frag_by_id_.emplace(record.id, handle);
+  // The new fragment starts at the watermark, so it either chains onto the
+  // newest component (start gap <= η) or opens the next one. Components
+  // never merge after the fact — starts only grow.
+  uint32_t cid;
+  if (!live_.empty() &&
+      record.ts - components_[live_.back()].max_start <= options_.eta) {
+    cid = live_.back();
+    Component& comp = components_[cid];
+    comp.frags.push_back(handle);
+    comp.max_start = std::max(comp.max_start, record.ts);
+  } else {
+    cid = static_cast<uint32_t>(components_.size());
+    components_.emplace_back();
+    Component& comp = components_.back();
+    comp.frags.push_back(handle);
+    comp.min_start = record.ts;
+    comp.max_start = record.ts;
+    live_.push_back(cid);
+  }
+  frags_[handle].component = cid;
+  return handle;
+}
+
+void StreamingRepairer::RefreshFragment(uint32_t handle) {
+  Fragment& frag = frags_[handle];
+  // De-index and unlink the stale fragment state.
+  if (frag.indexed && lig_.has_value()) {
+    lig_->RemoveSpan(handle, frag.traj.size(), frag.traj.start_time(),
+                     frag.traj.end_time());
+    frag.indexed = false;
+  }
+  for (uint32_t e : frag.edges) {
+    auto& other = frags_[e].edges;
+    other.erase(std::remove(other.begin(), other.end(), handle), other.end());
+  }
+  frag.edges.clear();
+  // Rebuild. The Trajectory constructor sorts points chronologically, so
+  // the fragment trajectory is byte-identical to what FromRecords over the
+  // same records would build.
+  frag.traj = Trajectory(frag.id, frag.points);
+  frag.feasible = pred_.InternallyFeasible(frag.traj);
+  if (!frag.feasible) return;  // isolated vertex, exactly as in a batch Gm
+  // One η-neighborhood probe + exact cex checks reproduces the batch edge
+  // set: the LIG probe never drops a cex-passing pair (the
+  // LigIsNecessaryForCex property), cex is symmetric, and only feasible
+  // fragments are indexed — so re-deriving the changed endpoint's edges is
+  // exact, not approximate.
+  probe_.clear();
+  lig_->CollectCandidatesSpan(frag.traj.size(), frag.traj.start_time(),
+                              frag.traj.end_time(), &probe_);
+  for (TrajIndex c : probe_) {
+    uint32_t other = static_cast<uint32_t>(c);
+    if (!frags_[other].alive || !frags_[other].feasible) continue;
+    if (pred_.Cex(frag.traj, frags_[other].traj)) {
+      frag.edges.push_back(other);
+      frags_[other].edges.push_back(handle);
+    }
+  }
+  frag.indexed =
+      lig_->InsertSpan(handle, frag.traj.size(), frag.traj.start_time(),
+                       frag.traj.end_time());
+}
+
+void StreamingRepairer::TouchComponent(uint32_t component) {
+  Component& comp = components_[component];
+  ++comp.version;
+  if (!comp.dirty) {
+    comp.dirty = true;
+    ++dirty_components_;
+    if (obs::Enabled()) {
+      StreamInstruments::Get().dirty_components->Increment();
+    }
+  }
+}
+
 std::vector<Trajectory> StreamingRepairer::Poll() {
-  // A fired Poll fault yields an empty poll with the buffer untouched;
+  // A fired Poll fault yields an empty poll with the state untouched;
   // every record re-enters the next poll, so nothing is lost or repaired
   // twice.
   if (fault::Armed() && !fault::Inject("stream.poll").ok()) return {};
+  ++polls_;
   if (!obs::Enabled()) return PollImpl();
   StreamInstruments& inst = StreamInstruments::Get();
   inst.polls->Increment();
@@ -107,134 +263,320 @@ std::vector<Trajectory> StreamingRepairer::Poll() {
 }
 
 std::vector<Trajectory> StreamingRepairer::PollImpl() {
-  if (buffer_.empty()) return {};
-  // Fragment start times, grouped by observed ID (deterministic order).
-  std::map<std::string, Timestamp> fragment_start;
-  for (const auto& r : buffer_) {
-    auto [it, inserted] = fragment_start.emplace(r.id, r.ts);
-    if (!inserted) it->second = std::min(it->second, r.ts);
-  }
-  struct Frag {
-    Timestamp start;
-    const std::string* id;
-  };
-  std::vector<Frag> frags;
-  frags.reserve(fragment_start.size());
-  for (const auto& [id, start] : fragment_start) {
-    frags.push_back(Frag{start, &id});
-  }
-  std::sort(frags.begin(), frags.end(), [](const Frag& a, const Frag& b) {
-    return std::tie(a.start, *a.id) < std::tie(b.start, *b.id);
-  });
-
+  if (pending_records_ == 0) return {};
   const Timestamp inert_before = watermark_ - options_.eta;  // exclusive
   const Timestamp cut = watermark_ - flush_horizon_;
-
-  // Walk chain components (consecutive start gaps <= η). A component whose
-  // newest fragment is inert flushes whole — batch-exact. An open component
-  // force-flushes only the fragments behind the horizon cut, repairing them
-  // *with* their full η-context so no joinable subset is severed: the
-  // repair batch contains every fragment with start <= cut + η, but only
-  // decisions whose members all start <= cut are applied and emitted;
-  // everything else stays buffered for the next poll.
-  std::unordered_set<std::string> exact_ids;    // flush fully, batch-exact
-  std::unordered_set<std::string> safe_ids;     // emit decisions
-  std::unordered_set<std::string> context_ids;  // present but deferred
-  size_t i = 0;
-  while (i < frags.size()) {
-    size_t j = i;
-    while (j + 1 < frags.size() &&
-           frags[j + 1].start - frags[j].start <= options_.eta) {
-      ++j;
-    }
-    if (frags[j].start < inert_before) {
-      for (size_t k = i; k <= j; ++k) exact_ids.insert(*frags[k].id);
+  std::vector<Trajectory> out;
+  const size_t start_records = pending_records_;
+  poll_fresh_records_ = 0;
+  // Settled components form a prefix of the live order (starts ascend and
+  // components are separated by > η), so walking in start order emits
+  // exactly what FromRecords ordering over the same trajectories would —
+  // concatenation of per-component outputs is the global (start, id) sort.
+  std::vector<uint32_t> snapshot = live_;
+  for (uint32_t cid : snapshot) {
+    if (!components_[cid].alive) continue;
+    if (components_[cid].max_start < inert_before) {
+      EmitSettled(cid, &out);
     } else {
-      for (size_t k = i; k <= j; ++k) {
-        if (frags[k].start <= cut) {
-          safe_ids.insert(*frags[k].id);
-        } else if (frags[k].start <= cut + options_.eta) {
-          context_ids.insert(*frags[k].id);
+      FlushForced(cid, cut, &out);
+    }
+  }
+  const size_t fresh = std::min(poll_fresh_records_, start_records);
+  const size_t reused = start_records - fresh;
+  records_reused_ += reused;
+  if (reused > 0 && obs::Enabled()) {
+    StreamInstruments::Get().records_reused->Increment(reused);
+  }
+  emitted_ += out.size();
+  return out;
+}
+
+StreamingRepairer::CachedRepair* StreamingRepairer::RunComponentRepair(
+    uint32_t component, std::vector<uint32_t> window, bool* from_cache) {
+  Component& comp = components_[component];
+  if (comp.cache != nullptr && comp.cached_version == comp.version &&
+      comp.cached_window == window) {
+    *from_cache = true;
+    return comp.cache.get();
+  }
+  *from_cache = false;
+  auto cache = std::make_unique<CachedRepair>();
+  std::vector<TrackingRecord> records;
+  for (uint32_t h : window) {
+    const Fragment& frag = frags_[h];
+    for (const auto& p : frag.points) {
+      records.push_back(TrackingRecord{frag.id, p.loc, p.ts});
+    }
+  }
+  cache->set = TrajectorySet::FromRecords(records);
+  // Project the maintained adjacency onto the window: edge presence depends
+  // only on the two endpoint trajectories, so the induced subgraph equals
+  // the graph a batch build over exactly these records would produce.
+  auto idx = cache->set.BuildIdIndex();
+  const size_t n = cache->set.size();
+  cache->local_to_frag.assign(n, 0);
+  std::unordered_map<uint32_t, TrajIndex> local_of;
+  local_of.reserve(window.size());
+  for (uint32_t h : window) {
+    TrajIndex local = idx.at(frags_[h].id);
+    cache->local_to_frag[local] = h;
+    local_of.emplace(h, local);
+  }
+  std::vector<std::vector<TrajIndex>> adj(n);
+  for (uint32_t h : window) {
+    TrajIndex u = local_of.at(h);
+    for (uint32_t e : frags_[h].edges) {
+      auto it = local_of.find(e);
+      if (it != local_of.end()) adj[u].push_back(it->second);
+    }
+  }
+  TrajectoryGraph gm =
+      TrajectoryGraph::FromAdjacency(cache->set, pred_, std::move(adj));
+  auto result = inner_.RepairPrebuilt(cache->set, gm, pred_);
+  ++generation_runs_;
+  if (obs::Enabled()) StreamInstruments::Get().generation_runs->Increment();
+  poll_fresh_records_ += cache->set.total_records();
+  if (result.ok()) {
+    cache->result = std::move(result).value();
+    cache->ok = true;
+  }
+  // An error result (injected fault, configuration) degrades to
+  // passthrough at the call sites; the cache still records the window so
+  // an unchanged component does not retry a failing pipeline every poll.
+  comp.cache = std::move(cache);
+  comp.cached_version = comp.version;
+  comp.cached_window = std::move(window);
+  comp.dirty = false;
+  return comp.cache.get();
+}
+
+void StreamingRepairer::EmitSettled(uint32_t component,
+                                    std::vector<Trajectory>* out) {
+  Component& comp = components_[component];
+  std::vector<uint32_t> window = comp.frags;
+  std::sort(window.begin(), window.end());
+  bool from_cache = false;
+  CachedRepair* cr =
+      RunComponentRepair(component, std::move(window), &from_cache);
+  const std::vector<Trajectory>& repaired =
+      cr->ok ? cr->result.repaired.trajectories() : cr->set.trajectories();
+  if (capture_windows_) {
+    captured_.push_back(WindowRepair{FlattenRecords(cr->set), repaired,
+                                     /*forced=*/false, from_cache,
+                                     /*degraded=*/!cr->ok});
+  }
+  out->insert(out->end(), repaired.begin(), repaired.end());
+  std::vector<uint32_t> all = comp.frags;
+  RetireFragments(component, all);
+  comp.alive = false;
+  comp.cache.reset();
+  live_.erase(std::remove(live_.begin(), live_.end(), component),
+              live_.end());
+}
+
+void StreamingRepairer::FlushForced(uint32_t component, Timestamp cut,
+                                    std::vector<Trajectory>* out) {
+  Component& comp = components_[component];
+  if (comp.min_start > cut) return;  // nothing behind the horizon yet
+  // The repair window is the safe fragments plus their full η-context, so
+  // no joinable subset is severed: every fragment that could still share a
+  // decision with a safe one is on the table.
+  std::vector<uint32_t> window;
+  for (uint32_t h : comp.frags) {
+    if (frags_[h].traj.start_time() <= cut + options_.eta) {
+      window.push_back(h);
+    }
+  }
+  std::sort(window.begin(), window.end());
+  bool from_cache = false;
+  CachedRepair* cr =
+      RunComponentRepair(component, std::move(window), &from_cache);
+  const size_t n = cr->set.size();
+  auto is_safe = [&](TrajIndex local) {
+    return frags_[cr->local_to_frag[local]].traj.start_time() <= cut;
+  };
+  std::vector<bool> consumed(n, false);
+  std::vector<bool> deferred(n, false);
+  if (cr->ok) {
+    for (RepairIndex r : cr->result.selected) {
+      Span<const TrajIndex> members = cr->result.candidates.members(r);
+      bool all_safe = true;
+      for (TrajIndex m : members) {
+        if (!is_safe(m)) {
+          all_safe = false;
+          break;
+        }
+      }
+      if (all_safe) {
+        std::vector<const Trajectory*> ptrs;
+        ptrs.reserve(members.size());
+        for (TrajIndex m : members) {
+          ptrs.push_back(&cr->set.at(m));
+          consumed[m] = true;
+        }
+        out->push_back(Join(ptrs, cr->result.candidates.target_id(r)));
+      } else {
+        // Defer every safe member of a mixed repair; applying it later,
+        // once the unsafe members become safe, reproduces the batch
+        // decision.
+        for (TrajIndex m : members) {
+          if (is_safe(m)) deferred[m] = true;
         }
       }
     }
-    i = j + 1;
   }
-  if (exact_ids.empty() && safe_ids.empty()) return {};
-
-  std::vector<Trajectory> emitted;
-
-  // ---- Exact components: repair and emit everything. ----
-  if (!exact_ids.empty()) {
-    std::vector<TrackingRecord> batch;
-    ExtractRecords(exact_ids, &batch);
-    auto repaired = RepairBatch(std::move(batch));
-    emitted.insert(emitted.end(), repaired.begin(), repaired.end());
+  // Safe fragments in no applied or deferred repair leave the stream
+  // unrepaired, in (start, id) order: all of their potential partners were
+  // in the window and the selection passed them over.
+  for (TrajIndex i = 0; i < n; ++i) {
+    if (!is_safe(i) || consumed[i] || deferred[i]) continue;
+    out->push_back(cr->set.at(i));
+    consumed[i] = true;
   }
-
-  // ---- Forced flush with context. ----
-  if (!safe_ids.empty()) {
-    std::vector<TrackingRecord> window;
-    window.reserve(buffer_.size());
-    for (const auto& r : buffer_) {
-      if (safe_ids.count(r.id) > 0 || context_ids.count(r.id) > 0) {
-        window.push_back(r);
-      }
-    }
-    TrajectorySet chunk = TrajectorySet::FromRecords(window);
-    IdRepairer repairer(*graph_, options_);
-    auto result = repairer.Repair(chunk);
-
-    std::unordered_set<std::string> consumed;
-    std::unordered_set<std::string> deferred;  // safe but in a mixed repair
-    if (result.ok()) {
-      for (RepairIndex r : result->selected) {
-        Span<const TrajIndex> cand_members = result->candidates.members(r);
-        bool all_safe = true;
-        for (TrajIndex m : cand_members) {
-          if (safe_ids.count(chunk.at(m).id()) == 0) all_safe = false;
-        }
-        if (all_safe) {
-          std::vector<const Trajectory*> members;
-          for (TrajIndex m : cand_members) {
-            members.push_back(&chunk.at(m));
-            consumed.insert(chunk.at(m).id());
-          }
-          emitted.push_back(Join(members, result->candidates.target_id(r)));
-        } else {
-          // Defer every safe member of a mixed repair; applying it later,
-          // once the unsafe members become safe, reproduces the batch
-          // decision.
-          for (TrajIndex m : cand_members) {
-            if (safe_ids.count(chunk.at(m).id()) > 0) {
-              deferred.insert(chunk.at(m).id());
-            }
-          }
-        }
-      }
-    }
-    // Safe fragments in no applied or deferred repair leave the stream
-    // unrepaired: all of their potential partners were in the window and
-    // the selection passed them over.
-    for (const std::string& id : safe_ids) {
-      if (consumed.count(id) > 0 || deferred.count(id) > 0) continue;
-      std::vector<TrajectoryPoint> points;
-      for (const auto& r : buffer_) {
-        if (r.id == id) points.push_back(TrajectoryPoint{r.loc, r.ts});
-      }
-      emitted.emplace_back(id, std::move(points));
-      consumed.insert(id);
-    }
-    // Drop consumed records from the buffer.
-    std::vector<TrackingRecord> kept;
-    kept.reserve(buffer_.size());
-    for (auto& r : buffer_) {
-      if (consumed.count(r.id) == 0) kept.push_back(std::move(r));
-    }
-    buffer_ = std::move(kept);
+  if (capture_windows_) {
+    captured_.push_back(WindowRepair{
+        FlattenRecords(cr->set),
+        cr->ok ? cr->result.repaired.trajectories() : cr->set.trajectories(),
+        /*forced=*/true, from_cache, /*degraded=*/!cr->ok});
   }
-  emitted_ += emitted.size();
-  return emitted;
+  std::vector<uint32_t> retired;
+  for (TrajIndex i = 0; i < n; ++i) {
+    if (consumed[i]) retired.push_back(cr->local_to_frag[i]);
+  }
+  if (!retired.empty()) {
+    RetireFragments(component, retired);
+    SplitComponent(component);
+  }
+}
+
+void StreamingRepairer::RetireFragments(
+    uint32_t component, const std::vector<uint32_t>& handles) {
+  for (uint32_t h : handles) {
+    Fragment& frag = frags_[h];
+    if (frag.indexed && lig_.has_value()) {
+      lig_->RemoveSpan(h, frag.traj.size(), frag.traj.start_time(),
+                       frag.traj.end_time());
+      frag.indexed = false;
+    }
+    for (uint32_t e : frag.edges) {
+      if (!frags_[e].alive) continue;  // partner retired in this batch
+      auto& other = frags_[e].edges;
+      other.erase(std::remove(other.begin(), other.end(), h), other.end());
+    }
+    frag.edges.clear();
+    frag.edges.shrink_to_fit();
+    frag.alive = false;
+    auto it = frag_by_id_.find(frag.id);
+    if (it != frag_by_id_.end() && it->second == h) frag_by_id_.erase(it);
+    pending_records_ -= frag.points.size();
+    frag.points.clear();
+    frag.points.shrink_to_fit();
+    frag.traj = Trajectory();
+  }
+  Component& comp = components_[component];
+  comp.frags.erase(
+      std::remove_if(comp.frags.begin(), comp.frags.end(),
+                     [&](uint32_t h) { return !frags_[h].alive; }),
+      comp.frags.end());
+  ++comp.version;
+}
+
+void StreamingRepairer::SplitComponent(uint32_t component) {
+  if (components_[component].frags.empty()) {
+    Component& comp = components_[component];
+    comp.alive = false;
+    comp.cache.reset();
+    live_.erase(std::remove(live_.begin(), live_.end(), component),
+                live_.end());
+    return;
+  }
+  // Retirement can sever a chain: regroup the remainder at > η start gaps.
+  // The first group keeps this id; later groups become new components
+  // slotted into live_ right behind it, preserving ascending start order.
+  std::vector<uint32_t> order = components_[component].frags;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    Timestamp sa = frags_[a].traj.start_time();
+    Timestamp sb = frags_[b].traj.start_time();
+    if (sa != sb) return sa < sb;
+    return frags_[a].id < frags_[b].id;
+  });
+  std::vector<std::vector<uint32_t>> groups(1);
+  groups.back().push_back(order.front());
+  for (size_t i = 1; i < order.size(); ++i) {
+    if (frags_[order[i]].traj.start_time() -
+            frags_[order[i - 1]].traj.start_time() >
+        options_.eta) {
+      groups.emplace_back();
+    }
+    groups.back().push_back(order[i]);
+  }
+  size_t pos = static_cast<size_t>(
+      std::find(live_.begin(), live_.end(), component) - live_.begin());
+  for (size_t g = 0; g < groups.size(); ++g) {
+    uint32_t cid = component;
+    if (g > 0) {
+      cid = static_cast<uint32_t>(components_.size());
+      components_.emplace_back();
+      live_.insert(live_.begin() + static_cast<ptrdiff_t>(pos + g), cid);
+    }
+    Component& comp = components_[cid];
+    comp.frags = groups[g];
+    comp.min_start = frags_[groups[g].front()].traj.start_time();
+    comp.max_start = frags_[groups[g].back()].traj.start_time();
+    comp.alive = true;
+    ++comp.version;
+    comp.cache.reset();
+    comp.cached_version = ~uint64_t{0};
+    comp.cached_window.clear();
+    for (uint32_t h : groups[g]) frags_[h].component = cid;
+  }
+}
+
+std::vector<TrackingRecord> StreamingRepairer::TakeAllRecords() {
+  std::vector<TrackingRecord> records;
+  records.reserve(pending_records_);
+  for (const Fragment& frag : frags_) {
+    if (!frag.alive) continue;
+    for (const auto& p : frag.points) {
+      records.push_back(TrackingRecord{frag.id, p.loc, p.ts});
+    }
+  }
+  frags_.clear();
+  frag_by_id_.clear();
+  components_.clear();
+  live_.clear();
+  lig_.reset();
+  pending_records_ = 0;
+  return records;
+}
+
+std::vector<Trajectory> StreamingRepairer::Finish() {
+  obs::TraceSpan span("stream.finish");
+  if (pending_records_ == 0) return {};
+  if (fault::Armed() && !fault::Inject("stream.finish").ok()) {
+    // Degrade instead of dropping data: the final batch passes through
+    // unrepaired, preserving every record.
+    auto batch = TakeAllRecords();
+    auto out = TrajectorySet::FromRecords(batch).trajectories();
+    emitted_ += out.size();
+    if (obs::Enabled()) {
+      StreamInstruments::Get().emitted->Increment(out.size());
+    }
+    return out;
+  }
+  // Every remaining component is effectively closed: repair each one
+  // batch-exactly, in start order (concatenation equals the one-batch
+  // FromRecords order because components are separated by > η).
+  std::vector<Trajectory> out;
+  std::vector<uint32_t> snapshot = live_;
+  for (uint32_t cid : snapshot) {
+    if (components_[cid].alive) EmitSettled(cid, &out);
+  }
+  TakeAllRecords();  // empties; resets the fragment arena and the index
+  emitted_ += out.size();
+  if (obs::Enabled()) StreamInstruments::Get().emitted->Increment(out.size());
+  return out;
 }
 
 Result<RepairResult> StreamingRepairer::Repair(
@@ -261,22 +603,31 @@ Result<RepairResult> StreamingRepairer::Repair(
                             std::tie(b.ts, b.id, b.loc);
                    });
 
-  // Replay with a Poll() every η of stream time — the cadence a live
-  // consumer would use — then drain the tail. The deadline is probed at
-  // those same replay boundaries: once it expires, replay stops and the
-  // unprocessed remainder (buffered + never-appended records) passes
+  // Replay with a Poll() every `window_slide` of stream time (η unless
+  // overridden) — the cadence a live consumer would use — then drain the
+  // tail. A bounded buffer inserts an extra Poll() instead of rejecting:
+  // an offline replay is its own consumer, so backpressure means "drain
+  // now", not "drop". The deadline is probed at those same boundaries:
+  // once it expires, replay stops and the unprocessed remainder passes
   // through unrepaired, grouped by observed ID.
   RepairOptions replay_options = options_;
   replay_options.deadline_ms = 0;  // budget enforced here, per replay batch
-  StreamingRepairer scratch(*graph_, replay_options,
-                            flush_horizon_multiplier_);
+  StreamOptions replay_stream = stream_options_;
+  replay_stream.max_buffered = 0;  // handled via the extra polls below
+  StreamingRepairer scratch(*graph_, replay_options, replay_stream);
+  const Timestamp slide = stream_options_.window_slide > 0
+                              ? stream_options_.window_slide
+                              : options_.eta;
   std::vector<Trajectory> emitted;
   Status degraded = Status::OK();
   Timestamp last_poll = records.empty() ? 0 : records.front().ts;
   size_t next = 0;
   for (; next < records.size(); ++next) {
     IDREPAIR_RETURN_NOT_OK(scratch.Append(records[next]));
-    if (scratch.watermark() - last_poll > options_.eta) {
+    bool due = scratch.watermark() - last_poll > slide;
+    bool full = stream_options_.max_buffered > 0 &&
+                scratch.pending_records() >= stream_options_.max_buffered;
+    if (due || full) {
       if (deadline.Expired()) {
         degraded = deadline.Check("stream replay");
         ++next;  // this record was appended; it drains with the buffer
@@ -284,14 +635,14 @@ Result<RepairResult> StreamingRepairer::Repair(
       }
       auto got = scratch.Poll();
       emitted.insert(emitted.end(), got.begin(), got.end());
-      last_poll = scratch.watermark();
+      if (due) last_poll = scratch.watermark();
     }
   }
   if (degraded.ok()) {
     auto tail = scratch.Finish();
     emitted.insert(emitted.end(), tail.begin(), tail.end());
   } else {
-    std::vector<TrackingRecord> rest = std::move(scratch.buffer_);
+    std::vector<TrackingRecord> rest = scratch.TakeAllRecords();
     rest.insert(rest.end(), records.begin() + static_cast<ptrdiff_t>(next),
                 records.end());
     auto passthrough = TrajectorySet::FromRecords(rest).trajectories();
@@ -302,6 +653,11 @@ Result<RepairResult> StreamingRepairer::Repair(
   result.completion = degraded;
   result.stats.num_trajectories = set.size();
   result.stats.threads_used = options_.exec.ResolvedThreads();
+  result.stats.stream_polls = scratch.polls_;
+  result.stats.stream_dirty_components = scratch.dirty_components_;
+  result.stats.stream_records_reused = scratch.records_reused_;
+  result.stats.stream_appends_rejected = scratch.appends_rejected_;
+  result.stats.stream_generation_runs = scratch.generation_runs_;
   for (TrajIndex i = 0; i < set.size(); ++i) {
     if (!set.at(i).IsValid(*graph_)) ++result.stats.num_invalid;
   }
@@ -347,58 +703,6 @@ Result<RepairResult> StreamingRepairer::Repair(
     StreamInstruments::Get().batch_completed->Increment();
   }
   return result;
-}
-
-std::vector<Trajectory> StreamingRepairer::Finish() {
-  obs::TraceSpan span("stream.finish");
-  std::vector<TrackingRecord> batch = std::move(buffer_);
-  buffer_.clear();
-  if (batch.empty()) return {};
-  if (fault::Armed() && !fault::Inject("stream.finish").ok()) {
-    // Degrade instead of dropping data: the final batch passes through
-    // unrepaired, preserving every record.
-    auto out = TrajectorySet::FromRecords(batch).trajectories();
-    emitted_ += out.size();
-    if (obs::Enabled()) {
-      StreamInstruments::Get().emitted->Increment(out.size());
-    }
-    return out;
-  }
-  auto out = RepairBatch(std::move(batch));
-  emitted_ += out.size();
-  if (obs::Enabled()) StreamInstruments::Get().emitted->Increment(out.size());
-  return out;
-}
-
-void StreamingRepairer::ExtractRecords(
-    const std::unordered_set<std::string>& ids,
-    std::vector<TrackingRecord>* out) {
-  std::vector<TrackingRecord> kept;
-  kept.reserve(buffer_.size());
-  for (auto& r : buffer_) {
-    if (ids.count(r.id) > 0) {
-      out->push_back(std::move(r));
-    } else {
-      kept.push_back(std::move(r));
-    }
-  }
-  buffer_ = std::move(kept);
-}
-
-std::vector<Trajectory> StreamingRepairer::RepairBatch(
-    std::vector<TrackingRecord> records) {
-  TrajectorySet set = TrajectorySet::FromRecords(records);
-  IdRepairer repairer(*graph_, options_);
-  auto result = repairer.Repair(set);
-  std::vector<Trajectory> out;
-  if (result.ok()) {
-    out = result->repaired.trajectories();
-  } else {
-    // Configuration errors surface at the first batch; pass records through
-    // unrepaired rather than dropping data.
-    out = set.trajectories();
-  }
-  return out;
 }
 
 }  // namespace idrepair

@@ -2,65 +2,110 @@
 #define IDREPAIR_STREAM_STREAMING_REPAIRER_H_
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
 #include "graph/transition_graph.h"
+#include "lig/length_indexed_grids.h"
 #include "repair/options.h"
+#include "repair/predicates.h"
 #include "repair/repairer.h"
 #include "traj/tracking_record.h"
 #include "traj/trajectory.h"
 
 namespace idrepair {
 
+/// Knobs of the incremental streaming engine, separate from RepairOptions
+/// (which configures the repair pipeline each component runs through).
+struct StreamOptions {
+  /// Force-flush fragments older than multiplier·η even mid-chain (clamped
+  /// to at least 1·η so emitted fragments are always inert).
+  double flush_horizon_multiplier = 2.0;
+  /// Bounded-buffer backpressure: when > 0, Append() returns
+  /// ResourceExhausted while `max_buffered` records are already pending —
+  /// the caller should Poll() (or slow the producer) and retry. The batch
+  /// adapter never rejects; it inserts an extra Poll() instead (an offline
+  /// replay can always drain itself). 0 means unbounded.
+  size_t max_buffered = 0;
+  /// Poll cadence of the batch adapter's replay, in stream seconds. 0 means
+  /// η — the cadence a live consumer would use.
+  Timestamp window_slide = 0;
+};
+
 /// Online ID repair over a record stream — the paper's §8 future-work
 /// direction ("solutions that could perform ID repair as the tracking
-/// records stream in"), built on the batch pipeline.
+/// records stream in"), with incrementally maintained repair state.
 ///
-/// Records arrive in timestamp order and are buffered as trajectory
-/// fragments (grouped by observed ID). The time-span bound η makes old
-/// fragments inert: a fragment whose start time is more than η behind the
-/// stream watermark (largest timestamp seen) can never gain another record,
-/// because every joinable subset spans at most η. Poll() flushes fragments
-/// in *chain components* — maximal runs of fragments whose start times are
-/// within η of their neighbors — so that a fragment is only repaired once
-/// everything it could possibly be joined with is on the table. A component
-/// whose newest fragment is inert is repaired exactly as the batch pipeline
-/// would repair it.
+/// Records arrive in timestamp order and accrete into trajectory
+/// *fragments* (grouped by observed ID). Fragments chain into *components*
+/// — maximal runs of fragment start times within η of their neighbors — and
+/// because the stream's watermark (largest timestamp seen) only moves
+/// forward, components only ever grow at the tail: a new fragment either
+/// joins the newest component or opens the next one, and two existing
+/// components can never merge. That monotonicity is what makes incremental
+/// maintenance exact rather than approximate.
 ///
-/// Under continuously dense traffic a chain may never close on its own;
-/// `flush_horizon_multiplier` bounds buffering by force-flushing fragments
-/// older than multiplier·η even mid-chain (clamped to at least 1·η so
-/// emitted fragments are always inert). A forced flush is repaired together
-/// with its full η-context — every fragment that could still share a
-/// joinable subset with it — and only decisions whose members are all
-/// behind the cut are applied; mixed decisions stay buffered and re-enter
-/// the next poll, so quality stays close to batch even under frequent
-/// polling.
+/// ### What Append() maintains in place
+///  * a dynamic Length-Indexed Grids index over the live fragments
+///    (`LengthIndexedGrids::InsertSpan`/`RemoveSpan`), so each changed
+///    fragment probes only its η-neighborhood instead of the whole window;
+///  * the trajectory-graph (Gm) adjacency, edge by edge: the changed
+///    fragment's edges are dropped and re-derived via one LIG probe plus
+///    exact cex checks, which reproduces exactly the edge set a batch build
+///    over the same window would compute (cex never links fragments whose
+///    starts differ by more than η, so edges stay within one component);
+///  * a dirty flag and version per component, invalidating only the
+///    component the record landed in — settled components keep their
+///    cached candidate state untouched (the amortized-cost invariant the
+///    differential tier asserts by counter).
+///
+/// ### What Poll() emits (watermark semantics)
+/// Only components whose records can no longer be affected by in-window
+/// arrivals: a component whose newest fragment start is more than η behind
+/// the watermark is *settled* and is repaired exactly as the batch pipeline
+/// would repair it (`IdRepairer::RepairPrebuilt` over the maintained
+/// adjacency). Under continuously dense traffic a chain may never settle on
+/// its own; fragments older than the flush horizon are force-flushed
+/// together with their full η-context, and only repair decisions whose
+/// members are all behind the cut are applied — mixed decisions stay
+/// buffered and re-enter the next poll, so quality stays close to batch
+/// even under frequent polling. Emitted trajectories are final: no later
+/// append can re-emit or mutate them.
 ///
 /// As a batch Repairer (the polymorphic engine interface), a streaming
 /// instance replays the whole set through a scratch stream in timestamp
-/// order with a Poll() every η of stream time — so the batch call
-/// exercises the genuine incremental path, flushes included, rather than
-/// degenerating to one big Finish(). Flush batches run on the shared exec
-/// pool via the inner IdRepairer (RepairOptions::exec).
+/// order with a Poll() every `window_slide` of stream time — so the batch
+/// call exercises the genuine incremental path, flushes included, rather
+/// than degenerating to one big Finish(). Component repairs run on the
+/// shared exec pool via the inner IdRepairer (RepairOptions::exec).
 class StreamingRepairer : public Repairer {
  public:
   StreamingRepairer(const TransitionGraph& graph, RepairOptions options,
+                    StreamOptions stream_options);
+
+  /// Legacy two-knob constructor (flush horizon only).
+  StreamingRepairer(const TransitionGraph& graph, RepairOptions options,
                     double flush_horizon_multiplier = 2.0);
 
-  /// Buffers one record. Records must arrive in non-decreasing timestamp
-  /// order (an OutOfRange error reports a regression; the record is
-  /// dropped).
+  /// Folds one record into the incremental state: its fragment is rebuilt,
+  /// re-indexed, and re-linked in O(affected neighborhood); its component
+  /// is marked dirty. Records must arrive in non-decreasing timestamp order
+  /// (an OutOfRange error reports a regression; the record is dropped).
+  /// With StreamOptions::max_buffered set, a full buffer rejects the record
+  /// with ResourceExhausted — nothing is mutated and the caller may retry
+  /// after polling.
   Status Append(const TrackingRecord& record);
 
-  /// Repairs and returns every trajectory whose fragment group has expired
-  /// under the current watermark. May return an empty vector.
+  /// Repairs and returns every trajectory whose component has settled under
+  /// the current watermark (plus forced flushes past the horizon). May
+  /// return an empty vector.
   std::vector<Trajectory> Poll();
 
-  /// Flushes everything still buffered, repairing one final batch.
+  /// Flushes everything still buffered, repairing each remaining component.
   std::vector<Trajectory> Finish();
 
   /// Batch adapter (Repairer interface): replays `set` through a scratch
@@ -68,7 +113,8 @@ class StreamingRepairer : public Repairer {
   /// emitted trajectories into a RepairResult. Candidate-level fields
   /// (`candidates`, `selected`, `total_effectiveness`) stay empty — the
   /// streaming path applies its decisions incrementally and does not keep
-  /// a global candidate list.
+  /// a global candidate list. The scratch stream's incremental counters
+  /// land in RepairStats::stream_*.
   Result<RepairResult> Repair(const TrajectorySet& set) const override;
 
   std::string_view name() const override { return "streaming"; }
@@ -77,30 +123,154 @@ class StreamingRepairer : public Repairer {
   Timestamp watermark() const { return watermark_; }
 
   /// Records currently buffered (not yet emitted).
-  size_t pending_records() const { return buffer_.size(); }
+  size_t pending_records() const { return pending_records_; }
 
   /// Total trajectories emitted over the lifetime of the stream.
   size_t emitted_trajectories() const { return emitted_; }
 
+  /// Incremental-state introspection, mirrored into the obs counters and
+  /// (through the batch adapter) RepairStats::stream_*. The differential
+  /// tier's amortized-cost assertion reads generation_runs(): appending to
+  /// one component must not grow it for settled components.
+  size_t generation_runs() const { return generation_runs_; }
+  size_t dirty_components_seen() const { return dirty_components_; }
+  size_t records_reused() const { return records_reused_; }
+  size_t appends_rejected() const { return appends_rejected_; }
+  size_t poll_count() const { return polls_; }
+  size_t live_components() const { return live_.size(); }
+
+  /// One repaired window, captured for the batch-equivalence differential
+  /// tier: `records` is exactly what the engine repaired together and
+  /// `repaired` the pipeline's output over them, so a test can replay
+  /// `records` through a batch IdRepairer and demand byte-identical output.
+  struct WindowRepair {
+    std::vector<TrackingRecord> records;
+    std::vector<Trajectory> repaired;
+    bool forced = false;      // horizon flush (context window), not settled
+    bool from_cache = false;  // served from the component's cached repair
+    bool degraded = false;    // pipeline error; records passed through
+  };
+  void set_capture_windows(bool on) { capture_windows_ = on; }
+  const std::vector<WindowRepair>& captured_windows() const {
+    return captured_;
+  }
+
  private:
+  /// One live trajectory fragment (all records of one observed ID still in
+  /// the window). `edges` holds the fragment handles its cex edges point
+  /// at — the incrementally maintained Gm adjacency, always symmetric.
+  struct Fragment {
+    std::string id;
+    std::vector<TrajectoryPoint> points;
+    Trajectory traj;
+    std::vector<uint32_t> edges;
+    uint32_t component = 0;
+    bool alive = true;
+    bool feasible = false;
+    bool indexed = false;
+  };
+
+  /// A cached component repair: the window set it was computed over plus
+  /// the pipeline result. Valid while the owning component's version and
+  /// window membership are unchanged.
+  struct CachedRepair {
+    TrajectorySet set;
+    std::vector<uint32_t> local_to_frag;  // set order -> fragment handle
+    RepairResult result;
+    bool ok = false;
+  };
+
+  /// One chain component: fragment handles plus the start-time envelope.
+  /// `version` bumps on every membership or content change; the cache is
+  /// valid only for (version, window) it was computed at.
+  struct Component {
+    std::vector<uint32_t> frags;
+    Timestamp min_start = 0;
+    Timestamp max_start = 0;
+    bool alive = true;
+    bool dirty = false;
+    uint64_t version = 0;
+    uint64_t cached_version = ~uint64_t{0};
+    std::vector<uint32_t> cached_window;
+    std::unique_ptr<CachedRepair> cache;
+  };
+
   /// Poll() minus instrumentation (Poll wraps this in a trace span and the
   /// poll-latency histogram when obs is enabled).
   std::vector<Trajectory> PollImpl();
 
-  /// Moves all records whose ID is in `ids` out of the buffer into `out`.
-  void ExtractRecords(const std::unordered_set<std::string>& ids,
-                      std::vector<TrackingRecord>* out);
+  /// Creates the fragment for a first-seen ID and assigns it to the newest
+  /// component (start gap <= η) or a fresh one.
+  uint32_t NewFragment(const TrackingRecord& record);
 
-  std::vector<Trajectory> RepairBatch(std::vector<TrackingRecord> records);
+  /// Re-derives one fragment's trajectory, feasibility, LIG entry, and cex
+  /// edges after its record set changed — the per-record incremental step.
+  void RefreshFragment(uint32_t handle);
+
+  /// Marks the fragment's component dirty (counting clean->dirty
+  /// transitions) and bumps its version.
+  void TouchComponent(uint32_t component);
+
+  /// Runs (or reuses) the component repair over `window` (fragment handles,
+  /// ascending). Returns the cache slot; `*from_cache` reports reuse.
+  CachedRepair* RunComponentRepair(uint32_t component,
+                                   std::vector<uint32_t> window,
+                                   bool* from_cache);
+
+  /// Repairs the whole component batch-exactly, appends the result to
+  /// `out`, and retires it. `forced=false` capture.
+  void EmitSettled(uint32_t component, std::vector<Trajectory>* out);
+
+  /// Forced horizon flush: repairs the safe fragments (start <= cut) with
+  /// their η-context, applies only all-safe decisions, defers the rest.
+  void FlushForced(uint32_t component, Timestamp cut,
+                   std::vector<Trajectory>* out);
+
+  /// Removes fragments from the index, the adjacency, and their component;
+  /// bumps the component version.
+  void RetireFragments(uint32_t component,
+                       const std::vector<uint32_t>& handles);
+
+  /// Re-derives the component's start envelope after retirement and splits
+  /// it where consecutive start gaps exceed η (retirement can sever a
+  /// chain). New components slot into live_ right after the original so
+  /// start order is preserved.
+  void SplitComponent(uint32_t component);
+
+  /// Drains every pending record (any order) and resets all incremental
+  /// state; watermark and lifetime counters survive.
+  std::vector<TrackingRecord> TakeAllRecords();
 
   const TransitionGraph* graph_;
   RepairOptions options_;
-  double flush_horizon_multiplier_;
+  StreamOptions stream_options_;
   Timestamp flush_horizon_;
   Timestamp watermark_ = 0;
   bool saw_any_ = false;
-  std::vector<TrackingRecord> buffer_;
   size_t emitted_ = 0;
+  size_t pending_records_ = 0;
+
+  /// Shared across every component repair: the evaluator (with its
+  /// Floyd–Warshall closure, built once) and the inner pipeline.
+  PredicateEvaluator pred_;
+  IdRepairer inner_;
+
+  std::vector<Fragment> frags_;
+  std::unordered_map<std::string, uint32_t> frag_by_id_;  // alive only
+  std::vector<Component> components_;
+  std::vector<uint32_t> live_;  // alive components, ascending start
+  std::optional<LengthIndexedGrids> lig_;  // dynamic; anchored lazily
+  std::vector<TrajIndex> probe_;           // scratch for LIG probes
+
+  size_t generation_runs_ = 0;
+  size_t dirty_components_ = 0;
+  size_t records_reused_ = 0;
+  size_t appends_rejected_ = 0;
+  size_t polls_ = 0;
+  size_t poll_fresh_records_ = 0;  // records regenerated in current poll
+
+  bool capture_windows_ = false;
+  std::vector<WindowRepair> captured_;
 };
 
 }  // namespace idrepair

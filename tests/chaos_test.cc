@@ -562,6 +562,81 @@ TEST_F(ChaosTest, StreamingIncrementalFaultsConserveRecords) {
   EXPECT_EQ(stream.pending_records(), 0u);
 }
 
+// Eviction-heavy soak arm: the incremental streaming engine under maximum
+// eviction pressure — tightest flush horizon, a small bounded buffer, a
+// poll after every append — with the poll failpoint flickering. Forced
+// flushes, deferrals, component splits, and backpressure drains all fire
+// constantly; every accepted record must still come out exactly once, and
+// rounds must not contaminate each other (each reuses the engine object
+// after a Finish() drain on a shifted timeline). Stretched by the same
+// soak environment knobs as the seeded sweep.
+TEST_F(ChaosTest, SoakEvictionHeavyStreaming) {
+  uint64_t seed_base = 21;
+  int rounds = 2;
+  if (const char* env = std::getenv("IDREPAIR_CHAOS_SEED_BASE")) {
+    seed_base = static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+  }
+  if (const char* env = std::getenv("IDREPAIR_CHAOS_ROUNDS")) {
+    rounds = static_cast<int>(std::strtol(env, nullptr, 10));
+  }
+
+  for (const Scenario& s : MakeScenarios()) {
+    std::vector<TrackingRecord> records;
+    for (TrajIndex i = 0; i < s.set.size(); ++i) {
+      for (const auto& p : s.set.at(i).points()) {
+        records.push_back(TrackingRecord{s.set.at(i).id(), p.loc, p.ts});
+      }
+    }
+    std::stable_sort(records.begin(), records.end(),
+                     [](const TrackingRecord& a, const TrackingRecord& b) {
+                       return std::tie(a.ts, a.id, a.loc) <
+                              std::tie(b.ts, b.id, b.loc);
+                     });
+    ASSERT_FALSE(records.empty());
+    const Timestamp span = records.back().ts - records.front().ts;
+
+    StreamOptions stream_options;
+    stream_options.flush_horizon_multiplier = 1.0;
+    stream_options.max_buffered = 24;
+    StreamingRepairer stream(s.graph, s.options, stream_options);
+
+    Timestamp offset = 0;
+    for (int round = 0; round < rounds; ++round) {
+      SCOPED_TRACE(s.name + " round " + std::to_string(round));
+      fault::FaultSpec flaky;
+      flaky.one_in = 3;
+      flaky.seed = seed_base + static_cast<uint64_t>(round);
+      ASSERT_TRUE(
+          fault::FailPointRegistry::Global().Arm("stream.poll", flaky).ok());
+
+      size_t emitted_records = 0;
+      for (const auto& r : records) {
+        TrackingRecord shifted{r.id, r.loc, r.ts + offset};
+        Status appended = stream.Append(shifted);
+        if (!appended.ok()) {
+          ASSERT_EQ(appended.code(), StatusCode::kResourceExhausted)
+              << appended;
+          for (const auto& t : stream.Poll()) emitted_records += t.size();
+          if (stream.pending_records() >= stream_options.max_buffered) {
+            for (const auto& t : stream.Finish()) {
+              emitted_records += t.size();
+            }
+          }
+          appended = stream.Append(shifted);
+          ASSERT_TRUE(appended.ok()) << appended;
+        }
+        for (const auto& t : stream.Poll()) emitted_records += t.size();
+      }
+      for (const auto& t : stream.Finish()) emitted_records += t.size();
+      fault::FailPointRegistry::Global().DisarmAll();
+
+      EXPECT_EQ(emitted_records, records.size());
+      EXPECT_EQ(stream.pending_records(), 0u);
+      offset += span + 2 * s.options.eta + 1;  // next round: fresh timeline
+    }
+  }
+}
+
 // Seeded soak sweep: probabilistic error + delay chaos across the wired
 // sites, all engines, all thread counts. Every run must either succeed and
 // conserve records or fail with exactly the injected code — and once the

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "fault/failpoint.h"
 #include "gen/synthetic.h"
 #include "graph/generators.h"
 #include "repair/repairer.h"
@@ -173,6 +174,121 @@ INSTANTIATE_TEST_SUITE_P(
       return std::get<0>(info.param) + "_seed" +
              std::to_string(std::get<1>(info.param));
     });
+
+// Streaming chaos arm: random Append/Poll/Finish interleavings with the
+// stream.append and stream.poll failpoints armed probabilistically. The
+// engine must only ever fail with a clean, documented status (the injected
+// code, or ResourceExhausted from bounded-buffer backpressure), conserve
+// every accepted record through to emission, and — once the chaos is
+// disarmed — serve a clean replay on the *same* engine object that is
+// byte-identical to a fresh engine's, proving Finish() leaves no residue.
+TEST_P(ChaosFuzzTest, StreamingInterleavingsSurviveFaults) {
+  TransitionGraph graph = MakeRealLikeGraph();
+  SyntheticConfig config;
+  config.num_trajectories = 50;
+  config.max_path_len = 4;
+  config.seed = GetParam() ^ 0x515;
+  auto ds = GenerateSyntheticDataset(graph, config);
+  ASSERT_TRUE(ds.ok());
+  auto records = ds->ObservedRecords();
+  std::sort(records.begin(), records.end(),
+            [](const TrackingRecord& a, const TrackingRecord& b) {
+              return std::tie(a.ts, a.id, a.loc) <
+                     std::tie(b.ts, b.id, b.loc);
+            });
+  ASSERT_FALSE(records.empty());
+
+  fault::FailPointRegistry::Global().DisarmAll();
+  fault::FaultSpec flaky;
+  flaky.one_in = 4;
+  flaky.seed = GetParam();
+  ASSERT_TRUE(
+      fault::FailPointRegistry::Global().Arm("stream.append", flaky).ok());
+  ASSERT_TRUE(
+      fault::FailPointRegistry::Global().Arm("stream.poll", flaky).ok());
+
+  RepairOptions options;
+  options.theta = 4;
+  options.eta = 600;
+  StreamOptions stream_options;
+  stream_options.flush_horizon_multiplier = 1.0;
+  stream_options.max_buffered = 32;
+  StreamingRepairer stream(graph, options, stream_options);
+
+  Rng rng(GetParam() ^ 0xfeed);
+  size_t accepted = 0;
+  size_t emitted = 0;
+  size_t next = 0;
+  while (next < records.size()) {
+    size_t roll = rng.UniformIndex(10);
+    if (roll < 7) {
+      Status appended = stream.Append(records[next]);
+      if (appended.ok()) {
+        ++accepted;
+        ++next;
+      } else {
+        EXPECT_TRUE(appended.code() == StatusCode::kInternal ||
+                    appended.code() == StatusCode::kResourceExhausted)
+            << appended;
+        if (appended.code() == StatusCode::kResourceExhausted) {
+          // Drain and move on; a faulted poll may free nothing, so fall
+          // back to a full Finish() when the buffer stays full.
+          for (const auto& t : stream.Poll()) emitted += t.size();
+          if (stream.pending_records() >= stream_options.max_buffered) {
+            for (const auto& t : stream.Finish()) emitted += t.size();
+          }
+        }
+      }
+    } else if (roll < 9) {
+      for (const auto& t : stream.Poll()) emitted += t.size();
+    } else {
+      for (const auto& t : stream.Finish()) emitted += t.size();
+    }
+  }
+  for (const auto& t : stream.Finish()) emitted += t.size();
+  fault::FailPointRegistry::Global().DisarmAll();
+  EXPECT_EQ(emitted, accepted) << "accepted records leaked or duplicated";
+  EXPECT_EQ(stream.pending_records(), 0u);
+
+  // No-residue rerun: replay the dataset (time-shifted past the surviving
+  // watermark) through the battered engine and a fresh one — outputs must
+  // be byte-identical.
+  const Timestamp offset = records.back().ts + 10000;
+  StreamingRepairer fresh(graph, options, stream_options);
+  auto drive = [&](StreamingRepairer& engine, std::vector<Trajectory>* out) {
+    for (const auto& r : records) {
+      TrackingRecord shifted{r.id, r.loc, r.ts + offset};
+      Status appended = engine.Append(shifted);
+      if (!appended.ok()) {
+        ASSERT_EQ(appended.code(), StatusCode::kResourceExhausted)
+            << appended;
+        auto drained = engine.Poll();
+        out->insert(out->end(), drained.begin(), drained.end());
+        if (engine.pending_records() >= stream_options.max_buffered) {
+          auto flushed = engine.Finish();
+          out->insert(out->end(), flushed.begin(), flushed.end());
+        }
+        appended = engine.Append(shifted);
+        ASSERT_TRUE(appended.ok()) << appended;
+      }
+    }
+    auto tail = engine.Finish();
+    out->insert(out->end(), tail.begin(), tail.end());
+  };
+  std::vector<Trajectory> reused_out;
+  std::vector<Trajectory> fresh_out;
+  drive(stream, &reused_out);
+  drive(fresh, &fresh_out);
+  ASSERT_EQ(reused_out.size(), fresh_out.size());
+  for (size_t i = 0; i < reused_out.size(); ++i) {
+    EXPECT_EQ(reused_out[i].id(), fresh_out[i].id()) << "trajectory " << i;
+    ASSERT_EQ(reused_out[i].size(), fresh_out[i].size());
+    for (size_t j = 0; j < reused_out[i].size(); ++j) {
+      EXPECT_EQ(reused_out[i].points()[j].loc, fresh_out[i].points()[j].loc);
+      EXPECT_EQ(reused_out[i].points()[j].ts, fresh_out[i].points()[j].ts);
+    }
+  }
+}
 
 // Structured-but-degenerate datasets: extreme parameter corners.
 struct Corner {

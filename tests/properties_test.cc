@@ -205,6 +205,93 @@ TEST_P(SeededPropertyTest, StreamingConservesRecordsAtAnyPollCadence) {
   }
 }
 
+// Watermark semantics: the watermark is monotone over the stream's
+// lifetime (polls never move it, appends only advance it), and nothing a
+// Poll() emits can still be affected by an in-window arrival — every
+// emitted trajectory starts at least η behind the watermark at emission
+// time, even under the most aggressive flush horizon.
+TEST_P(SeededPropertyTest, StreamingWatermarkIsMonotoneAndGatesEmission) {
+  TransitionGraph graph = MakeRealLikeGraph();
+  SyntheticConfig config;
+  config.num_trajectories = 60;
+  config.max_path_len = 4;
+  config.seed = GetParam() ^ 0x5151;
+  auto ds = GenerateSyntheticDataset(graph, config);
+  ASSERT_TRUE(ds.ok());
+  auto records = ds->ObservedRecords();
+  std::sort(records.begin(), records.end(), RecordChronoLess);
+
+  RepairOptions options;
+  options.theta = 4;
+  options.eta = 600;
+  StreamOptions stream_options;
+  stream_options.flush_horizon_multiplier = 1.0;  // horizon clamps to η
+  StreamingRepairer stream(graph, options, stream_options);
+  Rng rng(GetParam() ^ 0x9292);
+  Timestamp last_watermark = 0;
+  bool saw_any = false;
+  for (const auto& r : records) {
+    ASSERT_TRUE(stream.Append(r).ok());
+    if (saw_any) {
+      EXPECT_GE(stream.watermark(), last_watermark);
+    }
+    saw_any = true;
+    last_watermark = stream.watermark();
+    if (rng.UniformIndex(4) == 0) {
+      for (const auto& t : stream.Poll()) {
+        EXPECT_LE(t.start_time(), stream.watermark() - options.eta)
+            << "emitted trajectory still affectable by in-window arrivals";
+      }
+      EXPECT_EQ(stream.watermark(), last_watermark)
+          << "polls must not move the watermark";
+    }
+  }
+}
+
+// Eviction under bounded-buffer backpressure conserves records: rejected
+// appends mutate nothing and can be retried after draining, and the
+// multiset of emitted records is exactly the input.
+TEST_P(SeededPropertyTest, StreamingBackpressureConservesRecords) {
+  TransitionGraph graph = MakeRealLikeGraph();
+  SyntheticConfig config;
+  config.num_trajectories = 50;
+  config.max_path_len = 4;
+  config.seed = GetParam() ^ 0x7b7b;
+  auto ds = GenerateSyntheticDataset(graph, config);
+  ASSERT_TRUE(ds.ok());
+  auto records = ds->ObservedRecords();
+  std::sort(records.begin(), records.end(), RecordChronoLess);
+
+  RepairOptions options;
+  options.theta = 4;
+  options.eta = 600;
+  StreamOptions stream_options;
+  stream_options.flush_horizon_multiplier = 1.0;
+  stream_options.max_buffered = 16 + GetParam() % 17;  // vary the bound
+  StreamingRepairer stream(graph, options, stream_options);
+  size_t emitted_records = 0;
+  for (const auto& r : records) {
+    Status appended = stream.Append(r);
+    if (!appended.ok()) {
+      ASSERT_EQ(appended.code(), StatusCode::kResourceExhausted)
+          << appended;
+      // Drain and retry: a poll may free nothing (an open component can
+      // legitimately hold the whole buffer), so fall back to Finish().
+      for (const auto& t : stream.Poll()) emitted_records += t.size();
+      if (stream.pending_records() >= stream_options.max_buffered) {
+        for (const auto& t : stream.Finish()) emitted_records += t.size();
+      }
+      appended = stream.Append(r);
+      ASSERT_TRUE(appended.ok()) << appended;
+    }
+  }
+  EXPECT_GT(stream.appends_rejected(), 0u)
+      << "backpressure never engaged; bound too large for the dataset";
+  for (const auto& t : stream.Finish()) emitted_records += t.size();
+  EXPECT_EQ(emitted_records, records.size());
+  EXPECT_EQ(stream.pending_records(), 0u);
+}
+
 // Valid paths sampled by the generator always satisfy IsValidPath, and
 // their prefixes satisfy IsValidPathPrefix.
 TEST_P(SeededPropertyTest, SampledPathPrefixesAreValidPrefixes) {

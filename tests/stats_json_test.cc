@@ -73,6 +73,9 @@ TEST(StatsJsonTest, KeyOrderIsPinned) {
       // scheduler footprint (generation-phase dynamic claiming)
       "scheduler", "generation_blocks", "generation_workers",
       "generation_imbalance",
+      // incremental-streaming footprint (zero for batch engines)
+      "stream", "polls", "dirty_components", "records_reused",
+      "appends_rejected", "generation_runs",
       // result summary + run health
       "total_effectiveness", "num_rewrites", "completion", "code", "message",
       "fault", "armed_sites", "total_fires",

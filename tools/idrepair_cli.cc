@@ -10,6 +10,8 @@
 //                         [--selection-grain auto|N]
 //                         [--engine core|partitioned|streaming|idsim|
 //                         neighborhood] [--max-edit-distance N]
+//                         [--flush-horizon F] [--window-slide SECONDS]
+//                         [--max-buffered N]
 //                         [--metrics-out FILE] [--metrics-interval MS]
 //                         [--trace-out FILE]
 //                         [--trace-capacity N] [--stats-json FILE]
@@ -171,7 +173,28 @@ Result<std::unique_ptr<Repairer>> MakeEngine(const FlagParser& flags,
     return std::unique_ptr<Repairer>(new PartitionedRepairer(graph, options));
   }
   if (engine == "streaming") {
-    return std::unique_ptr<Repairer>(new StreamingRepairer(graph, options));
+    auto horizon = flags.GetDouble("flush-horizon", 2.0);
+    if (!horizon.ok()) return horizon.status();
+    if (*horizon < 1.0) {
+      return Status::InvalidArgument(
+          "--flush-horizon must be >= 1 (emitted fragments must be inert)");
+    }
+    auto slide = flags.GetInt("window-slide", 0);
+    if (!slide.ok()) return slide.status();
+    if (*slide < 0) {
+      return Status::InvalidArgument("--window-slide must be >= 0");
+    }
+    auto max_buffered = flags.GetInt("max-buffered", 0);
+    if (!max_buffered.ok()) return max_buffered.status();
+    if (*max_buffered < 0) {
+      return Status::InvalidArgument("--max-buffered must be >= 0");
+    }
+    StreamOptions stream_options;
+    stream_options.flush_horizon_multiplier = *horizon;
+    stream_options.window_slide = static_cast<Timestamp>(*slide);
+    stream_options.max_buffered = static_cast<size_t>(*max_buffered);
+    return std::unique_ptr<Repairer>(
+        new StreamingRepairer(graph, options, stream_options));
   }
   if (engine == "idsim") {
     auto dist = flags.GetInt("max-edit-distance", 3);
