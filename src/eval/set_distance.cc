@@ -1,0 +1,127 @@
+#include "eval/set_distance.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/edit_distance.h"
+
+namespace idrepair {
+
+namespace {
+
+/// Multiset intersection size of two point lists. Trajectory points are
+/// already sorted by (ts, loc) — see the Trajectory constructor — so a
+/// linear merge suffices.
+size_t SharedPoints(const std::vector<TrajectoryPoint>& a,
+                    const std::vector<TrajectoryPoint>& b) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t shared = 0;
+  while (i < a.size() && j < b.size()) {
+    auto ka = std::tie(a[i].ts, a[i].loc);
+    auto kb = std::tie(b[j].ts, b[j].loc);
+    if (ka < kb) {
+      ++i;
+    } else if (kb < ka) {
+      ++j;
+    } else {
+      ++shared;
+      ++i;
+      ++j;
+    }
+  }
+  return shared;
+}
+
+double JaccardDistance(const Trajectory& a, const Trajectory& b) {
+  size_t shared = SharedPoints(a.points(), b.points());
+  size_t unioned = a.size() + b.size() - shared;
+  if (unioned == 0) return 0.0;
+  return 1.0 - static_cast<double>(shared) / static_cast<double>(unioned);
+}
+
+double NormalizedIdDistance(const std::string& a, const std::string& b) {
+  size_t longer = std::max(a.size(), b.size());
+  if (longer == 0) return 0.0;
+  return static_cast<double>(EditDistanceBanded(a, b)) /
+         static_cast<double>(longer);
+}
+
+}  // namespace
+
+double TrajectoryDistance(const Trajectory& a, const Trajectory& b,
+                          const SetDistanceOptions& options) {
+  return options.id_weight * NormalizedIdDistance(a.id(), b.id()) +
+         (1.0 - options.id_weight) * JaccardDistance(a, b);
+}
+
+double TrajectorySetDistance(const TrajectorySet& a, const TrajectorySet& b,
+                             const SetDistanceOptions& options) {
+  size_t n = std::max(a.size(), b.size());
+  size_t m = std::min(a.size(), b.size());
+  if (n == 0) return 0.0;
+  if (m == 0) return options.cutoff;
+
+  // Phase 1 — prematch identical IDs. IDs are unique within each set
+  // (TrajectorySet groups by ID), so an exact-ID pair is the assignment any
+  // sensible matching would make; taking it first keeps the leftover
+  // all-pairs phase quadratic only in the *disagreeing* trajectories.
+  std::unordered_map<std::string, TrajIndex> b_by_id = b.BuildIdIndex();
+  std::vector<bool> b_matched(b.size(), false);
+  std::vector<TrajIndex> a_rest;
+  double cost = 0.0;
+  for (TrajIndex i = 0; i < a.size(); ++i) {
+    auto it = b_by_id.find(a.at(i).id());
+    if (it != b_by_id.end()) {
+      b_matched[it->second] = true;
+      cost += std::min(TrajectoryDistance(a.at(i), b.at(it->second), options),
+                       options.cutoff);
+    } else {
+      a_rest.push_back(i);
+    }
+  }
+  std::vector<TrajIndex> b_rest;
+  for (TrajIndex j = 0; j < b.size(); ++j) {
+    if (!b_matched[j]) b_rest.push_back(j);
+  }
+
+  // Phase 2 — greedy matching of the remainder by cheapest pair. Greedy
+  // never beats the optimal assignment, so the returned distance
+  // upper-bounds the true OSPA value: a passing `<= bound` oracle is sound.
+  struct Pair {
+    double d;
+    TrajIndex ai;
+    TrajIndex bj;
+  };
+  std::vector<Pair> pairs;
+  pairs.reserve(a_rest.size() * b_rest.size());
+  for (TrajIndex ai : a_rest) {
+    for (TrajIndex bj : b_rest) {
+      double d = TrajectoryDistance(a.at(ai), b.at(bj), options);
+      if (d < options.cutoff) pairs.push_back(Pair{d, ai, bj});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const Pair& x, const Pair& y) {
+    return std::tie(x.d, x.ai, x.bj) < std::tie(y.d, y.ai, y.bj);
+  });
+  std::vector<bool> a_used(a.size(), false);
+  std::vector<bool> b_used(b.size(), false);
+  size_t matched = a.size() - a_rest.size();
+  for (const Pair& p : pairs) {
+    if (a_used[p.ai] || b_used[p.bj]) continue;
+    a_used[p.ai] = true;
+    b_used[p.bj] = true;
+    cost += p.d;
+    ++matched;
+  }
+  // Anything still unmatched — cardinality mismatch, or pairs at or above
+  // the cutoff (matching those at cutoff cost is equivalent) — pays cutoff.
+  cost += static_cast<double>(n - matched) * options.cutoff;
+  return cost / static_cast<double>(n);
+}
+
+}  // namespace idrepair

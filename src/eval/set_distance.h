@@ -1,0 +1,45 @@
+#ifndef IDREPAIR_EVAL_SET_DISTANCE_H_
+#define IDREPAIR_EVAL_SET_DISTANCE_H_
+
+#include "traj/trajectory.h"
+#include "traj/trajectory_set.h"
+
+namespace idrepair {
+
+/// A principled distance between *sets* of trajectories, OSPA-style after
+/// Bento & Zhu ("A metric for sets of trajectories that is practical and
+/// mathematically consistent"): trajectories are matched one-to-one, each
+/// matched pair contributes its trajectory distance, every unmatched
+/// trajectory contributes the cutoff, and the total is normalized by the
+/// larger cardinality — so the result lives in [0, cutoff], is symmetric,
+/// and 0 iff the sets are identical. The scenario tier uses it as a repair
+/// oracle stronger than exact-match f-measure: repairs that merge, split,
+/// or mislabel fragments all move the distance, not just the rewritten-ID
+/// tally.
+struct SetDistanceOptions {
+  /// Per-trajectory cost cap (the "c" of OSPA): the price of an unmatched
+  /// trajectory, and the ceiling of any matched pair's distance.
+  double cutoff = 1.0;
+  /// Weight of the ID term vs the record-overlap term in the per-pair
+  /// distance (both in [0, 1]).
+  double id_weight = 0.5;
+};
+
+/// Per-pair base distance in [0, 1]:
+///   id_weight     * normalized edit distance of the two IDs
+/// + (1-id_weight) * Jaccard distance of the two (loc, ts) record sets.
+/// 0 iff same ID and identical records.
+double TrajectoryDistance(const Trajectory& a, const Trajectory& b,
+                          const SetDistanceOptions& options = {});
+
+/// Greedy-assignment OSPA distance between the two sets, in [0, cutoff].
+/// Exact-ID pairs are matched first, the remainder greedily by cheapest
+/// pair; the greedy sum upper-bounds the optimal assignment, so asserting
+/// `TrajectorySetDistance(...) <= bound` certifies the true OSPA distance
+/// is within `bound` as well.
+double TrajectorySetDistance(const TrajectorySet& a, const TrajectorySet& b,
+                             const SetDistanceOptions& options = {});
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_EVAL_SET_DISTANCE_H_

@@ -1,0 +1,248 @@
+#include "gen/adversarial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "gen/id_generator.h"
+#include "sim/edit_distance.h"
+
+namespace idrepair {
+
+namespace {
+
+/// One OCR-style random edit, mirroring IdErrorModel's operation weights.
+void ApplyRandomEdit(std::string& s, Rng& rng) {
+  enum class Op { kSubstitute, kInsert, kDelete };
+  std::vector<double> weights = {0.70, 0.15, s.size() > 1 ? 0.15 : 0.0};
+  Op op = static_cast<Op>(rng.WeightedIndex(weights));
+  switch (op) {
+    case Op::kSubstitute: {
+      size_t pos = rng.UniformIndex(s.size());
+      char old = s[pos];
+      char repl = old;
+      while (repl == old) repl = rng.LowercaseLetter();
+      s[pos] = repl;
+      break;
+    }
+    case Op::kInsert: {
+      size_t pos = rng.UniformIndex(s.size() + 1);
+      s.insert(s.begin() + static_cast<ptrdiff_t>(pos), rng.LowercaseLetter());
+      break;
+    }
+    case Op::kDelete: {
+      size_t pos = rng.UniformIndex(s.size());
+      s.erase(s.begin() + static_cast<ptrdiff_t>(pos));
+      break;
+    }
+  }
+}
+
+/// Entity IDs in first-appearance order — deterministic, unlike iterating
+/// an unordered container.
+std::vector<std::string> EntityIdsInOrder(const Dataset& dataset,
+                                          std::unordered_set<std::string>* seen) {
+  std::vector<std::string> ids;
+  for (const auto& r : dataset.records) {
+    if (seen->insert(r.true_id).second) ids.push_back(r.true_id);
+  }
+  return ids;
+}
+
+}  // namespace
+
+Status NearMissConfig::Validate() const {
+  if (rate < 0.0 || rate > 1.0) {
+    return Status::InvalidArgument("near-miss rate must be in [0, 1]");
+  }
+  if (max_edit_distance < 1 || max_edit_distance > 4) {
+    return Status::InvalidArgument("max_edit_distance must be in 1..4");
+  }
+  if (tie_fraction < 0.0 || tie_fraction > 1.0) {
+    return Status::InvalidArgument("tie_fraction must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+Status InjectNearMissIdErrors(Dataset& dataset, const NearMissConfig& config) {
+  IDREPAIR_RETURN_NOT_OK(config.Validate());
+  std::unordered_set<std::string> true_ids;
+  std::vector<std::string> entities = EntityIdsInOrder(dataset, &true_ids);
+  if (entities.size() < 2) {
+    return Status::InvalidArgument(
+        "near-miss injection needs at least two entities");
+  }
+  auto is_taken = [&true_ids](const std::string& s) {
+    return true_ids.count(s) > 0;
+  };
+  Rng rng(config.seed ^ 0x8f1bbcdcbfa53e0bULL);
+  IdErrorModel fallback_model;
+  for (auto& r : dataset.records) {
+    if (!rng.Bernoulli(config.rate)) continue;
+    const std::string& truth = r.true_id;
+    bool done = false;
+
+    // Engineered Eq. 1 tie: find a same-length victim at Hamming distance
+    // 2t (t <= max_edit_distance) and substitute t of the differing
+    // positions to the victim's characters — the mutant then sits at edit
+    // distance t from *both* IDs, so their Eq. 1 similarities are exactly
+    // equal. Plain random IDs are too far apart for this to fire; it is the
+    // fleet-prefix relabeling (RelabelWithFleetPrefixes) that brings
+    // entities close enough, which is why the adversarial scenarios stack
+    // the two models.
+    if (rng.Bernoulli(config.tie_fraction)) {
+      for (int attempt = 0; attempt < 16 && !done; ++attempt) {
+        const std::string& victim =
+            entities[rng.UniformIndex(entities.size())];
+        if (victim == truth || victim.size() != truth.size()) continue;
+        std::vector<size_t> diffs;
+        for (size_t i = 0; i < truth.size(); ++i) {
+          if (truth[i] != victim[i]) diffs.push_back(i);
+        }
+        if (diffs.size() < 2 || diffs.size() % 2 != 0) continue;
+        size_t t = diffs.size() / 2;
+        if (t > config.max_edit_distance) continue;
+        rng.Shuffle(diffs.begin(), diffs.end());
+        std::string mutant = truth;
+        for (size_t i = 0; i < t; ++i) mutant[diffs[i]] = victim[diffs[i]];
+        if (is_taken(mutant)) continue;
+        r.observed_id = std::move(mutant);
+        done = true;
+      }
+    }
+
+    // Near-miss collision: mutate a random victim's ID by 1..max edits, so
+    // similarity pulls the corrupted fragment toward the wrong entity.
+    for (int attempt = 0; attempt < 64 && !done; ++attempt) {
+      const std::string& victim = entities[rng.UniformIndex(entities.size())];
+      if (victim == truth) continue;
+      size_t edits = 1 + rng.UniformIndex(config.max_edit_distance);
+      std::string mutant = victim;
+      for (size_t e = 0; e < edits; ++e) ApplyRandomEdit(mutant, rng);
+      if (mutant == victim || is_taken(mutant)) continue;
+      size_t d = EditDistanceBounded(mutant, victim, config.max_edit_distance);
+      if (d == 0 || d > config.max_edit_distance) continue;
+      r.observed_id = std::move(mutant);
+      done = true;
+    }
+
+    // Degenerate pools: fall back to the OCR model so the record is still
+    // corrupted at the configured rate.
+    if (!done) r.observed_id = fallback_model.Mutate(truth, rng, is_taken);
+  }
+  return Status::OK();
+}
+
+Status PrefixFleetConfig::Validate() const {
+  if (num_prefixes == 0) {
+    return Status::InvalidArgument("num_prefixes must be positive");
+  }
+  if (prefix_len == 0 || suffix_len == 0) {
+    return Status::InvalidArgument("prefix_len and suffix_len must be positive");
+  }
+  if (static_cast<double>(num_prefixes) >
+      std::pow(26.0, static_cast<double>(prefix_len)) / 2.0) {
+    return Status::InvalidArgument("prefix_len too small for num_prefixes");
+  }
+  return Status::OK();
+}
+
+Status RelabelWithFleetPrefixes(Dataset& dataset,
+                                const PrefixFleetConfig& config) {
+  IDREPAIR_RETURN_NOT_OK(config.Validate());
+  for (const auto& r : dataset.records) {
+    if (r.corrupted()) {
+      return Status::InvalidArgument(
+          "fleet-prefix relabeling must run on a clean dataset "
+          "(apply before error injection)");
+    }
+  }
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> entities = EntityIdsInOrder(dataset, &seen);
+  // Suffix capacity guard: UniqueIdGenerator draws until it finds a fresh
+  // ID, so leave the space at most half full.
+  double space = std::pow(26.0, static_cast<double>(config.suffix_len));
+  if (static_cast<double>(entities.size()) > space / 2.0) {
+    return Status::InvalidArgument(
+        "suffix_len too small for the number of entities");
+  }
+  Rng rng(config.seed ^ 0x5a8279996ed9eba1ULL);
+  std::vector<std::string> prefixes;
+  std::unordered_set<std::string> prefix_set;
+  while (prefixes.size() < config.num_prefixes) {
+    std::string p;
+    for (size_t i = 0; i < config.prefix_len; ++i) p += rng.LowercaseLetter();
+    if (prefix_set.insert(p).second) prefixes.push_back(std::move(p));
+  }
+  UniqueIdGenerator suffixes(config.suffix_len, config.suffix_len);
+  std::unordered_map<std::string, std::string> relabel;
+  for (size_t i = 0; i < entities.size(); ++i) {
+    relabel[entities[i]] =
+        prefixes[i % config.num_prefixes] + suffixes.Next(rng);
+  }
+  for (auto& r : dataset.records) {
+    const std::string& fresh = relabel.at(r.true_id);
+    r.true_id = fresh;
+    r.observed_id = fresh;
+  }
+  return Status::OK();
+}
+
+Status BurstCorruptionConfig::Validate() const {
+  if (num_bursts == 0) {
+    return Status::InvalidArgument("num_bursts must be positive");
+  }
+  if (burst_seconds < 1) {
+    return Status::InvalidArgument("burst_seconds must be >= 1");
+  }
+  if (in_burst_error_rate < 0.0 || in_burst_error_rate > 1.0) {
+    return Status::InvalidArgument("in_burst_error_rate must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+Status InjectBurstCorruption(Dataset& dataset,
+                             const BurstCorruptionConfig& config) {
+  IDREPAIR_RETURN_NOT_OK(config.Validate());
+  if (dataset.records.empty()) return Status::OK();
+  std::unordered_set<std::string> true_ids;
+  for (const auto& r : dataset.records) true_ids.insert(r.true_id);
+  Rng rng(config.seed ^ 0x3c6ef372fe94f82bULL);
+  for (size_t b = 0; b < config.num_bursts; ++b) {
+    // Anchor the burst on an actual record so it always hits traffic.
+    const auto& anchor =
+        dataset.records[rng.UniformIndex(dataset.records.size())];
+    LocationId loc = anchor.loc;
+    Timestamp start = anchor.ts;
+    Timestamp end = start + config.burst_seconds;
+    // The camera's stuck transform: one position, one letter, shared by
+    // every misread of this burst.
+    size_t stuck_pos = rng.UniformIndex(16);
+    char stuck_char = rng.LowercaseLetter();
+    for (auto& r : dataset.records) {
+      if (r.loc != loc || r.ts < start || r.ts >= end) continue;
+      if (!rng.Bernoulli(config.in_burst_error_rate)) continue;
+      std::string mutant = r.true_id;
+      size_t pos = stuck_pos % mutant.size();
+      mutant[pos] = stuck_char != mutant[pos]
+                        ? stuck_char
+                        : (stuck_char == 'z' ? 'a' : stuck_char + 1);
+      // Never collide with a real entity: bump along the ID until free.
+      for (size_t tries = 0; true_ids.count(mutant) > 0 && tries < 26;
+           ++tries) {
+        size_t p2 = (pos + 1) % mutant.size();
+        mutant[p2] = mutant[p2] == 'z' ? 'a' : mutant[p2] + 1;
+      }
+      if (true_ids.count(mutant) > 0) continue;  // pathological: skip record
+      r.observed_id = std::move(mutant);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace idrepair

@@ -1,0 +1,83 @@
+#ifndef IDREPAIR_GEN_ADVERSARIAL_H_
+#define IDREPAIR_GEN_ADVERSARIAL_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "gen/dataset.h"
+#include "gen/error_model.h"
+
+namespace idrepair {
+
+/// Adversarial ID-error models (ROADMAP "scenario diversity"): unlike the
+/// OCR model of gen/error_model.h, which mutates an ID *away* from
+/// everything, these engineer the worst case for the repair objective —
+/// corrupted IDs that sit close to *multiple* entities at once, stressing
+/// the Eq. 1 similarity tie-breaking and the Eq. 3/Eq. 4 selection.
+
+/// Near-miss collisions: a corrupted record's observed ID is written at
+/// edit distance 1..max_edit_distance of a *different* entity's ID (the
+/// "victim"), so similarity pulls the fragment toward the wrong entity.
+/// With probability tie_fraction the mutant is additionally engineered to
+/// be exactly equidistant from the true and the victim ID (same length
+/// victims only), producing an exact Eq. 1 tie the selector must break by
+/// rarity/effectiveness alone.
+struct NearMissConfig {
+  /// Per-record corruption probability.
+  double rate = 0.2;
+  /// Maximum edit distance between the mutant and the victim ID (1 or 2).
+  size_t max_edit_distance = 2;
+  /// Fraction of corruptions engineered as exact Eq. 1 ties.
+  double tie_fraction = 0.5;
+  uint64_t seed = 1;
+
+  Status Validate() const;
+};
+
+/// Corrupts `dataset` in place per `config`. Mutants never collide with any
+/// entity's true ID (the sparsity-of-IDs premise stays intact — repair is
+/// hard, not ill-posed). Requires at least two distinct entities.
+Status InjectNearMissIdErrors(Dataset& dataset, const NearMissConfig& config);
+
+/// Prefix-shared composite IDs: relabels every entity as
+/// <fleet-prefix><unique-suffix> with only `num_prefixes` distinct
+/// prefixes, compressing the pairwise ID distance of unrelated entities
+/// (fleet/operator ID schemes). Apply to a *clean* dataset (observed ==
+/// true everywhere), then inject errors: with most characters shared, small
+/// corruptions collide across the fleet by construction.
+struct PrefixFleetConfig {
+  size_t num_prefixes = 4;
+  size_t prefix_len = 4;
+  size_t suffix_len = 3;
+  uint64_t seed = 1;
+
+  Status Validate() const;
+};
+
+/// Relabels both true and observed IDs through the same bijection.
+/// FailedPrecondition if the dataset already contains corrupted records.
+Status RelabelWithFleetPrefixes(Dataset& dataset,
+                                const PrefixFleetConfig& config);
+
+/// Correlated burst corruption: a flaky camera. Picks `num_bursts`
+/// (location, time-window) anchors among the dataset's records; every
+/// record captured at that location inside the window is corrupted with
+/// probability in_burst_error_rate by the burst's own *stuck* transform
+/// (the same substitution position and letter for the whole burst), so
+/// errors arrive spatially, temporally, and textually correlated instead of
+/// i.i.d.
+struct BurstCorruptionConfig {
+  size_t num_bursts = 8;
+  Timestamp burst_seconds = 300;
+  double in_burst_error_rate = 0.9;
+  uint64_t seed = 1;
+
+  Status Validate() const;
+};
+
+Status InjectBurstCorruption(Dataset& dataset,
+                             const BurstCorruptionConfig& config);
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_GEN_ADVERSARIAL_H_

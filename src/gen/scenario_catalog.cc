@@ -1,0 +1,217 @@
+#include "gen/scenario_catalog.h"
+
+#include <utility>
+
+#include "common/rng.h"
+#include "gen/adversarial.h"
+#include "gen/error_model.h"
+#include "gen/synthetic.h"
+
+namespace idrepair {
+
+std::vector<ScenarioCatalogEntry> ScenarioCatalog(bool light) {
+  auto scale = [light](size_t n) { return light ? n / 2 : n; };
+  std::vector<ScenarioCatalogEntry> entries;
+
+  {  // 10k-vertex Manhattan grid under diurnal rush traffic, OCR errors.
+    ScenarioCatalogEntry e;
+    e.name = "city_grid_10k_diurnal_ocr";
+    e.network.topology = RoadTopology::kGrid;
+    e.network.rows = light ? 36 : 102;  // 102*102 = 10404 vertices
+    e.network.cols = light ? 36 : 102;
+    e.network.diagonal_fraction = 0.3;
+    e.network.travel_median_lo = 30;
+    e.network.travel_median_hi = 90;
+    e.network.seed = 11;
+    e.traffic.num_trips = scale(320);
+    e.traffic.window_seconds = 7200;
+    e.traffic.arrivals = ArrivalProcess::kDiurnal;
+    e.traffic.max_trip_len = 8;
+    e.traffic.seed = 101;
+    e.errors = ScenarioError::kOcr;
+    e.error_rate = 0.15;
+    e.theta = 8;
+    e.eta = 2400;
+    entries.push_back(std::move(e));
+  }
+  {  // Mid-size grid where bursts carry most arrivals — the streaming arm.
+    ScenarioCatalogEntry e;
+    e.name = "grid_rush_burst_ocr";
+    e.network.topology = RoadTopology::kGrid;
+    e.network.rows = light ? 26 : 48;
+    e.network.cols = light ? 26 : 48;
+    e.network.travel_median_lo = 30;
+    e.network.travel_median_hi = 75;
+    e.network.seed = 12;
+    e.traffic.num_trips = scale(260);
+    e.traffic.window_seconds = 5400;
+    e.traffic.arrivals = ArrivalProcess::kBursty;
+    e.traffic.burst_count = 5;
+    e.traffic.burst_seconds = 240;
+    e.traffic.burst_fraction = 0.8;
+    e.traffic.max_trip_len = 7;
+    e.traffic.seed = 102;
+    e.errors = ScenarioError::kOcr;
+    e.error_rate = 0.2;
+    e.theta = 7;
+    e.eta = 1800;
+    e.bursty = true;
+    entries.push_back(std::move(e));
+  }
+  {  // Ring-radial avenues with Zipf-skewed gate popularity.
+    ScenarioCatalogEntry e;
+    e.name = "ring_radial_zipf_ocr";
+    e.network.topology = RoadTopology::kRingRadial;
+    e.network.rings = light ? 14 : 24;
+    e.network.spokes = 28;  // 24*28 + 1 = 673 vertices
+    e.network.travel_median_lo = 30;
+    e.network.travel_median_hi = 75;
+    e.network.seed = 13;
+    e.traffic.num_trips = scale(240);
+    e.traffic.window_seconds = 5400;
+    e.traffic.origin_zipf_s = 1.1;
+    e.traffic.max_trip_len = 7;
+    e.traffic.seed = 103;
+    e.errors = ScenarioError::kOcr;
+    e.error_rate = 0.2;
+    e.theta = 7;
+    e.eta = 1800;
+    entries.push_back(std::move(e));
+  }
+  {  // Hub-and-spoke with fleet churn: one ID, several well-parked trips.
+    ScenarioCatalogEntry e;
+    e.name = "hub_spoke_churn_ocr";
+    e.network.topology = RoadTopology::kHubAndSpoke;
+    e.network.hubs = 8;
+    e.network.locals_per_hub = light ? 40 : 80;  // 8*81 = 648 vertices
+    e.network.travel_median_lo = 30;
+    e.network.travel_median_hi = 75;
+    e.network.seed = 14;
+    e.traffic.num_trips = scale(240);
+    e.traffic.window_seconds = 9000;
+    e.traffic.mean_trips_per_entity = 2.5;
+    e.traffic.min_park_seconds = 2400;
+    e.traffic.max_trip_len = 7;
+    e.traffic.seed = 104;
+    e.errors = ScenarioError::kOcr;
+    e.error_rate = 0.15;
+    e.theta = 7;
+    e.eta = 1800;
+    entries.push_back(std::move(e));
+  }
+  {  // Adversarial near-miss IDs: corruptions collide with other entities.
+    ScenarioCatalogEntry e;
+    e.name = "grid_near_miss";
+    e.network.topology = RoadTopology::kGrid;
+    e.network.rows = light ? 24 : 40;
+    e.network.cols = light ? 24 : 40;
+    e.network.travel_median_lo = 30;
+    e.network.travel_median_hi = 75;
+    e.network.seed = 15;
+    e.traffic.num_trips = scale(220);
+    e.traffic.window_seconds = 5400;
+    e.traffic.max_trip_len = 7;
+    e.traffic.seed = 105;
+    e.errors = ScenarioError::kNearMiss;
+    e.error_rate = 0.2;
+    e.theta = 7;
+    e.eta = 1800;
+    entries.push_back(std::move(e));
+  }
+  {  // Fleet prefixes + engineered Eq. 1 ties — the hardest ID landscape.
+    ScenarioCatalogEntry e;
+    e.name = "prefix_fleet_ties";
+    e.network.topology = RoadTopology::kGrid;
+    e.network.rows = light ? 22 : 36;
+    e.network.cols = light ? 22 : 36;
+    e.network.travel_median_lo = 30;
+    e.network.travel_median_hi = 75;
+    e.network.seed = 16;
+    e.traffic.num_trips = scale(220);
+    e.traffic.window_seconds = 5400;
+    e.traffic.max_trip_len = 7;
+    e.traffic.seed = 106;
+    e.errors = ScenarioError::kPrefixTies;
+    e.error_rate = 0.2;
+    e.theta = 7;
+    e.eta = 1800;
+    entries.push_back(std::move(e));
+  }
+  {  // Camera dropout regions + correlated stuck-camera burst corruption.
+    ScenarioCatalogEntry e;
+    e.name = "grid_dropout_burst";
+    e.network.topology = RoadTopology::kGrid;
+    e.network.rows = light ? 24 : 44;
+    e.network.cols = light ? 24 : 44;
+    e.network.travel_median_lo = 30;
+    e.network.travel_median_hi = 75;
+    e.network.dropout_regions = 6;
+    e.network.dropout_coverage = 0.12;
+    e.network.dropout_miss_rate = 0.4;
+    e.network.seed = 17;
+    e.traffic.num_trips = scale(240);
+    e.traffic.window_seconds = 5400;
+    e.traffic.max_trip_len = 7;
+    e.traffic.seed = 107;
+    e.errors = ScenarioError::kBurstStuckCam;
+    e.error_rate = 0.0;  // the burst model has its own in-burst rate
+    e.theta = 7;
+    e.eta = 1800;
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+Result<ScenarioCatalogEntry> FindScenario(const std::string& name,
+                                          bool light) {
+  for (ScenarioCatalogEntry& e : ScenarioCatalog(light)) {
+    if (e.name == name) return std::move(e);
+  }
+  return Status::NotFound("unknown catalog scenario: " + name);
+}
+
+Result<Dataset> BuildScenarioDataset(const ScenarioCatalogEntry& entry) {
+  auto network = RoadNetwork::Build(entry.network);
+  if (!network.ok()) return network.status();
+  auto generated = GenerateTraffic(*network, entry.traffic);
+  if (!generated.ok()) return generated.status();
+  Dataset dataset = *std::move(generated);
+  switch (entry.errors) {
+    case ScenarioError::kOcr: {
+      Rng rng(entry.traffic.seed ^ 0x6a09e667f3bcc909ULL);
+      InjectIdErrors(dataset, entry.error_rate, IdErrorModel(), rng);
+      break;
+    }
+    case ScenarioError::kNearMiss: {
+      NearMissConfig near;
+      near.rate = entry.error_rate;
+      near.tie_fraction = 0.0;  // random IDs are too far apart for ties
+      near.seed = entry.traffic.seed;
+      IDREPAIR_RETURN_NOT_OK(InjectNearMissIdErrors(dataset, near));
+      break;
+    }
+    case ScenarioError::kPrefixTies: {
+      PrefixFleetConfig fleet;
+      fleet.num_prefixes = 4;
+      fleet.seed = entry.traffic.seed;
+      IDREPAIR_RETURN_NOT_OK(RelabelWithFleetPrefixes(dataset, fleet));
+      NearMissConfig near;
+      near.rate = entry.error_rate;
+      near.tie_fraction = 0.6;
+      near.seed = entry.traffic.seed;
+      IDREPAIR_RETURN_NOT_OK(InjectNearMissIdErrors(dataset, near));
+      break;
+    }
+    case ScenarioError::kBurstStuckCam: {
+      BurstCorruptionConfig burst;
+      burst.num_bursts = 30;
+      burst.burst_seconds = 900;
+      burst.seed = entry.traffic.seed;
+      IDREPAIR_RETURN_NOT_OK(InjectBurstCorruption(dataset, burst));
+      break;
+    }
+  }
+  return dataset;
+}
+
+}  // namespace idrepair

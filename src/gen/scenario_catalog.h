@@ -1,0 +1,56 @@
+#ifndef IDREPAIR_GEN_SCENARIO_CATALOG_H_
+#define IDREPAIR_GEN_SCENARIO_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "gen/dataset.h"
+#include "gen/road_network.h"
+#include "gen/traffic_model.h"
+#include "graph/types.h"
+
+namespace idrepair {
+
+/// Which error model corrupts a catalog scenario's clean traffic.
+enum class ScenarioError {
+  kOcr,            // gen/error_model.h distance distribution (§6.1.1)
+  kNearMiss,       // adversarial: corruptions collide with other entities
+  kPrefixTies,     // fleet-prefix relabel + engineered Eq. 1 ties
+  kBurstStuckCam,  // correlated stuck-camera bursts
+};
+
+/// One named city-scale workload: topology x traffic x error model, plus
+/// the θ/η the repair engines should run it with. The whole generation
+/// stack is a pure function of this struct — BuildScenarioDataset twice
+/// yields byte-identical records.
+struct ScenarioCatalogEntry {
+  std::string name;
+  RoadNetworkConfig network;
+  TrafficConfig traffic;
+  ScenarioError errors = ScenarioError::kOcr;
+  double error_rate = 0.2;  // per-record rate for kOcr / kNearMiss
+  size_t theta = 8;
+  Timestamp eta = 1800;
+  bool bursty = false;  // bursty arrivals (the streaming stress shape)
+};
+
+/// The workload catalog shared by the scenario test tier, the scenario
+/// bench, and the chaos/fuzz arms (documented in EXPERIMENTS.md). `light`
+/// shrinks every scenario (smaller networks, half the trips) so sanitizer
+/// lanes can afford the matrix; the full catalog includes a 10k+-vertex
+/// grid and at least two adversarial error models.
+std::vector<ScenarioCatalogEntry> ScenarioCatalog(bool light);
+
+/// Convenience lookup by name from ScenarioCatalog(light); aborts via
+/// Status if the name is unknown.
+Result<ScenarioCatalogEntry> FindScenario(const std::string& name, bool light);
+
+/// Builds the labeled dataset of one entry from scratch: road network,
+/// clean traffic, then the entry's error model.
+Result<Dataset> BuildScenarioDataset(const ScenarioCatalogEntry& entry);
+
+}  // namespace idrepair
+
+#endif  // IDREPAIR_GEN_SCENARIO_CATALOG_H_

@@ -21,8 +21,52 @@ void SortChronological(std::vector<GroundTruthRecord>& records) {
 
 }  // namespace
 
+Status SyntheticConfig::Validate() const {
+  if (record_error_rate < 0.0 || record_error_rate > 1.0) {
+    return Status::InvalidArgument("record_error_rate must be in [0, 1]");
+  }
+  if (record_missing_rate < 0.0 || record_missing_rate > 1.0) {
+    return Status::InvalidArgument("record_missing_rate must be in [0, 1]");
+  }
+  if (max_path_len == 0) {
+    return Status::InvalidArgument("max_path_len must be positive");
+  }
+  if (window_seconds < 0) {
+    return Status::InvalidArgument("window_seconds must be >= 0");
+  }
+  for (double w : path_weights) {
+    if (w < 0.0) {
+      return Status::InvalidArgument("path_weights must be non-negative");
+    }
+  }
+  if (error_distances.probs_by_distance.empty()) {
+    return Status::InvalidArgument("error_distances must not be empty");
+  }
+  double prob_sum = 0.0;
+  for (double p : error_distances.probs_by_distance) {
+    if (p < 0.0) {
+      return Status::InvalidArgument(
+          "error_distances probabilities must be non-negative");
+    }
+    prob_sum += p;
+  }
+  if (prob_sum <= 0.0) {
+    return Status::InvalidArgument(
+        "error_distances needs at least one positive probability");
+  }
+  if (travel_sigma < 0.0) {
+    return Status::InvalidArgument("travel_sigma must be >= 0");
+  }
+  if (travel_median_lo < 1 || travel_median_hi < travel_median_lo) {
+    return Status::InvalidArgument(
+        "travel medians need 1 <= median_lo <= median_hi");
+  }
+  return Status::OK();
+}
+
 Result<Dataset> GenerateCleanDataset(const TransitionGraph& graph,
                                      const SyntheticConfig& config) {
+  IDREPAIR_RETURN_NOT_OK(config.Validate());
   IDREPAIR_RETURN_NOT_OK(graph.Validate());
   auto sampler = ValidPathSampler::Create(graph, config.max_path_len);
   if (!sampler.ok()) return sampler.status();

@@ -51,6 +51,19 @@ struct SyntheticConfig {
   /// fit the η bound (see bench/fig11).
   int64_t travel_median_lo = 60;
   int64_t travel_median_hi = 180;
+
+  /// Rejects out-of-range rates, lengths, and travel/error parameters.
+  /// Generation entry points call this, so a typo'd config fails loudly
+  /// instead of silently producing a degenerate dataset.
+  Status Validate() const;
+
+  /// Validate() as a terminal step, mirroring RepairOptions::Validated():
+  ///   auto config = raw_config.Validated();
+  ///   if (!config.ok()) return config.status();
+  Result<SyntheticConfig> Validated() const {
+    IDREPAIR_RETURN_NOT_OK(Validate());
+    return *this;
+  }
 };
 
 /// Samples `config.num_trajectories` error-free trajectories on `graph`:

@@ -1,5 +1,6 @@
 #include "graph/transition_graph.h"
 
+#include <algorithm>
 #include <deque>
 #include <utility>
 
@@ -18,7 +19,11 @@ TransitionGraph::TransitionGraph(const TransitionGraph& other)
       can_reach_exit_(other.can_reach_exit_),
       exit_reach_dirty_(
           other.exit_reach_dirty_.load(std::memory_order_acquire)),
-      edge_matrix_(other.edge_matrix_) {}
+      edge_bits_(other.edge_bits_),
+      matrix_stride_(other.matrix_stride_),
+      compact_matrix_(other.compact_matrix_),
+      compact_matrix_dirty_(
+          other.compact_matrix_dirty_.load(std::memory_order_acquire)) {}
 
 TransitionGraph& TransitionGraph::operator=(const TransitionGraph& other) {
   if (this == &other) return *this;
@@ -35,7 +40,12 @@ TransitionGraph& TransitionGraph::operator=(const TransitionGraph& other) {
   exit_reach_dirty_.store(
       other.exit_reach_dirty_.load(std::memory_order_acquire),
       std::memory_order_release);
-  edge_matrix_ = other.edge_matrix_;
+  edge_bits_ = other.edge_bits_;
+  matrix_stride_ = other.matrix_stride_;
+  compact_matrix_ = other.compact_matrix_;
+  compact_matrix_dirty_.store(
+      other.compact_matrix_dirty_.load(std::memory_order_acquire),
+      std::memory_order_release);
   return *this;
 }
 
@@ -52,7 +62,11 @@ TransitionGraph::TransitionGraph(TransitionGraph&& other) noexcept
       can_reach_exit_(std::move(other.can_reach_exit_)),
       exit_reach_dirty_(
           other.exit_reach_dirty_.load(std::memory_order_acquire)),
-      edge_matrix_(std::move(other.edge_matrix_)) {}
+      edge_bits_(std::move(other.edge_bits_)),
+      matrix_stride_(other.matrix_stride_),
+      compact_matrix_(std::move(other.compact_matrix_)),
+      compact_matrix_dirty_(
+          other.compact_matrix_dirty_.load(std::memory_order_acquire)) {}
 
 TransitionGraph& TransitionGraph::operator=(TransitionGraph&& other) noexcept {
   if (this == &other) return *this;
@@ -69,7 +83,12 @@ TransitionGraph& TransitionGraph::operator=(TransitionGraph&& other) noexcept {
   exit_reach_dirty_.store(
       other.exit_reach_dirty_.load(std::memory_order_acquire),
       std::memory_order_release);
-  edge_matrix_ = std::move(other.edge_matrix_);
+  edge_bits_ = std::move(other.edge_bits_);
+  matrix_stride_ = other.matrix_stride_;
+  compact_matrix_ = std::move(other.compact_matrix_);
+  compact_matrix_dirty_.store(
+      other.compact_matrix_dirty_.load(std::memory_order_acquire),
+      std::memory_order_release);
   return *this;
 }
 
@@ -84,32 +103,39 @@ LocationId TransitionGraph::AddLocation(std::string name) {
   is_entrance_.push_back(false);
   is_exit_.push_back(false);
   exit_reach_dirty_.store(true, std::memory_order_relaxed);
-  // Grow the dense edge matrix to the new size, remapping old entries to
-  // the new row stride.
-  size_t n = names_.size();
-  DynamicBitset grown(n * n);
-  size_t old_n = n - 1;
-  for (size_t u = 0; u < old_n; ++u) {
-    for (size_t v = 0; v < old_n; ++v) {
-      if (edge_matrix_.Test(u * old_n + v)) grown.Set(u * n + v);
-    }
-  }
-  edge_matrix_ = std::move(grown);
+  compact_matrix_dirty_.store(true, std::memory_order_relaxed);
+  // The stride grows geometrically, so the O(stride^2) remap amortizes to
+  // O(1) per insertion — city-scale generators add tens of thousands of
+  // locations, and a compact remap per insertion would be cubic overall.
+  if (names_.size() > matrix_stride_) GrowMatrixStride();
   return id;
+}
+
+void TransitionGraph::GrowMatrixStride() {
+  size_t stride = std::max<size_t>(64, matrix_stride_ * 2);
+  stride = std::max(stride, names_.size());
+  // Rebuilding from the adjacency lists is O(stride^2 / 64 + E) — cheaper
+  // and simpler than remapping bit rows between layouts.
+  DynamicBitset grown(stride * stride);
+  for (size_t u = 0; u < out_.size(); ++u) {
+    for (LocationId v : out_[u]) grown.Set(u * stride + v);
+  }
+  edge_bits_ = std::move(grown);
+  matrix_stride_ = stride;
 }
 
 Status TransitionGraph::AddEdge(LocationId from, LocationId to) {
   if (from >= num_locations() || to >= num_locations()) {
     return Status::InvalidArgument("AddEdge: location id out of range");
   }
-  size_t n = num_locations();
-  size_t cell = static_cast<size_t>(from) * n + to;
-  if (edge_matrix_.Test(cell)) return Status::OK();  // idempotent
-  edge_matrix_.Set(cell);
+  size_t cell = static_cast<size_t>(from) * matrix_stride_ + to;
+  if (edge_bits_.Test(cell)) return Status::OK();  // idempotent
+  edge_bits_.Set(cell);
   out_[from].push_back(to);
   in_[to].push_back(from);
   ++num_edges_;
   exit_reach_dirty_.store(true, std::memory_order_relaxed);
+  compact_matrix_dirty_.store(true, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -147,7 +173,28 @@ Status TransitionGraph::MarkExit(LocationId loc) {
 
 bool TransitionGraph::HasEdge(LocationId from, LocationId to) const {
   if (from >= num_locations() || to >= num_locations()) return false;
-  return edge_matrix_.Test(static_cast<size_t>(from) * num_locations() + to);
+  return edge_bits_.Test(static_cast<size_t>(from) * matrix_stride_ + to);
+}
+
+const DynamicBitset& TransitionGraph::EdgeMatrix() const {
+  // Same double-checked pattern as CanReachExit: the acquire load pairs
+  // with the release store in RebuildCompactMatrix.
+  if (compact_matrix_dirty_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(compact_matrix_mutex_);
+    if (compact_matrix_dirty_.load(std::memory_order_relaxed)) {
+      RebuildCompactMatrix();
+    }
+  }
+  return compact_matrix_;
+}
+
+void TransitionGraph::RebuildCompactMatrix() const {
+  size_t n = num_locations();
+  compact_matrix_.Assign(n * n, false);
+  for (size_t u = 0; u < n; ++u) {
+    for (LocationId v : out_[u]) compact_matrix_.Set(u * n + v);
+  }
+  compact_matrix_dirty_.store(false, std::memory_order_release);
 }
 
 std::optional<LocationId> TransitionGraph::FindLocation(

@@ -115,7 +115,12 @@ class TransitionGraph {
   /// it as its own section and cross-checks it against the matrix rebuilt
   /// from the edge list on load, catching payload tampering that a file
   /// checksum alone cannot attribute.
-  const DynamicBitset& EdgeMatrix() const { return edge_matrix_; }
+  ///
+  /// Lazily rebuilt from the adjacency lists (internal edge membership uses
+  /// a grown row stride, so this compact layout is a derived cache). The
+  /// returned reference is valid until the next mutation; the rebuild is
+  /// mutex-guarded, so concurrent const callers are safe.
+  const DynamicBitset& EdgeMatrix() const;
 
   /// Materializes the lazily rebuilt caches now, so the sharing point is
   /// explicit and no shard ever waits on the rebuild mutex. Concurrent
@@ -128,6 +133,8 @@ class TransitionGraph {
 
  private:
   void RecomputeExitReachability() const;
+  void GrowMatrixStride();
+  void RebuildCompactMatrix() const;
 
   std::vector<std::string> names_;
   std::unordered_map<std::string, LocationId> name_to_id_;
@@ -149,8 +156,19 @@ class TransitionGraph {
 
   // Dense edge membership for O(1) HasEdge, packed 1 bit per pair: n^2
   // bits instead of n^2 bytes, so the row scans of IsValidPath stay in
-  // cache even for graphs with a few thousand locations.
-  DynamicBitset edge_matrix_;
+  // cache even for graphs with a few thousand locations. Rows are laid out
+  // with a geometrically grown stride (cell = from * matrix_stride_ + to)
+  // so AddLocation is amortized O(1); remapping a compact n x n matrix on
+  // every insertion made building a 10k-vertex road network cubic in n.
+  DynamicBitset edge_bits_;
+  size_t matrix_stride_ = 0;
+
+  // The compact (from * n + to) matrix EdgeMatrix() exposes, derived from
+  // the adjacency lists on demand (same double-checked pattern as the
+  // exit-reach cache).
+  mutable DynamicBitset compact_matrix_;
+  mutable std::atomic<bool> compact_matrix_dirty_{true};
+  mutable std::mutex compact_matrix_mutex_;
 };
 
 }  // namespace idrepair

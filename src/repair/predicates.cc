@@ -4,10 +4,31 @@
 
 namespace idrepair {
 
+namespace {
+
+// Past this many locations the dense O(|V|^3) Floyd–Warshall build stops
+// being viable (a 10k-vertex road network would need ~10^12 relaxations and
+// a 400 MB matrix). Every query the evaluator issues is bounded by θ−1
+// hops, so the sparse BFS build answers them all exactly at O(|V|·ball)
+// cost. Small graphs keep the dense build: it is cheap there and its
+// reachability() accessor stays exact at any hop count.
+constexpr size_t kDenseReachabilityLimit = 512;
+
+ReachabilityMatrix BuildReachability(const TransitionGraph& graph,
+                                     size_t theta) {
+  if (graph.num_locations() <= kDenseReachabilityLimit) {
+    return ReachabilityMatrix::Build(graph);
+  }
+  uint32_t bound = theta == 0 ? 0 : static_cast<uint32_t>(theta) - 1;
+  return ReachabilityMatrix::BuildBounded(graph, bound);
+}
+
+}  // namespace
+
 PredicateEvaluator::PredicateEvaluator(const TransitionGraph& graph,
                                        size_t theta, Timestamp eta)
     : graph_(&graph),
-      reach_(ReachabilityMatrix::Build(graph)),
+      reach_(BuildReachability(graph, theta)),
       theta_(theta),
       eta_(eta) {}
 

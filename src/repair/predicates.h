@@ -25,8 +25,11 @@ namespace idrepair {
 ///    set form a prefix of a valid path? Used to prune clique generation
 ///    (Theorem 5.3).
 ///
-/// The Floyd–Warshall reachability matrix is built once at construction so
-/// each cex hop query is O(1) (the preprocessing of §4.1.1).
+/// The reachability matrix is built once at construction so each cex hop
+/// query is O(1) (the preprocessing of §4.1.1): dense Floyd–Warshall for
+/// paper-scale graphs, the hop-bounded sparse build (bound θ−1 — the only
+/// hop budget the evaluator ever queries) past 512 locations so city-scale
+/// road networks stay feasible.
 class PredicateEvaluator {
  public:
   PredicateEvaluator(const TransitionGraph& graph, size_t theta,

@@ -168,12 +168,13 @@ Result<RepairResult> IdRepairer::RepairImpl(
   // The evaluator (and its Floyd–Warshall closure) and the trajectory graph
   // are built here unless the caller brought its own — RepairPrebuilt
   // amortizes both across the streaming engine's component repairs.
-  std::optional<PredicateEvaluator> pred_storage;
   if (external_pred == nullptr) {
-    pred_storage.emplace(*graph_, options_.theta, options_.eta);
+    std::call_once(pred_once_, [&] {
+      shared_pred_.emplace(*graph_, options_.theta, options_.eta);
+    });
   }
   const PredicateEvaluator& pred =
-      external_pred != nullptr ? *external_pred : *pred_storage;
+      external_pred != nullptr ? *external_pred : *shared_pred_;
   std::optional<TrajectoryGraph> gm_storage;
   if (prebuilt == nullptr) {
     obs::PhaseScope phase("repair.gm", &result.stats.seconds_gm,

@@ -1,6 +1,8 @@
 #ifndef IDREPAIR_REPAIR_REPAIRER_H_
 #define IDREPAIR_REPAIR_REPAIRER_H_
 
+#include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -10,13 +12,13 @@
 #include "common/stopwatch.h"
 #include "repair/candidates.h"
 #include "repair/options.h"
+#include "repair/predicates.h"
 #include "repair/selectors.h"
 #include "traj/trajectory_set.h"
 
 namespace idrepair {
 
 class TrajectoryGraph;
-class PredicateEvaluator;
 
 /// Per-phase timings and counters of one repair run, powering the paper's
 /// running-time plots.
@@ -186,6 +188,13 @@ class IdRepairer : public Repairer {
   const TransitionGraph* graph_;
   RepairOptions options_;
   NormalizedEditSimilarity default_similarity_;
+  // Evaluator shared across Repair() calls: graph and θ/η are fixed per
+  // repairer, so the reachability build (the expensive part on city-scale
+  // graphs) happens once, not once per call — PartitionedRepairer issues one
+  // Repair per chain component against a single inner IdRepairer, possibly
+  // concurrently, hence the call_once.
+  mutable std::once_flag pred_once_;
+  mutable std::optional<PredicateEvaluator> shared_pred_;
 };
 
 /// Applies `rewrites` to the records of `set` and regroups, yielding the

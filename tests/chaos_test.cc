@@ -33,6 +33,7 @@
 #include "eval/metrics.h"
 #include "fault/deadline.h"
 #include "fault/failpoint.h"
+#include "gen/scenario_catalog.h"
 #include "gen/synthetic.h"
 #include "graph/generators.h"
 #include "graph/serialization.h"
@@ -133,6 +134,33 @@ std::vector<Scenario> MakeScenarios(uint64_t seed_base = 9000) {
   return scenarios;
 }
 
+// The soak arms additionally carry the adversarial near-miss workload from
+// the scenario catalog (light variant): corrupted IDs that collide with
+// other live entities produce contested candidates, which stresses
+// eviction and selection under chaos in ways the uniform OCR scenarios
+// cannot. Kept out of the per-fault matrix tests to hold their budget.
+std::vector<Scenario> MakeSoakScenarios() {
+  std::vector<Scenario> scenarios = MakeScenarios();
+  auto entry = FindScenario("grid_near_miss", /*light=*/true);
+  if (!entry.ok()) {
+    ADD_FAILURE() << entry.status();
+    return scenarios;
+  }
+  auto ds = BuildScenarioDataset(*entry);
+  if (!ds.ok()) {
+    ADD_FAILURE() << ds.status();
+    return scenarios;
+  }
+  Scenario s;
+  s.name = "catalog_near_miss";
+  s.graph = ds->graph;
+  s.set = ds->BuildObservedTrajectories();
+  s.options.theta = entry->theta;
+  s.options.eta = entry->eta;
+  scenarios.push_back(std::move(s));
+  return scenarios;
+}
+
 const std::vector<int>& ThreadCounts() {
   static const std::vector<int> kThreads = {1, 2, 8};
   return kThreads;
@@ -177,7 +205,7 @@ Result<RepairResult> RunEngine(std::string_view engine, const Scenario& s,
 const std::map<std::string, std::string>& BaselineFingerprints() {
   static const std::map<std::string, std::string>* kBaselines = [] {
     auto* baselines = new std::map<std::string, std::string>();
-    for (const Scenario& s : MakeScenarios()) {
+    for (const Scenario& s : MakeSoakScenarios()) {
       for (std::string_view engine : AllEngineNames()) {
         for (int threads : ThreadCounts()) {
           auto result = RunEngine(engine, s, threads);
@@ -580,7 +608,7 @@ TEST_F(ChaosTest, SoakEvictionHeavyStreaming) {
     rounds = static_cast<int>(std::strtol(env, nullptr, 10));
   }
 
-  for (const Scenario& s : MakeScenarios()) {
+  for (const Scenario& s : MakeSoakScenarios()) {
     std::vector<TrackingRecord> records;
     for (TrajIndex i = 0; i < s.set.size(); ++i) {
       for (const auto& p : s.set.at(i).points()) {
@@ -653,7 +681,7 @@ TEST_F(ChaosTest, SoakSeededProbabilisticChaos) {
     rounds = static_cast<int>(std::strtol(env, nullptr, 10));
   }
 
-  const auto scenarios = MakeScenarios();
+  const auto scenarios = MakeSoakScenarios();
   for (int round = 0; round < rounds; ++round) {
     const uint64_t seed = seed_base + static_cast<uint64_t>(round);
     SCOPED_TRACE("seed " + std::to_string(seed));

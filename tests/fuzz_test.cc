@@ -13,6 +13,7 @@
 
 #include "common/rng.h"
 #include "fault/failpoint.h"
+#include "gen/scenario_catalog.h"
 #include "gen/synthetic.h"
 #include "graph/generators.h"
 #include "repair/repairer.h"
@@ -174,6 +175,43 @@ INSTANTIATE_TEST_SUITE_P(
       return std::get<0>(info.param) + "_seed" +
              std::to_string(std::get<1>(info.param));
     });
+
+// The same thread-count contract on an adversarial catalog workload:
+// near-miss corruptions (gen/scenario_catalog.h, light variant) collide
+// with other live entities, so the candidate landscape is full of
+// contested, near-tied repairs — exactly where a schedule-dependent
+// tie-break would first surface. Tiny grains force real sharding.
+TEST(EngineChaosCatalogTest, NearMissScenarioIsThreadCountInvariant) {
+  auto entry = FindScenario("grid_near_miss", /*light=*/true);
+  ASSERT_TRUE(entry.ok()) << entry.status();
+  auto ds = BuildScenarioDataset(*entry);
+  ASSERT_TRUE(ds.ok()) << ds.status();
+  TrajectorySet set = ds->BuildObservedTrajectories();
+
+  for (std::string_view engine_name : testutil::AllEngineNames()) {
+    std::vector<std::unordered_map<TrajIndex, std::string>> rewrites;
+    for (int threads : {1, 2, 8}) {
+      RepairOptions options;
+      options.theta = entry->theta;
+      options.eta = entry->eta;
+      options.exec.num_threads = threads;
+      options.exec.min_partition_grain = 8;
+      options.exec.min_candidate_grain = 2;
+      auto engine = testutil::MakeEngineByName(engine_name, ds->graph, options);
+      ASSERT_NE(engine, nullptr) << engine_name;
+      auto result = engine->Repair(set);
+      ASSERT_TRUE(result.ok()) << engine_name << " @" << threads
+                               << " threads: " << result.status();
+      EXPECT_EQ(result->repaired.total_records(), set.total_records())
+          << engine_name << " @" << threads << " threads";
+      rewrites.push_back(result->rewrites);
+    }
+    for (size_t i = 1; i < rewrites.size(); ++i) {
+      EXPECT_EQ(rewrites[i], rewrites[0])
+          << engine_name << ": thread count changed the rewrites";
+    }
+  }
+}
 
 // Streaming chaos arm: random Append/Poll/Finish interleavings with the
 // stream.append and stream.poll failpoints armed probabilistically. The

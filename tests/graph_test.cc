@@ -276,6 +276,42 @@ TEST(ReachabilityTest, MatchesBfsOnRandomDags) {
   }
 }
 
+TEST(ReachabilityTest, BoundedBuildMatchesDenseWithinBound) {
+  // Property: for every hop budget <= the build bound, the sparse BFS
+  // build answers Hops/Reachable exactly like the dense Floyd–Warshall —
+  // including the diagonal-as-shortest-cycle semantics — on both cyclic and
+  // acyclic shapes. This is the contract that lets PredicateEvaluator swap
+  // builds on city-scale graphs.
+  Rng rng(123);
+  for (int trial = 0; trial < 8; ++trial) {
+    TransitionGraph g = MakeChainGraph(9);
+    AddRandomEdges(g, 10, rng);  // backward edges create cycles
+    auto dense = ReachabilityMatrix::Build(g);
+    for (uint32_t bound : {0u, 1u, 3u, 5u, 12u}) {
+      auto sparse = ReachabilityMatrix::BuildBounded(g, bound);
+      EXPECT_FALSE(sparse.dense());
+      EXPECT_EQ(sparse.bound(), bound);
+      size_t n = g.num_locations();
+      for (LocationId s = 0; s < n; ++s) {
+        for (LocationId t = 0; t < n; ++t) {
+          uint32_t want = dense.Hops(s, t);
+          uint32_t got = sparse.Hops(s, t);
+          if (want != ReachabilityMatrix::kUnreachable && want <= bound) {
+            EXPECT_EQ(got, want) << "s=" << s << " t=" << t;
+          } else {
+            EXPECT_EQ(got, ReachabilityMatrix::kUnreachable)
+                << "s=" << s << " t=" << t << " bound=" << bound;
+          }
+          for (uint32_t h = 0; h <= bound; ++h) {
+            EXPECT_EQ(sparse.Reachable(s, t, h), dense.Reachable(s, t, h))
+                << "s=" << s << " t=" << t << " h=" << h;
+          }
+        }
+      }
+    }
+  }
+}
+
 // ----------------------------------------------------------------- Paths
 
 TEST(PathsTest, EnumerateValidPathsOnPaperGraph) {

@@ -10,6 +10,8 @@
 #include "common/rng.h"
 #include "fault/deadline.h"
 #include "fault/failpoint.h"
+#include "gen/error_model.h"
+#include "gen/id_generator.h"
 #include "gen/synthetic.h"
 #include "graph/generators.h"
 #include "graph/paths.h"
@@ -18,6 +20,7 @@
 #include "repair/partitioned.h"
 #include "repair/predicates.h"
 #include "repair/repairer.h"
+#include "sim/edit_distance.h"
 #include "stream/streaming_repairer.h"
 #include "traj/merge.h"
 
@@ -448,6 +451,64 @@ TEST_P(SeededPropertyTest, SelectionInvariantsHold) {
                     options.lambda * (std::log(ivt) / std::log(base));
     }
     EXPECT_DOUBLE_EQ(result->total_effectiveness, recomputed);
+  }
+}
+
+// Generator property (§6.1.1 ID model): every ID the generator hands out
+// is fresh — across an entire dataset's worth of draws — and sits inside
+// the 7..9 lowercase-letter envelope. Collision-freedom is what carries
+// the paper's sparsity-of-IDs premise into every synthetic workload.
+TEST_P(SeededPropertyTest, UniqueIdGeneratorIsCollisionFreeWithinBounds) {
+  Rng rng(GetParam() * 7919);
+  UniqueIdGenerator gen;
+  std::set<std::string> seen;
+  for (int i = 0; i < 2000; ++i) {
+    std::string id = gen.Next(rng);
+    EXPECT_TRUE(seen.insert(id).second) << "duplicate ID: " << id;
+    EXPECT_GE(id.size(), 7u);
+    EXPECT_LE(id.size(), 9u);
+    for (char c : id) {
+      EXPECT_TRUE(c >= 'a' && c <= 'z') << "non-lowercase ID: " << id;
+    }
+    EXPECT_TRUE(gen.IsUsed(id));
+  }
+  // Reserve blocks externally chosen IDs from ever being drawn again.
+  gen.Reserve("reservedid");
+  EXPECT_TRUE(gen.IsUsed("reservedid"));
+}
+
+// Generator property: the empirical edit-distance histogram of mutated IDs
+// tracks ErrorDistanceDistribution. Each sampled distance k is realized as
+// k single edits, and independent random edits can partially cancel (an
+// insert un-done by a delete), so mass may only leak *downward* — the
+// empirical share at distance k must be within tolerance of the nominal
+// probability plus any leakage from above, and distances above the support
+// must never appear.
+TEST_P(SeededPropertyTest, IdErrorModelTracksDistanceDistribution) {
+  ErrorDistanceDistribution dist;  // nominal {0.55, 0.30, 0.10, 0.05}
+  IdErrorModel model(dist);
+  Rng rng(GetParam() * 104729);
+  const std::string id = "abcdefgh";
+  const int kTrials = 4000;
+  std::vector<int> counts(dist.probs_by_distance.size() + 1, 0);
+  for (int i = 0; i < kTrials; ++i) {
+    size_t d = EditDistance(id, model.Mutate(id, rng));
+    ASSERT_GE(d, 1u);
+    ASSERT_LE(d, dist.probs_by_distance.size());
+    ++counts[d];
+  }
+  double cumulative_nominal = 0.0;
+  double cumulative_observed = 0.0;
+  for (size_t k = dist.probs_by_distance.size(); k >= 1; --k) {
+    cumulative_nominal += dist.probs_by_distance[k - 1];
+    cumulative_observed += static_cast<double>(counts[k]) / kTrials;
+    // Tail mass at >= k: cancellation only moves mass below k, so the
+    // observed tail is bounded above by nominal (+ sampling noise) and
+    // below by nominal minus the cancellation allowance.
+    EXPECT_LE(cumulative_observed, cumulative_nominal + 0.04)
+        << "tail >= " << k;
+    EXPECT_GE(cumulative_observed, cumulative_nominal - 0.08)
+        << "tail >= " << k;
   }
 }
 
